@@ -1,0 +1,72 @@
+//! Criterion end-to-end benchmark: one full broadcast (topology generation excluded)
+//! under the main protocol configurations, plus a quick-scale rerun of every paper
+//! experiment harness so that `cargo bench` output contains one sample of each table and
+//! figure series (the full-scale runs are produced by the `brb-bench` binaries).
+
+use brb_bench::{figures, table1, Scale};
+use brb_core::config::Config;
+use brb_sim::{run_experiment_on_graph, DelayModel, ExperimentParams};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_full_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_e2e_n30_k9_f4");
+    group.sample_size(10);
+    let (n, k, f) = (30usize, 9usize, 4usize);
+    let graph = brb_sim::experiment::experiment_graph(n, k, 99);
+    for (label, config) in [
+        ("bdopt", Config::bdopt(n, f)),
+        ("bdopt_mbd1", Config::bdopt_mbd1(n, f)),
+        ("lat", Config::latency_preset(n, f)),
+        ("bdw", Config::bandwidth_preset(n, f)),
+        ("all_mbd", Config::bdopt(n, f).with_mbd(&(1..=12).collect::<Vec<_>>())),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            let params = ExperimentParams {
+                n,
+                connectivity: k,
+                f,
+                crashed: 0,
+                payload_size: 1024,
+                config: *config,
+                delay: DelayModel::synchronous(),
+                seed: 5,
+            };
+            b.iter(|| {
+                let r = run_experiment_on_graph(&params, &graph);
+                assert!(r.complete());
+                black_box(r.bytes)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Emits one quick-scale sample of every paper experiment into the bench output.
+fn paper_experiment_samples(_c: &mut Criterion) {
+    // Print the quick-scale tables/figures once so they appear in bench_output.txt. The
+    // timing of the underlying sweeps is covered by `bench_full_broadcast`; re-timing the
+    // whole table inside a Criterion loop would only slow `cargo bench` down.
+    println!("\n===== quick-scale reproduction of the paper's tables and figures =====");
+    table1::run_table1(Scale::Quick, false);
+    figures::run_fig4(Scale::Quick, false);
+    figures::run_fig5(Scale::Quick, false);
+    figures::run_fig6(Scale::Quick, false);
+    figures::run_fig7_to_10(Scale::Quick, false);
+    figures::run_memory(Scale::Quick);
+    println!("===== asynchronous variant (Sec. 7.6) =====");
+    figures::run_fig7_to_10(Scale::Quick, true);
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_full_broadcast, paper_experiment_samples
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion microbenchmark of the disjoint-path verification, the computational core of
+//! Dolev's delivery rule (the paper attributes most of the protocol's CPU and memory cost
+//! to it, Sec. 6.6 and 7.3).
+
+use brb_core::disjoint::DisjointPathTracker;
+use brb_core::pathset::PathSet;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `count` random paths of the given length over a universe of `n` labels.
+fn random_paths(n: usize, count: usize, len: usize, seed: u64) -> Vec<PathSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut set = PathSet::new();
+            while set.len() < len {
+                set.insert(rng.gen_range(1..n));
+            }
+            set
+        })
+        .collect()
+}
+
+fn bench_disjoint_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjoint_path_verification");
+    for &(n, count, len, threshold) in &[(50usize, 40usize, 3usize, 6usize), (50, 80, 5, 10), (100, 120, 4, 10)] {
+        let paths = random_paths(n, count, len, 42);
+        group.bench_with_input(
+            BenchmarkId::new("add_until_threshold", format!("n{n}_paths{count}_len{len}")),
+            &paths,
+            |b, paths| {
+                b.iter(|| {
+                    let mut tracker = DisjointPathTracker::new();
+                    for (i, p) in paths.iter().enumerate() {
+                        tracker.add_path(black_box(p.clone()), i % n);
+                        if tracker.reaches(threshold) {
+                            break;
+                        }
+                    }
+                    black_box(tracker.best_disjoint())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_subpath_filtering(c: &mut Criterion) {
+    let paths = random_paths(50, 200, 4, 7);
+    c.bench_function("mbd10_subpath_filter_200_paths", |b| {
+        b.iter(|| {
+            let mut tracker = DisjointPathTracker::new();
+            let mut ignored = 0usize;
+            for (i, p) in paths.iter().enumerate() {
+                if tracker.has_subpath_of(p) {
+                    ignored += 1;
+                } else {
+                    tracker.add_path(p.clone(), i % 50);
+                }
+            }
+            black_box(ignored)
+        })
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_disjoint_paths, bench_subpath_filtering
+}
+criterion_main!(benches);

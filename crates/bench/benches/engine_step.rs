@@ -1,0 +1,78 @@
+//! Criterion microbenchmark of single protocol-engine steps: the cost of handling one
+//! message (the quantity that, multiplied by the message count, dominates CPU usage in a
+//! real deployment — Sec. 7.7 notes that local computations are no longer negligible once
+//! the protocol runs outside a network simulator).
+
+use brb_core::bd::BdProcess;
+use brb_core::config::Config;
+use brb_core::protocol::Protocol;
+use brb_core::types::{BroadcastId, Payload};
+use brb_core::wire::{FieldPresence, MessageKind, PayloadRef, WireMessage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn echo_message(originator: usize, seq: u32, path: Vec<usize>) -> WireMessage {
+    WireMessage {
+        kind: MessageKind::Echo,
+        id: BroadcastId::new(0, seq),
+        originator,
+        originator2: None,
+        payload: PayloadRef::Inline(Payload::filled(1, 1024)),
+        path,
+        fields: FieldPresence::full(),
+    }
+}
+
+fn bench_handle_echo(c: &mut Criterion) {
+    let config = Config::bdopt_mbd1(50, 9);
+    c.bench_function("bd_handle_fresh_echo", |b| {
+        b.iter_with_setup(
+            || BdProcess::new(0, config, (1..26).collect()),
+            |mut process| {
+                for originator in 26..36usize {
+                    let actions =
+                        process.handle_message(1, echo_message(originator, 0, vec![originator]));
+                    black_box(actions.len());
+                }
+                black_box(process.stored_paths())
+            },
+        )
+    });
+}
+
+fn bench_broadcast_creation(c: &mut Criterion) {
+    let config = Config::latency_preset(50, 9);
+    c.bench_function("bd_broadcast_creation_50_neighbors", |b| {
+        b.iter_with_setup(
+            || BdProcess::new(0, config, (1..50).collect()),
+            |mut process| {
+                let actions = process.broadcast(Payload::filled(7, 1024));
+                black_box(actions.len())
+            },
+        )
+    });
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let message = echo_message(3, 1, vec![1, 2, 3, 4, 5]);
+    c.bench_function("wire_encode_decode_1KiB_echo", |b| {
+        b.iter(|| {
+            let encoded = black_box(&message).encode();
+            let decoded = WireMessage::decode(&encoded).unwrap();
+            black_box(decoded.wire_size())
+        })
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_handle_echo, bench_broadcast_creation, bench_wire_codec
+}
+criterion_main!(benches);

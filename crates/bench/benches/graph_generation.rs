@@ -1,0 +1,47 @@
+//! Criterion microbenchmark of topology generation and connectivity verification, the
+//! preprocessing step of every experiment (Sec. 7.1 of the paper uses NetworkX for this).
+
+use brb_graph::{connectivity, generate};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_random_regular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_regular_graph");
+    for &(n, k) in &[(30usize, 9usize), (50, 25), (100, 21)] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &(n, k), |b, &(n, k)| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let g = generate::random_regular_graph(black_box(n), black_box(k), &mut rng).unwrap();
+                black_box(g.edge_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vertex_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_connectivity");
+    for &(n, k) in &[(20usize, 5usize), (30, 9)] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let graph = generate::random_regular_graph(n, k, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &graph, |b, graph| {
+            b.iter(|| black_box(connectivity::vertex_connectivity(graph)))
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_random_regular, bench_vertex_connectivity
+}
+criterion_main!(benches);

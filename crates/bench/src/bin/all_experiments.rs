@@ -1,0 +1,25 @@
+//! Runs every experiment harness in sequence (Table 1, Figs. 4–10, memory) and prints all
+//! results — the one-stop reproduction of the paper's evaluation section.
+//!
+//! Usage: `cargo run --release -p brb-bench --bin all_experiments [-- --quick] [-- --async]`
+
+use brb_bench::{async_from_args, figures, table1, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let asynchronous = async_from_args(&args);
+
+    println!("==============================================================");
+    table1::run_table1(scale, asynchronous);
+    println!("==============================================================");
+    figures::run_fig4(scale, asynchronous);
+    println!("==============================================================");
+    figures::run_fig5(scale, asynchronous);
+    println!("==============================================================");
+    figures::run_fig6(scale, asynchronous);
+    println!("==============================================================");
+    figures::run_fig7_to_10(scale, asynchronous);
+    println!("==============================================================");
+    figures::run_memory(scale);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 4a (latency) and Fig. 4b (network consumption) of the paper:
+//! BDopt + MBD.1 and BDopt + MBD.1/{7, 8, 9, 11} as a function of the network
+//! connectivity, with N = 50, f = 9 and 1024 B payloads.
+//!
+//! Usage: `cargo run --release -p brb-bench --bin fig4 [-- --quick] [-- --async]`
+
+use brb_bench::{async_from_args, figures::run_fig4, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_fig4(Scale::from_args(&args), async_from_args(&args));
+}

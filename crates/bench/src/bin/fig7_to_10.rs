@@ -1,0 +1,13 @@
+//! Regenerates Figs. 7–10 of the paper: the distribution (95% interval, quartiles, median)
+//! of the impact of each modification MBD.1–12 on network consumption and latency with
+//! 1 KiB payloads, under synchronous (Figs. 7/9) or asynchronous (Figs. 8/10, `--async`)
+//! communications.
+//!
+//! Usage: `cargo run --release -p brb-bench --bin fig7_to_10 [-- --quick] [-- --async]`
+
+use brb_bench::{async_from_args, figures::run_fig7_to_10, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_fig7_to_10(Scale::from_args(&args), async_from_args(&args));
+}

@@ -1,0 +1,280 @@
+//! Figures 4–10 and the Sec. 7.3 memory experiment.
+
+use brb_core::config::Config;
+use brb_graph::Graph;
+use brb_sim::DelayModel;
+use brb_stats::FiveNumber;
+
+use crate::{averaged_on_graphs, experiment, variation_pct, AveragedResult, Scale};
+
+/// One point of a connectivity-sweep series: the configuration label, the connectivity and
+/// the averaged metrics.
+#[derive(Debug, Clone)]
+pub struct SeriesPoint {
+    /// Configuration label (e.g. `"BDopt + MBD.1/7"`).
+    pub label: String,
+    /// Network connectivity `k`.
+    pub k: usize,
+    /// Averaged metrics at this point.
+    pub result: AveragedResult,
+}
+
+fn delay(asynchronous: bool) -> DelayModel {
+    if asynchronous {
+        DelayModel::asynchronous()
+    } else {
+        DelayModel::synchronous()
+    }
+}
+
+fn shared_graphs(n: usize, k: usize, runs: usize) -> Vec<Graph> {
+    (0..runs)
+        .map(|i| brb_sim::experiment::experiment_graph(n, k, 7_000 + i as u64 + (n * k) as u64))
+        .collect()
+}
+
+fn sweep_connectivities(scale: Scale, n: usize, f: usize) -> Vec<usize> {
+    let min_k = 2 * f + 1;
+    let candidates: Vec<usize> = match scale {
+        Scale::Quick => vec![min_k, (min_k + n - 1) / 2],
+        Scale::Paper => (0..6).map(|i| min_k + i * (n - 1 - min_k) / 5).collect(),
+    };
+    let mut ks: Vec<usize> = candidates
+        .into_iter()
+        .map(|k| if (n * k) % 2 == 1 { k + 1 } else { k })
+        .map(|k| k.min(n - 1))
+        .map(|k| if (n * k) % 2 == 1 { k - 1 } else { k })
+        .collect();
+    ks.dedup();
+    ks
+}
+
+/// Fig. 4a/4b: latency and bandwidth versus connectivity for BDopt + MBD.1 and
+/// BDopt + MBD.1/{7, 8, 9, 11}, with `N = 50`, `f = 9`, 1024 B payloads.
+pub fn run_fig4(scale: Scale, asynchronous: bool) -> Vec<SeriesPoint> {
+    let (n, f, payload) = match scale {
+        Scale::Quick => (20, 3, 1024),
+        Scale::Paper => (50, 9, 1024),
+    };
+    let configs: Vec<(String, Config)> = [(1u8, None), (1, Some(7)), (1, Some(8)), (1, Some(9)), (1, Some(11))]
+        .iter()
+        .map(|&(_, extra)| match extra {
+            None => ("BDopt + MBD.1".to_string(), Config::bdopt_mbd1(n, f)),
+            Some(i) => (
+                format!("BDopt + MBD.1/{i}"),
+                Config::bdopt_mbd1(n, f).with_mbd(&[i]),
+            ),
+        })
+        .collect();
+    let points = sweep(scale, asynchronous, n, f, payload, &configs);
+    print_series(
+        &format!("Fig. 4a/4b — N={n}, f={f}, {payload} B payload"),
+        &points,
+    );
+    points
+}
+
+/// Fig. 5a/5b: latency and bandwidth versus connectivity for the lat. / bdw. / lat.&bdw.
+/// combined configurations, with `(N, f) = (50, 10)` and 1024 B payloads.
+pub fn run_fig5(scale: Scale, asynchronous: bool) -> Vec<SeriesPoint> {
+    let (n, f, payload) = match scale {
+        Scale::Quick => (20, 3, 1024),
+        Scale::Paper => (50, 10, 1024),
+    };
+    let configs = vec![
+        ("BDopt + MBD.1".to_string(), Config::bdopt_mbd1(n, f)),
+        ("lat.".to_string(), Config::latency_preset(n, f)),
+        ("bdw.".to_string(), Config::bandwidth_preset(n, f)),
+        ("lat. & bdw.".to_string(), Config::latency_bandwidth_preset(n, f)),
+    ];
+    let points = sweep(scale, asynchronous, n, f, payload, &configs);
+    print_series(
+        &format!("Fig. 5a/5b — (N, f)=({n}, {f}), {payload} B payload"),
+        &points,
+    );
+    points
+}
+
+/// Fig. 6a/6b: relative bandwidth and latency variation (in %) of the lat. and bdw.
+/// configurations over BDopt + MBD.1, for `N = 30` and `N = 50`.
+pub fn run_fig6(scale: Scale, asynchronous: bool) -> Vec<(String, usize, f64, f64)> {
+    let systems: Vec<(usize, usize)> = match scale {
+        Scale::Quick => vec![(20, 3)],
+        Scale::Paper => vec![(30, 7), (50, 12)],
+    };
+    let payload = 1024;
+    let runs = scale.runs();
+    let mut rows = Vec::new();
+    println!("# Fig. 6a/6b — variation (%) over BDopt+MBD.1, {payload} B payload");
+    println!(
+        "{:<14} {:>4} {:>4} {:>18} {:>18}",
+        "configuration", "N", "k", "bandwidth var. %", "latency var. %"
+    );
+    for &(n, f) in &systems {
+        for k in sweep_connectivities(scale, n, f) {
+            let graphs = shared_graphs(n, k, runs);
+            let dl = delay(asynchronous);
+            let base = averaged_on_graphs(
+                &experiment(n, k, f, payload, Config::bdopt_mbd1(n, f), dl, 1),
+                &graphs,
+            );
+            for (label, config) in [
+                (format!("lat., N={n}"), Config::latency_preset(n, f)),
+                (format!("bdw., N={n}"), Config::bandwidth_preset(n, f)),
+            ] {
+                let r = averaged_on_graphs(&experiment(n, k, f, payload, config, dl, 1), &graphs);
+                let bytes_var = variation_pct(base.bytes, r.bytes);
+                let latency_var = variation_pct(base.latency_ms, r.latency_ms);
+                println!(
+                    "{:<14} {:>4} {:>4} {:>18.1} {:>18.1}",
+                    label, n, k, bytes_var, latency_var
+                );
+                rows.push((label, k, bytes_var, latency_var));
+            }
+        }
+    }
+    rows
+}
+
+/// Figs. 7–10: distribution (five-number summary) of the impact of each modification on
+/// network consumption and latency over the whole sweep, with synchronous
+/// (Figs. 7/9) or asynchronous (Figs. 8/10) communications and 1 KiB payloads.
+pub fn run_fig7_to_10(scale: Scale, asynchronous: bool) -> Vec<(u8, FiveNumber, FiveNumber)> {
+    let rows = crate::table1::compute_table1(scale, asynchronous, &[1024]);
+    let mode = if asynchronous {
+        "asynchronous (Figs. 8 and 10)"
+    } else {
+        "synchronous (Figs. 7 and 9)"
+    };
+    println!("# Figs. 7-10 — impact distribution per modification, 1 KiB payload, {mode}");
+    println!(
+        "{:<8} {:>44} {:>44}",
+        "MBD", "network consumption impact % (5-number)", "latency impact % (5-number)"
+    );
+    let mut out = Vec::new();
+    for row in rows.iter().filter(|r| r.payload == 1024) {
+        let bytes = FiveNumber::of(&row.bytes_var).expect("non-empty sweep");
+        let latency = FiveNumber::of(&row.latency_var).expect("non-empty sweep");
+        println!(
+            "MBD.{:<4} {:>44} {:>44}",
+            row.mbd,
+            bytes.to_bracket_string(),
+            latency.to_bracket_string()
+        );
+        out.push((row.mbd, bytes, latency));
+    }
+    out
+}
+
+/// Sec. 7.3: memory-consumption proxy (peak stored paths / protocol state) for
+/// `N ∈ {10, 30, 50}` with 16 B payloads.
+pub fn run_memory(scale: Scale) -> Vec<(usize, f64, f64)> {
+    let systems: Vec<(usize, usize, usize)> = match scale {
+        Scale::Quick => vec![(10, 3, 1), (20, 7, 3)],
+        Scale::Paper => vec![(10, 3, 1), (30, 9, 4), (50, 21, 9)],
+    };
+    println!("# Sec. 7.3 — memory consumption proxy (16 B payload, synchronous)");
+    println!(
+        "{:<4} {:>6} {:>4} {:>22} {:>22}",
+        "N", "k", "f", "peak stored paths", "peak state bytes"
+    );
+    let mut rows = Vec::new();
+    for (n, k, f) in systems {
+        let graphs = shared_graphs(n, k, scale.runs());
+        let r = averaged_on_graphs(
+            &experiment(n, k, f, 16, Config::bdopt(n, f), DelayModel::synchronous(), 1),
+            &graphs,
+        );
+        println!(
+            "{:<4} {:>6} {:>4} {:>22.0} {:>22.0}",
+            n, k, f, r.peak_stored_paths, r.peak_state_bytes
+        );
+        rows.push((n, r.peak_stored_paths, r.peak_state_bytes));
+    }
+    rows
+}
+
+fn sweep(
+    scale: Scale,
+    asynchronous: bool,
+    n: usize,
+    f: usize,
+    payload: usize,
+    configs: &[(String, Config)],
+) -> Vec<SeriesPoint> {
+    let runs = scale.runs();
+    let mut points = Vec::new();
+    for k in sweep_connectivities(scale, n, f) {
+        let graphs = shared_graphs(n, k, runs);
+        for (label, config) in configs {
+            let result = averaged_on_graphs(
+                &experiment(n, k, f, payload, *config, delay(asynchronous), 1),
+                &graphs,
+            );
+            points.push(SeriesPoint {
+                label: label.clone(),
+                k,
+                result,
+            });
+        }
+    }
+    points
+}
+
+fn print_series(title: &str, points: &[SeriesPoint]) {
+    println!("# {title}");
+    println!(
+        "{:<22} {:>4} {:>14} {:>20} {:>10}",
+        "configuration", "k", "latency (ms)", "bandwidth (kB)", "messages"
+    );
+    for p in points {
+        println!(
+            "{:<22} {:>4} {:>14.1} {:>20.1} {:>10.0}",
+            p.label,
+            p.k,
+            p.result.latency_ms,
+            p.result.bytes / 1_000.0,
+            p.result.messages
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connectivity_sweep_respects_constraints() {
+        for &(n, f) in &[(20usize, 3usize), (30, 7), (50, 9)] {
+            for k in sweep_connectivities(Scale::Paper, n, f) {
+                assert!(k >= 2 * f + 1);
+                assert!(k < n);
+                assert_eq!((n * k) % 2, 0, "n*k must be even for a regular graph");
+            }
+        }
+    }
+
+    #[test]
+    fn quick_fig5_bdw_reduces_bandwidth() {
+        let points = run_fig5(Scale::Quick, false);
+        assert!(!points.is_empty());
+        for k in points.iter().map(|p| p.k).collect::<std::collections::BTreeSet<_>>() {
+            let base = points
+                .iter()
+                .find(|p| p.k == k && p.label == "BDopt + MBD.1")
+                .unwrap();
+            let bdw = points.iter().find(|p| p.k == k && p.label == "bdw.").unwrap();
+            assert!(
+                bdw.result.bytes <= base.result.bytes,
+                "bdw. preset should not increase bandwidth at k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn quick_memory_grows_with_system_size() {
+        let rows = run_memory(Scale::Quick);
+        assert!(rows.len() >= 2);
+        assert!(rows[0].2 <= rows[1].2, "state bytes grow with N");
+    }
+}

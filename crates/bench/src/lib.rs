@@ -1,0 +1,197 @@
+//! Experiment harnesses reproducing the paper's evaluation (Sec. 7).
+//!
+//! Every table and figure of the paper has a corresponding harness function in this crate
+//! and a binary under `src/bin/` that prints the same rows/series the paper reports:
+//!
+//! | paper artifact | harness | binary |
+//! |---|---|---|
+//! | Table 1 (+ Sec. 7.6 asynchronous variant) — per-modification impact | [`table1::run_table1`] | `table1` |
+//! | Fig. 4a/4b — latency & bandwidth vs connectivity, MBD.1/7/8/9/11 | [`figures::run_fig4`] | `fig4` |
+//! | Fig. 5a/5b — latency & bandwidth vs connectivity, lat./bdw./lat.&bdw. | [`figures::run_fig5`] | `fig5` |
+//! | Fig. 6a/6b — relative improvement vs connectivity, N = 30/50 | [`figures::run_fig6`] | `fig6` |
+//! | Figs. 7–10 — per-modification impact distributions (box plots) | [`figures::run_fig7_to_10`] | `fig7_to_10` |
+//! | Sec. 7.3 — memory consumption | [`figures::run_memory`] | `memory` |
+//!
+//! The absolute numbers differ from the paper (different implementation language, machine
+//! and network substrate), but the harnesses reproduce the *shape* of the results: which
+//! modification wins, by roughly what factor, and how trends evolve with the connectivity,
+//! the payload size and the synchrony assumption.
+//!
+//! Because a single paper-scale sweep involves hundreds of simulated broadcasts, every
+//! harness takes a [`Scale`] parameter: [`Scale::Quick`] runs a reduced sweep suitable for
+//! `cargo bench` / CI, [`Scale::Paper`] runs dimensions close to the paper's
+//! (N = 50, connectivity sweeps, several seeds per point).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod table1;
+
+use brb_core::config::Config;
+use brb_graph::Graph;
+use brb_sim::{run_experiment_on_graph, DelayModel, ExperimentParams};
+
+/// Sweep size of a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced dimensions (small N, few seeds) for CI and `cargo bench`.
+    Quick,
+    /// Dimensions close to the paper's evaluation.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--quick` / `--paper` style command-line arguments (defaults to `Paper`).
+    pub fn from_args(args: &[String]) -> Scale {
+        if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// Number of runs (seeds) averaged per data point.
+    pub fn runs(self) -> usize {
+        match self {
+            Scale::Quick => 1,
+            Scale::Paper => 3,
+        }
+    }
+}
+
+/// Whether the asynchronous delay model was requested on the command line.
+pub fn async_from_args(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--async")
+}
+
+/// Averaged metrics of an experiment repeated over several seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct AveragedResult {
+    /// Mean latency (ms) over the completed runs.
+    pub latency_ms: f64,
+    /// Mean network consumption (bytes).
+    pub bytes: f64,
+    /// Mean number of messages.
+    pub messages: f64,
+    /// Mean peak protocol-state bytes (Sec. 7.3 proxy).
+    pub peak_state_bytes: f64,
+    /// Mean peak number of stored paths.
+    pub peak_stored_paths: f64,
+}
+
+/// Runs `runs` seeds of the given configuration, generating one random regular graph per
+/// seed (shared across configurations through [`averaged_on_graphs`]).
+pub fn averaged(params: &ExperimentParams, runs: usize) -> AveragedResult {
+    let graphs: Vec<Graph> = (0..runs)
+        .map(|i| {
+            brb_sim::experiment::experiment_graph(
+                params.n,
+                params.connectivity,
+                params.seed.wrapping_add(i as u64),
+            )
+        })
+        .collect();
+    averaged_on_graphs(params, &graphs)
+}
+
+/// Runs the configuration once per provided graph and averages the metrics. Using the same
+/// graphs for every configuration compared in a table/figure removes topology noise from
+/// the comparison, as the paper does by reusing one generated graph per `(N, k, f)` tuple.
+pub fn averaged_on_graphs(params: &ExperimentParams, graphs: &[Graph]) -> AveragedResult {
+    let mut latency = 0.0;
+    let mut bytes = 0.0;
+    let mut messages = 0.0;
+    let mut state = 0.0;
+    let mut paths = 0.0;
+    let mut completed = 0usize;
+    for (i, graph) in graphs.iter().enumerate() {
+        let mut p = params.clone();
+        p.seed = params.seed.wrapping_add(i as u64);
+        let r = run_experiment_on_graph(&p, graph);
+        if let Some(l) = r.latency_ms {
+            latency += l;
+            completed += 1;
+        }
+        bytes += r.bytes as f64;
+        messages += r.messages as f64;
+        state += r.peak_state_bytes as f64;
+        paths += r.peak_stored_paths as f64;
+    }
+    let n = graphs.len().max(1) as f64;
+    AveragedResult {
+        latency_ms: if completed > 0 {
+            latency / completed as f64
+        } else {
+            f64::NAN
+        },
+        bytes: bytes / n,
+        messages: messages / n,
+        peak_state_bytes: state / n,
+        peak_stored_paths: paths / n,
+    }
+}
+
+/// Builds the experiment parameters shared by all harnesses.
+pub fn experiment(
+    n: usize,
+    k: usize,
+    f: usize,
+    payload: usize,
+    config: Config,
+    delay: DelayModel,
+    seed: u64,
+) -> ExperimentParams {
+    ExperimentParams {
+        n,
+        connectivity: k,
+        f,
+        crashed: 0,
+        payload_size: payload,
+        config,
+        delay,
+        seed,
+    }
+}
+
+/// Relative variation in percent, as reported throughout the paper's tables and figures.
+pub fn variation_pct(baseline: f64, value: f64) -> f64 {
+    brb_stats::relative_variation(baseline, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::from_args(&["--quick".to_string()]), Scale::Quick);
+        assert_eq!(Scale::from_args(&[]), Scale::Paper);
+        assert_eq!(Scale::Quick.runs(), 1);
+        assert!(Scale::Paper.runs() >= 2);
+        assert!(async_from_args(&["--async".to_string()]));
+        assert!(!async_from_args(&[]));
+    }
+
+    #[test]
+    fn averaged_runs_complete() {
+        let params = experiment(
+            12,
+            4,
+            1,
+            64,
+            Config::bdopt_mbd1(12, 1),
+            DelayModel::synchronous(),
+            3,
+        );
+        let avg = averaged(&params, 2);
+        assert!(avg.latency_ms.is_finite());
+        assert!(avg.bytes > 0.0);
+        assert!(avg.messages > 0.0);
+    }
+
+    #[test]
+    fn variation_matches_stats_crate() {
+        assert_eq!(variation_pct(200.0, 100.0), -50.0);
+    }
+}

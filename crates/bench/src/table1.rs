@@ -1,0 +1,151 @@
+//! Table 1: impact of each modification on latency and network consumption.
+//!
+//! The paper reports, for small (16 B) and large (1024 B) payloads, the range of the
+//! relative latency and network-consumption variation of each modification MBD.1–12 over
+//! random regular graphs with synchronous communications. MBD.1 is compared against BDopt;
+//! MBD.2–12 are compared against BDopt + MBD.1 (the paper's reference configuration).
+//! Running the harness with `--async` reproduces the asynchronous variant of Sec. 7.6
+//! (Tables 8 and 10 of the appendix).
+
+use brb_core::config::Config;
+use brb_graph::Graph;
+use brb_sim::DelayModel;
+
+use crate::{averaged_on_graphs, experiment, variation_pct, Scale};
+
+/// One row of Table 1: the impact of a single modification for one payload size.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Modification index (1–12).
+    pub mbd: u8,
+    /// Payload size in bytes.
+    pub payload: usize,
+    /// Observed latency variations (%) across the parameter sweep.
+    pub latency_var: Vec<f64>,
+    /// Observed network-consumption variations (%) across the parameter sweep.
+    pub bytes_var: Vec<f64>,
+}
+
+impl Table1Row {
+    /// `[min, max]` of the latency variation, as printed in the paper's table.
+    pub fn latency_range(&self) -> (f64, f64) {
+        range(&self.latency_var)
+    }
+
+    /// `[min, max]` of the network-consumption variation.
+    pub fn bytes_range(&self) -> (f64, f64) {
+        range(&self.bytes_var)
+    }
+}
+
+fn range(values: &[f64]) -> (f64, f64) {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (min, max)
+}
+
+/// `(N, k, f)` tuples swept by the harness.
+fn sweep(scale: Scale) -> Vec<(usize, usize, usize)> {
+    match scale {
+        Scale::Quick => vec![(20, 7, 3), (20, 11, 3)],
+        Scale::Paper => vec![
+            (30, 9, 4),
+            (30, 15, 4),
+            (30, 21, 7),
+            (50, 21, 9),
+            (50, 25, 9),
+            (50, 35, 9),
+        ],
+    }
+}
+
+/// Computes every row of Table 1 for the given payload sizes.
+pub fn compute_table1(scale: Scale, asynchronous: bool, payloads: &[usize]) -> Vec<Table1Row> {
+    let delay = if asynchronous {
+        DelayModel::asynchronous()
+    } else {
+        DelayModel::synchronous()
+    };
+    let runs = scale.runs();
+    let mut rows = Vec::new();
+    for &payload in payloads {
+        for mbd in 1..=12u8 {
+            let mut latency_var = Vec::new();
+            let mut bytes_var = Vec::new();
+            for &(n, k, f) in &sweep(scale) {
+                // Reuse the same graphs for the baseline and the modified configuration.
+                let graphs: Vec<Graph> = (0..runs)
+                    .map(|i| {
+                        brb_sim::experiment::experiment_graph(n, k, 1_000 + (i as u64) + k as u64)
+                    })
+                    .collect();
+                let (base_cfg, mod_cfg) = if mbd == 1 {
+                    (Config::bdopt(n, f), Config::bdopt_mbd1(n, f))
+                } else {
+                    (Config::bdopt_mbd1(n, f), Config::bdopt_mbd1(n, f).with_mbd(&[mbd]))
+                };
+                let base = averaged_on_graphs(&experiment(n, k, f, payload, base_cfg, delay, 1), &graphs);
+                let modified =
+                    averaged_on_graphs(&experiment(n, k, f, payload, mod_cfg, delay, 1), &graphs);
+                latency_var.push(variation_pct(base.latency_ms, modified.latency_ms));
+                bytes_var.push(variation_pct(base.bytes, modified.bytes));
+            }
+            rows.push(Table1Row {
+                mbd,
+                payload,
+                latency_var,
+                bytes_var,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the Table 1 harness and prints the table to stdout.
+pub fn run_table1(scale: Scale, asynchronous: bool) -> Vec<Table1Row> {
+    let payloads = [16usize, 1024];
+    let rows = compute_table1(scale, asynchronous, &payloads);
+    println!(
+        "# Table 1 — impact of each modification ({} communications, {:?} scale)",
+        if asynchronous { "asynchronous" } else { "synchronous" },
+        scale
+    );
+    println!("# MBD.1 is relative to BDopt; MBD.2-12 are relative to BDopt+MBD.1.");
+    println!(
+        "{:<6} {:<9} {:>22} {:>22}",
+        "MBD", "payload", "latency var. % [min,max]", "#bits var. % [min,max]"
+    );
+    for row in &rows {
+        let (lmin, lmax) = row.latency_range();
+        let (bmin, bmax) = row.bytes_range();
+        println!(
+            "{:<6} {:<9} [{:>8.1}, {:>8.1}]   [{:>8.1}, {:>8.1}]",
+            format!("MBD.{}", row.mbd),
+            format!("{} B", row.payload),
+            lmin,
+            lmax,
+            bmin,
+            bmax
+        );
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table1_has_expected_shape_and_mbd1_reduces_bytes() {
+        let rows = compute_table1(Scale::Quick, false, &[1024]);
+        assert_eq!(rows.len(), 12);
+        let mbd1 = rows.iter().find(|r| r.mbd == 1).unwrap();
+        let (_, bytes_max) = mbd1.bytes_range();
+        assert!(
+            bytes_max < -80.0,
+            "MBD.1 must cut most of the bytes with 1 KiB payloads, got max {bytes_max}"
+        );
+        let mbd11 = rows.iter().find(|r| r.mbd == 11).unwrap();
+        assert!(mbd11.bytes_range().0 < 0.0, "MBD.11 reduces bytes somewhere in the sweep");
+    }
+}

@@ -1,0 +1,737 @@
+//! The Bracha–Dolev protocol combination with the paper's practical modifications.
+//!
+//! [`BdProcess`] implements Byzantine reliable broadcast on a partially connected network
+//! by running Bracha's double-echo protocol on top of Dolev's reliable-communication
+//! layer: every Bracha-layer message (the source's SEND and each process's ECHO/READY) is
+//! disseminated through its own Dolev instance, and Dolev deliveries drive Bracha's state
+//! machine.
+//!
+//! The engine is configured by [`Config`], which toggles:
+//!
+//! * Bonomi et al.'s Dolev-layer modifications **MD.1–5** (Sec. 4.2 of the paper), and
+//! * the paper's cross-layer modifications **MBD.1–12** (Sec. 6), individually.
+//!
+//! With all flags off the engine is the plain state-of-the-art combination; with
+//! `MD.1–5` on it is the *BDopt* baseline; the presets in [`Config`] reproduce the
+//! `lat.`, `bdw.` and `lat. & bdw.` configurations evaluated in Sec. 7.4.
+
+mod state;
+
+use std::collections::{HashMap, HashSet};
+
+use crate::config::Config;
+use crate::pathset::PathSet;
+use crate::protocol::Protocol;
+use crate::quorum;
+use crate::types::{
+    Action, BroadcastId, Content, Delivery, LocalPayloadId, Payload, ProcessId,
+};
+use crate::wire::{FieldPresence, MessageKind, PayloadRef, WireMessage};
+
+use state::{ContentState, DolevInstance, DolevKey, Phase, PlannedSend};
+
+/// One process running the (modified) Bracha–Dolev protocol combination.
+#[derive(Debug, Clone)]
+pub struct BdProcess {
+    id: ProcessId,
+    neighbors: Vec<ProcessId>,
+    config: Config,
+    contents: HashMap<Content, ContentState>,
+    delivered_ids: HashSet<BroadcastId>,
+    deliveries: Vec<Delivery>,
+    next_seq: u32,
+    // --- MBD.1 link-local payload identifier state ---
+    /// Local identifier chosen by this process for each known content.
+    my_local_ids: HashMap<Content, LocalPayloadId>,
+    next_local_id: LocalPayloadId,
+    /// Links on which a given local identifier has already been announced.
+    announced: HashSet<(ProcessId, LocalPayloadId)>,
+    /// Contents announced by each neighbor under each of its local identifiers.
+    peer_contents: HashMap<(ProcessId, LocalPayloadId), Content>,
+    /// Messages referencing a still-unknown local identifier, waiting for the announcement.
+    pending: HashMap<(ProcessId, LocalPayloadId), Vec<WireMessage>>,
+}
+
+impl BdProcess {
+    /// Creates a process given its identifier, configuration and direct neighborhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`Config::validate`]) or if `id` is not
+    /// smaller than `config.n`.
+    pub fn new(id: ProcessId, config: Config, neighbors: Vec<ProcessId>) -> Self {
+        config.validate().expect("invalid BRB configuration");
+        assert!(id < config.n, "process id {id} out of range for n = {}", config.n);
+        Self {
+            id,
+            neighbors,
+            config,
+            contents: HashMap::new(),
+            delivered_ids: HashSet::new(),
+            deliveries: Vec::new(),
+            next_seq: 0,
+            my_local_ids: HashMap::new(),
+            next_local_id: 0,
+            announced: HashSet::new(),
+            peer_contents: HashMap::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// The configuration this process runs with.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The direct neighbors of this process.
+    pub fn neighbors(&self) -> &[ProcessId] {
+        &self.neighbors
+    }
+
+    /// Whether this process has BRB-delivered the broadcast identified by `id`.
+    pub fn has_delivered(&self, id: BroadcastId) -> bool {
+        self.delivered_ids.contains(&id)
+    }
+
+    /// Total number of transmission paths currently stored across all Dolev instances
+    /// (the quantity dominating memory consumption per Sec. 7.3).
+    pub fn stored_paths(&self) -> usize {
+        self.contents
+            .values()
+            .flat_map(|c| c.instances.values())
+            .map(|i| i.tracker.path_count())
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Payload resolution (MBD.1)
+    // ------------------------------------------------------------------
+
+    fn handle_wire(
+        &mut self,
+        from: ProcessId,
+        msg: WireMessage,
+        actions: &mut Vec<Action<WireMessage>>,
+    ) {
+        let content = match &msg.payload {
+            PayloadRef::Inline(p) => Content::new(msg.id, p.clone()),
+            PayloadRef::Announce { local_id, payload } => {
+                let content = Content::new(msg.id, payload.clone());
+                self.peer_contents.insert((from, *local_id), content.clone());
+                content
+            }
+            PayloadRef::Local(local_id) => match self.peer_contents.get(&(from, *local_id)) {
+                Some(content) => content.clone(),
+                None => {
+                    // The announcement has not arrived yet (asynchronous reordering):
+                    // queue the message and process it when the payload is known.
+                    self.pending.entry((from, *local_id)).or_default().push(msg);
+                    return;
+                }
+            },
+        };
+        let announced_id = msg.payload.local_id().filter(|_| {
+            matches!(msg.payload, PayloadRef::Announce { .. })
+        });
+        self.process_resolved(from, &msg, content, actions);
+        if let Some(local_id) = announced_id {
+            if let Some(queued) = self.pending.remove(&(from, local_id)) {
+                for queued_msg in queued {
+                    self.handle_wire(from, queued_msg, actions);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Constituent decomposition and per-content processing
+    // ------------------------------------------------------------------
+
+    fn process_resolved(
+        &mut self,
+        from: ProcessId,
+        msg: &WireMessage,
+        content: Content,
+        actions: &mut Vec<Action<WireMessage>>,
+    ) {
+        // A merged message (MBD.3/MBD.4) decomposes into the two Bracha-layer messages it
+        // carries; both follow the same received path.
+        let mut constituents: Vec<(Phase, ProcessId)> = Vec::new();
+        match msg.kind {
+            MessageKind::Send => constituents.push((Phase::Send, content.id.source)),
+            MessageKind::Echo => constituents.push((Phase::Echo, msg.originator)),
+            MessageKind::Ready => constituents.push((Phase::Ready, msg.originator)),
+            MessageKind::EchoEcho => {
+                constituents.push((Phase::Echo, msg.originator));
+                if let Some(embedded) = msg.originator2 {
+                    constituents.push((Phase::Echo, embedded));
+                }
+            }
+            MessageKind::ReadyEcho => {
+                constituents.push((Phase::Ready, msg.originator));
+                if let Some(embedded) = msg.originator2 {
+                    constituents.push((Phase::Echo, embedded));
+                }
+            }
+        }
+        let mut state = self
+            .contents
+            .remove(&content)
+            .unwrap_or_else(|| ContentState::new(content.clone()));
+        let mut planned = Vec::new();
+        for (phase, originator) in constituents {
+            self.handle_dolev(
+                from,
+                &mut state,
+                phase,
+                originator,
+                &msg.path,
+                &mut planned,
+                actions,
+            );
+        }
+        self.contents.insert(content.clone(), state);
+        self.emit_planned(&content, planned, actions);
+    }
+
+    // ------------------------------------------------------------------
+    // Dolev layer
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_dolev(
+        &mut self,
+        from: ProcessId,
+        state: &mut ContentState,
+        phase: Phase,
+        originator: ProcessId,
+        path: &[ProcessId],
+        planned: &mut Vec<PlannedSend>,
+        actions: &mut Vec<Action<WireMessage>>,
+    ) {
+        let cfg = self.config;
+
+        // MBD.9 bookkeeping: count the distinct Ready originators each neighbor relayed
+        // with an empty path; 2f+1 of them prove the neighbor BRB-delivered.
+        if phase == Phase::Ready && path.is_empty() {
+            let relayed = state.neighbor_empty_readys.entry(from).or_default();
+            relayed.insert(originator);
+            if cfg.mbd.mbd9 && relayed.len() >= cfg.ready_quorum() {
+                state.neighbors_bd_delivered.insert(from);
+            }
+        }
+
+        // MBD.6: an Echo from a process whose Ready has been Dolev-delivered carries no
+        // new information.
+        if cfg.mbd.mbd6 && phase == Phase::Echo && state.ready_delivered(originator) {
+            return;
+        }
+        // MBD.7: once the content has been BRB-delivered, Echo messages are useless.
+        if cfg.mbd.mbd7 && phase == Phase::Echo && state.delivered {
+            return;
+        }
+
+        let key = DolevKey { phase, originator };
+        let max_combinations = cfg.max_path_combinations;
+        let instance = state
+            .instances
+            .entry(key)
+            .or_insert_with(|| DolevInstance::new(max_combinations));
+
+        // An empty path relayed by a process other than the originator signals that this
+        // neighbor Dolev-delivered the message (MD.2 on its side).
+        if path.is_empty() && from != originator {
+            instance.neighbors_delivered.insert(from);
+        }
+        // MD.4: drop paths going through a neighbor that already delivered.
+        if cfg.md.md4 && path.iter().any(|p| instance.neighbors_delivered.contains(p)) {
+            return;
+        }
+
+        // Intermediate nodes of the claimed route: traversed labels plus the relaying
+        // neighbor, minus the originator and ourselves.
+        let mut intermediate = PathSet::from_iter_ids(path.iter().copied());
+        intermediate.insert(from);
+        intermediate.remove(originator);
+        intermediate.remove(self.id);
+        let direct = from == originator;
+
+        // MBD.10: ignore paths that are superpaths of an already received path.
+        if cfg.mbd.mbd10
+            && !direct
+            && !instance.delivered
+            && instance.tracker.has_subpath_of(&intermediate)
+        {
+            return;
+        }
+
+        let was_delivered = instance.delivered;
+        if !was_delivered {
+            if direct {
+                instance.tracker.record_direct();
+            } else {
+                instance.tracker.add_path(intermediate.clone(), from);
+            }
+            let threshold_met = instance.tracker.reaches(cfg.dolev_threshold());
+            // MD.1 delivers on direct reception; single-hop Sends (MBD.2) are only ever
+            // received directly, so they are validated the same way.
+            let direct_delivery = direct && (cfg.md.md1 || (cfg.mbd.mbd2 && phase == Phase::Send));
+            if threshold_met || direct_delivery {
+                instance.delivered = true;
+                if cfg.md.md2 {
+                    instance.tracker.clear_paths();
+                }
+            }
+        }
+        let inst_delivered = instance.delivered;
+        let inst_relayed_empty = instance.relayed_empty;
+        let inst_neighbors_delivered = instance.neighbors_delivered.clone();
+        let newly_delivered = inst_delivered && !was_delivered;
+
+        // ---- Dolev relay of the received message ----
+        // Single-hop Sends (MBD.2) are never relayed; the Echo extracted from them carries
+        // the same information.
+        let relay_allowed = !(cfg.mbd.mbd2 && phase == Phase::Send);
+        if relay_allowed {
+            if newly_delivered && cfg.md.md2 {
+                // MD.2: forward the content with an empty path to every neighbor (minus
+                // the exclusions of MD.3 / MBD.8 / MBD.9).
+                for &q in &self.neighbors {
+                    if q == originator {
+                        continue;
+                    }
+                    if cfg.md.md3 && inst_neighbors_delivered.contains(&q) {
+                        continue;
+                    }
+                    if self.excluded_by_mbd(state, phase, q) {
+                        continue;
+                    }
+                    planned.push(PlannedSend {
+                        to: q,
+                        phase,
+                        originator,
+                        path: Vec::new(),
+                        newly_created: false,
+                    });
+                }
+                if let Some(instance) = state.instances.get_mut(&key) {
+                    instance.relayed_empty = true;
+                }
+            } else if inst_delivered && cfg.md.md2 && inst_relayed_empty {
+                // Already announced delivery with an empty path: any further path we could
+                // relay is subsumed (this also implements MD.5).
+            } else if !(cfg.md.md5 && inst_delivered && inst_relayed_empty) {
+                // Plain Dolev relay: extend the path with the relaying neighbor and flood
+                // to every neighbor not already on the path.
+                let mut extended = path.to_vec();
+                extended.push(from);
+                for &q in &self.neighbors {
+                    if q == from || q == originator || extended.contains(&q) {
+                        continue;
+                    }
+                    if cfg.md.md3 && inst_neighbors_delivered.contains(&q) {
+                        continue;
+                    }
+                    if self.excluded_by_mbd(state, phase, q) {
+                        continue;
+                    }
+                    planned.push(PlannedSend {
+                        to: q,
+                        phase,
+                        originator,
+                        path: extended.clone(),
+                        newly_created: false,
+                    });
+                }
+            }
+        }
+
+        // ---- Bracha layer reaction to a Dolev delivery ----
+        if newly_delivered {
+            self.on_dolev_delivered(state, phase, originator, planned, actions);
+        }
+    }
+
+    /// MBD.8 / MBD.9 destination exclusions.
+    fn excluded_by_mbd(&self, state: &ContentState, phase: Phase, neighbor: ProcessId) -> bool {
+        if self.config.mbd.mbd9 && state.neighbors_bd_delivered.contains(&neighbor) {
+            return true;
+        }
+        if self.config.mbd.mbd8 && phase == Phase::Echo && state.ready_neighbors.contains(&neighbor)
+        {
+            return true;
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Bracha layer
+    // ------------------------------------------------------------------
+
+    fn on_dolev_delivered(
+        &mut self,
+        state: &mut ContentState,
+        phase: Phase,
+        originator: ProcessId,
+        planned: &mut Vec<PlannedSend>,
+        actions: &mut Vec<Action<WireMessage>>,
+    ) {
+        match phase {
+            Phase::Send => {
+                // The SEND instance's `delivered` flag (checked via `send_validated`)
+                // drives the Echo transition in `bracha_transitions`.
+            }
+            Phase::Echo => {
+                state.echo_origins.insert(originator);
+            }
+            Phase::Ready => {
+                state.ready_origins.insert(originator);
+                if self.config.mbd.mbd2 {
+                    // A Ready implies its sender echoed: count it (Sec. 6.2 amplification).
+                    state.echo_origins.insert(originator);
+                }
+                if self.config.mbd.mbd8 && self.neighbors.contains(&originator) {
+                    state.ready_neighbors.insert(originator);
+                }
+            }
+        }
+        self.bracha_transitions(state, planned, actions);
+    }
+
+    /// Applies Bracha's phase transitions until a fixpoint: create our Echo, create our
+    /// Ready, deliver.
+    fn bracha_transitions(
+        &mut self,
+        state: &mut ContentState,
+        planned: &mut Vec<PlannedSend>,
+        actions: &mut Vec<Action<WireMessage>>,
+    ) {
+        let cfg = self.config;
+        let source = state.content.id.source;
+        loop {
+            let mut progress = false;
+
+            // MBD.11 role restriction: only the designated processes create Echo/Ready.
+            // Under MBD.2 a direct recipient of the single-hop SEND must still be allowed
+            // to echo, otherwise the payload could not leave the source's neighborhood.
+            let can_echo = !cfg.mbd.mbd11
+                || quorum::is_echoer(cfg.n, cfg.f, source, self.id)
+                || (cfg.mbd.mbd2 && state.send_validated());
+            let can_ready = !cfg.mbd.mbd11 || quorum::is_readier(cfg.n, cfg.f, source, self.id);
+
+            let echo_trigger = state.send_validated()
+                || (cfg.mbd.mbd2
+                    && state.echo_origins.len() >= cfg.echo_amplification());
+            let want_echo = !state.sent_echo && can_echo && echo_trigger;
+
+            let ready_trigger = state.echo_origins.len() >= cfg.echo_quorum()
+                || state.ready_origins.len() >= cfg.ready_amplification();
+            let want_ready = !state.sent_ready && can_ready && ready_trigger;
+
+            if want_echo {
+                state.sent_echo = true;
+                state.echo_origins.insert(self.id);
+                state.instances.insert(
+                    DolevKey {
+                        phase: Phase::Echo,
+                        originator: self.id,
+                    },
+                    DolevInstance::self_delivered(cfg.max_path_combinations),
+                );
+                progress = true;
+            }
+            if want_ready {
+                state.sent_ready = true;
+                state.ready_origins.insert(self.id);
+                if cfg.mbd.mbd2 {
+                    state.echo_origins.insert(self.id);
+                }
+                state.instances.insert(
+                    DolevKey {
+                        phase: Phase::Ready,
+                        originator: self.id,
+                    },
+                    DolevInstance::self_delivered(cfg.max_path_combinations),
+                );
+                progress = true;
+            }
+            // When both an Echo and a Ready become creatable at the same event, only the
+            // Ready is transmitted (Sec. 6.2); this suppression is part of the MBD.2
+            // amplification machinery.
+            if want_echo && !(want_ready && cfg.mbd.mbd2) {
+                self.plan_own(state, Phase::Echo, planned);
+            }
+            if want_ready {
+                self.plan_own(state, Phase::Ready, planned);
+            }
+
+            if !state.delivered && state.ready_origins.len() >= cfg.ready_quorum() {
+                state.delivered = true;
+                progress = true;
+                if self.delivered_ids.insert(state.content.id) {
+                    let delivery = Delivery {
+                        id: state.content.id,
+                        payload: state.content.payload.clone(),
+                    };
+                    self.deliveries.push(delivery.clone());
+                    actions.push(Action::Deliver(delivery));
+                }
+            }
+
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Plans the transmission of a newly created message of this process (its own SEND,
+    /// ECHO or READY), applying the MBD.8/9 destination exclusions and the MBD.12 fanout
+    /// reduction.
+    fn plan_own(&self, state: &ContentState, phase: Phase, planned: &mut Vec<PlannedSend>) {
+        let cfg = self.config;
+        let mut targets: Vec<ProcessId> = self
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|&q| !self.excluded_by_mbd(state, phase, q))
+            .collect();
+        if cfg.mbd.mbd12 {
+            let limit = cfg.ready_quorum();
+            if targets.len() > limit {
+                if cfg.mbd.mbd11 {
+                    // Prefer neighbors that actively participate in this broadcast
+                    // (Sec. 6.6 discussion of the MBD.11 + MBD.12 combination).
+                    let source = state.content.id.source;
+                    targets.sort_by_key(|&q| {
+                        let active = quorum::is_echoer(cfg.n, cfg.f, source, q)
+                            || quorum::is_readier(cfg.n, cfg.f, source, q);
+                        (if active { 0 } else { 1 }, q)
+                    });
+                } else {
+                    targets.sort_unstable();
+                }
+                targets.truncate(limit);
+            }
+        }
+        for to in targets {
+            planned.push(PlannedSend {
+                to,
+                phase,
+                originator: self.id,
+                path: Vec::new(),
+                newly_created: true,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // MBD.3 / MBD.4 merging and wire-format materialization
+    // ------------------------------------------------------------------
+
+    fn emit_planned(
+        &mut self,
+        content: &Content,
+        planned: Vec<PlannedSend>,
+        actions: &mut Vec<Action<WireMessage>>,
+    ) {
+        let cfg = self.config;
+        // Group planned sends by destination to find merge opportunities.
+        let mut by_destination: HashMap<ProcessId, Vec<PlannedSend>> = HashMap::new();
+        for send in planned {
+            by_destination.entry(send.to).or_default().push(send);
+        }
+        let mut destinations: Vec<ProcessId> = by_destination.keys().copied().collect();
+        destinations.sort_unstable();
+        for to in destinations {
+            let mut sends = by_destination.remove(&to).unwrap_or_default();
+            // MBD.4: merge a Ready with an Echo sharing the same path into a Ready_Echo.
+            if cfg.mbd.mbd4 {
+                self.merge_pair(&mut sends, Phase::Ready, Phase::Echo, MessageKind::ReadyEcho, content, to, actions);
+            }
+            // MBD.3: merge two Echos sharing the same path into an Echo_Echo.
+            if cfg.mbd.mbd3 {
+                self.merge_pair(&mut sends, Phase::Echo, Phase::Echo, MessageKind::EchoEcho, content, to, actions);
+            }
+            for send in sends {
+                let message = self.make_message(
+                    to,
+                    send.phase.kind(),
+                    content,
+                    send.originator,
+                    None,
+                    send.path,
+                    send.newly_created,
+                );
+                actions.push(Action::Send { to, message });
+            }
+        }
+    }
+
+    /// Extracts (at most) one pair of plannable sends of phases `outer`/`inner` with equal
+    /// paths and emits the corresponding merged message.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_pair(
+        &mut self,
+        sends: &mut Vec<PlannedSend>,
+        outer: Phase,
+        inner: Phase,
+        merged_kind: MessageKind,
+        content: &Content,
+        to: ProcessId,
+        actions: &mut Vec<Action<WireMessage>>,
+    ) {
+        let outer_idx = sends.iter().position(|s| s.phase == outer);
+        let Some(outer_idx) = outer_idx else { return };
+        let inner_idx = sends.iter().enumerate().position(|(i, s)| {
+            i != outer_idx
+                && s.phase == inner
+                && s.path == sends[outer_idx].path
+                && s.originator != sends[outer_idx].originator
+        });
+        let Some(inner_idx) = inner_idx else { return };
+        let (first, second) = if outer_idx < inner_idx {
+            (outer_idx, inner_idx)
+        } else {
+            (inner_idx, outer_idx)
+        };
+        let second_send = sends.remove(second);
+        let first_send = sends.remove(first);
+        let (outer_send, inner_send) = if first_send.phase == outer {
+            (first_send, second_send)
+        } else {
+            (second_send, first_send)
+        };
+        let message = self.make_message(
+            to,
+            merged_kind,
+            content,
+            outer_send.originator,
+            Some(inner_send.originator),
+            outer_send.path,
+            outer_send.newly_created,
+        );
+        actions.push(Action::Send { to, message });
+    }
+
+    /// Builds the wire representation of a message, applying the MBD.1 payload/local-ID
+    /// association and the MBD.5 optional-field elisions.
+    #[allow(clippy::too_many_arguments)]
+    fn make_message(
+        &mut self,
+        to: ProcessId,
+        kind: MessageKind,
+        content: &Content,
+        originator: ProcessId,
+        originator2: Option<ProcessId>,
+        path: Vec<ProcessId>,
+        newly_created: bool,
+    ) -> WireMessage {
+        let cfg = self.config;
+        let payload = if cfg.mbd.mbd1 {
+            let next = &mut self.next_local_id;
+            let local_id = *self.my_local_ids.entry(content.clone()).or_insert_with(|| {
+                let id = *next;
+                *next = next.wrapping_add(1);
+                id
+            });
+            if self.announced.insert((to, local_id)) {
+                PayloadRef::Announce {
+                    local_id,
+                    payload: content.payload.clone(),
+                }
+            } else {
+                PayloadRef::Local(local_id)
+            }
+        } else {
+            PayloadRef::Inline(content.payload.clone())
+        };
+        let uses_local_ref = matches!(payload, PayloadRef::Local(_));
+        let mbd5 = cfg.mbd.mbd5;
+        let fields = FieldPresence {
+            source: !(mbd5 && (kind == MessageKind::Send || uses_local_ref)),
+            bid: !(mbd5 && uses_local_ref),
+            originator: kind != MessageKind::Send && !(mbd5 && newly_created),
+            path: !(cfg.mbd.mbd2 && kind == MessageKind::Send),
+        };
+        WireMessage {
+            kind,
+            id: content.id,
+            originator,
+            originator2,
+            payload,
+            path,
+            fields,
+        }
+    }
+}
+
+impl Protocol for BdProcess {
+    type Message = WireMessage;
+
+    fn process_id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn broadcast(&mut self, payload: Payload) -> Vec<Action<WireMessage>> {
+        let id = BroadcastId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        let content = Content::new(id, payload);
+        let mut state = self
+            .contents
+            .remove(&content)
+            .unwrap_or_else(|| ContentState::new(content.clone()));
+        let mut planned = Vec::new();
+        let mut actions = Vec::new();
+        // The source's own SEND instance is trivially Dolev-delivered.
+        state.instances.insert(
+            DolevKey {
+                phase: Phase::Send,
+                originator: self.id,
+            },
+            DolevInstance::self_delivered(self.config.max_path_combinations),
+        );
+        self.plan_own(&state, Phase::Send, &mut planned);
+        // Being the source, the Send is validated: this creates our Echo (and possibly
+        // more, e.g. for tiny systems).
+        self.bracha_transitions(&mut state, &mut planned, &mut actions);
+        self.contents.insert(content.clone(), state);
+        self.emit_planned(&content, planned, &mut actions);
+        actions
+    }
+
+    fn handle_message(
+        &mut self,
+        from: ProcessId,
+        message: WireMessage,
+    ) -> Vec<Action<WireMessage>> {
+        let mut actions = Vec::new();
+        self.handle_wire(from, message, &mut actions);
+        actions
+    }
+
+    fn deliveries(&self) -> &[Delivery] {
+        &self.deliveries
+    }
+
+    fn message_size(message: &WireMessage) -> usize {
+        message.wire_size()
+    }
+
+    fn state_bytes(&self) -> usize {
+        let content_bytes: usize = self.contents.values().map(|c| c.approx_memory_bytes()).sum();
+        let pending_bytes: usize = self
+            .pending
+            .values()
+            .flat_map(|msgs| msgs.iter())
+            .map(|m| m.wire_size())
+            .sum();
+        content_bytes + pending_bytes
+    }
+
+    fn stored_paths(&self) -> usize {
+        BdProcess::stored_paths(self)
+    }
+}
+
+#[cfg(test)]
+mod tests;

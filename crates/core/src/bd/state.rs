@@ -1,0 +1,250 @@
+//! Internal per-content state of the Bracha–Dolev engine.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::disjoint::DisjointPathTracker;
+use crate::types::{Content, ProcessId};
+use crate::wire::MessageKind;
+
+/// The three Bracha phases whose messages are disseminated by a Dolev instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) enum Phase {
+    /// SEND message of the broadcast source.
+    Send,
+    /// ECHO message of some witness process.
+    Echo,
+    /// READY message of some process.
+    Ready,
+}
+
+impl Phase {
+    /// The plain wire message kind corresponding to this phase.
+    pub(crate) fn kind(self) -> MessageKind {
+        match self {
+            Phase::Send => MessageKind::Send,
+            Phase::Echo => MessageKind::Echo,
+            Phase::Ready => MessageKind::Ready,
+        }
+    }
+}
+
+/// Identifies one Dolev dissemination instance inside a broadcast: the Bracha-layer
+/// message of `originator` in a given phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct DolevKey {
+    pub(crate) phase: Phase,
+    pub(crate) originator: ProcessId,
+}
+
+/// State of one Dolev dissemination instance (one Bracha-layer message).
+#[derive(Debug, Clone)]
+pub(crate) struct DolevInstance {
+    /// Disjoint-path tracker for this instance.
+    pub(crate) tracker: DisjointPathTracker,
+    /// Whether this process Dolev-delivered the instance.
+    pub(crate) delivered: bool,
+    /// Whether the empty path has already been forwarded after delivery (MD.2/MD.5).
+    pub(crate) relayed_empty: bool,
+    /// Neighbors that relayed this instance with an empty path, i.e. that Dolev-delivered
+    /// it themselves (MD.3/MD.4).
+    pub(crate) neighbors_delivered: BTreeSet<ProcessId>,
+}
+
+impl DolevInstance {
+    pub(crate) fn new(max_combinations: usize) -> Self {
+        Self {
+            tracker: DisjointPathTracker::with_max_combinations(max_combinations),
+            delivered: false,
+            relayed_empty: false,
+            neighbors_delivered: BTreeSet::new(),
+        }
+    }
+
+    /// Creates an instance for a message this process created itself (trivially delivered).
+    pub(crate) fn self_delivered(max_combinations: usize) -> Self {
+        Self {
+            delivered: true,
+            relayed_empty: true,
+            ..Self::new(max_combinations)
+        }
+    }
+}
+
+/// Bracha + Dolev state for one broadcast content.
+#[derive(Debug, Clone)]
+pub(crate) struct ContentState {
+    /// The content (broadcast identifier and payload).
+    pub(crate) content: Content,
+    /// Whether this process already created its own ECHO message.
+    pub(crate) sent_echo: bool,
+    /// Whether this process already created its own READY message.
+    pub(crate) sent_ready: bool,
+    /// Whether this process BRB-delivered the content.
+    pub(crate) delivered: bool,
+    /// Originators whose ECHO message has been Dolev-delivered (plus this process once it
+    /// echoes).
+    pub(crate) echo_origins: BTreeSet<ProcessId>,
+    /// Originators whose READY message has been Dolev-delivered.
+    pub(crate) ready_origins: BTreeSet<ProcessId>,
+    /// Dolev dissemination instances, one per Bracha-layer message.
+    pub(crate) instances: HashMap<DolevKey, DolevInstance>,
+    /// Neighbors whose READY has been Dolev-delivered (MBD.8: no further Echo to them).
+    pub(crate) ready_neighbors: BTreeSet<ProcessId>,
+    /// Per neighbor, the set of READY originators it relayed with an empty path (MBD.9).
+    pub(crate) neighbor_empty_readys: BTreeMap<ProcessId, BTreeSet<ProcessId>>,
+    /// Neighbors known to have BRB-delivered the content (MBD.9: no further message).
+    pub(crate) neighbors_bd_delivered: BTreeSet<ProcessId>,
+}
+
+impl ContentState {
+    pub(crate) fn new(content: Content) -> Self {
+        Self {
+            content,
+            sent_echo: false,
+            sent_ready: false,
+            delivered: false,
+            echo_origins: BTreeSet::new(),
+            ready_origins: BTreeSet::new(),
+            instances: HashMap::new(),
+            ready_neighbors: BTreeSet::new(),
+            neighbor_empty_readys: BTreeMap::new(),
+            neighbors_bd_delivered: BTreeSet::new(),
+        }
+    }
+
+    /// Whether the SEND instance of the broadcast source has been Dolev-delivered.
+    pub(crate) fn send_validated(&self) -> bool {
+        self.instances
+            .get(&DolevKey {
+                phase: Phase::Send,
+                originator: self.content.id.source,
+            })
+            .map(|i| i.delivered)
+            .unwrap_or(false)
+    }
+
+    /// Whether the READY instance of `originator` has been Dolev-delivered (MBD.6).
+    pub(crate) fn ready_delivered(&self, originator: ProcessId) -> bool {
+        self.instances
+            .get(&DolevKey {
+                phase: Phase::Ready,
+                originator,
+            })
+            .map(|i| i.delivered)
+            .unwrap_or(false)
+    }
+
+    /// Approximate number of bytes of protocol state held for this content.
+    pub(crate) fn approx_memory_bytes(&self) -> usize {
+        let instance_bytes: usize = self
+            .instances
+            .values()
+            .map(|i| i.tracker.approx_memory_bytes() + 8 * i.neighbors_delivered.len() + 2)
+            .sum();
+        instance_bytes
+            + 8 * (self.echo_origins.len() + self.ready_origins.len())
+            + 8 * self.ready_neighbors.len()
+            + 8 * self.neighbors_bd_delivered.len()
+            + self
+                .neighbor_empty_readys
+                .values()
+                .map(|s| 8 * s.len())
+                .sum::<usize>()
+            + self.content.payload.len()
+    }
+}
+
+/// A message this process has decided to transmit, before MBD.3/MBD.4 merging and before
+/// the MBD.1/MBD.5 wire-format decisions are applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PlannedSend {
+    /// Destination neighbor.
+    pub(crate) to: ProcessId,
+    /// Phase of the Bracha-layer message.
+    pub(crate) phase: Phase,
+    /// Originator of the Bracha-layer message.
+    pub(crate) originator: ProcessId,
+    /// Dissemination path to transmit.
+    pub(crate) path: Vec<ProcessId>,
+    /// Whether this is a newly created message of this process (as opposed to a relay of a
+    /// received one). Newly created messages may have their sender field elided (MBD.5)
+    /// and are subject to the MBD.12 fanout reduction.
+    pub(crate) newly_created: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BroadcastId, Payload};
+
+    fn content() -> Content {
+        Content::new(BroadcastId::new(2, 0), Payload::from("x"))
+    }
+
+    #[test]
+    fn phase_kinds() {
+        assert_eq!(Phase::Send.kind(), MessageKind::Send);
+        assert_eq!(Phase::Echo.kind(), MessageKind::Echo);
+        assert_eq!(Phase::Ready.kind(), MessageKind::Ready);
+    }
+
+    #[test]
+    fn send_validated_reflects_send_instance() {
+        let mut s = ContentState::new(content());
+        assert!(!s.send_validated());
+        s.instances.insert(
+            DolevKey {
+                phase: Phase::Send,
+                originator: 2,
+            },
+            DolevInstance::self_delivered(16),
+        );
+        assert!(s.send_validated());
+    }
+
+    #[test]
+    fn ready_delivered_lookup() {
+        let mut s = ContentState::new(content());
+        assert!(!s.ready_delivered(4));
+        s.instances.insert(
+            DolevKey {
+                phase: Phase::Ready,
+                originator: 4,
+            },
+            DolevInstance::new(16),
+        );
+        assert!(!s.ready_delivered(4));
+        s.instances
+            .get_mut(&DolevKey {
+                phase: Phase::Ready,
+                originator: 4,
+            })
+            .unwrap()
+            .delivered = true;
+        assert!(s.ready_delivered(4));
+    }
+
+    #[test]
+    fn memory_estimate_grows_with_state() {
+        let mut s = ContentState::new(content());
+        let before = s.approx_memory_bytes();
+        s.echo_origins.insert(1);
+        s.echo_origins.insert(2);
+        s.instances.insert(
+            DolevKey {
+                phase: Phase::Echo,
+                originator: 1,
+            },
+            DolevInstance::new(16),
+        );
+        assert!(s.approx_memory_bytes() > before);
+    }
+
+    #[test]
+    fn self_delivered_instance_is_marked_relayed() {
+        let i = DolevInstance::self_delivered(8);
+        assert!(i.delivered);
+        assert!(i.relayed_empty);
+        assert!(!DolevInstance::new(8).delivered);
+    }
+}

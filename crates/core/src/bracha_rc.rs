@@ -1,0 +1,506 @@
+//! Generic combination of Bracha's BRB protocol with a reliable-communication substrate.
+//!
+//! Sec. 4.3 of the paper explains that the state-of-the-art way to obtain BRB on a
+//! partially connected network is to replace every *send-to-all* of Bracha's Algorithm 1 by
+//! an RC broadcast, and to feed every RC delivery (tagged with its originator) back into
+//! Bracha's handlers. The paper instantiates this template with Dolev's flooding protocol
+//! and then cross-optimises the two layers ([`crate::bd`]); this module keeps the template
+//! itself generic over the [`RcTransport`] so that the repository also provides:
+//!
+//! * [`BrachaRoutedDolev`] — BRB on **known** partially connected topologies in the global
+//!   fault model, using Dolev's predefined-routes variant as the substrate;
+//! * [`BrachaCpa`] — BRB under the **`t`-locally bounded** fault model, using CPA as the
+//!   substrate (the extension listed as future work in the paper's conclusion; see
+//!   footnote 2 of the paper for the stronger topology condition this requires).
+//!
+//! The combination is deliberately the *plain* one: none of the MBD.1–12 cross-layer
+//! optimisations apply here, which also makes these stacks useful baselines when measuring
+//! how much the paper's optimisations win.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::bracha::{BrachaKind, BrachaMessage};
+use crate::cpa::CpaProcess;
+use crate::dolev_routed::RoutedDolev;
+use crate::protocol::Protocol;
+use crate::quorum;
+use crate::rc::{RcDelivery, RcTransport};
+use crate::types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
+
+/// BRB on a known partially connected topology: Bracha over routed Dolev.
+pub type BrachaRoutedDolev = BrachaOverRc<RoutedDolev>;
+
+/// BRB in the `t`-locally bounded fault model: Bracha over CPA.
+pub type BrachaCpa = BrachaOverRc<CpaProcess>;
+
+/// Per-content Bracha state (Algorithm 1's `sentEcho`, `sentReady`, `delivered`, `echos`,
+/// `readys`), counted over RC origins.
+#[derive(Debug, Default, Clone)]
+struct BrachaState {
+    sent_echo: bool,
+    sent_ready: bool,
+    delivered: bool,
+    echos: HashSet<ProcessId>,
+    readys: HashSet<ProcessId>,
+}
+
+/// Bracha's double-echo broadcast running on top of an arbitrary reliable-communication
+/// substrate.
+#[derive(Debug, Clone)]
+pub struct BrachaOverRc<T> {
+    id: ProcessId,
+    n: usize,
+    f: usize,
+    transport: T,
+    states: HashMap<Content, BrachaState>,
+    delivered_ids: HashSet<BroadcastId>,
+    deliveries: Vec<Delivery>,
+    next_seq: u32,
+}
+
+impl<T: RcTransport> BrachaOverRc<T> {
+    /// Creates the combination for a system of `n` processes with at most `f` Byzantine
+    /// ones, on top of `transport`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= n/3` or if the transport's local identity is not `< n`.
+    pub fn new(n: usize, f: usize, transport: T) -> Self {
+        let id = transport.local_id();
+        assert!(id < n, "process id {id} out of range for n = {n}");
+        assert!(
+            f <= quorum::max_faults(n),
+            "f = {f} violates f < N/3 for N = {n}"
+        );
+        Self {
+            id,
+            n,
+            f,
+            transport,
+            states: HashMap::new(),
+            delivered_ids: HashSet::new(),
+            deliveries: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The underlying RC transport (for inspection in tests and experiments).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// ECHO quorum size `⌈(N+f+1)/2⌉`.
+    pub fn echo_quorum(&self) -> usize {
+        quorum::echo_quorum(self.n, self.f)
+    }
+
+    /// READY delivery quorum size `2f+1`.
+    pub fn ready_quorum(&self) -> usize {
+        quorum::ready_quorum(self.f)
+    }
+
+    /// RC-broadcasts `message` and feeds the locally triggered RC deliveries (our own copy)
+    /// back into the Bracha handlers, exactly like the send-to-all of Algorithm 1 includes
+    /// the sender itself.
+    fn originate_bracha(
+        &mut self,
+        message: &BrachaMessage,
+        actions: &mut Vec<Action<T::Message>>,
+        pending: &mut Vec<(ProcessId, BrachaMessage)>,
+    ) {
+        let local = self.transport.originate(encode_bracha(message), actions);
+        for delivery in local {
+            if let Some(decoded) = decode_bracha(&delivery.payload) {
+                pending.push((delivery.origin, decoded));
+            }
+        }
+    }
+
+    /// Core of Algorithm 1, with RC origins playing the role of link-level senders.
+    fn handle_bracha(
+        &mut self,
+        origin: ProcessId,
+        message: BrachaMessage,
+        actions: &mut Vec<Action<T::Message>>,
+        pending: &mut Vec<(ProcessId, BrachaMessage)>,
+    ) {
+        let content = Content::new(message.id, message.payload.clone());
+        let state = self.states.entry(content.clone()).or_default();
+        let mut send_echo = false;
+        let mut send_ready = false;
+        let mut deliver = false;
+        match message.kind {
+            BrachaKind::Send => {
+                // Only the claimed source may originate a SEND: the RC layer certifies the
+                // origin, so a SEND whose RC origin differs from the broadcast source is
+                // discarded (BRB-Integrity).
+                if origin == message.id.source && !state.sent_echo {
+                    state.sent_echo = true;
+                    send_echo = true;
+                }
+            }
+            BrachaKind::Echo => {
+                state.echos.insert(origin);
+                if state.echos.len() >= quorum::echo_quorum(self.n, self.f) && !state.sent_ready {
+                    state.sent_ready = true;
+                    send_ready = true;
+                }
+            }
+            BrachaKind::Ready => {
+                state.readys.insert(origin);
+                if state.readys.len() >= quorum::ready_amplification(self.f) && !state.sent_ready {
+                    state.sent_ready = true;
+                    send_ready = true;
+                }
+                if state.readys.len() >= quorum::ready_quorum(self.f) && !state.delivered {
+                    state.delivered = true;
+                    deliver = true;
+                }
+            }
+        }
+        if send_echo {
+            self.originate_bracha(
+                &BrachaMessage {
+                    kind: BrachaKind::Echo,
+                    id: message.id,
+                    payload: message.payload.clone(),
+                },
+                actions,
+                pending,
+            );
+        }
+        if send_ready {
+            self.originate_bracha(
+                &BrachaMessage {
+                    kind: BrachaKind::Ready,
+                    id: message.id,
+                    payload: message.payload.clone(),
+                },
+                actions,
+                pending,
+            );
+        }
+        if deliver && self.delivered_ids.insert(content.id) {
+            let delivery = Delivery {
+                id: content.id,
+                payload: content.payload,
+            };
+            self.deliveries.push(delivery.clone());
+            actions.push(Action::Deliver(delivery));
+        }
+    }
+
+    /// Drains the queue of RC-delivered Bracha messages until no more are produced.
+    fn drain(
+        &mut self,
+        mut pending: Vec<(ProcessId, BrachaMessage)>,
+        actions: &mut Vec<Action<T::Message>>,
+    ) {
+        while let Some((origin, message)) = pending.pop() {
+            self.handle_bracha(origin, message, actions, &mut pending);
+        }
+    }
+}
+
+impl<T: RcTransport> Protocol for BrachaOverRc<T> {
+    type Message = T::Message;
+
+    fn process_id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn broadcast(&mut self, payload: Payload) -> Vec<Action<T::Message>> {
+        let id = BroadcastId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        let mut actions = Vec::new();
+        let mut pending = Vec::new();
+        self.originate_bracha(
+            &BrachaMessage {
+                kind: BrachaKind::Send,
+                id,
+                payload,
+            },
+            &mut actions,
+            &mut pending,
+        );
+        self.drain(pending, &mut actions);
+        actions
+    }
+
+    fn handle_message(&mut self, from: ProcessId, message: T::Message) -> Vec<Action<T::Message>> {
+        let mut actions = Vec::new();
+        let rc_deliveries = self.transport.on_message(from, message, &mut actions);
+        let pending: Vec<(ProcessId, BrachaMessage)> = rc_deliveries
+            .into_iter()
+            .filter_map(|d: RcDelivery| decode_bracha(&d.payload).map(|m| (d.origin, m)))
+            .collect();
+        self.drain(pending, &mut actions);
+        actions
+    }
+
+    fn deliveries(&self) -> &[Delivery] {
+        &self.deliveries
+    }
+
+    fn message_size(message: &T::Message) -> usize {
+        T::wire_size(message)
+    }
+
+    fn state_bytes(&self) -> usize {
+        let bracha: usize = self
+            .states
+            .values()
+            .map(|s| 8 * (s.echos.len() + s.readys.len()) + 3)
+            .sum();
+        bracha + self.transport.state_bytes()
+    }
+
+    fn stored_paths(&self) -> usize {
+        self.transport.stored_paths()
+    }
+}
+
+/// Encodes a Bracha message as an opaque RC payload:
+/// `kind (1 B) | source (4 B) | bid (4 B) | payloadSize (4 B) | payload`, mirroring the
+/// Table 3 field sizes so that wire accounting stays comparable across stacks.
+pub fn encode_bracha(message: &BrachaMessage) -> Payload {
+    let mut bytes = Vec::with_capacity(13 + message.payload.len());
+    bytes.push(match message.kind {
+        BrachaKind::Send => 0u8,
+        BrachaKind::Echo => 1,
+        BrachaKind::Ready => 2,
+    });
+    bytes.extend_from_slice(&(message.id.source as u32).to_be_bytes());
+    bytes.extend_from_slice(&message.id.seq.to_be_bytes());
+    bytes.extend_from_slice(&(message.payload.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(message.payload.as_bytes());
+    Payload::new(bytes)
+}
+
+/// Decodes an RC payload produced by [`encode_bracha`]. Returns `None` on any malformed
+/// input (a Byzantine origin may RC-broadcast arbitrary bytes).
+pub fn decode_bracha(payload: &Payload) -> Option<BrachaMessage> {
+    let bytes = payload.as_bytes();
+    if bytes.len() < 13 {
+        return None;
+    }
+    let kind = match bytes[0] {
+        0 => BrachaKind::Send,
+        1 => BrachaKind::Echo,
+        2 => BrachaKind::Ready,
+        _ => return None,
+    };
+    let source = u32::from_be_bytes(bytes[1..5].try_into().ok()?) as ProcessId;
+    let seq = u32::from_be_bytes(bytes[5..9].try_into().ok()?);
+    let len = u32::from_be_bytes(bytes[9..13].try_into().ok()?) as usize;
+    if bytes.len() != 13 + len {
+        return None;
+    }
+    Some(BrachaMessage {
+        kind,
+        id: BroadcastId::new(source, seq),
+        payload: Payload::new(bytes[13..].to_vec()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brb_graph::{generate, Graph};
+
+    fn routed_system(graph: &Graph, f: usize) -> Vec<BrachaRoutedDolev> {
+        let n = graph.node_count();
+        (0..n)
+            .map(|i| BrachaOverRc::new(n, f, RoutedDolev::new(i, f, graph.clone())))
+            .collect()
+    }
+
+    fn cpa_system(graph: &Graph, n: usize, f: usize, t_local: usize) -> Vec<BrachaCpa> {
+        (0..n)
+            .map(|i| BrachaOverRc::new(n, f, CpaProcess::new(i, t_local, graph.neighbors_vec(i))))
+            .collect()
+    }
+
+    /// Synchronously drives processes to quiescence, dropping messages from/to `byzantine`.
+    fn run<P: Protocol>(
+        processes: &mut [P],
+        source: ProcessId,
+        payload: Payload,
+        byzantine: &[ProcessId],
+    ) {
+        let mut queue: Vec<(ProcessId, Action<P::Message>)> = processes[source]
+            .broadcast(payload)
+            .into_iter()
+            .map(|a| (source, a))
+            .collect();
+        while let Some((sender, action)) = queue.pop() {
+            if let Action::Send { to, message } = action {
+                if byzantine.contains(&sender) || byzantine.contains(&to) {
+                    continue;
+                }
+                for a in processes[to].handle_message(sender, message) {
+                    queue.push((to, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bracha_routed_dolev_delivers_everywhere_without_faults() {
+        let g = generate::figure1_example();
+        let mut processes = routed_system(&g, 1);
+        run(&mut processes, 0, Payload::from("hello"), &[]);
+        for p in &processes {
+            assert_eq!(p.deliveries().len(), 1, "process {}", p.process_id());
+            assert_eq!(p.deliveries()[0].payload, Payload::from("hello"));
+        }
+    }
+
+    #[test]
+    fn bracha_routed_dolev_tolerates_silent_byzantine_processes() {
+        // 4-connected circulant over 13 nodes, f = 1 (needs N > 3f and k >= 2f+1).
+        let g = generate::circulant(13, 2);
+        let mut processes = routed_system(&g, 1);
+        let byzantine = [5usize];
+        run(&mut processes, 0, Payload::from("m"), &byzantine);
+        for p in &processes {
+            if byzantine.contains(&p.process_id()) {
+                continue;
+            }
+            assert_eq!(p.deliveries().len(), 1, "process {}", p.process_id());
+        }
+    }
+
+    #[test]
+    fn bracha_cpa_delivers_on_complete_graph_with_silent_fault() {
+        // On a complete graph the CPA condition holds trivially for t = 1.
+        let n = 7;
+        let g = generate::complete(n);
+        let mut processes = cpa_system(&g, n, 2, 2);
+        let byzantine = [6usize];
+        run(&mut processes, 0, Payload::from("sensor"), &byzantine);
+        for p in &processes {
+            if byzantine.contains(&p.process_id()) {
+                continue;
+            }
+            assert_eq!(p.deliveries().len(), 1, "process {}", p.process_id());
+        }
+    }
+
+    #[test]
+    fn forged_send_from_non_source_origin_is_ignored() {
+        let g = generate::complete(4);
+        let mut p = BrachaOverRc::new(4, 1, RoutedDolev::new(1, 1, g));
+        // Process 2 RC-broadcasts a SEND claiming source 0: the RC origin (2) does not
+        // match, so process 1 must not echo.
+        let forged = BrachaMessage {
+            kind: BrachaKind::Send,
+            id: BroadcastId::new(0, 0),
+            payload: Payload::from("forged"),
+        };
+        let msg = crate::dolev_routed::RoutedDolevMessage {
+            origin: 2,
+            seq: 0,
+            payload: encode_bracha(&forged),
+            route: vec![2, 1],
+            position: 1,
+        };
+        let actions = p.handle_message(2, msg);
+        // The RC layer delivers (origin 2 sent directly), but Bracha discards the SEND, so
+        // no echo is originated and nothing is delivered.
+        assert!(actions
+            .iter()
+            .all(|a| a.as_delivery().is_none()));
+        assert!(p.deliveries().is_empty());
+    }
+
+    #[test]
+    fn malformed_rc_payloads_are_ignored() {
+        let g = generate::complete(4);
+        let mut p = BrachaOverRc::new(4, 1, RoutedDolev::new(1, 1, g));
+        let msg = crate::dolev_routed::RoutedDolevMessage {
+            origin: 0,
+            seq: 0,
+            payload: Payload::from("not a bracha message"),
+            route: vec![0, 1],
+            position: 1,
+        };
+        let actions = p.handle_message(0, msg);
+        assert!(actions.iter().all(|a| a.as_delivery().is_none()));
+        assert!(p.deliveries().is_empty());
+    }
+
+    #[test]
+    fn repeated_broadcasts_deliver_in_order() {
+        let g = generate::figure1_example();
+        let mut processes = routed_system(&g, 1);
+        run(&mut processes, 3, Payload::from("first"), &[]);
+        run(&mut processes, 3, Payload::from("second"), &[]);
+        for p in &processes {
+            assert_eq!(p.deliveries().len(), 2);
+            assert_eq!(p.deliveries()[0].id, BroadcastId::new(3, 0));
+            assert_eq!(p.deliveries()[1].id, BroadcastId::new(3, 1));
+        }
+    }
+
+    #[test]
+    fn quorum_accessors_match_the_quorum_module() {
+        let g = generate::complete(10);
+        let p = BrachaOverRc::new(10, 3, RoutedDolev::new(0, 3, g));
+        assert_eq!(p.echo_quorum(), quorum::echo_quorum(10, 3));
+        assert_eq!(p.ready_quorum(), 7);
+        assert_eq!(p.transport().routes_per_destination(), 7);
+    }
+
+    #[test]
+    fn state_bytes_include_both_layers() {
+        let g = generate::figure1_example();
+        let mut processes = routed_system(&g, 1);
+        run(&mut processes, 0, Payload::from("m"), &[]);
+        assert!(processes[1].state_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn rejects_invalid_fault_threshold() {
+        let g = generate::complete(6);
+        let _ = BrachaOverRc::new(6, 2, RoutedDolev::new(0, 2, g));
+    }
+
+    #[test]
+    fn bracha_codec_roundtrip() {
+        for kind in [BrachaKind::Send, BrachaKind::Echo, BrachaKind::Ready] {
+            let m = BrachaMessage {
+                kind,
+                id: BroadcastId::new(7, 42),
+                payload: Payload::filled(0xAC, 100),
+            };
+            assert_eq!(decode_bracha(&encode_bracha(&m)), Some(m));
+        }
+    }
+
+    #[test]
+    fn bracha_codec_rejects_malformed_inputs() {
+        assert_eq!(decode_bracha(&Payload::from("short")), None);
+        // Wrong kind byte.
+        let mut bytes = encode_bracha(&BrachaMessage {
+            kind: BrachaKind::Send,
+            id: BroadcastId::new(0, 0),
+            payload: Payload::from("x"),
+        })
+        .as_bytes()
+        .to_vec();
+        bytes[0] = 9;
+        assert_eq!(decode_bracha(&Payload::new(bytes)), None);
+        // Truncated payload.
+        let mut bytes = encode_bracha(&BrachaMessage {
+            kind: BrachaKind::Echo,
+            id: BroadcastId::new(0, 0),
+            payload: Payload::filled(0, 10),
+        })
+        .as_bytes()
+        .to_vec();
+        bytes.pop();
+        assert_eq!(decode_bracha(&Payload::new(bytes)), None);
+    }
+}

@@ -1,0 +1,283 @@
+//! CPA — the Certified Propagation Algorithm for the *local* fault model.
+//!
+//! The paper's related-work section (Sec. 2) and conclusion discuss the CPA line of work
+//! (Koo; Pelc & Peleg) as the main alternative to Dolev's protocol for reliable
+//! communication on partially connected networks: instead of the *global* bound of `f`
+//! Byzantine processes anywhere in the network, CPA assumes the `t`-locally bounded model
+//! where every process has at most `t` Byzantine neighbors. Considering this model is
+//! listed as future work in the paper's conclusion; this module provides that extension so
+//! that the repository covers both reliable-communication substrates.
+//!
+//! The algorithm is simple: the source sends its content to its neighbors and delivers
+//! locally; a process delivers when it receives the content **directly from the source**
+//! or from at least `t + 1` distinct neighbors; upon delivery it forwards the content to
+//! all its neighbors (once). CPA solves reliable communication (honest dealer) whenever
+//! the topology satisfies the corresponding graph condition (strictly stronger than
+//! `2t+1`-connectivity in general); like Dolev's protocol it does **not** solve BRB by
+//! itself, but it can replace Dolev's layer under a Bracha combination when the local
+//! fault assumption holds.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::Protocol;
+use crate::types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
+use crate::wire::{FIELD_BID, FIELD_MTYPE, FIELD_PAYLOAD_SIZE, FIELD_PROCESS_ID};
+
+/// A CPA message: just the content, no path (CPA never needs paths, which is what makes it
+/// cheap when its fault model applies).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpaMessage {
+    /// The broadcast content.
+    pub content: Content,
+}
+
+impl CpaMessage {
+    /// Wire size following Table 3: `mtype + s + bid + payloadSize + payload`.
+    pub fn wire_size(&self) -> usize {
+        FIELD_MTYPE
+            + FIELD_PROCESS_ID
+            + FIELD_BID
+            + FIELD_PAYLOAD_SIZE
+            + self.content.payload.len()
+    }
+}
+
+/// Per-content state.
+#[derive(Debug, Default, Clone)]
+struct CpaState {
+    witnesses: BTreeSet<ProcessId>,
+    delivered: bool,
+    relayed: bool,
+}
+
+/// One process running the Certified Propagation Algorithm in the `t`-locally bounded
+/// fault model.
+#[derive(Debug, Clone)]
+pub struct CpaProcess {
+    id: ProcessId,
+    /// Maximum number of Byzantine processes among any process's neighbors.
+    t_local: usize,
+    neighbors: Vec<ProcessId>,
+    states: HashMap<Content, CpaState>,
+    deliveries: Vec<Delivery>,
+    next_seq: u32,
+}
+
+impl CpaProcess {
+    /// Creates a CPA process given its locally bounded fault threshold and neighborhood.
+    pub fn new(id: ProcessId, t_local: usize, neighbors: Vec<ProcessId>) -> Self {
+        Self {
+            id,
+            t_local,
+            neighbors,
+            states: HashMap::new(),
+            deliveries: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The local fault threshold `t`.
+    pub fn t_local(&self) -> usize {
+        self.t_local
+    }
+
+    /// Number of distinct witnessing neighbors required for an indirect delivery (`t+1`).
+    pub fn witness_threshold(&self) -> usize {
+        self.t_local + 1
+    }
+
+    fn deliver_and_relay(
+        &mut self,
+        content: &Content,
+        actions: &mut Vec<Action<CpaMessage>>,
+    ) {
+        let state = self.states.entry(content.clone()).or_default();
+        if !state.delivered {
+            state.delivered = true;
+            let delivery = Delivery {
+                id: content.id,
+                payload: content.payload.clone(),
+            };
+            self.deliveries.push(delivery.clone());
+            actions.push(Action::Deliver(delivery));
+        }
+        if !state.relayed {
+            state.relayed = true;
+            for &q in &self.neighbors {
+                actions.push(Action::send(
+                    q,
+                    CpaMessage {
+                        content: content.clone(),
+                    },
+                ));
+            }
+        }
+    }
+}
+
+impl Protocol for CpaProcess {
+    type Message = CpaMessage;
+
+    fn process_id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn broadcast(&mut self, payload: Payload) -> Vec<Action<CpaMessage>> {
+        let id = BroadcastId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        let content = Content::new(id, payload);
+        let mut actions = Vec::new();
+        self.deliver_and_relay(&content, &mut actions);
+        actions
+    }
+
+    fn handle_message(&mut self, from: ProcessId, message: CpaMessage) -> Vec<Action<CpaMessage>> {
+        let mut actions = Vec::new();
+        let content = message.content;
+        let state = self.states.entry(content.clone()).or_default();
+        if state.delivered {
+            return actions;
+        }
+        if from == content.id.source {
+            // Direct reception over the authenticated link: certified.
+            self.deliver_and_relay(&content, &mut actions);
+            return actions;
+        }
+        state.witnesses.insert(from);
+        if state.witnesses.len() >= self.t_local + 1 {
+            self.deliver_and_relay(&content, &mut actions);
+        }
+        actions
+    }
+
+    fn deliveries(&self) -> &[Delivery] {
+        &self.deliveries
+    }
+
+    fn message_size(message: &CpaMessage) -> usize {
+        message.wire_size()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.states
+            .values()
+            .map(|s| 8 * s.witnesses.len() + 2)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brb_graph::{generate, Graph};
+
+    fn run_broadcast(graph: &Graph, t: usize, source: ProcessId, byzantine: &[ProcessId]) -> Vec<CpaProcess> {
+        let n = graph.node_count();
+        let mut processes: Vec<CpaProcess> = (0..n)
+            .map(|i| CpaProcess::new(i, t, graph.neighbors_vec(i)))
+            .collect();
+        let mut queue: Vec<(ProcessId, Action<CpaMessage>)> = processes[source]
+            .broadcast(Payload::from("cpa"))
+            .into_iter()
+            .map(|a| (source, a))
+            .collect();
+        while let Some((sender, action)) = queue.pop() {
+            if let Action::Send { to, message } = action {
+                if byzantine.contains(&to) || byzantine.contains(&sender) {
+                    continue;
+                }
+                for a in processes[to].handle_message(sender, message) {
+                    queue.push((to, a));
+                }
+            }
+        }
+        processes
+    }
+
+    #[test]
+    fn fault_free_flooding_delivers_everywhere() {
+        let g = generate::figure1_example();
+        let processes = run_broadcast(&g, 0, 0, &[]);
+        assert!(processes.iter().all(|p| p.deliveries().len() == 1));
+    }
+
+    #[test]
+    fn delivery_with_one_locally_bounded_fault_on_dense_graph() {
+        // A complete graph trivially satisfies the CPA condition for t = 1 with one
+        // silent Byzantine process.
+        let g = generate::complete(6);
+        let processes = run_broadcast(&g, 1, 0, &[4]);
+        for (i, p) in processes.iter().enumerate() {
+            if i == 4 {
+                continue;
+            }
+            assert_eq!(p.deliveries().len(), 1, "process {i}");
+        }
+    }
+
+    #[test]
+    fn indirect_delivery_needs_t_plus_one_witnesses() {
+        let mut p = CpaProcess::new(0, 2, vec![1, 2, 3, 4]);
+        let content = Content::new(BroadcastId::new(9, 0), Payload::from("m"));
+        let msg = CpaMessage { content };
+        assert!(p.handle_message(1, msg.clone()).is_empty());
+        assert!(p.handle_message(2, msg.clone()).is_empty());
+        // Repeated witness does not count twice.
+        assert!(p.handle_message(2, msg.clone()).is_empty());
+        let actions = p.handle_message(3, msg);
+        assert!(actions.iter().any(|a| a.as_delivery().is_some()));
+        assert_eq!(p.deliveries().len(), 1);
+        assert_eq!(p.witness_threshold(), 3);
+    }
+
+    #[test]
+    fn direct_reception_from_source_delivers_immediately() {
+        let mut p = CpaProcess::new(1, 3, vec![0, 2]);
+        let content = Content::new(BroadcastId::new(0, 0), Payload::from("m"));
+        let actions = p.handle_message(0, CpaMessage { content });
+        assert!(actions.iter().any(|a| a.as_delivery().is_some()));
+        // Relays to all neighbors exactly once.
+        let sends = actions.iter().filter(|a| a.as_delivery().is_none()).count();
+        assert_eq!(sends, 2);
+    }
+
+    #[test]
+    fn byzantine_neighbors_below_threshold_cannot_force_delivery() {
+        let mut p = CpaProcess::new(0, 2, vec![1, 2, 3, 4]);
+        let content = Content::new(BroadcastId::new(9, 0), Payload::from("forged"));
+        // Only t = 2 Byzantine neighbors vouch for a content the source never sent.
+        p.handle_message(1, CpaMessage { content: content.clone() });
+        p.handle_message(2, CpaMessage { content });
+        assert!(p.deliveries().is_empty());
+    }
+
+    #[test]
+    fn source_delivers_its_own_broadcast_and_relays_once() {
+        let mut p = CpaProcess::new(3, 1, vec![0, 1]);
+        let actions = p.broadcast(Payload::from("a"));
+        assert_eq!(actions.iter().filter(|a| a.as_delivery().is_some()).count(), 1);
+        assert_eq!(actions.iter().filter(|a| a.as_delivery().is_none()).count(), 2);
+        assert_eq!(p.deliveries()[0].id, BroadcastId::new(3, 0));
+    }
+
+    #[test]
+    fn wire_size_matches_table3() {
+        let m = CpaMessage {
+            content: Content::new(BroadcastId::new(0, 0), Payload::filled(0, 16)),
+        };
+        assert_eq!(m.wire_size(), 1 + 4 + 4 + 4 + 16);
+        assert_eq!(CpaProcess::message_size(&m), 29);
+    }
+
+    #[test]
+    fn state_bytes_grow_with_witnesses() {
+        let mut p = CpaProcess::new(0, 5, vec![1, 2, 3]);
+        let before = p.state_bytes();
+        let content = Content::new(BroadcastId::new(9, 0), Payload::from("m"));
+        p.handle_message(1, CpaMessage { content });
+        assert!(p.state_bytes() > before);
+        assert_eq!(p.t_local(), 5);
+    }
+}

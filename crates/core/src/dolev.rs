@@ -1,0 +1,542 @@
+//! Dolev's reliable communication protocol (Algorithm 2 of the paper) with Bonomi et al.'s
+//! practical modifications MD.1–5.
+//!
+//! Dolev's protocol provides **reliable communication** (reliable broadcast with honest
+//! dealer) on any network whose vertex connectivity is at least `2f+1`, in the global
+//! fault model, with authenticated reliable links and an *unknown* topology. Messages are
+//! flooded together with the list of process labels they traversed; a process delivers a
+//! content once it has received it through at least `f+1` node-disjoint paths (or directly
+//! from the source with MD.1).
+//!
+//! This standalone implementation is used as a baseline and as a building block for tests;
+//! the Bracha–Dolev combination in [`crate::bd`] embeds its own Dolev instances to benefit
+//! from the cross-layer modifications MBD.1–12.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::MdFlags;
+use crate::disjoint::DisjointPathTracker;
+use crate::pathset::PathSet;
+use crate::protocol::Protocol;
+use crate::types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
+use crate::wire::{FIELD_BID, FIELD_MTYPE, FIELD_PATH_LEN, FIELD_PAYLOAD_SIZE, FIELD_PROCESS_ID};
+
+/// A message of Dolev's protocol: a content and the path of process labels it traversed
+/// (excluding the current sender, which the receiver learns from the authenticated link).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DolevMessage {
+    /// The broadcast content (source, sequence number and payload).
+    pub content: Content,
+    /// Labels of the processes traversed so far.
+    pub path: Vec<ProcessId>,
+}
+
+impl DolevMessage {
+    /// Wire size following Table 3: `mtype + s + bid + payloadSize + payload + pathLen +
+    /// 4 * |path|`.
+    pub fn wire_size(&self) -> usize {
+        FIELD_MTYPE
+            + FIELD_PROCESS_ID
+            + FIELD_BID
+            + FIELD_PAYLOAD_SIZE
+            + self.content.payload.len()
+            + FIELD_PATH_LEN
+            + FIELD_PROCESS_ID * self.path.len()
+    }
+}
+
+/// Per-content dissemination state.
+#[derive(Debug, Clone)]
+struct InstanceState {
+    tracker: DisjointPathTracker,
+    delivered: bool,
+    /// Whether the empty path has been forwarded after delivery (MD.2 / MD.5).
+    relayed_empty: bool,
+    /// Neighbors that sent us an empty path, i.e. that already delivered (MD.3 / MD.4).
+    neighbors_delivered: BTreeSet<ProcessId>,
+}
+
+impl InstanceState {
+    fn new() -> Self {
+        Self {
+            tracker: DisjointPathTracker::new(),
+            delivered: false,
+            relayed_empty: false,
+            neighbors_delivered: BTreeSet::new(),
+        }
+    }
+}
+
+/// One process running Dolev's reliable-communication protocol on an unknown topology.
+#[derive(Debug, Clone)]
+pub struct DolevProcess {
+    id: ProcessId,
+    f: usize,
+    neighbors: Vec<ProcessId>,
+    md: MdFlags,
+    instances: HashMap<Content, InstanceState>,
+    deliveries: Vec<Delivery>,
+    next_seq: u32,
+}
+
+impl DolevProcess {
+    /// Creates a Dolev process given its direct neighborhood.
+    pub fn new(id: ProcessId, f: usize, neighbors: Vec<ProcessId>, md: MdFlags) -> Self {
+        Self {
+            id,
+            f,
+            neighbors,
+            md,
+            instances: HashMap::new(),
+            deliveries: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of node-disjoint paths required for delivery (`f + 1`).
+    pub fn delivery_threshold(&self) -> usize {
+        self.f + 1
+    }
+
+    /// The neighbors of this process.
+    pub fn neighbors(&self) -> &[ProcessId] {
+        &self.neighbors
+    }
+
+    /// Number of paths currently stored across all contents (memory proxy, Sec. 7.3).
+    pub fn stored_paths(&self) -> usize {
+        self.instances.values().map(|i| i.tracker.path_count()).sum()
+    }
+
+    fn deliver(
+        content: &Content,
+        state: &mut InstanceState,
+        deliveries: &mut Vec<Delivery>,
+        actions: &mut Vec<Action<DolevMessage>>,
+    ) {
+        if state.delivered {
+            return;
+        }
+        state.delivered = true;
+        let delivery = Delivery {
+            id: content.id,
+            payload: content.payload.clone(),
+        };
+        deliveries.push(delivery.clone());
+        actions.push(Action::Deliver(delivery));
+    }
+}
+
+impl Protocol for DolevProcess {
+    type Message = DolevMessage;
+
+    fn process_id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn broadcast(&mut self, payload: Payload) -> Vec<Action<DolevMessage>> {
+        let id = BroadcastId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        let content = Content::new(id, payload);
+        let mut actions = Vec::new();
+        for &q in &self.neighbors {
+            actions.push(Action::send(
+                q,
+                DolevMessage {
+                    content: content.clone(),
+                    path: Vec::new(),
+                },
+            ));
+        }
+        // The source delivers its own message immediately (Algorithm 2, lines 12–13).
+        let state = self.instances.entry(content.clone()).or_insert_with(InstanceState::new);
+        Self::deliver(&content, state, &mut self.deliveries, &mut actions);
+        state.relayed_empty = true;
+        actions
+    }
+
+    fn handle_message(
+        &mut self,
+        from: ProcessId,
+        message: DolevMessage,
+    ) -> Vec<Action<DolevMessage>> {
+        let mut actions = Vec::new();
+        let content = message.content.clone();
+        let source = content.id.source;
+        let state = self
+            .instances
+            .entry(content.clone())
+            .or_insert_with(InstanceState::new);
+
+        // An empty path received from a process other than the source signals that this
+        // neighbor has delivered the content (it applied MD.2).
+        if message.path.is_empty() && from != source {
+            state.neighbors_delivered.insert(from);
+        }
+
+        // MD.4: ignore paths that contain the label of a neighbor known to have delivered.
+        if self.md.md4
+            && message
+                .path
+                .iter()
+                .any(|p| state.neighbors_delivered.contains(p))
+        {
+            return actions;
+        }
+
+        // Intermediate nodes of the claimed route: traversed labels plus the relaying
+        // neighbor, minus the source and ourselves.
+        let mut intermediate = PathSet::from_iter_ids(message.path.iter().copied());
+        intermediate.insert(from);
+        intermediate.remove(source);
+        intermediate.remove(self.id);
+        let direct = from == source;
+
+        let was_delivered = state.delivered;
+        if !was_delivered {
+            if direct {
+                state.tracker.record_direct();
+            } else {
+                state.tracker.add_path(intermediate.clone(), from);
+            }
+            let threshold_met = state.tracker.reaches(self.f + 1);
+            let md1_delivery = self.md.md1 && direct;
+            if threshold_met || md1_delivery {
+                Self::deliver(&content, state, &mut self.deliveries, &mut actions);
+                if self.md.md2 {
+                    state.tracker.clear_paths();
+                }
+            }
+        }
+
+        // Relay logic.
+        let newly_delivered = state.delivered && !was_delivered;
+        if state.delivered {
+            if self.md.md2 && !state.relayed_empty {
+                // MD.2: forward the content with an empty path to all neighbors (skipping
+                // the ones that already delivered when MD.3 is enabled).
+                state.relayed_empty = true;
+                for &q in &self.neighbors {
+                    if q == from && !newly_delivered {
+                        continue;
+                    }
+                    if self.md.md3 && state.neighbors_delivered.contains(&q) {
+                        continue;
+                    }
+                    actions.push(Action::send(
+                        q,
+                        DolevMessage {
+                            content: content.clone(),
+                            path: Vec::new(),
+                        },
+                    ));
+                }
+                return actions;
+            }
+            if self.md.md5 && state.relayed_empty {
+                // MD.5: stop relaying once delivered and the empty path has been forwarded.
+                return actions;
+            }
+            if self.md.md2 && state.relayed_empty {
+                // Already announced delivery with an empty path; nothing more to add even
+                // without MD.5 (the empty path subsumes any further path we could relay).
+                return actions;
+            }
+        }
+
+        // Plain Dolev relay: forward the message with the extended path to every neighbor
+        // not already on the path.
+        let mut extended = message.path.clone();
+        extended.push(from);
+        for &q in &self.neighbors {
+            if q == from || q == source || extended.contains(&q) {
+                continue;
+            }
+            if self.md.md3 && state.neighbors_delivered.contains(&q) {
+                continue;
+            }
+            actions.push(Action::send(
+                q,
+                DolevMessage {
+                    content: content.clone(),
+                    path: extended.clone(),
+                },
+            ));
+        }
+        actions
+    }
+
+    fn deliveries(&self) -> &[Delivery] {
+        &self.deliveries
+    }
+
+    fn message_size(message: &DolevMessage) -> usize {
+        message.wire_size()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.instances
+            .values()
+            .map(|i| i.tracker.approx_memory_bytes() + 8 * i.neighbors_delivered.len())
+            .sum()
+    }
+
+    fn stored_paths(&self) -> usize {
+        DolevProcess::stored_paths(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brb_graph::{generate, Graph};
+
+    /// Synchronously floods all messages between processes built on `graph`, starting from
+    /// a broadcast by `source`, with no Byzantine processes.
+    fn run_broadcast(graph: &Graph, f: usize, md: MdFlags, source: ProcessId) -> Vec<DolevProcess> {
+        let n = graph.node_count();
+        let mut processes: Vec<DolevProcess> = (0..n)
+            .map(|i| DolevProcess::new(i, f, graph.neighbors_vec(i), md))
+            .collect();
+        let mut queue: Vec<(ProcessId, Action<DolevMessage>)> = processes[source]
+            .broadcast(Payload::from("payload"))
+            .into_iter()
+            .map(|a| (source, a))
+            .collect();
+        let mut steps = 0usize;
+        while let Some((sender, action)) = queue.pop() {
+            steps += 1;
+            assert!(steps < 2_000_000, "message explosion: protocol did not quiesce");
+            if let Action::Send { to, message } = action {
+                for a in processes[to].handle_message(sender, message) {
+                    queue.push((to, a));
+                }
+            }
+        }
+        processes
+    }
+
+    fn everyone_delivered(processes: &[DolevProcess]) -> bool {
+        processes.iter().all(|p| p.deliveries().len() == 1)
+    }
+
+    #[test]
+    fn plain_dolev_delivers_on_a_ring_with_f0() {
+        let g = generate::ring(5);
+        let processes = run_broadcast(&g, 0, MdFlags::none(), 0);
+        assert!(everyone_delivered(&processes));
+    }
+
+    #[test]
+    fn plain_dolev_delivers_on_3_connected_graph_with_f1() {
+        let g = generate::figure1_example();
+        let processes = run_broadcast(&g, 1, MdFlags::none(), 0);
+        assert!(everyone_delivered(&processes));
+    }
+
+    #[test]
+    fn optimized_dolev_delivers_on_3_connected_graph_with_f1() {
+        let g = generate::figure1_example();
+        let processes = run_broadcast(&g, 1, MdFlags::all(), 3);
+        assert!(everyone_delivered(&processes));
+    }
+
+    #[test]
+    fn optimized_dolev_sends_fewer_messages_than_plain() {
+        let g = generate::circulant(12, 2); // 4-regular, 4-connected
+        let count = |md: MdFlags| {
+            let n = g.node_count();
+            let mut processes: Vec<DolevProcess> = (0..n)
+                .map(|i| DolevProcess::new(i, 1, g.neighbors_vec(i), md))
+                .collect();
+            let mut queue: Vec<(ProcessId, Action<DolevMessage>)> = processes[0]
+                .broadcast(Payload::from("m"))
+                .into_iter()
+                .map(|a| (0, a))
+                .collect();
+            let mut messages = 0usize;
+            while let Some((sender, action)) = queue.pop() {
+                if let Action::Send { to, message } = action {
+                    messages += 1;
+                    for a in processes[to].handle_message(sender, message) {
+                        queue.push((to, a));
+                    }
+                }
+            }
+            messages
+        };
+        let plain = count(MdFlags::none());
+        let optimized = count(MdFlags::all());
+        assert!(
+            optimized < plain,
+            "MD.1-5 should reduce messages: optimized = {optimized}, plain = {plain}"
+        );
+    }
+
+    #[test]
+    fn direct_reception_with_md1_delivers_immediately() {
+        let mut p = DolevProcess::new(1, 2, vec![0, 2], MdFlags::all());
+        let content = Content::new(BroadcastId::new(0, 0), Payload::from("m"));
+        let actions = p.handle_message(
+            0,
+            DolevMessage {
+                content: content.clone(),
+                path: vec![],
+            },
+        );
+        assert!(actions.iter().any(|a| a.as_delivery().is_some()));
+        assert_eq!(p.deliveries().len(), 1);
+    }
+
+    #[test]
+    fn direct_reception_without_md1_does_not_suffice_when_f_positive() {
+        let mut p = DolevProcess::new(1, 1, vec![0, 2, 3], MdFlags::none());
+        let content = Content::new(BroadcastId::new(0, 0), Payload::from("m"));
+        let actions = p.handle_message(
+            0,
+            DolevMessage {
+                content: content.clone(),
+                path: vec![],
+            },
+        );
+        assert!(actions.iter().all(|a| a.as_delivery().is_none()));
+        // A second, disjoint path completes the f+1 = 2 requirement.
+        let actions = p.handle_message(
+            2,
+            DolevMessage {
+                content,
+                path: vec![0],
+            },
+        );
+        assert!(actions.iter().any(|a| a.as_delivery().is_some()));
+    }
+
+    #[test]
+    fn forged_paths_from_f_byzantine_neighbors_cannot_cause_spurious_delivery() {
+        // f = 2: delivery needs 3 disjoint paths. Byzantine neighbors 5 and 6 forge many
+        // paths, but all their paths go through themselves (the authenticated link appends
+        // their label), so at most 2 disjoint paths can ever be formed.
+        let mut p = DolevProcess::new(0, 2, vec![5, 6], MdFlags::none());
+        let content = Content::new(BroadcastId::new(9, 0), Payload::from("forged"));
+        for fake in 0..20 {
+            for byz in [5usize, 6] {
+                p.handle_message(
+                    byz,
+                    DolevMessage {
+                        content: content.clone(),
+                        path: vec![9, 10 + fake],
+                    },
+                );
+            }
+        }
+        assert!(p.deliveries().is_empty());
+    }
+
+    #[test]
+    fn md3_avoids_sending_to_delivered_neighbors() {
+        let mut p = DolevProcess::new(1, 1, vec![0, 2, 3], MdFlags::all());
+        let content = Content::new(BroadcastId::new(0, 0), Payload::from("m"));
+        // Neighbor 2 tells us it delivered (empty path, not the source).
+        p.handle_message(
+            2,
+            DolevMessage {
+                content: content.clone(),
+                path: vec![],
+            },
+        );
+        // Now a relayed path arrives from 3; the relays must avoid neighbor 2.
+        let actions = p.handle_message(
+            3,
+            DolevMessage {
+                content: content.clone(),
+                path: vec![5],
+            },
+        );
+        for a in &actions {
+            if let Action::Send { to, .. } = a {
+                assert_ne!(*to, 2, "MD.3 must skip neighbors that delivered");
+            }
+        }
+    }
+
+    #[test]
+    fn md4_ignores_paths_containing_delivered_neighbors() {
+        let mut p = DolevProcess::new(1, 1, vec![0, 2, 3], MdFlags::all());
+        let content = Content::new(BroadcastId::new(0, 0), Payload::from("m"));
+        p.handle_message(
+            2,
+            DolevMessage {
+                content: content.clone(),
+                path: vec![],
+            },
+        );
+        let actions = p.handle_message(
+            3,
+            DolevMessage {
+                content,
+                path: vec![2, 7],
+            },
+        );
+        assert!(actions.is_empty(), "paths through a delivered neighbor are dropped");
+    }
+
+    #[test]
+    fn md5_stops_relaying_after_delivery() {
+        let g = generate::figure1_example();
+        // Run an optimized broadcast, then poke a delivered process with a fresh path and
+        // check it stays silent.
+        let mut processes = run_broadcast(&g, 1, MdFlags::all(), 0);
+        let content = Content::new(BroadcastId::new(0, 0), processes[0].deliveries()[0].payload.clone());
+        let actions = processes[5].handle_message(
+            6,
+            DolevMessage {
+                content,
+                path: vec![0, 7],
+            },
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn source_delivers_its_own_broadcast_once() {
+        let mut p = DolevProcess::new(4, 1, vec![0, 1], MdFlags::all());
+        let a1 = p.broadcast(Payload::from("a"));
+        assert_eq!(a1.iter().filter(|a| a.as_delivery().is_some()).count(), 1);
+        let a2 = p.broadcast(Payload::from("b"));
+        assert_eq!(a2.iter().filter(|a| a.as_delivery().is_some()).count(), 1);
+        assert_eq!(p.deliveries().len(), 2);
+        assert_eq!(p.deliveries()[0].id, BroadcastId::new(4, 0));
+        assert_eq!(p.deliveries()[1].id, BroadcastId::new(4, 1));
+    }
+
+    #[test]
+    fn wire_size_matches_table3() {
+        let m = DolevMessage {
+            content: Content::new(BroadcastId::new(0, 0), Payload::filled(0, 16)),
+            path: vec![1, 2, 3],
+        };
+        // 1 + 4 + 4 + 4 + 16 + 2 + 12 = 43.
+        assert_eq!(m.wire_size(), 43);
+        assert_eq!(DolevProcess::message_size(&m), 43);
+    }
+
+    #[test]
+    fn state_bytes_and_stored_paths_grow() {
+        let mut p = DolevProcess::new(0, 5, vec![1, 2, 3, 4, 5, 6, 7], MdFlags::none());
+        assert_eq!(p.stored_paths(), 0);
+        let content = Content::new(BroadcastId::new(9, 0), Payload::from("m"));
+        for via in 1..6 {
+            p.handle_message(
+                via,
+                DolevMessage {
+                    content: content.clone(),
+                    path: vec![9, 20 + via],
+                },
+            );
+        }
+        assert!(p.stored_paths() >= 5);
+        assert!(p.state_bytes() > 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Compact representation of the set of process labels traversed by a relayed message.
+//!
+//! The paper notes (Sec. 6.4, MBD.10) that processes represent received paths using bit
+//! arrays stored in a list. [`PathSet`] is that bit array: a small, growable bitset over
+//! process identifiers supporting the three operations the protocol needs — insertion,
+//! disjointness tests and subset tests.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::ProcessId;
+
+/// A set of process identifiers, backed by a word-level bitset.
+///
+/// Used to store the *intermediate* nodes of a received transmission path, to test whether
+/// two paths are node-disjoint (their intersection is empty) and whether one path is a
+/// subpath of another (subset inclusion, modification MBD.10).
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathSet {
+    words: Vec<u64>,
+}
+
+impl PathSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set from an iterator of process identifiers.
+    pub fn from_iter_ids(ids: impl IntoIterator<Item = ProcessId>) -> Self {
+        let mut s = Self::new();
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Inserts a process identifier; returns whether it was newly inserted.
+    pub fn insert(&mut self, id: ProcessId) -> bool {
+        let (word, bit) = (id / 64, id % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let newly = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        newly
+    }
+
+    /// Removes a process identifier; returns whether it was present.
+    pub fn remove(&mut self, id: ProcessId) -> bool {
+        let (word, bit) = (id / 64, id % 64);
+        if word >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << bit;
+        let present = self.words[word] & mask != 0;
+        self.words[word] &= !mask;
+        present
+    }
+
+    /// Whether the identifier is in the set.
+    pub fn contains(&self, id: ProcessId) -> bool {
+        let (word, bit) = (id / 64, id % 64);
+        self.words.get(word).map_or(false, |w| w & (1u64 << bit) != 0)
+    }
+
+    /// Number of identifiers in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether `self` and `other` have no identifier in common (node-disjoint paths).
+    pub fn is_disjoint(&self, other: &PathSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every identifier of `self` is also in `other` (subpath test of MBD.10).
+    pub fn is_subset(&self, other: &PathSet) -> bool {
+        for (i, &w) in self.words.iter().enumerate() {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            if w & !o != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &PathSet) -> PathSet {
+        let mut words = vec![0u64; self.words.len().max(other.words.len())];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
+        }
+        PathSet { words }
+    }
+
+    /// Iterator over the identifiers in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if w & (1u64 << b) != 0 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Identifiers collected into a sorted vector.
+    pub fn to_vec(&self) -> Vec<ProcessId> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<ProcessId> for PathSet {
+    fn from_iter<T: IntoIterator<Item = ProcessId>>(iter: T) -> Self {
+        Self::from_iter_ids(iter)
+    }
+}
+
+impl Extend<ProcessId> for PathSet {
+    fn extend<T: IntoIterator<Item = ProcessId>>(&mut self, iter: T) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl fmt::Debug for PathSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PathSet{:?}", self.to_vec())
+    }
+}
+
+impl<const N: usize> From<[ProcessId; N]> for PathSet {
+    fn from(ids: [ProcessId; N]) -> Self {
+        Self::from_iter_ids(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = PathSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(70));
+        assert!(s.contains(3));
+        assert!(s.contains(70));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = PathSet::from([1, 2, 3]);
+        let b = PathSet::from([4, 5]);
+        let c = PathSet::from([3, 4]);
+        assert!(a.is_disjoint(&b));
+        assert!(b.is_disjoint(&a));
+        assert!(!a.is_disjoint(&c));
+        assert!(PathSet::new().is_disjoint(&a));
+    }
+
+    #[test]
+    fn subset() {
+        let a = PathSet::from([1, 2]);
+        let b = PathSet::from([1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(PathSet::new().is_subset(&a));
+        assert!(a.is_subset(&a));
+    }
+
+    #[test]
+    fn subset_with_different_word_lengths() {
+        let small = PathSet::from([1]);
+        let large = PathSet::from([1, 130]);
+        assert!(small.is_subset(&large));
+        assert!(!large.is_subset(&small));
+    }
+
+    #[test]
+    fn union_and_iter() {
+        let a = PathSet::from([1, 65]);
+        let b = PathSet::from([2]);
+        let u = a.union(&b);
+        assert_eq!(u.to_vec(), vec![1, 2, 65]);
+        assert_eq!(a.to_vec(), vec![1, 65]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let s: PathSet = vec![9usize, 1, 9].into_iter().collect();
+        assert_eq!(s.to_vec(), vec![1, 9]);
+        let mut t = PathSet::new();
+        t.extend(vec![7usize, 8]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let s = PathSet::from([2, 5]);
+        assert_eq!(format!("{s:?}"), "PathSet[2, 5]");
+    }
+
+    #[test]
+    fn remove_out_of_range_is_noop() {
+        let mut s = PathSet::from([1]);
+        assert!(!s.remove(1000));
+        assert_eq!(s.len(), 1);
+    }
+}

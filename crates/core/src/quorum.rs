@@ -1,0 +1,141 @@
+//! Quorum arithmetic of Bracha's protocol and the MBD.11 role assignment.
+
+use crate::types::ProcessId;
+
+/// Maximum number of Byzantine processes tolerated by Bracha's protocol for `n` processes
+/// (`f < n/3`, i.e. `f <= ⌊(n-1)/3⌋`).
+pub fn max_faults(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        (n - 1) / 3
+    }
+}
+
+/// Number of ECHO messages required before a process sends its READY message:
+/// `⌈(N + f + 1) / 2⌉`.
+pub fn echo_quorum(n: usize, f: usize) -> usize {
+    (n + f + 1).div_ceil(2)
+}
+
+/// Number of READY messages required before a process delivers: `2f + 1`.
+pub fn ready_quorum(f: usize) -> usize {
+    2 * f + 1
+}
+
+/// Number of READY messages that allow a process to send its own READY even without an
+/// ECHO quorum (`f + 1`, the classic Ready amplification).
+pub fn ready_amplification(f: usize) -> usize {
+    f + 1
+}
+
+/// Number of ECHO messages that allow a process to send its own ECHO (`f + 1`, the Echo
+/// amplification introduced alongside MBD.2, Sec. 6.2).
+pub fn echo_amplification(f: usize) -> usize {
+    f + 1
+}
+
+/// Number of processes that generate ECHO messages under MBD.11:
+/// `⌈(N + f + 1)/2⌉ + f`.
+pub fn echoer_count(n: usize, f: usize) -> usize {
+    (echo_quorum(n, f) + f).min(n)
+}
+
+/// Number of processes that generate READY messages under MBD.11: `3f + 1`.
+pub fn readier_count(n: usize, f: usize) -> usize {
+    (3 * f + 1).min(n)
+}
+
+/// Whether `process` is allowed to generate ECHO messages for a broadcast initiated by
+/// `source` under MBD.11 (the `echoer_count` processes with the smallest IDs after the
+/// source's, modulo `n`).
+pub fn is_echoer(n: usize, f: usize, source: ProcessId, process: ProcessId) -> bool {
+    rank_after(n, source, process) < echoer_count(n, f)
+}
+
+/// Whether `process` is allowed to generate READY messages for a broadcast initiated by
+/// `source` under MBD.11.
+pub fn is_readier(n: usize, f: usize, source: ProcessId, process: ProcessId) -> bool {
+    rank_after(n, source, process) < readier_count(n, f)
+}
+
+/// Rank of `process` in the circular order starting right after `source` (the source
+/// itself has the largest rank `n - 1`).
+fn rank_after(n: usize, source: ProcessId, process: ProcessId) -> usize {
+    debug_assert!(n > 0 && source < n && process < n);
+    (process + n - source - 1) % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_faults_thresholds() {
+        assert_eq!(max_faults(0), 0);
+        assert_eq!(max_faults(1), 0);
+        assert_eq!(max_faults(3), 0);
+        assert_eq!(max_faults(4), 1);
+        assert_eq!(max_faults(10), 3);
+        assert_eq!(max_faults(50), 16);
+    }
+
+    #[test]
+    fn quorums_for_paper_parameters() {
+        // N = 50, f = 5: echo quorum = ceil(56/2) = 28, ready quorum = 11.
+        assert_eq!(echo_quorum(50, 5), 28);
+        assert_eq!(ready_quorum(5), 11);
+        assert_eq!(ready_amplification(5), 6);
+        assert_eq!(echo_amplification(5), 6);
+    }
+
+    #[test]
+    fn echo_quorum_rounds_up() {
+        // N = 10, f = 2: ceil(13/2) = 7.
+        assert_eq!(echo_quorum(10, 2), 7);
+        // N = 9, f = 2: ceil(12/2) = 6.
+        assert_eq!(echo_quorum(9, 2), 6);
+    }
+
+    #[test]
+    fn mbd11_counts_match_paper() {
+        // Sec. 6.5: echoers = ceil((N+f+1)/2) + f, readiers = 3f + 1.
+        assert_eq!(echoer_count(50, 9), 39);
+        assert_eq!(readier_count(50, 9), 28);
+        // When N = 3f + 1 every process participates in every phase.
+        assert_eq!(echoer_count(10, 3), 10);
+        assert_eq!(readier_count(10, 3), 10);
+    }
+
+    #[test]
+    fn role_assignment_rotates_with_source() {
+        let (n, f) = (10, 2);
+        // Echoer count = ceil(13/2) + 2 = 9; readier count = 7.
+        assert_eq!(echoer_count(n, f), 9);
+        assert_eq!(readier_count(n, f), 7);
+        // Source 0: processes 1..=9 ranked 0..=8, so 1..=9 are echoers, 1..=7 readiers.
+        assert!(is_echoer(n, f, 0, 1));
+        assert!(is_echoer(n, f, 0, 9));
+        assert!(!is_echoer(n, f, 0, 0), "the source has the largest rank");
+        assert!(is_readier(n, f, 0, 7));
+        assert!(!is_readier(n, f, 0, 8));
+        // Source 5: ranks rotate.
+        assert!(is_readier(n, f, 5, 6));
+        assert!(is_readier(n, f, 5, 2)); // rank 6
+        assert!(!is_readier(n, f, 5, 3)); // rank 7
+    }
+
+    #[test]
+    fn quorum_safety_inequalities() {
+        // For all admissible (n, f): 2 * echo_quorum - n >= f + 1 (quorum intersection on
+        // correct processes) and ready_quorum > 2 * f.
+        for n in 4..60 {
+            for f in 0..=max_faults(n) {
+                assert!(2 * echo_quorum(n, f) >= n + f + 1);
+                assert!(ready_quorum(f) == 2 * f + 1);
+                assert!(echoer_count(n, f) >= echo_quorum(n, f));
+                assert!(readier_count(n, f) >= ready_quorum(f));
+            }
+        }
+    }
+}

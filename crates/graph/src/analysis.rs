@@ -1,0 +1,428 @@
+//! Structural analysis of communication topologies.
+//!
+//! The experiment harnesses and the examples use these metrics to characterise the graphs
+//! they run on (degree statistics, clustering, distances) and to explain protocol cost:
+//! Dolev's message complexity grows with the number of simple paths, which correlates with
+//! density and path length, while Bracha's phase latency is governed by eccentricities.
+//!
+//! All functions take the graph by reference and are pure; complexities are quoted for a
+//! graph with `n` nodes and `m` edges (the paper's evaluation never exceeds `n = 50`, so
+//! quadratic and cubic algorithms are perfectly adequate and kept simple).
+
+use std::collections::BTreeSet;
+
+use crate::graph::{Graph, ProcessId};
+use crate::traversal::bfs_distances;
+
+/// Degree statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree `δ(G)`.
+    pub min: usize,
+    /// Maximum degree `Δ(G)`.
+    pub max: usize,
+    /// Mean degree `2m / n`.
+    pub mean: f64,
+    /// Whether every node has the same degree.
+    pub regular: bool,
+}
+
+/// Computes degree statistics. Returns zeros for the empty graph.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.node_count();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            regular: true,
+        };
+    }
+    let degrees: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+    let min = *degrees.iter().min().expect("non-empty");
+    let max = *degrees.iter().max().expect("non-empty");
+    DegreeStats {
+        min,
+        max,
+        mean: degrees.iter().sum::<usize>() as f64 / n as f64,
+        regular: min == max,
+    }
+}
+
+/// Edge density: `2m / (n (n - 1))`, i.e. the fraction of possible edges present.
+///
+/// Returns 0 for graphs with fewer than two nodes.
+pub fn density(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    2.0 * g.edge_count() as f64 / (n as f64 * (n as f64 - 1.0))
+}
+
+/// Local clustering coefficient of node `u`: the fraction of pairs of neighbors of `u`
+/// that are themselves adjacent. Nodes of degree < 2 have coefficient 0.
+pub fn local_clustering(g: &Graph, u: ProcessId) -> f64 {
+    let neighbors = g.neighbors_vec(u);
+    let d = neighbors.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for i in 0..d {
+        for j in (i + 1)..d {
+            if g.has_edge(neighbors[i], neighbors[j]) {
+                closed += 1;
+            }
+        }
+    }
+    closed as f64 / (d * (d - 1) / 2) as f64
+}
+
+/// Average clustering coefficient over all nodes (0 for the empty graph).
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    g.nodes().map(|u| local_clustering(g, u)).sum::<f64>() / n as f64
+}
+
+/// Average shortest-path length over all ordered pairs of distinct nodes, in hops.
+///
+/// Returns `None` if the graph is disconnected or has fewer than two nodes. This is the
+/// quantity that drives broadcast latency under the synchronous 50 ms-per-hop delay model
+/// of the paper's evaluation.
+pub fn average_path_length(g: &Graph) -> Option<f64> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for u in g.nodes() {
+        for (v, d) in bfs_distances(g, u).into_iter().enumerate() {
+            if v == u {
+                continue;
+            }
+            total += d?;
+            pairs += 1;
+        }
+    }
+    Some(total as f64 / pairs as f64)
+}
+
+/// Eccentricity of node `u`: the maximum BFS distance from `u` to any other node, or
+/// `None` if some node is unreachable.
+pub fn eccentricity(g: &Graph, u: ProcessId) -> Option<usize> {
+    let mut max = 0usize;
+    for (v, d) in bfs_distances(g, u).into_iter().enumerate() {
+        if v == u {
+            continue;
+        }
+        max = max.max(d?);
+    }
+    Some(max)
+}
+
+/// Radius of the graph: the minimum eccentricity over all nodes. `None` if disconnected or
+/// if the graph has fewer than two nodes.
+pub fn radius(g: &Graph) -> Option<usize> {
+    if g.node_count() < 2 {
+        return None;
+    }
+    g.nodes()
+        .map(|u| eccentricity(g, u))
+        .collect::<Option<Vec<_>>>()
+        .map(|e| e.into_iter().min().expect("non-empty"))
+}
+
+/// Articulation points (cut vertices): nodes whose removal increases the number of
+/// connected components.
+///
+/// A graph with an articulation point has vertex connectivity 1, so it cannot support
+/// reliable communication with even a single Byzantine process; the deployment examples use
+/// this check to produce actionable diagnostics.
+///
+/// Implemented with Tarjan's lowlink algorithm (iterative, `O(n + m)`), returning the
+/// points in increasing identifier order.
+pub fn articulation_points(g: &Graph) -> Vec<ProcessId> {
+    let n = g.node_count();
+    let mut disc: Vec<Option<usize>> = vec![None; n];
+    let mut low = vec![0usize; n];
+    let mut parent: Vec<Option<ProcessId>> = vec![None; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 0usize;
+
+    for root in 0..n {
+        if disc[root].is_some() {
+            continue;
+        }
+        // Iterative DFS: stack of (node, neighbor iterator index).
+        let mut stack: Vec<(ProcessId, usize)> = vec![(root, 0)];
+        disc[root] = Some(timer);
+        low[root] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+
+        while let Some(frame) = stack.last_mut() {
+            let (u, idx) = *frame;
+            frame.1 += 1;
+            let neighbors = g.neighbors_vec(u);
+            if idx < neighbors.len() {
+                let v = neighbors[idx];
+                if disc[v].is_none() {
+                    parent[v] = Some(u);
+                    disc[v] = Some(timer);
+                    low[v] = timer;
+                    timer += 1;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    stack.push((v, 0));
+                } else if Some(v) != parent[u] {
+                    low[u] = low[u].min(disc[v].expect("visited"));
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if p != root && low[u] >= disc[p].expect("visited") {
+                        is_cut[p] = true;
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            is_cut[root] = true;
+        }
+    }
+    (0..n).filter(|&u| is_cut[u]).collect()
+}
+
+/// Bridges: edges whose removal disconnects their endpoints, in `(u, v)` order with
+/// `u < v`.
+pub fn bridges(g: &Graph) -> Vec<(ProcessId, ProcessId)> {
+    // Reuse the lowlink information via a simple recomputation: an edge (u, v) with v a
+    // DFS child of u is a bridge iff low[v] > disc[u]. For the graph sizes in this
+    // repository a per-edge connectivity check would also work, but this stays linear.
+    let n = g.node_count();
+    let mut disc: Vec<Option<usize>> = vec![None; n];
+    let mut low = vec![0usize; n];
+    let mut parent: Vec<Option<ProcessId>> = vec![None; n];
+    let mut timer = 0usize;
+    let mut out = Vec::new();
+
+    for root in 0..n {
+        if disc[root].is_some() {
+            continue;
+        }
+        let mut stack: Vec<(ProcessId, usize)> = vec![(root, 0)];
+        disc[root] = Some(timer);
+        low[root] = timer;
+        timer += 1;
+        while let Some(frame) = stack.last_mut() {
+            let (u, idx) = *frame;
+            frame.1 += 1;
+            let neighbors = g.neighbors_vec(u);
+            if idx < neighbors.len() {
+                let v = neighbors[idx];
+                if disc[v].is_none() {
+                    parent[v] = Some(u);
+                    disc[v] = Some(timer);
+                    low[v] = timer;
+                    timer += 1;
+                    stack.push((v, 0));
+                } else if Some(v) != parent[u] {
+                    low[u] = low[u].min(disc[v].expect("visited"));
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if low[u] > disc[p].expect("visited") {
+                        out.push((p.min(u), p.max(u)));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The `k`-core of a graph: the maximal induced subgraph in which every node has degree at
+/// least `k`. Returns the set of nodes in the core (possibly empty).
+pub fn k_core(g: &Graph, k: usize) -> BTreeSet<ProcessId> {
+    let mut removed: BTreeSet<ProcessId> = BTreeSet::new();
+    let mut degree: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+    loop {
+        let next: Vec<ProcessId> = g
+            .nodes()
+            .filter(|&u| !removed.contains(&u) && degree[u] < k)
+            .collect();
+        if next.is_empty() {
+            break;
+        }
+        for u in next {
+            removed.insert(u);
+            for v in g.neighbors(u) {
+                if !removed.contains(&v) {
+                    degree[v] -= 1;
+                }
+            }
+        }
+    }
+    g.nodes().filter(|u| !removed.contains(u)).collect()
+}
+
+/// Degeneracy of the graph: the largest `k` such that the `k`-core is non-empty.
+pub fn degeneracy(g: &Graph) -> usize {
+    let mut k = 0usize;
+    while !k_core(g, k + 1).is_empty() {
+        k += 1;
+    }
+    k
+}
+
+/// A one-line human-readable summary of a topology, used by the examples and the
+/// experiment harness logs.
+pub fn describe(g: &Graph) -> String {
+    let stats = degree_stats(g);
+    let apl = average_path_length(g)
+        .map(|v| format!("{v:.2}"))
+        .unwrap_or_else(|| "∞".to_string());
+    format!(
+        "{} nodes, {} edges, degree {}..{} (mean {:.1}), density {:.2}, avg path length {}, clustering {:.2}",
+        g.node_count(),
+        g.edge_count(),
+        stats.min,
+        stats.max,
+        stats.mean,
+        density(g),
+        apl,
+        average_clustering(g),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::generate;
+
+    #[test]
+    fn degree_stats_of_regular_and_irregular_graphs() {
+        let g = generate::circulant(10, 2);
+        let s = degree_stats(&g);
+        assert!(s.regular);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 4.0).abs() < 1e-9);
+
+        let star = families::star(5);
+        let s = degree_stats(&star);
+        assert!(!s.regular);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+    }
+
+    #[test]
+    fn degree_stats_of_empty_graph() {
+        let s = degree_stats(&Graph::new(0));
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert!(s.regular);
+    }
+
+    #[test]
+    fn density_of_complete_graph_is_one() {
+        assert!((density(&generate::complete(7)) - 1.0).abs() < 1e-9);
+        assert_eq!(density(&Graph::new(1)), 0.0);
+        assert!((density(&generate::ring(8)) - (2.0 * 8.0) / (8.0 * 7.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustering_of_complete_and_ring() {
+        assert!((average_clustering(&generate::complete(6)) - 1.0).abs() < 1e-9);
+        assert_eq!(average_clustering(&generate::ring(8)), 0.0);
+        // Triangle has clustering 1 everywhere.
+        let t = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!((local_clustering(&t, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustering_of_low_degree_nodes_is_zero() {
+        let p = families::path(3);
+        assert_eq!(local_clustering(&p, 0), 0.0);
+        assert_eq!(local_clustering(&p, 1), 0.0);
+    }
+
+    #[test]
+    fn average_path_length_of_known_graphs() {
+        // Complete graph: every pair at distance 1.
+        assert!((average_path_length(&generate::complete(5)).unwrap() - 1.0).abs() < 1e-9);
+        // Path over 3 nodes: distances 1,1,2 in each direction → mean 4/3.
+        let apl = average_path_length(&families::path(3)).unwrap();
+        assert!((apl - 4.0 / 3.0).abs() < 1e-9);
+        // Disconnected graph has no finite APL.
+        assert!(average_path_length(&Graph::from_edges(4, [(0, 1), (2, 3)])).is_none());
+        assert!(average_path_length(&Graph::new(1)).is_none());
+    }
+
+    #[test]
+    fn eccentricity_and_radius() {
+        let p = families::path(5);
+        assert_eq!(eccentricity(&p, 0), Some(4));
+        assert_eq!(eccentricity(&p, 2), Some(2));
+        assert_eq!(radius(&p), Some(2));
+        assert_eq!(radius(&generate::complete(4)), Some(1));
+        assert_eq!(radius(&Graph::from_edges(4, [(0, 1), (2, 3)])), None);
+    }
+
+    #[test]
+    fn articulation_points_of_path_star_and_ring() {
+        assert_eq!(articulation_points(&families::path(5)), vec![1, 2, 3]);
+        assert_eq!(articulation_points(&families::star(5)), vec![0]);
+        assert!(articulation_points(&generate::ring(6)).is_empty());
+        assert!(articulation_points(&generate::complete(5)).is_empty());
+    }
+
+    #[test]
+    fn articulation_points_of_two_triangles_sharing_a_node() {
+        // Bowtie graph: triangles {0,1,2} and {2,3,4} share node 2.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        assert_eq!(articulation_points(&g), vec![2]);
+    }
+
+    #[test]
+    fn bridges_of_path_and_ring() {
+        assert_eq!(bridges(&families::path(4)), vec![(0, 1), (1, 2), (2, 3)]);
+        assert!(bridges(&generate::ring(5)).is_empty());
+        // Two triangles joined by a single edge: that edge is the only bridge.
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        assert_eq!(bridges(&g), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn k_core_and_degeneracy() {
+        // A triangle with a pendant node: 2-core is the triangle, degeneracy 2.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let core: Vec<_> = k_core(&g, 2).into_iter().collect();
+        assert_eq!(core, vec![0, 1, 2]);
+        assert!(k_core(&g, 3).is_empty());
+        assert_eq!(degeneracy(&g), 2);
+        assert_eq!(degeneracy(&generate::complete(5)), 4);
+        assert_eq!(degeneracy(&Graph::new(3)), 0);
+    }
+
+    #[test]
+    fn describe_mentions_node_and_edge_counts() {
+        let s = describe(&generate::ring(6));
+        assert!(s.contains("6 nodes"));
+        assert!(s.contains("6 edges"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Vertex connectivity and node-disjoint path counts.
+//!
+//! Dolev's reliable communication protocol requires the communication network to be at
+//! least `(2f+1)`-vertex-connected: by Menger's theorem this guarantees `2f+1` internally
+//! node-disjoint paths between every pair of processes, of which at least `f+1` traverse
+//! only correct processes. This module provides the max-flow based machinery used to
+//! *verify* these conditions on generated topologies:
+//!
+//! * [`local_connectivity`] — the maximum number of internally node-disjoint paths between
+//!   two given nodes (Menger's local connectivity), computed with unit-capacity max-flow on
+//!   the node-split graph;
+//! * [`vertex_connectivity`] — the global vertex connectivity `κ(G)`;
+//! * [`is_k_connected`] — a convenience predicate used by graph generators and tests.
+
+use crate::graph::{Graph, ProcessId};
+
+/// Maximum number of internally node-disjoint paths between `s` and `t` (local
+/// connectivity `κ(s, t)` in Menger's sense).
+///
+/// A direct edge `{s, t}` counts as one path. Internal nodes of distinct paths must be
+/// distinct; the endpoints are shared by construction.
+///
+/// # Panics
+///
+/// Panics if `s == t` or if either endpoint is out of range.
+pub fn local_connectivity(g: &Graph, s: ProcessId, t: ProcessId) -> usize {
+    assert!(s != t, "local connectivity is undefined for s == t");
+    assert!(s < g.node_count() && t < g.node_count(), "node out of range");
+    let mut flow = FlowNetwork::node_split(g, s, t);
+    flow.max_flow()
+}
+
+/// Global vertex connectivity `κ(G)`.
+///
+/// Conventions: graphs with at most one node have connectivity 0, the complete graph `K_n`
+/// has connectivity `n - 1`, and disconnected graphs have connectivity 0.
+///
+/// The implementation uses the classic witness-set argument: since `κ(G) <= δ(G)` (the
+/// minimum degree), any set of `δ(G) + 1` vertices contains at least one vertex that is
+/// outside some minimum separator, so taking the minimum of `κ(v, u)` over those witnesses
+/// `v` and all vertices `u` non-adjacent to them yields `κ(G)`.
+pub fn vertex_connectivity(g: &Graph) -> usize {
+    vertex_connectivity_bounded(g, usize::MAX)
+}
+
+/// Returns whether the graph is at least `k`-vertex-connected.
+///
+/// Equivalent to `vertex_connectivity(g) >= k` but may terminate earlier once the bound is
+/// known to fail.
+pub fn is_k_connected(g: &Graph, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    vertex_connectivity_bounded(g, k) >= k
+}
+
+/// Vertex connectivity, allowed to stop early (returning any value `< bound`) once the
+/// connectivity is known to be below `bound`.
+fn vertex_connectivity_bounded(g: &Graph, bound: usize) -> usize {
+    let n = g.node_count();
+    if n <= 1 {
+        return 0;
+    }
+    // Complete graph: κ = n - 1.
+    if g.edge_count() == n * (n - 1) / 2 {
+        return n - 1;
+    }
+    if !crate::traversal::is_connected(g) {
+        return 0;
+    }
+    let delta = g.min_degree();
+    let mut best = delta;
+    // Any δ+1 vertices contain one that avoids a minimum separator; iterate in id order for
+    // determinism.
+    let witnesses: Vec<ProcessId> = g.nodes().take(delta + 1).collect();
+    for &v in &witnesses {
+        for u in g.nodes() {
+            if u == v || g.has_edge(u, v) {
+                continue;
+            }
+            let k = local_connectivity(g, v, u);
+            if k < best {
+                best = k;
+                if best < bound || best == 0 {
+                    if best < bound {
+                        return best;
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Unit-capacity flow network obtained by node-splitting, used to compute node-disjoint
+/// paths with Edmonds–Karp augmentation (capacities are tiny, so BFS augmentation is
+/// more than fast enough for the paper's graph sizes).
+struct FlowNetwork {
+    /// `edges[i] = (to, cap)`; the reverse edge is at `i ^ 1`.
+    edges: Vec<(usize, u32)>,
+    /// Adjacency: indices into `edges` per node.
+    adj: Vec<Vec<usize>>,
+    source: usize,
+    sink: usize,
+}
+
+impl FlowNetwork {
+    /// Builds the node-split network: every node `v ∉ {s, t}` becomes `v_in -> v_out` with
+    /// capacity 1; every undirected edge `{u, v}` becomes `u_out -> v_in` and
+    /// `v_out -> u_in` with capacity 1. `s` and `t` are not split.
+    fn node_split(g: &Graph, s: ProcessId, t: ProcessId) -> Self {
+        let n = g.node_count();
+        // Node ids: for node v, v_in = 2v, v_out = 2v + 1. For s and t, both map to the
+        // same logical node (no splitting): we simply connect through with large capacity.
+        let mut net = FlowNetwork {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); 2 * n],
+            source: 2 * s + 1, // s_out
+            sink: 2 * t,       // t_in
+        };
+        const INF: u32 = u32::MAX / 2;
+        for v in 0..n {
+            let cap = if v == s || v == t { INF } else { 1 };
+            net.add_edge(2 * v, 2 * v + 1, cap);
+        }
+        for (u, v) in g.edges() {
+            net.add_edge(2 * u + 1, 2 * v, 1);
+            net.add_edge(2 * v + 1, 2 * u, 1);
+        }
+        net
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, cap: u32) {
+        let idx = self.edges.len();
+        self.edges.push((to, cap));
+        self.edges.push((from, 0));
+        self.adj[from].push(idx);
+        self.adj[to].push(idx + 1);
+    }
+
+    /// Edmonds–Karp max flow from `source` to `sink`.
+    fn max_flow(&mut self) -> usize {
+        let mut total = 0usize;
+        loop {
+            // BFS for an augmenting path.
+            let mut prev_edge: Vec<Option<usize>> = vec![None; self.adj.len()];
+            let mut queue = std::collections::VecDeque::from([self.source]);
+            let mut reached = vec![false; self.adj.len()];
+            reached[self.source] = true;
+            while let Some(u) = queue.pop_front() {
+                if u == self.sink {
+                    break;
+                }
+                for &ei in &self.adj[u] {
+                    let (to, cap) = self.edges[ei];
+                    if cap > 0 && !reached[to] {
+                        reached[to] = true;
+                        prev_edge[to] = Some(ei);
+                        queue.push_back(to);
+                    }
+                }
+            }
+            if !reached[self.sink] {
+                return total;
+            }
+            // Find bottleneck.
+            let mut bottleneck = u32::MAX;
+            let mut v = self.sink;
+            while v != self.source {
+                let ei = prev_edge[v].expect("path reconstructed from reached sink");
+                bottleneck = bottleneck.min(self.edges[ei].1);
+                v = self.edges[ei ^ 1].0;
+            }
+            // Apply.
+            let mut v = self.sink;
+            while v != self.source {
+                let ei = prev_edge[v].expect("path reconstructed from reached sink");
+                self.edges[ei].1 -= bottleneck;
+                self.edges[ei ^ 1].1 += bottleneck;
+                v = self.edges[ei ^ 1].0;
+            }
+            total += bottleneck as usize;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn complete_graph_connectivity() {
+        let g = generate::complete(6);
+        assert_eq!(vertex_connectivity(&g), 5);
+        assert!(is_k_connected(&g, 5));
+        assert!(!is_k_connected(&g, 6));
+    }
+
+    #[test]
+    fn ring_connectivity_is_two() {
+        let g = generate::ring(8);
+        assert_eq!(vertex_connectivity(&g), 2);
+        assert!(is_k_connected(&g, 2));
+        assert!(!is_k_connected(&g, 3));
+    }
+
+    #[test]
+    fn path_graph_connectivity_is_one() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(vertex_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn disconnected_graph_connectivity_is_zero() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert_eq!(vertex_connectivity(&g), 0);
+        assert!(is_k_connected(&g, 0));
+        assert!(!is_k_connected(&g, 1));
+    }
+
+    #[test]
+    fn singleton_and_empty_graphs() {
+        assert_eq!(vertex_connectivity(&Graph::new(0)), 0);
+        assert_eq!(vertex_connectivity(&Graph::new(1)), 0);
+    }
+
+    #[test]
+    fn circulant_connectivity_matches_degree() {
+        let g = generate::circulant(12, 2);
+        assert_eq!(vertex_connectivity(&g), 4);
+    }
+
+    #[test]
+    fn petersen_graph_is_three_connected() {
+        let g = generate::figure1_example();
+        assert_eq!(vertex_connectivity(&g), 3);
+    }
+
+    #[test]
+    fn local_connectivity_adjacent_nodes_in_ring() {
+        let g = generate::ring(6);
+        // Adjacent nodes on a ring: the direct edge plus the long way round.
+        assert_eq!(local_connectivity(&g, 0, 1), 2);
+        // Opposite nodes: the two arcs.
+        assert_eq!(local_connectivity(&g, 0, 3), 2);
+    }
+
+    #[test]
+    fn local_connectivity_star_center_leaf() {
+        // Star graph: center 0.
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(local_connectivity(&g, 0, 1), 1);
+        assert_eq!(local_connectivity(&g, 1, 2), 1);
+        assert_eq!(vertex_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn local_connectivity_complete_graph() {
+        let g = generate::complete(5);
+        assert_eq!(local_connectivity(&g, 0, 4), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn local_connectivity_same_node_panics() {
+        let g = generate::complete(3);
+        local_connectivity(&g, 1, 1);
+    }
+
+    #[test]
+    fn local_connectivity_equals_menger_bound_on_cut() {
+        // Two cliques of 4 joined by a 2-vertex cut {3, 4}.
+        let mut g = generate::complete(4); // nodes 0..3
+        let mut big = Graph::new(8);
+        for (u, v) in g.edges() {
+            big.add_edge(u, v);
+        }
+        for u in 4..8 {
+            for v in (u + 1)..8 {
+                big.add_edge(u, v);
+            }
+        }
+        big.add_edge(3, 4);
+        big.add_edge(2, 5);
+        g = big;
+        assert_eq!(local_connectivity(&g, 0, 7), 2);
+        assert_eq!(vertex_connectivity(&g), 2);
+    }
+
+    #[test]
+    fn random_regular_graphs_are_usually_degree_connected() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(123);
+        let g = generate::random_regular_connected(20, 6, 6, &mut rng).unwrap();
+        assert!(vertex_connectivity(&g) >= 6);
+    }
+}

@@ -1,0 +1,418 @@
+//! Additional topology families beyond the paper's random regular graphs.
+//!
+//! The paper's evaluation (Sec. 7.1) only uses random regular graphs, but a reusable
+//! library for Byzantine reliable broadcast on partially connected networks needs a richer
+//! set of topologies, for three reasons:
+//!
+//! * **Worst-case connectivity**: Harary graphs `H_{k,n}` are the `k`-vertex-connected
+//!   graphs with the minimum possible number of edges, so they stress Dolev's disjoint-path
+//!   verification far more than a random regular graph of the same connectivity.
+//! * **Structured deployments**: grids, tori and (generalized) wheels model sensor fields
+//!   and hub-and-spoke overlays, the kinds of deployments the paper's introduction
+//!   motivates (e.g. temperature monitoring).
+//! * **Robustness tests**: small-world (Watts–Strogatz) and preferential-attachment
+//!   (Barabási–Albert) graphs exercise the protocols on irregular degree distributions
+//!   where quorum-based phases and path exploration behave differently.
+//!
+//! All generators produce simple undirected [`Graph`]s and are deterministic for a fixed
+//! seed where randomness is involved.
+
+use rand::Rng;
+
+use crate::generate::GenerateError;
+use crate::graph::{Graph, ProcessId};
+
+/// Path graph `P_n`: nodes `0 — 1 — ... — n-1`. Vertex connectivity 1 for `n >= 2`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 1..n {
+        g.add_edge(u - 1, u);
+    }
+    g
+}
+
+/// Star graph `S_n`: node 0 is connected to every other node. Vertex connectivity 1.
+///
+/// The star is the canonical topology on which reliable communication with `f >= 1`
+/// Byzantine processes is impossible (removing the hub disconnects the graph), which makes
+/// it useful for negative tests.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 1..n {
+        g.add_edge(0, u);
+    }
+    g
+}
+
+/// Wheel graph `W_n`: a hub (node 0) connected to every node of a cycle over nodes
+/// `1..n`. Vertex connectivity 3 for `n >= 5`.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "a wheel needs at least 4 nodes");
+    let mut g = star(n);
+    for i in 1..n {
+        let next = if i + 1 < n { i + 1 } else { 1 };
+        g.add_edge(i, next);
+    }
+    g
+}
+
+/// Generalized wheel `W(m, r)`: `m` hub nodes forming a clique, each connected to every
+/// node of a rim cycle of length `r`.
+///
+/// Generalized wheels are the classic family of *minimally* `(m+2)`-vertex-connected
+/// graphs used in the reliable-communication literature: the vertex connectivity is exactly
+/// `m + 2` (for `r >= 4`), so a generalized wheel with `m = 2f - 1` hubs is a tight
+/// `(2f+1)`-connected topology for Dolev's protocol.
+///
+/// Nodes `0..m` are the hubs; nodes `m..m+r` are the rim.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `r < 3`.
+pub fn generalized_wheel(m: usize, r: usize) -> Graph {
+    assert!(m >= 1, "a generalized wheel needs at least one hub");
+    assert!(r >= 3, "the rim must be a cycle of length at least 3");
+    let n = m + r;
+    let mut g = Graph::new(n);
+    // Hub clique.
+    for u in 0..m {
+        for v in (u + 1)..m {
+            g.add_edge(u, v);
+        }
+    }
+    // Rim cycle.
+    for i in 0..r {
+        g.add_edge(m + i, m + ((i + 1) % r));
+    }
+    // Spokes.
+    for u in 0..m {
+        for i in 0..r {
+            g.add_edge(u, m + i);
+        }
+    }
+    g
+}
+
+/// Two-dimensional grid of `rows x cols` nodes; with `wrap = true` the grid becomes a
+/// torus (every node has degree 4, vertex connectivity 4 for large enough dimensions).
+///
+/// Node `(r, c)` has identifier `r * cols + c`.
+pub fn grid(rows: usize, cols: usize, wrap: bool) -> Graph {
+    let n = rows * cols;
+    let mut g = Graph::new(n);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            } else if wrap && cols > 2 {
+                g.add_edge(id(r, c), id(r, 0));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            } else if wrap && rows > 2 {
+                g.add_edge(id(r, c), id(0, c));
+            }
+        }
+    }
+    g
+}
+
+/// Harary graph `H_{k,n}`: the `k`-vertex-connected graph over `n` nodes with the minimum
+/// possible number of edges (`⌈k·n/2⌉`).
+///
+/// Harary graphs are the worst case for protocols whose cost decreases with spare
+/// connectivity: they give exactly the `2f+1` disjoint paths Dolev's protocol needs and
+/// not one more.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::InfeasibleConnectivity`] if `k >= n` or `k == 0`.
+pub fn harary(k: usize, n: usize) -> Result<Graph, GenerateError> {
+    if k == 0 || k >= n {
+        return Err(GenerateError::InfeasibleConnectivity { n, connectivity: k });
+    }
+    let mut g = Graph::new(n);
+    let half = k / 2;
+    // Circulant core with offsets 1..=⌊k/2⌋.
+    for u in 0..n {
+        for off in 1..=half {
+            g.add_edge(u, (u + off) % n);
+        }
+    }
+    if k % 2 == 1 {
+        if n % 2 == 0 {
+            // Odd k, even n: add diameters i — i + n/2.
+            for u in 0..n / 2 {
+                g.add_edge(u, u + n / 2);
+            }
+        } else {
+            // Odd k, odd n: add near-diameters i — i + (n+1)/2 for 0 <= i <= (n-1)/2.
+            for u in 0..=(n - 1) / 2 {
+                g.add_edge(u, (u + (n + 1) / 2) % n);
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where every node is connected to its
+/// `k/2` nearest neighbors on each side, with each edge rewired to a uniformly random
+/// target with probability `beta`.
+///
+/// `beta = 0` gives the circulant lattice, `beta = 1` approaches a random graph. Rewiring
+/// never introduces self-loops or duplicate edges and never disconnects a node entirely,
+/// but the result is not guaranteed to stay `k`-connected — callers that need a
+/// connectivity floor should verify it with [`crate::connectivity::is_k_connected`].
+///
+/// # Errors
+///
+/// Returns [`GenerateError::InfeasibleRegular`] if `k` is odd, `k >= n`, or `k == 0`.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Result<Graph, GenerateError> {
+    if k == 0 || k % 2 != 0 || k >= n {
+        return Err(GenerateError::InfeasibleRegular { n, degree: k });
+    }
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for off in 1..=k / 2 {
+            g.add_edge(u, (u + off) % n);
+        }
+    }
+    // Rewire each lattice edge (u, u + off) with probability beta.
+    for u in 0..n {
+        for off in 1..=k / 2 {
+            let v = (u + off) % n;
+            if !g.has_edge(u, v) {
+                continue; // already rewired away
+            }
+            if rng.gen::<f64>() >= beta {
+                continue;
+            }
+            // Pick a new target that is neither u nor already adjacent to u.
+            let candidates: Vec<ProcessId> = (0..n)
+                .filter(|&w| w != u && w != v && !g.has_edge(u, w))
+                .collect();
+            if let Some(&w) = candidates.get(rng.gen_range(0..candidates.len().max(1))) {
+                g.remove_edge(u, v);
+                g.add_edge(u, w);
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Barabási–Albert preferential-attachment graph: starts from a clique of `m + 1` nodes and
+/// attaches each subsequent node to `m` distinct existing nodes chosen with probability
+/// proportional to their degree.
+///
+/// The resulting degree distribution is heavy-tailed (a few hubs, many low-degree nodes),
+/// the opposite regime from the paper's regular graphs; it is used in robustness tests and
+/// ablation benchmarks.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::InfeasibleConnectivity`] if `m == 0` or `n < m + 1`.
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Graph, GenerateError> {
+    if m == 0 || n < m + 1 {
+        return Err(GenerateError::InfeasibleConnectivity { n, connectivity: m });
+    }
+    let mut g = Graph::new(n);
+    // Seed clique over the first m + 1 nodes.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            g.add_edge(u, v);
+        }
+    }
+    // Repeated-nodes list: each node appears once per incident edge end, so sampling
+    // uniformly from it implements preferential attachment.
+    let mut ends: Vec<ProcessId> = Vec::new();
+    for (u, v) in g.edges() {
+        ends.push(u);
+        ends.push(v);
+    }
+    for new in (m + 1)..n {
+        let mut targets = std::collections::BTreeSet::new();
+        let mut guard = 0usize;
+        while targets.len() < m && guard < 10_000 {
+            let t = ends[rng.gen_range(0..ends.len())];
+            targets.insert(t);
+            guard += 1;
+        }
+        // Extremely defensive fallback: fill deterministically if sampling stalled.
+        let mut fill = 0;
+        while targets.len() < m {
+            if fill != new {
+                targets.insert(fill);
+            }
+            fill += 1;
+        }
+        for &t in &targets {
+            g.add_edge(new, t);
+            ends.push(new);
+            ends.push(t);
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::vertex_connectivity;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_and_star_have_connectivity_one() {
+        assert_eq!(vertex_connectivity(&path(6)), 1);
+        assert_eq!(vertex_connectivity(&star(6)), 1);
+        assert_eq!(path(6).edge_count(), 5);
+        assert_eq!(star(6).edge_count(), 5);
+    }
+
+    #[test]
+    fn wheel_is_three_connected() {
+        let g = wheel(8);
+        assert_eq!(vertex_connectivity(&g), 3);
+        assert_eq!(g.degree(0), 7);
+        assert_eq!(g.degree(1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn wheel_too_small_panics() {
+        let _ = wheel(3);
+    }
+
+    #[test]
+    fn generalized_wheel_connectivity_is_hubs_plus_two() {
+        for m in 1..=3 {
+            let g = generalized_wheel(m, 6);
+            assert_eq!(
+                vertex_connectivity(&g),
+                m + 2,
+                "W({m}, 6) should be {}-connected",
+                m + 2
+            );
+        }
+    }
+
+    #[test]
+    fn generalized_wheel_suits_dolev_for_f() {
+        // A generalized wheel with 2f-1 hubs is exactly (2f+1)-connected.
+        let f = 2;
+        let g = generalized_wheel(2 * f - 1, 8);
+        assert_eq!(vertex_connectivity(&g), 2 * f + 1);
+    }
+
+    #[test]
+    fn grid_without_wrap_has_connectivity_two() {
+        let g = grid(4, 5, false);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(vertex_connectivity(&g), 2);
+    }
+
+    #[test]
+    fn torus_has_connectivity_four() {
+        let g = grid(4, 5, true);
+        assert_eq!(vertex_connectivity(&g), 4);
+        assert!(g.nodes().all(|u| g.degree(u) == 4));
+    }
+
+    #[test]
+    fn small_grid_with_wrap_does_not_duplicate_edges() {
+        // 2 columns with wrap would duplicate edges; the generator must not.
+        let g = grid(2, 2, true);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn harary_graphs_have_exact_connectivity_and_minimum_edges() {
+        for &(k, n) in &[(2usize, 7usize), (3, 8), (3, 9), (4, 10), (5, 10), (5, 11)] {
+            let g = harary(k, n).unwrap();
+            assert_eq!(
+                vertex_connectivity(&g),
+                k,
+                "H_{{{k},{n}}} must be exactly {k}-connected"
+            );
+            assert_eq!(
+                g.edge_count(),
+                (k * n).div_ceil(2),
+                "H_{{{k},{n}}} must have ⌈k·n/2⌉ edges"
+            );
+        }
+    }
+
+    #[test]
+    fn harary_rejects_infeasible_parameters() {
+        assert!(harary(0, 5).is_err());
+        assert!(harary(5, 5).is_err());
+        assert!(harary(6, 5).is_err());
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_the_lattice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = watts_strogatz(12, 4, 0.0, &mut rng).unwrap();
+        let lattice = crate::generate::circulant(12, 2);
+        assert_eq!(g.edges(), lattice.edges());
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_count_and_connectedness_often() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = watts_strogatz(30, 6, 0.2, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 30 * 3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn watts_strogatz_rejects_odd_or_large_degree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(watts_strogatz(10, 3, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(10, 10, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(10, 0, 0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn barabasi_albert_degrees_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let g = barabasi_albert(40, 3, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 40);
+        assert!(is_connected(&g));
+        // Every node added after the seed clique has degree >= m.
+        assert!(g.nodes().all(|u| g.degree(u) >= 3));
+        // Edge count: seed clique C(4,2)=6 plus 3 per added node.
+        assert_eq!(g.edge_count(), 6 + 3 * (40 - 4));
+    }
+
+    #[test]
+    fn barabasi_albert_rejects_infeasible_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(barabasi_albert(3, 0, &mut rng).is_err());
+        assert!(barabasi_albert(3, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn barabasi_albert_prefers_high_degree_nodes() {
+        // The seed nodes should on average end with higher degree than late arrivals.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = barabasi_albert(120, 2, &mut rng).unwrap();
+        let early: f64 = (0..3).map(|u| g.degree(u) as f64).sum::<f64>() / 3.0;
+        let late: f64 = (110..120).map(|u| g.degree(u) as f64).sum::<f64>() / 10.0;
+        assert!(
+            early > late,
+            "expected preferential attachment: early {early} vs late {late}"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Communication-graph substrate for Byzantine reliable broadcast experiments.
+//!
+//! The evaluation of *Practical Byzantine Reliable Broadcast on Partially Connected
+//! Networks* (ICDCS 2021) runs the Bracha–Dolev protocol combination on **random regular
+//! graphs** whose vertex connectivity `k` satisfies `k >= 2f + 1`, where `f` is the number
+//! of Byzantine processes. This crate provides everything the protocol layers and the
+//! experiment harnesses need from the topology side:
+//!
+//! * [`Graph`] — a small, dense, undirected graph representation indexed by
+//!   [`ProcessId`]s, with neighborhood queries;
+//! * [`generate`] — graph generators: complete graphs, rings, random regular graphs
+//!   (the family used throughout the paper's evaluation) and k-connected random graphs;
+//! * [`families`] — additional deterministic and random topology families (Harary graphs,
+//!   grids/tori, generalized wheels, small-world and preferential-attachment graphs) used
+//!   by the robustness tests and ablation benchmarks;
+//! * [`connectivity`] — vertex-connectivity computation based on Menger's theorem and
+//!   unit-capacity max-flow, used to validate that generated topologies satisfy the
+//!   `k >= 2f+1` requirement of Dolev's protocol;
+//! * [`paths`] — extraction of explicit internally node-disjoint paths, the route-planning
+//!   step of the known-topology variant of Dolev's protocol;
+//! * [`analysis`] — structural metrics (degree statistics, clustering, path lengths,
+//!   articulation points, cores) used to characterise experiment topologies;
+//! * [`traversal`] — BFS distances, connected components, and diameter helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use brb_graph::{generate, connectivity};
+//!
+//! // A 3-regular random graph over 10 processes, as in Fig. 1 of the paper.
+//! let mut rng = rand::thread_rng();
+//! let g = generate::random_regular_graph(10, 3, &mut rng).expect("graph exists");
+//! assert_eq!(g.node_count(), 10);
+//! assert!(g.nodes().all(|v| g.degree(v) == 3));
+//! // Vertex connectivity is at most the degree.
+//! assert!(connectivity::vertex_connectivity(&g) <= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod connectivity;
+pub mod families;
+pub mod generate;
+pub mod graph;
+pub mod paths;
+pub mod traversal;
+
+pub use graph::{Graph, ProcessId};

@@ -1,0 +1,351 @@
+//! TCP deployment of the Bracha–Dolev engine: one protocol thread per process, real
+//! loopback sockets as authenticated links.
+//!
+//! This is the closest in-repository analogue of the paper's testbed (Sec. 7.1): the paper
+//! runs one node per Docker container on a single desktop and connects them with TCP
+//! sockets; we run one node per thread in a single OS process and connect them with TCP
+//! sockets over the loopback interface. The protocol engine, wire format, and byte
+//! accounting are identical to the ones used by the discrete-event simulator (`brb-sim`)
+//! and the channel-based runtime (`brb-runtime`), so the three back ends are directly
+//! comparable; the reports reuse `brb-runtime`'s [`NodeReport`] / [`DeploymentReport`]
+//! types for that reason.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use brb_core::bd::BdProcess;
+use brb_core::config::Config;
+use brb_core::protocol::Protocol;
+use brb_core::types::{Action, Delivery, Payload, ProcessId};
+use brb_core::wire::WireMessage;
+use brb_graph::Graph;
+use brb_runtime::{DeploymentReport, NodeReport};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::endpoint::{bind_endpoints, connect_mesh, send_frame, spawn_link_reader};
+
+/// Options of a TCP deployment.
+#[derive(Debug, Clone)]
+pub struct TcpOptions {
+    /// Optional artificial per-message transmission delay (`mean ± uniform(jitter)`),
+    /// emulating the paper's 50 ms / 50 ± 50 ms regimes at wall-clock scale. `None`
+    /// transmits immediately, the usual setting for tests.
+    pub delay: Option<(Duration, Duration)>,
+    /// How long a node waits without traffic before it checks for shutdown.
+    pub idle_shutdown: Duration,
+    /// Seed for the per-node delay jitter.
+    pub seed: u64,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        Self {
+            delay: None,
+            idle_shutdown: Duration::from_millis(300),
+            seed: 1,
+        }
+    }
+}
+
+/// Commands sent from the deployment driver to a node thread.
+enum Command {
+    Broadcast(Payload),
+    Shutdown,
+}
+
+/// A running TCP deployment.
+pub struct TcpDeployment {
+    handles: Vec<JoinHandle<NodeReport>>,
+    commands: Vec<Sender<Command>>,
+    deliveries: Receiver<(ProcessId, Delivery)>,
+    /// One write-half clone per established link, used to shut the sockets down and
+    /// unblock reader threads at the end of the run.
+    all_streams: Vec<TcpStream>,
+    n: usize,
+}
+
+impl TcpDeployment {
+    /// Binds the endpoints, establishes the TCP mesh of `graph`, and spawns one protocol
+    /// thread per process. `crashed` processes get endpoints and links (so their neighbors
+    /// see an established connection, as for a process that crashes right after start-up)
+    /// but no protocol thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error raised while binding or connecting.
+    pub fn start(
+        graph: &Graph,
+        config: Config,
+        options: TcpOptions,
+        crashed: &[ProcessId],
+    ) -> std::io::Result<Self> {
+        let n = graph.node_count();
+        let endpoints = bind_endpoints(n)?;
+        let links = connect_mesh(graph, &endpoints)?;
+        let (delivery_tx, delivery_rx) = unbounded();
+        let mut commands = Vec::with_capacity(n);
+        let mut handles = Vec::new();
+        let mut all_streams = Vec::new();
+
+        for (id, node_links) in links.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = unbounded();
+            commands.push(cmd_tx);
+            for stream in node_links.writers.values() {
+                if let Ok(clone) = stream.try_clone() {
+                    all_streams.push(clone);
+                }
+            }
+            if crashed.contains(&id) {
+                // Keep the sockets open but run no protocol: a crash fault.
+                continue;
+            }
+            let (mailbox_tx, mailbox_rx) = unbounded();
+            for (peer, stream) in node_links.readers {
+                spawn_link_reader(peer, stream, mailbox_tx.clone());
+            }
+            let node = TcpNode {
+                engine: BdProcess::new(id, config, graph.neighbors_vec(id)),
+                writers: node_links.writers,
+                mailbox: mailbox_rx,
+                commands: cmd_rx,
+                deliveries: delivery_tx.clone(),
+                options: options.clone(),
+            };
+            handles.push(std::thread::spawn(move || node.run()));
+        }
+        Ok(Self {
+            handles,
+            commands,
+            deliveries: delivery_rx,
+            all_streams,
+            n,
+        })
+    }
+
+    /// Number of processes in the deployment (including crashed ones).
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Asks `source` to broadcast `payload`.
+    pub fn broadcast(&self, source: ProcessId, payload: Payload) {
+        let _ = self.commands[source].send(Command::Broadcast(payload));
+    }
+
+    /// Waits until at least `expected` deliveries have been observed in total, or until
+    /// `timeout` elapses. Returns the number of deliveries observed.
+    pub fn await_deliveries(&self, expected: usize, timeout: Duration) -> usize {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut seen = 0usize;
+        while seen < expected {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.deliveries.recv_timeout(remaining) {
+                Ok(_) => seen += 1,
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        seen
+    }
+
+    /// Shuts every node down, closes the sockets, and collects the per-node reports.
+    pub fn shutdown(self) -> DeploymentReport {
+        for tx in &self.commands {
+            let _ = tx.send(Command::Shutdown);
+        }
+        let mut nodes: Vec<NodeReport> = (0..self.n)
+            .map(|id| NodeReport {
+                id,
+                deliveries: Vec::new(),
+                messages_sent: 0,
+                bytes_sent: 0,
+            })
+            .collect();
+        for handle in self.handles {
+            if let Ok(report) = handle.join() {
+                let id = report.id;
+                nodes[id] = report;
+            }
+        }
+        // Unblock any reader thread still parked on a socket.
+        for stream in &self.all_streams {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        DeploymentReport { nodes }
+    }
+}
+
+/// One protocol thread of the TCP deployment.
+struct TcpNode {
+    engine: BdProcess,
+    writers: HashMap<ProcessId, TcpStream>,
+    mailbox: Receiver<(ProcessId, Vec<u8>)>,
+    commands: Receiver<Command>,
+    deliveries: Sender<(ProcessId, Delivery)>,
+    options: TcpOptions,
+}
+
+impl TcpNode {
+    fn run(mut self) -> NodeReport {
+        let id = self.engine.process_id();
+        let mut messages_sent = 0usize;
+        let mut bytes_sent = 0usize;
+        let mut rng = StdRng::seed_from_u64(self.options.seed.wrapping_add(id as u64));
+        let mut shutting_down = false;
+        loop {
+            crossbeam::channel::select! {
+                recv(self.commands) -> cmd => match cmd {
+                    Ok(Command::Broadcast(payload)) => {
+                        let actions = self.engine.broadcast(payload);
+                        self.dispatch(actions, &mut messages_sent, &mut bytes_sent, &mut rng);
+                    }
+                    Ok(Command::Shutdown) | Err(_) => {
+                        shutting_down = true;
+                    }
+                },
+                recv(self.mailbox) -> frame => match frame {
+                    Ok((from, bytes)) => {
+                        if let Some(message) = WireMessage::decode(&bytes) {
+                            let actions = self.engine.handle_message(from, message);
+                            self.dispatch(actions, &mut messages_sent, &mut bytes_sent, &mut rng);
+                        }
+                    }
+                    Err(_) => shutting_down = true,
+                },
+                default(self.options.idle_shutdown) => {
+                    if shutting_down {
+                        break;
+                    }
+                }
+            }
+            if shutting_down && self.mailbox.is_empty() {
+                break;
+            }
+        }
+        NodeReport {
+            id,
+            deliveries: self.engine.deliveries().to_vec(),
+            messages_sent,
+            bytes_sent,
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        actions: Vec<Action<WireMessage>>,
+        messages_sent: &mut usize,
+        bytes_sent: &mut usize,
+        rng: &mut StdRng,
+    ) {
+        for action in actions {
+            match action {
+                Action::Send { to, message } => {
+                    if let Some((mean, jitter)) = self.options.delay {
+                        let jitter_micros = if jitter.as_micros() > 0 {
+                            rng.gen_range(0..=jitter.as_micros() as u64)
+                        } else {
+                            0
+                        };
+                        std::thread::sleep(mean + Duration::from_micros(jitter_micros));
+                    }
+                    if let Some(stream) = self.writers.get_mut(&to) {
+                        *messages_sent += 1;
+                        *bytes_sent += message.wire_size();
+                        let _ = send_frame(stream, &message.encode());
+                    }
+                }
+                Action::Deliver(delivery) => {
+                    let _ = self.deliveries.send((self.engine.process_id(), delivery));
+                }
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: runs one broadcast over TCP on `graph` with the given
+/// configuration and returns the deployment report once every correct process delivered
+/// (or the timeout expired).
+///
+/// # Errors
+///
+/// Returns any socket error raised while setting the deployment up.
+pub fn run_tcp_broadcast(
+    graph: &Graph,
+    config: Config,
+    payload: Payload,
+    source: ProcessId,
+    crashed: &[ProcessId],
+    timeout: Duration,
+) -> std::io::Result<DeploymentReport> {
+    let deployment = TcpDeployment::start(graph, config, TcpOptions::default(), crashed)?;
+    deployment.broadcast(source, payload);
+    let expected = graph.node_count() - crashed.len();
+    deployment.await_deliveries(expected, timeout);
+    Ok(deployment.shutdown())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brb_graph::generate;
+
+    #[test]
+    fn tcp_broadcast_delivers_everywhere() {
+        let graph = generate::figure1_example();
+        let config = Config::bdopt_mbd1(10, 1);
+        let report = run_tcp_broadcast(
+            &graph,
+            config,
+            Payload::from("tcp hello"),
+            0,
+            &[],
+            Duration::from_secs(20),
+        )
+        .expect("deployment starts");
+        let everyone: Vec<ProcessId> = (0..10).collect();
+        assert!(report.all_delivered(&everyone, 1), "every process must deliver");
+        assert!(report.total_messages() > 0);
+        assert!(report.total_bytes() > 0);
+        for node in &report.nodes {
+            assert_eq!(node.deliveries[0].payload, Payload::from("tcp hello"));
+        }
+    }
+
+    #[test]
+    fn tcp_broadcast_with_crashed_process_still_delivers() {
+        let graph = generate::circulant(13, 2); // 4-regular, supports f = 1
+        let config = Config::bandwidth_preset(13, 1);
+        let crashed = [4usize];
+        let report = run_tcp_broadcast(
+            &graph,
+            config,
+            Payload::filled(7, 256),
+            0,
+            &crashed,
+            Duration::from_secs(20),
+        )
+        .expect("deployment starts");
+        let correct: Vec<ProcessId> = (0..13).filter(|p| !crashed.contains(p)).collect();
+        assert!(report.all_delivered(&correct, 1));
+        assert!(report.nodes[4].deliveries.is_empty());
+    }
+
+    #[test]
+    fn deployment_reports_process_count_and_handles_shutdown_without_broadcast() {
+        let graph = generate::ring(4);
+        let config = Config::plain(4, 0);
+        let deployment =
+            TcpDeployment::start(&graph, config, TcpOptions::default(), &[]).unwrap();
+        assert_eq!(deployment.process_count(), 4);
+        // No broadcast: awaiting deliveries times out at zero.
+        assert_eq!(deployment.await_deliveries(1, Duration::from_millis(100)), 0);
+        let report = deployment.shutdown();
+        assert_eq!(report.total_messages(), 0);
+    }
+}

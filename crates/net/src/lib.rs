@@ -1,0 +1,48 @@
+//! TCP socket deployment of Byzantine reliable broadcast on partially connected networks.
+//!
+//! The evaluation of *Practical Byzantine Reliable Broadcast on Partially Connected
+//! Networks* (ICDCS 2021) runs its C++ implementation with one node per Docker container
+//! on a single desktop, connected by TCP sockets that act as the authenticated channels of
+//! the system model (Sec. 7.1). This crate is the corresponding deployment back end of the
+//! Rust reproduction: one protocol thread per process inside a single OS process, one real
+//! TCP connection over the loopback interface per edge of the communication graph, and the
+//! same [`brb_core::bd::BdProcess`] engine, wire format, and byte accounting used by the
+//! discrete-event simulator (`brb-sim`) and the channel runtime (`brb-runtime`).
+//!
+//! * [`frame`] — length-prefixed framing and the connection handshake;
+//! * [`endpoint`] — listener/connection establishment and per-link reader threads;
+//! * [`deployment`] — the [`TcpDeployment`] driver and the [`run_tcp_broadcast`]
+//!   convenience wrapper.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use brb_core::{config::Config, types::Payload};
+//! use brb_graph::generate;
+//! use brb_net::run_tcp_broadcast;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let graph = generate::figure1_example();
+//! let report = run_tcp_broadcast(
+//!     &graph,
+//!     Config::bdopt_mbd1(10, 1),
+//!     Payload::from("over real sockets"),
+//!     0,
+//!     &[],
+//!     Duration::from_secs(10),
+//! )?;
+//! assert!(report.all_delivered(&(0..10).collect::<Vec<_>>(), 1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod endpoint;
+pub mod frame;
+
+pub use deployment::{run_tcp_broadcast, TcpDeployment, TcpOptions};
+pub use endpoint::{bind_endpoints, connect_mesh, Endpoint, NodeLinks};

@@ -1,0 +1,406 @@
+//! Thread-per-process deployment driving [`brb_core::bd::BdProcess`] engines.
+
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use brb_core::bd::BdProcess;
+use brb_core::config::Config;
+use brb_core::protocol::Protocol;
+use brb_core::types::{Action, Delivery, Payload, ProcessId};
+use brb_core::wire::WireMessage;
+use brb_graph::Graph;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::link::{build_links, AuthenticatedSender, Mailbox};
+
+/// Options of a threaded deployment.
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Optional artificial per-message transmission delay. `None` transmits immediately
+    /// (the usual setting for tests); `Some((mean, jitter))` sleeps for
+    /// `mean ± uniform(jitter)` before handing the message to the link, emulating the
+    /// paper's 50 ms / 50 ± 50 ms regimes at wall-clock scale.
+    pub delay: Option<(Duration, Duration)>,
+    /// How long a node waits without any traffic before it considers the broadcast
+    /// quiesced and shuts down.
+    pub idle_shutdown: Duration,
+    /// Seed for the per-node delay jitter.
+    pub seed: u64,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        Self {
+            delay: None,
+            idle_shutdown: Duration::from_millis(300),
+            seed: 1,
+        }
+    }
+}
+
+/// Commands sent from the deployment driver to a node thread.
+enum Command {
+    Broadcast(Payload),
+    Shutdown,
+}
+
+/// Final report of one node thread.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Identifier of the process.
+    pub id: ProcessId,
+    /// Payloads delivered by the process, in delivery order.
+    pub deliveries: Vec<Delivery>,
+    /// Number of messages the process put on its links.
+    pub messages_sent: usize,
+    /// Total bytes the process put on its links (Table 3 accounting).
+    pub bytes_sent: usize,
+}
+
+/// Aggregated report of a whole deployment run.
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    /// Per-node reports, indexed by process identifier.
+    pub nodes: Vec<NodeReport>,
+}
+
+impl DeploymentReport {
+    /// Total number of messages transmitted.
+    pub fn total_messages(&self) -> usize {
+        self.nodes.iter().map(|n| n.messages_sent).sum()
+    }
+
+    /// Total bytes transmitted.
+    pub fn total_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Whether every listed process delivered exactly `expected` payloads.
+    pub fn all_delivered(&self, processes: &[ProcessId], expected: usize) -> bool {
+        processes
+            .iter()
+            .all(|&p| self.nodes[p].deliveries.len() == expected)
+    }
+}
+
+/// A running thread-per-process deployment.
+pub struct Deployment {
+    handles: Vec<JoinHandle<NodeReport>>,
+    commands: Vec<Sender<Command>>,
+    deliveries: Receiver<(ProcessId, Delivery)>,
+    n: usize,
+}
+
+impl Deployment {
+    /// Spawns one thread per process of `graph`, each running a [`BdProcess`] with the
+    /// given configuration. `crashed` processes are not spawned at all (their links are
+    /// dead, which is indistinguishable from a silent Byzantine process for the others).
+    pub fn start(
+        graph: &Graph,
+        config: Config,
+        options: RuntimeOptions,
+        crashed: &[ProcessId],
+    ) -> Self {
+        let n = graph.node_count();
+        let (mailboxes, senders) = build_links(n, &graph.edges());
+        let (delivery_tx, delivery_rx) = unbounded();
+        let mut commands = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        let mut mailboxes: Vec<Option<Mailbox>> = mailboxes.into_iter().map(Some).collect();
+        let mut senders: Vec<Option<Vec<AuthenticatedSender>>> =
+            senders.into_iter().map(Some).collect();
+        for id in 0..n {
+            let (cmd_tx, cmd_rx) = unbounded();
+            commands.push(cmd_tx);
+            if crashed.contains(&id) {
+                continue;
+            }
+            let mailbox = mailboxes[id].take().expect("mailbox taken once");
+            let links = senders[id].take().expect("links taken once");
+            let engine = BdProcess::new(id, config, graph.neighbors_vec(id));
+            let node = Node {
+                engine,
+                mailbox,
+                links,
+                commands: cmd_rx,
+                deliveries: delivery_tx.clone(),
+                options: options.clone(),
+            };
+            handles.push(std::thread::spawn(move || node.run()));
+        }
+        Self {
+            handles,
+            commands,
+            deliveries: delivery_rx,
+            n,
+        }
+    }
+
+    /// Number of processes in the deployment (including crashed ones).
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Asks `source` to broadcast `payload`.
+    pub fn broadcast(&self, source: ProcessId, payload: Payload) {
+        let _ = self.commands[source].send(Command::Broadcast(payload));
+    }
+
+    /// Waits until at least `expected` deliveries have been observed in total, or until
+    /// `timeout` elapses. Returns the number of deliveries observed.
+    pub fn await_deliveries(&self, expected: usize, timeout: Duration) -> usize {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut seen = 0usize;
+        while seen < expected {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.deliveries.recv_timeout(remaining) {
+                Ok(_) => seen += 1,
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        seen
+    }
+
+    /// Shuts every node down and collects the per-node reports.
+    pub fn shutdown(self) -> DeploymentReport {
+        for tx in &self.commands {
+            let _ = tx.send(Command::Shutdown);
+        }
+        let mut nodes: Vec<NodeReport> = (0..self.n)
+            .map(|id| NodeReport {
+                id,
+                deliveries: Vec::new(),
+                messages_sent: 0,
+                bytes_sent: 0,
+            })
+            .collect();
+        for handle in self.handles {
+            if let Ok(report) = handle.join() {
+                let id = report.id;
+                nodes[id] = report;
+            }
+        }
+        DeploymentReport { nodes }
+    }
+}
+
+/// One node thread: the protocol engine plus its links.
+struct Node {
+    engine: BdProcess,
+    mailbox: Mailbox,
+    links: Vec<AuthenticatedSender>,
+    commands: Receiver<Command>,
+    deliveries: Sender<(ProcessId, Delivery)>,
+    options: RuntimeOptions,
+}
+
+impl Node {
+    fn run(mut self) -> NodeReport {
+        let id = self.engine.process_id();
+        let mut messages_sent = 0usize;
+        let mut bytes_sent = 0usize;
+        let mut rng = StdRng::seed_from_u64(self.options.seed.wrapping_add(id as u64));
+        let mut shutting_down = false;
+        loop {
+            crossbeam::channel::select! {
+                recv(self.commands) -> cmd => match cmd {
+                    Ok(Command::Broadcast(payload)) => {
+                        let actions = self.engine.broadcast(payload);
+                        self.dispatch(actions, &mut messages_sent, &mut bytes_sent, &mut rng);
+                    }
+                    Ok(Command::Shutdown) | Err(_) => {
+                        shutting_down = true;
+                    }
+                },
+                recv(self.mailbox.receiver()) -> frame => match frame {
+                    Ok(frame) => {
+                        if let Some(message) = WireMessage::decode(&frame.bytes) {
+                            let actions = self.engine.handle_message(frame.from, message);
+                            self.dispatch(actions, &mut messages_sent, &mut bytes_sent, &mut rng);
+                        }
+                    }
+                    Err(_) => shutting_down = true,
+                },
+                default(self.options.idle_shutdown) => {
+                    if shutting_down {
+                        break;
+                    }
+                }
+            }
+            if shutting_down && self.mailbox.receiver().is_empty() {
+                break;
+            }
+        }
+        NodeReport {
+            id,
+            deliveries: self.engine.deliveries().to_vec(),
+            messages_sent,
+            bytes_sent,
+        }
+    }
+
+    fn dispatch(
+        &self,
+        actions: Vec<Action<WireMessage>>,
+        messages_sent: &mut usize,
+        bytes_sent: &mut usize,
+        rng: &mut StdRng,
+    ) {
+        for action in actions {
+            match action {
+                Action::Send { to, message } => {
+                    if let Some((mean, jitter)) = self.options.delay {
+                        // Coarse wall-clock delay emulation; precise delay distributions
+                        // are the simulator's job (`brb-sim`), the runtime demonstrates
+                        // liveness under real concurrency.
+                        let jitter_micros = if jitter.as_micros() > 0 {
+                            rng.gen_range(0..=jitter.as_micros() as u64)
+                        } else {
+                            0
+                        };
+                        std::thread::sleep(mean + Duration::from_micros(jitter_micros));
+                    }
+                    if let Some(link) = self.links.iter().find(|l| l.peer() == to) {
+                        *messages_sent += 1;
+                        *bytes_sent += message.wire_size();
+                        let _ = link.send(message.encode());
+                    }
+                }
+                Action::Deliver(delivery) => {
+                    let _ = self.deliveries.send((self.engine.process_id(), delivery));
+                }
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: runs one broadcast on `graph` with the given configuration and
+/// returns the deployment report once every correct process delivered (or the timeout
+/// expired).
+pub fn run_threaded_broadcast(
+    graph: &Graph,
+    config: Config,
+    payload: Payload,
+    source: ProcessId,
+    crashed: &[ProcessId],
+    timeout: Duration,
+) -> DeploymentReport {
+    let deployment = Deployment::start(graph, config, RuntimeOptions::default(), crashed);
+    deployment.broadcast(source, payload);
+    let expected = graph.node_count() - crashed.len();
+    deployment.await_deliveries(expected, timeout);
+    deployment.shutdown()
+}
+
+/// Shared collector used by examples that want to observe deliveries as they happen.
+#[derive(Debug, Default)]
+pub struct DeliveryLog {
+    entries: Mutex<Vec<(ProcessId, Delivery)>>,
+}
+
+impl DeliveryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one delivery.
+    pub fn record(&self, process: ProcessId, delivery: Delivery) {
+        self.entries.lock().push((process, delivery));
+    }
+
+    /// Snapshot of the log.
+    pub fn snapshot(&self) -> Vec<(ProcessId, Delivery)> {
+        self.entries.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brb_graph::generate;
+
+    #[test]
+    fn threaded_broadcast_delivers_everywhere() {
+        let graph = generate::figure1_example();
+        let config = Config::bdopt_mbd1(10, 1);
+        let report = run_threaded_broadcast(
+            &graph,
+            config,
+            Payload::from("threaded hello"),
+            0,
+            &[],
+            Duration::from_secs(10),
+        );
+        let everyone: Vec<ProcessId> = (0..10).collect();
+        assert!(report.all_delivered(&everyone, 1), "every process must deliver");
+        assert!(report.total_messages() > 0);
+        assert!(report.total_bytes() > 0);
+        for node in &report.nodes {
+            assert_eq!(node.deliveries[0].payload, Payload::from("threaded hello"));
+        }
+    }
+
+    #[test]
+    fn threaded_broadcast_with_crashed_process() {
+        let graph = generate::circulant(13, 2); // 4-regular, supports f = 1
+        let config = Config::latency_preset(13, 1);
+        let crashed = [7usize];
+        let report = run_threaded_broadcast(
+            &graph,
+            config,
+            Payload::filled(5, 128),
+            2,
+            &crashed,
+            Duration::from_secs(10),
+        );
+        let correct: Vec<ProcessId> = (0..13).filter(|p| !crashed.contains(p)).collect();
+        assert!(report.all_delivered(&correct, 1));
+        assert!(report.nodes[7].deliveries.is_empty());
+    }
+
+    #[test]
+    fn delivery_log_collects_entries() {
+        let log = DeliveryLog::new();
+        assert!(log.snapshot().is_empty());
+        log.record(
+            3,
+            Delivery {
+                id: brb_core::types::BroadcastId::new(0, 0),
+                payload: Payload::from("x"),
+            },
+        );
+        assert_eq!(log.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = DeploymentReport {
+            nodes: vec![
+                NodeReport {
+                    id: 0,
+                    deliveries: vec![],
+                    messages_sent: 2,
+                    bytes_sent: 10,
+                },
+                NodeReport {
+                    id: 1,
+                    deliveries: vec![],
+                    messages_sent: 3,
+                    bytes_sent: 20,
+                },
+            ],
+        };
+        assert_eq!(report.total_messages(), 5);
+        assert_eq!(report.total_bytes(), 30);
+        assert!(!report.all_delivered(&[0, 1], 1));
+        assert!(report.all_delivered(&[0, 1], 0));
+    }
+}

@@ -1,0 +1,20 @@
+//! Thread-per-process deployment of the PBRB protocols.
+//!
+//! The paper evaluates a real C++ deployment in which every process runs in its own Docker
+//! container and communicates over TCP sockets acting as authenticated channels. This
+//! crate provides the equivalent *concurrent* deployment for the Rust reproduction: every
+//! process runs the same [`brb_core::bd::BdProcess`] engine as the simulator, but in its
+//! own OS thread, exchanging **binary-encoded** wire messages over crossbeam channels that
+//! play the role of authenticated point-to-point links.
+//!
+//! The deployment is used by the integration tests and the examples to demonstrate that
+//! the protocol engine is runtime-agnostic: the exact same state machine runs under the
+//! deterministic simulator and under real concurrency with arbitrary interleavings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod link;
+
+pub use deployment::{Deployment, DeploymentReport, NodeReport, RuntimeOptions};

@@ -1,0 +1,271 @@
+//! High-level experiment runner used by the benchmark harnesses.
+//!
+//! One *experiment* reproduces one data point of the paper's evaluation: a `(N, k, f)`
+//! random regular topology, a protocol configuration (a set of MD/MBD modifications), a
+//! payload size, a delay model and a number of Byzantine (crashed) processes. The runner
+//! generates the topology, builds one [`BdProcess`] per node, lets one source broadcast
+//! once, runs the discrete-event simulation to quiescence and reports the metrics the
+//! paper plots: latency, network consumption, message count and memory proxies.
+
+use brb_core::bd::BdProcess;
+use brb_core::config::Config;
+use brb_core::protocol::Protocol;
+use brb_core::types::{BroadcastId, Payload, ProcessId};
+use brb_graph::{generate, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::behavior::Behavior;
+use crate::delay::DelayModel;
+use crate::sim::Simulation;
+
+/// Parameters of one experiment (one data point of a figure or table).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Number of processes `N`.
+    pub n: usize,
+    /// Target vertex connectivity `k` of the random regular topology (also its degree).
+    pub connectivity: usize,
+    /// Fault threshold `f` the protocol is configured for.
+    pub f: usize,
+    /// Number of processes that actually crash during the run (at most `f`).
+    pub crashed: usize,
+    /// Payload size in bytes (the paper uses 16 B and 1024 B).
+    pub payload_size: usize,
+    /// Protocol configuration (which MD/MBD modifications are enabled).
+    pub config: Config,
+    /// Link delay model.
+    pub delay: DelayModel,
+    /// Random seed (topology generation, delays and behaviours).
+    pub seed: u64,
+}
+
+impl ExperimentParams {
+    /// A convenient starting point matching the paper's default synchronous setting
+    /// (1024 B payload, 50 ms constant delays, no crash, seed 1).
+    pub fn new(n: usize, connectivity: usize, f: usize, config: Config) -> Self {
+        Self {
+            n,
+            connectivity,
+            f,
+            crashed: 0,
+            payload_size: 1024,
+            config,
+            delay: DelayModel::synchronous(),
+            seed: 1,
+        }
+    }
+}
+
+/// Result of one experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Broadcast latency in milliseconds (time until all correct processes delivered), or
+    /// `None` if some correct process never delivered.
+    pub latency_ms: Option<f64>,
+    /// Total network consumption in bytes.
+    pub bytes: usize,
+    /// Total number of messages transmitted.
+    pub messages: usize,
+    /// Number of correct processes that delivered.
+    pub delivered: usize,
+    /// Number of correct processes.
+    pub correct: usize,
+    /// Peak protocol-state size (bytes) over all processes (Sec. 7.3 memory proxy).
+    pub peak_state_bytes: usize,
+    /// Peak number of stored transmission paths over all processes.
+    pub peak_stored_paths: usize,
+}
+
+impl ExperimentResult {
+    /// Network consumption in kilobytes, the unit used by Figs. 4b/5b.
+    pub fn kilobytes(&self) -> f64 {
+        self.bytes as f64 / 1_000.0
+    }
+
+    /// Whether every correct process delivered the broadcast.
+    pub fn complete(&self) -> bool {
+        self.delivered == self.correct
+    }
+}
+
+/// Generates the topology for an experiment: a random `k`-regular graph over `n` nodes.
+///
+/// Connectivity is not re-verified for every seed (random regular graphs are almost
+/// surely `k`-connected); harnesses that need a certificate use
+/// [`brb_graph::generate::random_regular_connected`] directly.
+pub fn experiment_graph(n: usize, connectivity: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate::random_regular_graph(n, connectivity, &mut rng)
+        .expect("the (n, k) combinations used in experiments admit regular graphs")
+}
+
+/// Runs one experiment and returns its metrics.
+///
+/// The source is process 0; the `crashed` Byzantine processes are chosen among the highest
+/// identifiers so that the source itself stays correct.
+pub fn run_experiment(params: &ExperimentParams) -> ExperimentResult {
+    let graph = experiment_graph(params.n, params.connectivity, params.seed);
+    run_experiment_on_graph(params, &graph)
+}
+
+/// Runs one experiment on a caller-provided topology (used when several configurations
+/// must be compared on the *same* graph, as in Table 1 and Figs. 4–10).
+pub fn run_experiment_on_graph(params: &ExperimentParams, graph: &Graph) -> ExperimentResult {
+    assert_eq!(graph.node_count(), params.n, "graph size must match N");
+    assert!(
+        params.crashed <= params.f,
+        "cannot crash more than f processes"
+    );
+    let processes: Vec<BdProcess> = (0..params.n)
+        .map(|i| BdProcess::new(i, params.config, graph.neighbors_vec(i)))
+        .collect();
+    let mut sim = Simulation::new(processes, params.delay, params.seed);
+    // Crash the `crashed` highest-numbered processes (never the source, process 0).
+    for offset in 0..params.crashed {
+        let victim = params.n - 1 - offset;
+        sim.set_behavior(victim, Behavior::Crash);
+    }
+    let source: ProcessId = 0;
+    sim.broadcast(source, Payload::filled(0xAB, params.payload_size));
+    sim.run_to_quiescence();
+
+    let correct = sim.correct_processes();
+    let id = BroadcastId::new(source, 0);
+    let latency_ms = sim
+        .metrics()
+        .latency(id, &correct)
+        .map(|t| t.as_millis_f64());
+    let delivered = sim.metrics().delivered_count(id, &correct);
+    let peak_stored_paths = sim
+        .processes()
+        .iter()
+        .map(|p| BdProcess::stored_paths(p))
+        .max()
+        .unwrap_or(0)
+        .max(sim.metrics().peak_stored_paths);
+    let peak_state_bytes = sim
+        .processes()
+        .iter()
+        .map(|p| p.state_bytes())
+        .max()
+        .unwrap_or(0)
+        .max(sim.metrics().peak_state_bytes);
+    ExperimentResult {
+        latency_ms,
+        bytes: sim.metrics().bytes_sent,
+        messages: sim.metrics().messages_sent,
+        delivered,
+        correct: correct.len(),
+        peak_state_bytes,
+        peak_stored_paths,
+    }
+}
+
+/// Runs the same experiment over several seeds and returns every result (the paper reports
+/// averages of at least 5 runs per point).
+pub fn run_experiment_repeated(params: &ExperimentParams, runs: usize) -> Vec<ExperimentResult> {
+    (0..runs)
+        .map(|i| {
+            let mut p = params.clone();
+            p.seed = params.seed.wrapping_add(i as u64);
+            run_experiment(&p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(config: Config) -> ExperimentParams {
+        ExperimentParams {
+            n: 16,
+            connectivity: 5,
+            f: 2,
+            crashed: 0,
+            payload_size: 64,
+            config,
+            delay: DelayModel::synchronous(),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn experiment_delivers_everywhere() {
+        let r = run_experiment(&params(Config::bdopt_mbd1(16, 2)));
+        assert!(r.complete());
+        assert_eq!(r.correct, 16);
+        assert!(r.latency_ms.unwrap() >= 100.0);
+        assert!(r.bytes > 0);
+        assert!(r.kilobytes() > 0.0);
+        assert!(r.peak_state_bytes > 0);
+    }
+
+    #[test]
+    fn experiment_with_crashes_still_delivers_to_correct_processes() {
+        let mut p = params(Config::bdopt_mbd1(16, 2));
+        p.crashed = 2;
+        let r = run_experiment(&p);
+        assert_eq!(r.correct, 14);
+        assert!(r.complete(), "correct processes must deliver despite crashes");
+    }
+
+    #[test]
+    fn bandwidth_preset_reduces_bytes_on_same_graph() {
+        let p_base = params(Config::bdopt_mbd1(16, 2));
+        let graph = experiment_graph(16, 5, 3);
+        let base = run_experiment_on_graph(&p_base, &graph);
+        let p_bdw = params(Config::bandwidth_preset(16, 2));
+        let bdw = run_experiment_on_graph(&p_bdw, &graph);
+        assert!(base.complete() && bdw.complete());
+        assert!(
+            bdw.bytes <= base.bytes,
+            "bdw. preset should not increase bytes: {} vs {}",
+            bdw.bytes,
+            base.bytes
+        );
+    }
+
+    #[test]
+    fn mbd1_reduces_bytes_vs_bdopt_on_same_graph() {
+        let graph = experiment_graph(16, 5, 5);
+        let mut p0 = params(Config::bdopt(16, 2));
+        p0.payload_size = 1024;
+        let mut p1 = params(Config::bdopt_mbd1(16, 2));
+        p1.payload_size = 1024;
+        let base = run_experiment_on_graph(&p0, &graph);
+        let opt = run_experiment_on_graph(&p1, &graph);
+        assert!(base.complete() && opt.complete());
+        assert!(
+            (opt.bytes as f64) < 0.5 * base.bytes as f64,
+            "MBD.1 should at least halve the bytes with 1 KiB payloads: {} vs {}",
+            opt.bytes,
+            base.bytes
+        );
+    }
+
+    #[test]
+    fn repeated_runs_use_distinct_seeds() {
+        let results = run_experiment_repeated(&params(Config::bdopt_mbd1(16, 2)), 3);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(ExperimentResult::complete));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot crash")]
+    fn too_many_crashes_are_rejected() {
+        let mut p = params(Config::bdopt_mbd1(16, 2));
+        p.crashed = 3;
+        run_experiment(&p);
+    }
+
+    #[test]
+    fn asynchronous_experiment_completes() {
+        let mut p = params(Config::latency_preset(16, 2));
+        p.delay = DelayModel::asynchronous();
+        let r = run_experiment(&p);
+        assert!(r.complete());
+    }
+}

@@ -1,0 +1,375 @@
+//! Checkers for the BRB properties over finished executions.
+//!
+//! The paper's Sec. 3 defines Byzantine Reliable Broadcast through four properties —
+//! BRB-Validity, BRB-No duplication, BRB-Integrity and BRB-Agreement. The integration and
+//! property tests of this repository drive a protocol to quiescence (in the simulator, the
+//! threaded runtime or the TCP deployment) and then hand the per-process delivery logs to
+//! the checkers of this module, which either certify the execution or return a precise
+//! [`Violation`] describing which property broke, where.
+//!
+//! The checkers are deliberately independent from the protocol implementations: they look
+//! only at what was broadcast by correct processes ([`BroadcastRecord`]) and what each
+//! process delivered, so the same functions validate the flooding Bracha–Dolev engine, the
+//! routed variant, Bracha–CPA, and any future protocol added to the repository.
+
+use std::collections::{HashMap, HashSet};
+
+use brb_core::types::{BroadcastId, Delivery, Payload, ProcessId};
+
+/// A broadcast performed by a *correct* process during the execution under test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastRecord {
+    /// The correct process that broadcast.
+    pub source: ProcessId,
+    /// The broadcast identifier it used.
+    pub id: BroadcastId,
+    /// The payload it broadcast.
+    pub payload: Payload,
+}
+
+impl BroadcastRecord {
+    /// Creates a record of a correct broadcast.
+    pub fn new(source: ProcessId, id: BroadcastId, payload: Payload) -> Self {
+        Self {
+            source,
+            id,
+            payload,
+        }
+    }
+}
+
+/// A violation of one of the BRB properties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// BRB-Validity: a correct process broadcast `id` but correct process `missing_at`
+    /// never delivered it.
+    Validity {
+        /// The violated broadcast.
+        id: BroadcastId,
+        /// The correct process that failed to deliver it.
+        missing_at: ProcessId,
+    },
+    /// BRB-No duplication: correct process `process` delivered `id` more than once.
+    Duplication {
+        /// The duplicated broadcast.
+        id: BroadcastId,
+        /// The process that delivered it twice.
+        process: ProcessId,
+        /// How many times it was delivered.
+        count: usize,
+    },
+    /// BRB-Integrity: correct process `process` delivered a payload for `id`, whose source
+    /// is correct, that the source never broadcast.
+    Integrity {
+        /// The forged broadcast identifier.
+        id: BroadcastId,
+        /// The process that delivered the forged payload.
+        process: ProcessId,
+    },
+    /// BRB-Agreement: correct processes `a` and `b` disagree on `id` — either only one of
+    /// them delivered it, or they delivered different payloads.
+    Agreement {
+        /// The broadcast the two processes disagree on.
+        id: BroadcastId,
+        /// First process.
+        a: ProcessId,
+        /// Second process.
+        b: ProcessId,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Validity { id, missing_at } => {
+                write!(f, "validity violated: correct broadcast {id} never delivered at process {missing_at}")
+            }
+            Violation::Duplication { id, process, count } => {
+                write!(f, "no-duplication violated: process {process} delivered {id} {count} times")
+            }
+            Violation::Integrity { id, process } => {
+                write!(f, "integrity violated: process {process} delivered a payload for {id} that its correct source never broadcast")
+            }
+            Violation::Agreement { id, a, b } => {
+                write!(f, "agreement violated: processes {a} and {b} disagree on {id}")
+            }
+        }
+    }
+}
+
+/// The delivery logs of an execution: `deliveries[p]` lists what process `p` delivered, in
+/// order. Only the entries of correct processes are examined.
+pub type DeliveryLogs<'a> = &'a [&'a [Delivery]];
+
+/// Checks BRB-Validity: every broadcast performed by a correct process was delivered by
+/// every correct process.
+///
+/// # Errors
+///
+/// Returns the first [`Violation::Validity`] found.
+pub fn check_validity(
+    logs: DeliveryLogs<'_>,
+    correct: &[ProcessId],
+    broadcasts: &[BroadcastRecord],
+) -> Result<(), Violation> {
+    for record in broadcasts {
+        for &p in correct {
+            let found = logs[p]
+                .iter()
+                .any(|d| d.id == record.id && d.payload == record.payload);
+            if !found {
+                return Err(Violation::Validity {
+                    id: record.id,
+                    missing_at: p,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks BRB-No duplication: no correct process delivered the same broadcast identifier
+/// more than once.
+///
+/// # Errors
+///
+/// Returns the first [`Violation::Duplication`] found.
+pub fn check_no_duplication(
+    logs: DeliveryLogs<'_>,
+    correct: &[ProcessId],
+) -> Result<(), Violation> {
+    for &p in correct {
+        let mut counts: HashMap<BroadcastId, usize> = HashMap::new();
+        for d in logs[p] {
+            *counts.entry(d.id).or_default() += 1;
+        }
+        if let Some((&id, &count)) = counts.iter().find(|(_, &c)| c > 1) {
+            return Err(Violation::Duplication { id, process: p, count });
+        }
+    }
+    Ok(())
+}
+
+/// Checks BRB-Integrity for correct sources: if a correct process delivered a payload for a
+/// broadcast whose source is correct, then that source did broadcast exactly that payload.
+/// (For Byzantine sources the property is vacuous — any payload may be attributed to them.)
+///
+/// # Errors
+///
+/// Returns the first [`Violation::Integrity`] found.
+pub fn check_integrity(
+    logs: DeliveryLogs<'_>,
+    correct: &[ProcessId],
+    broadcasts: &[BroadcastRecord],
+) -> Result<(), Violation> {
+    let correct_set: HashSet<ProcessId> = correct.iter().copied().collect();
+    for &p in correct {
+        for d in logs[p] {
+            if !correct_set.contains(&d.id.source) {
+                continue;
+            }
+            let legitimate = broadcasts
+                .iter()
+                .any(|r| r.id == d.id && r.payload == d.payload);
+            if !legitimate {
+                return Err(Violation::Integrity { id: d.id, process: p });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks BRB-Agreement: for every broadcast identifier delivered by some correct process,
+/// every correct process delivered it, with the same payload.
+///
+/// # Errors
+///
+/// Returns the first [`Violation::Agreement`] found.
+pub fn check_agreement(logs: DeliveryLogs<'_>, correct: &[ProcessId]) -> Result<(), Violation> {
+    // Collect, for each id, the payload delivered by each correct process.
+    let mut per_id: HashMap<BroadcastId, Vec<(ProcessId, &Payload)>> = HashMap::new();
+    for &p in correct {
+        for d in logs[p] {
+            per_id.entry(d.id).or_default().push((p, &d.payload));
+        }
+    }
+    for (id, deliveries) in &per_id {
+        let (first_p, first_payload) = deliveries[0];
+        for &(p, payload) in &deliveries[1..] {
+            if payload != first_payload {
+                return Err(Violation::Agreement { id: *id, a: first_p, b: p });
+            }
+        }
+        if deliveries.len() != correct.len() {
+            let delivered: HashSet<ProcessId> = deliveries.iter().map(|(p, _)| *p).collect();
+            let missing = correct
+                .iter()
+                .copied()
+                .find(|p| !delivered.contains(p))
+                .expect("some correct process is missing");
+            return Err(Violation::Agreement {
+                id: *id,
+                a: first_p,
+                b: missing,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks all four BRB properties at once.
+///
+/// # Errors
+///
+/// Returns the first violation found, checking validity, no-duplication, integrity and
+/// agreement in that order.
+pub fn check_brb(
+    logs: DeliveryLogs<'_>,
+    correct: &[ProcessId],
+    broadcasts: &[BroadcastRecord],
+) -> Result<(), Violation> {
+    check_validity(logs, correct, broadcasts)?;
+    check_no_duplication(logs, correct)?;
+    check_integrity(logs, correct, broadcasts)?;
+    check_agreement(logs, correct)
+}
+
+/// Convenience: collects the delivery slices of a set of protocol instances and runs
+/// [`check_brb`] on them.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_brb_processes<P: brb_core::protocol::Protocol>(
+    processes: &[P],
+    correct: &[ProcessId],
+    broadcasts: &[BroadcastRecord],
+) -> Result<(), Violation> {
+    let logs: Vec<&[Delivery]> = processes.iter().map(|p| p.deliveries()).collect();
+    check_brb(&logs, correct, broadcasts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delivery(source: ProcessId, seq: u32, payload: &str) -> Delivery {
+        Delivery {
+            id: BroadcastId::new(source, seq),
+            payload: Payload::from(payload),
+        }
+    }
+
+    #[test]
+    fn clean_execution_passes_all_checks() {
+        let logs_owned = vec![
+            vec![delivery(0, 0, "m")],
+            vec![delivery(0, 0, "m")],
+            vec![delivery(0, 0, "m")],
+        ];
+        let logs: Vec<&[Delivery]> = logs_owned.iter().map(Vec::as_slice).collect();
+        let correct = [0, 1, 2];
+        let broadcasts = [BroadcastRecord::new(0, BroadcastId::new(0, 0), Payload::from("m"))];
+        assert_eq!(check_brb(&logs, &correct, &broadcasts), Ok(()));
+    }
+
+    #[test]
+    fn missing_delivery_violates_validity() {
+        let logs_owned = vec![vec![delivery(0, 0, "m")], vec![], vec![delivery(0, 0, "m")]];
+        let logs: Vec<&[Delivery]> = logs_owned.iter().map(Vec::as_slice).collect();
+        let correct = [0, 1, 2];
+        let broadcasts = [BroadcastRecord::new(0, BroadcastId::new(0, 0), Payload::from("m"))];
+        let err = check_validity(&logs, &correct, &broadcasts).unwrap_err();
+        assert_eq!(
+            err,
+            Violation::Validity {
+                id: BroadcastId::new(0, 0),
+                missing_at: 1
+            }
+        );
+        assert!(err.to_string().contains("validity"));
+    }
+
+    #[test]
+    fn double_delivery_violates_no_duplication() {
+        let logs_owned = vec![vec![delivery(0, 0, "m"), delivery(0, 0, "m")]];
+        let logs: Vec<&[Delivery]> = logs_owned.iter().map(Vec::as_slice).collect();
+        let err = check_no_duplication(&logs, &[0]).unwrap_err();
+        assert_eq!(
+            err,
+            Violation::Duplication {
+                id: BroadcastId::new(0, 0),
+                process: 0,
+                count: 2
+            }
+        );
+        assert!(err.to_string().contains("no-duplication"));
+    }
+
+    #[test]
+    fn forged_payload_from_correct_source_violates_integrity() {
+        // Process 1 delivers a payload for (0, 0) that correct process 0 never broadcast.
+        let logs_owned = vec![vec![], vec![delivery(0, 0, "forged")]];
+        let logs: Vec<&[Delivery]> = logs_owned.iter().map(Vec::as_slice).collect();
+        let correct = [0, 1];
+        let broadcasts = [BroadcastRecord::new(0, BroadcastId::new(0, 0), Payload::from("real"))];
+        let err = check_integrity(&logs, &correct, &broadcasts).unwrap_err();
+        assert_eq!(
+            err,
+            Violation::Integrity {
+                id: BroadcastId::new(0, 0),
+                process: 1
+            }
+        );
+        assert!(err.to_string().contains("integrity"));
+    }
+
+    #[test]
+    fn integrity_is_vacuous_for_byzantine_sources() {
+        // The source (process 9) is not in the correct set, so any delivered payload
+        // attributed to it is acceptable from the integrity standpoint.
+        let logs_owned = vec![vec![delivery(9, 0, "whatever")], vec![delivery(9, 0, "whatever")]];
+        let logs: Vec<&[Delivery]> = logs_owned.iter().map(Vec::as_slice).collect();
+        let correct = [0, 1];
+        assert_eq!(check_integrity(&logs, &correct, &[]), Ok(()));
+    }
+
+    #[test]
+    fn partial_delivery_violates_agreement() {
+        // Byzantine source 9: only process 0 delivers. Agreement requires all or none.
+        let logs_owned = vec![vec![delivery(9, 0, "m")], vec![]];
+        let logs: Vec<&[Delivery]> = logs_owned.iter().map(Vec::as_slice).collect();
+        let err = check_agreement(&logs, &[0, 1]).unwrap_err();
+        assert_eq!(
+            err,
+            Violation::Agreement {
+                id: BroadcastId::new(9, 0),
+                a: 0,
+                b: 1
+            }
+        );
+        assert!(err.to_string().contains("agreement"));
+    }
+
+    #[test]
+    fn conflicting_payloads_violate_agreement() {
+        let logs_owned = vec![vec![delivery(9, 0, "m1")], vec![delivery(9, 0, "m2")]];
+        let logs: Vec<&[Delivery]> = logs_owned.iter().map(Vec::as_slice).collect();
+        let err = check_agreement(&logs, &[0, 1]).unwrap_err();
+        assert!(matches!(err, Violation::Agreement { .. }));
+    }
+
+    #[test]
+    fn byzantine_process_logs_are_ignored() {
+        // Process 2 (Byzantine) has a nonsensical log; the correct processes agree.
+        let logs_owned = vec![
+            vec![delivery(0, 0, "m")],
+            vec![delivery(0, 0, "m")],
+            vec![delivery(0, 0, "junk"), delivery(0, 0, "junk")],
+        ];
+        let logs: Vec<&[Delivery]> = logs_owned.iter().map(Vec::as_slice).collect();
+        let correct = [0, 1];
+        let broadcasts = [BroadcastRecord::new(0, BroadcastId::new(0, 0), Payload::from("m"))];
+        assert_eq!(check_brb(&logs, &correct, &broadcasts), Ok(()));
+    }
+}

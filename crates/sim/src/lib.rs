@@ -1,0 +1,59 @@
+//! Deterministic discrete-event network simulator for the PBRB protocols.
+//!
+//! The paper's evaluation deploys a C++ implementation in Docker containers with
+//! netem-controlled delays; this crate plays the equivalent role for the Rust
+//! reproduction. It provides:
+//!
+//! * [`sim::Simulation`] — an event-driven simulator that runs any
+//!   [`brb_core::protocol::Protocol`] implementation on a virtual clock, with per-message
+//!   link delays and full byte accounting;
+//! * [`delay::DelayModel`] — the paper's synchronous (50 ms) and asynchronous (50 ± 50 ms
+//!   normal) link regimes;
+//! * [`behavior::Behavior`] — node-level Byzantine behaviours (crash, message dropping,
+//!   replay, mid-broadcast failure, targeted silence, flooding);
+//! * [`metrics::RunMetrics`] — latency, network consumption and memory proxies;
+//! * [`invariants`] — checkers for the four BRB properties over finished executions, used
+//!   by the integration and property tests of every protocol stack;
+//! * [`experiment`] — the high-level runner the benchmark harnesses use to regenerate the
+//!   paper's tables and figures point by point.
+//!
+//! # Example
+//!
+//! ```
+//! use brb_core::config::Config;
+//! use brb_sim::delay::DelayModel;
+//! use brb_sim::experiment::{run_experiment, ExperimentParams};
+//!
+//! let params = ExperimentParams {
+//!     n: 16,
+//!     connectivity: 5,
+//!     f: 2,
+//!     crashed: 1,
+//!     payload_size: 1024,
+//!     config: Config::bdopt_mbd1(16, 2),
+//!     delay: DelayModel::synchronous(),
+//!     seed: 42,
+//! };
+//! let result = run_experiment(&params);
+//! assert!(result.complete());
+//! println!("latency = {:?} ms, bytes = {}", result.latency_ms, result.bytes);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod delay;
+pub mod experiment;
+pub mod invariants;
+pub mod metrics;
+pub mod sim;
+pub mod time;
+
+pub use behavior::Behavior;
+pub use delay::DelayModel;
+pub use experiment::{run_experiment, run_experiment_on_graph, ExperimentParams, ExperimentResult};
+pub use invariants::{check_brb, check_brb_processes, BroadcastRecord, Violation};
+pub use metrics::RunMetrics;
+pub use sim::Simulation;
+pub use time::SimTime;

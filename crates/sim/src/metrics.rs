@@ -1,0 +1,113 @@
+//! Metrics collected during a simulation run.
+//!
+//! The paper's evaluation reports, per broadcast:
+//!
+//! * **latency** — the time until *all correct processes* have delivered (Sec. 7.1);
+//! * **network consumption** — the total number of bytes put on the links (Table 3
+//!   field accounting);
+//! * **memory consumption** — dominated by the transmission paths stored for disjoint-path
+//!   verification (Sec. 7.3), which the simulator tracks as a peak value.
+
+use std::collections::HashMap;
+
+use brb_core::types::{BroadcastId, ProcessId};
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Counters accumulated while a simulation runs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Number of messages transmitted on the links.
+    pub messages_sent: usize,
+    /// Total bytes transmitted (per the paper's Table 3 accounting).
+    pub bytes_sent: usize,
+    /// Messages per wire kind (diagnostic; keys are debug-formatted kinds).
+    pub messages_per_kind: HashMap<String, usize>,
+    /// Delivery time of each broadcast at each process.
+    pub delivery_times: HashMap<(ProcessId, BroadcastId), SimTime>,
+    /// Peak number of transmission paths stored by any single process.
+    pub peak_stored_paths: usize,
+    /// Peak protocol-state bytes held by any single process.
+    pub peak_state_bytes: usize,
+    /// Number of events processed by the simulator.
+    pub events_processed: usize,
+}
+
+impl RunMetrics {
+    /// Records a message transmission.
+    pub fn record_send(&mut self, kind: &str, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes;
+        *self.messages_per_kind.entry(kind.to_string()).or_insert(0) += 1;
+    }
+
+    /// Records a delivery.
+    pub fn record_delivery(&mut self, process: ProcessId, id: BroadcastId, at: SimTime) {
+        self.delivery_times.entry((process, id)).or_insert(at);
+    }
+
+    /// Latency of broadcast `id`: the time at which the **last** process among `correct`
+    /// delivered it, or `None` if some correct process never delivered.
+    pub fn latency(&self, id: BroadcastId, correct: &[ProcessId]) -> Option<SimTime> {
+        let mut worst = SimTime::ZERO;
+        for &p in correct {
+            match self.delivery_times.get(&(p, id)) {
+                Some(&t) => worst = worst.max(t),
+                None => return None,
+            }
+        }
+        Some(worst)
+    }
+
+    /// Number of correct processes (from `correct`) that delivered broadcast `id`.
+    pub fn delivered_count(&self, id: BroadcastId, correct: &[ProcessId]) -> usize {
+        correct
+            .iter()
+            .filter(|&&p| self.delivery_times.contains_key(&(p, id)))
+            .count()
+    }
+
+    /// Network consumption in kilobytes (the unit of Figs. 4b/5b of the paper).
+    pub fn kilobytes_sent(&self) -> f64 {
+        self.bytes_sent as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_send_accumulates() {
+        let mut m = RunMetrics::default();
+        m.record_send("Echo", 100);
+        m.record_send("Echo", 50);
+        m.record_send("Ready", 10);
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.bytes_sent, 160);
+        assert_eq!(m.messages_per_kind["Echo"], 2);
+        assert_eq!(m.kilobytes_sent(), 0.16);
+    }
+
+    #[test]
+    fn latency_is_the_worst_correct_delivery() {
+        let mut m = RunMetrics::default();
+        let id = BroadcastId::new(0, 0);
+        m.record_delivery(1, id, SimTime::from_millis(100));
+        m.record_delivery(2, id, SimTime::from_millis(250));
+        assert_eq!(m.latency(id, &[1, 2]), Some(SimTime::from_millis(250)));
+        assert_eq!(m.latency(id, &[1]), Some(SimTime::from_millis(100)));
+        assert_eq!(m.latency(id, &[1, 2, 3]), None, "process 3 never delivered");
+        assert_eq!(m.delivered_count(id, &[1, 2, 3]), 2);
+    }
+
+    #[test]
+    fn first_delivery_time_wins() {
+        let mut m = RunMetrics::default();
+        let id = BroadcastId::new(0, 0);
+        m.record_delivery(1, id, SimTime::from_millis(10));
+        m.record_delivery(1, id, SimTime::from_millis(99));
+        assert_eq!(m.delivery_times[&(1, id)], SimTime::from_millis(10));
+    }
+}

@@ -1,0 +1,418 @@
+//! The discrete-event network simulator.
+//!
+//! The simulator owns one protocol instance per process, a virtual clock and a priority
+//! queue of in-flight messages. Sending a message schedules its reception after a delay
+//! drawn from the configured [`DelayModel`]; receptions are processed in timestamp order,
+//! which reproduces the synchronous and asynchronous regimes of the paper's evaluation
+//! (asynchronous delays reorder messages exactly as described in Sec. 7.6).
+//!
+//! Determinism: for a fixed seed, topology and protocol configuration, a run is perfectly
+//! reproducible (events with equal timestamps are ordered by a sequence number).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use brb_core::protocol::Protocol;
+use brb_core::types::{Action, Payload, ProcessId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::behavior::Behavior;
+use crate::delay::DelayModel;
+use crate::metrics::RunMetrics;
+use crate::time::SimTime;
+
+/// An in-flight message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    from: ProcessId,
+    to: ProcessId,
+    message: M,
+}
+
+impl<M: Eq> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<M: Eq> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Discrete-event simulation of a set of processes running protocol `P`.
+pub struct Simulation<P: Protocol>
+where
+    P::Message: Eq,
+{
+    processes: Vec<P>,
+    behaviors: Vec<Behavior>,
+    sent_per_process: Vec<usize>,
+    queue: BinaryHeap<Reverse<Event<P::Message>>>,
+    now: SimTime,
+    next_seq: u64,
+    delay: DelayModel,
+    rng: StdRng,
+    metrics: RunMetrics,
+    /// Safety bound on processed events (guards against configuration mistakes that would
+    /// otherwise loop forever, e.g. the unoptimized protocol on large dense graphs).
+    max_events: usize,
+}
+
+impl<P: Protocol> Simulation<P>
+where
+    P::Message: Eq,
+{
+    /// Creates a simulation over the given processes, all initially [`Behavior::Correct`].
+    pub fn new(processes: Vec<P>, delay: DelayModel, seed: u64) -> Self {
+        let n = processes.len();
+        Self {
+            processes,
+            behaviors: vec![Behavior::Correct; n],
+            sent_per_process: vec![0; n],
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            delay,
+            rng: StdRng::seed_from_u64(seed),
+            metrics: RunMetrics::default(),
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Overrides the behaviour of one process.
+    pub fn set_behavior(&mut self, process: ProcessId, behavior: Behavior) {
+        self.behaviors[process] = behavior;
+    }
+
+    /// Overrides the event-count safety bound.
+    pub fn set_max_events(&mut self, max_events: usize) {
+        self.max_events = max_events;
+    }
+
+    /// Identifiers of the processes with [`Behavior::Correct`].
+    pub fn correct_processes(&self) -> Vec<ProcessId> {
+        self.behaviors
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_byzantine())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Immutable access to the protocol instances.
+    pub fn processes(&self) -> &[P] {
+        &self.processes
+    }
+
+    /// Mutable access to the protocol instances (used by tests to inspect or perturb
+    /// protocol state between runs).
+    pub fn processes_mut(&mut self) -> &mut [P] {
+        &mut self.processes
+    }
+
+    /// Makes process `source` broadcast `payload` at the current virtual time.
+    ///
+    /// The resulting messages are scheduled but not yet processed; call
+    /// [`Simulation::run_to_quiescence`] to process them.
+    pub fn broadcast(&mut self, source: ProcessId, payload: Payload) {
+        if !self.behaviors[source].receives() {
+            return;
+        }
+        let actions = self.processes[source].broadcast(payload);
+        self.schedule_actions(source, actions);
+    }
+
+    /// Processes events until no message is in flight (or the safety bound is reached).
+    ///
+    /// Returns the number of events processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event bound is exceeded, which indicates a diverging configuration.
+    pub fn run_to_quiescence(&mut self) -> usize {
+        let mut processed = 0usize;
+        while let Some(Reverse(event)) = self.queue.pop() {
+            processed += 1;
+            self.metrics.events_processed += 1;
+            assert!(
+                processed <= self.max_events,
+                "simulation exceeded {} events without quiescing",
+                self.max_events
+            );
+            self.now = event.at;
+            if !self.behaviors[event.to].receives() {
+                continue;
+            }
+            let actions = self.processes[event.to].handle_message(event.from, event.message);
+            self.schedule_actions(event.to, actions);
+            self.update_memory_peaks(event.to);
+        }
+        processed
+    }
+
+    /// Runs until either quiescence or the given virtual deadline; events scheduled after
+    /// the deadline remain queued. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> usize {
+        let mut processed = 0usize;
+        loop {
+            let due = matches!(self.queue.peek(), Some(Reverse(e)) if e.at <= deadline);
+            if !due {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked event exists");
+            processed += 1;
+            self.metrics.events_processed += 1;
+            assert!(
+                processed <= self.max_events,
+                "simulation exceeded {} events without quiescing",
+                self.max_events
+            );
+            self.now = event.at;
+            if !self.behaviors[event.to].receives() {
+                continue;
+            }
+            let actions = self.processes[event.to].handle_message(event.from, event.message);
+            self.schedule_actions(event.to, actions);
+            self.update_memory_peaks(event.to);
+        }
+        self.now = self.now.max(deadline);
+        processed
+    }
+
+    fn schedule_actions(&mut self, from: ProcessId, actions: Vec<Action<P::Message>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, message } => {
+                    let behavior = self.behaviors[from].clone();
+                    let copies =
+                        behavior.outbound_copies(to, self.sent_per_process[from], &mut self.rng);
+                    self.sent_per_process[from] += 1;
+                    for _ in 0..copies {
+                        let bytes = P::message_size(&message);
+                        self.metrics.record_send(&kind_label(&message), bytes);
+                        let delay = self.delay.sample(&mut self.rng);
+                        let event = Event {
+                            at: self.now + delay,
+                            seq: self.next_seq,
+                            from,
+                            to,
+                            message: message.clone(),
+                        };
+                        self.next_seq += 1;
+                        self.queue.push(Reverse(event));
+                    }
+                }
+                Action::Deliver(delivery) => {
+                    self.metrics.record_delivery(from, delivery.id, self.now);
+                }
+            }
+        }
+        self.update_memory_peaks(from);
+    }
+
+    fn update_memory_peaks(&mut self, process: ProcessId) {
+        let state = self.processes[process].state_bytes();
+        if state > self.metrics.peak_state_bytes {
+            self.metrics.peak_state_bytes = state;
+        }
+        let paths = self.processes[process].stored_paths();
+        if paths > self.metrics.peak_stored_paths {
+            self.metrics.peak_stored_paths = paths;
+        }
+    }
+}
+
+/// A short label for the message kind, derived from its `Debug` representation (the first
+/// identifier), used only for diagnostic per-kind counters.
+fn kind_label<M: std::fmt::Debug>(message: &M) -> String {
+    let repr = format!("{message:?}");
+    repr.split(|c: char| !c.is_alphanumeric())
+        .find(|s| !s.is_empty())
+        .unwrap_or("Message")
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brb_core::bd::BdProcess;
+    use brb_core::bracha::BrachaProcess;
+    use brb_core::config::Config;
+    use brb_core::types::BroadcastId;
+    use brb_graph::generate;
+
+    fn bd_simulation(
+        n: usize,
+        f: usize,
+        config: Config,
+        delay: DelayModel,
+        seed: u64,
+    ) -> Simulation<BdProcess> {
+        let graph = generate::figure1_example();
+        assert_eq!(graph.node_count(), n);
+        let processes: Vec<BdProcess> = (0..n)
+            .map(|i| BdProcess::new(i, config, graph.neighbors_vec(i)))
+            .collect();
+        let _ = f;
+        Simulation::new(processes, delay, seed)
+    }
+
+    #[test]
+    fn synchronous_bd_broadcast_delivers_everywhere() {
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        sim.broadcast(0, Payload::filled(1, 16));
+        sim.run_to_quiescence();
+        let correct = sim.correct_processes();
+        let id = BroadcastId::new(0, 0);
+        assert_eq!(sim.metrics().delivered_count(id, &correct), 10);
+        let latency = sim.metrics().latency(id, &correct).unwrap();
+        // With 50 ms hops and a diameter-2 graph, latency is a small multiple of 50 ms.
+        assert!(latency >= SimTime::from_millis(100));
+        assert!(latency <= SimTime::from_millis(500));
+        assert!(sim.metrics().bytes_sent > 0);
+        assert!(sim.metrics().messages_sent > 0);
+    }
+
+    #[test]
+    fn asynchronous_bd_broadcast_delivers_everywhere() {
+        let config = Config::latency_preset(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::asynchronous(), 7);
+        sim.broadcast(3, Payload::filled(1, 1024));
+        sim.run_to_quiescence();
+        let correct = sim.correct_processes();
+        let id = BroadcastId::new(3, 0);
+        assert_eq!(sim.metrics().delivered_count(id, &correct), 10);
+    }
+
+    #[test]
+    fn crashed_processes_do_not_prevent_delivery() {
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 3);
+        sim.set_behavior(5, Behavior::Crash);
+        sim.broadcast(0, Payload::filled(2, 16));
+        sim.run_to_quiescence();
+        let correct = sim.correct_processes();
+        assert_eq!(correct.len(), 9);
+        let id = BroadcastId::new(0, 0);
+        assert_eq!(sim.metrics().delivered_count(id, &correct), 9);
+    }
+
+    #[test]
+    fn crashed_source_broadcasts_nothing() {
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 3);
+        sim.set_behavior(0, Behavior::Crash);
+        sim.broadcast(0, Payload::filled(2, 16));
+        assert_eq!(sim.run_to_quiescence(), 0);
+        assert_eq!(sim.metrics().messages_sent, 0);
+    }
+
+    #[test]
+    fn replayer_behavior_does_not_break_no_duplication() {
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 3);
+        sim.set_behavior(1, Behavior::Replayer);
+        sim.broadcast(0, Payload::filled(2, 16));
+        sim.run_to_quiescence();
+        for p in sim.processes() {
+            assert!(p.deliveries().len() <= 1);
+        }
+        let correct = sim.correct_processes();
+        let id = BroadcastId::new(0, 0);
+        assert_eq!(sim.metrics().delivered_count(id, &correct), correct.len());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let config = Config::bandwidth_preset(10, 1);
+        let run = |seed| {
+            let mut sim = bd_simulation(10, 1, config, DelayModel::asynchronous(), seed);
+            sim.broadcast(0, Payload::filled(9, 64));
+            sim.run_to_quiescence();
+            (
+                sim.metrics().messages_sent,
+                sim.metrics().bytes_sent,
+                sim.metrics()
+                    .latency(BroadcastId::new(0, 0), &sim.correct_processes())
+                    .unwrap(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+        // Different seeds almost surely reorder events and change counters.
+        let a = run(1);
+        let b = run(2);
+        assert!(a != b || a.0 == b.0, "runs are allowed to coincide but usually differ");
+    }
+
+    #[test]
+    fn bracha_on_complete_graph_in_simulation() {
+        let n = 7;
+        let processes: Vec<BrachaProcess> = (0..n).map(|i| BrachaProcess::new(i, n, 2)).collect();
+        let mut sim = Simulation::new(processes, DelayModel::synchronous(), 11);
+        sim.broadcast(2, Payload::from("hello"));
+        sim.run_to_quiescence();
+        let correct = sim.correct_processes();
+        let id = BroadcastId::new(2, 0);
+        assert_eq!(sim.metrics().delivered_count(id, &correct), n);
+        // SEND + ECHO + READY rounds with one 50 ms hop each: exactly 150 ms on a complete
+        // graph with constant delays.
+        assert_eq!(
+            sim.metrics().latency(id, &correct),
+            Some(SimTime::from_millis(150))
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        sim.broadcast(0, Payload::filled(1, 16));
+        // Stop before the first hop completes: nothing can have been processed.
+        let processed = sim.run_until(SimTime::from_millis(10));
+        assert_eq!(processed, 0);
+        let processed = sim.run_until(SimTime::from_millis(60));
+        assert!(processed > 0, "first hop arrives at 50 ms");
+        sim.run_to_quiescence();
+        let correct = sim.correct_processes();
+        assert_eq!(
+            sim.metrics().delivered_count(BroadcastId::new(0, 0), &correct),
+            10
+        );
+    }
+
+    #[test]
+    fn kind_labels_are_extracted_from_debug() {
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        sim.broadcast(0, Payload::filled(1, 16));
+        sim.run_to_quiescence();
+        let kinds = &sim.metrics().messages_per_kind;
+        assert!(kinds.keys().any(|k| k == "WireMessage"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn event_bound_guards_against_divergence() {
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        sim.set_max_events(5);
+        sim.broadcast(0, Payload::filled(1, 16));
+        sim.run_to_quiescence();
+    }
+}

@@ -1,0 +1,268 @@
+//! Summary statistics for the PBRB experiment harnesses.
+//!
+//! The paper reports, for every modification MBD.1–12, the distribution of its relative
+//! impact on broadcast latency and on the number of bits transmitted (Figs. 7–10 show
+//! box plots with the 95% interval, the quartiles and the median; Table 1 shows observed
+//! ranges). This crate provides the small statistics toolbox those reports need:
+//!
+//! * [`Summary`] — mean / min / max / count over a sample;
+//! * [`FiveNumber`] — the box-plot row used in Figs. 7–10 (2.5th percentile, first
+//!   quartile, median, third quartile, 97.5th percentile);
+//! * [`relative_variation`] — the `(new - baseline) / baseline` percentage used throughout
+//!   Table 1 and Figs. 6–10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Basic summary of a sample: count, mean, min, max and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Minimum value (0 for an empty sample).
+    pub min: f64,
+    /// Maximum value (0 for an empty sample).
+    pub max: f64,
+    /// Population standard deviation (0 for an empty sample).
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        Self {
+            count,
+            mean,
+            min,
+            max,
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+/// The five numbers reported by the paper's box plots (Figs. 7–10): the 95% interval
+/// bounds, the quartiles, and the median.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiveNumber {
+    /// 2.5th percentile (lower bound of the 95% interval).
+    pub p2_5: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// 97.5th percentile (upper bound of the 95% interval).
+    pub p97_5: f64,
+}
+
+impl FiveNumber {
+    /// Computes the five-number summary of a sample.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        Some(Self {
+            p2_5: percentile_sorted(&sorted, 2.5),
+            q1: percentile_sorted(&sorted, 25.0),
+            median: percentile_sorted(&sorted, 50.0),
+            q3: percentile_sorted(&sorted, 75.0),
+            p97_5: percentile_sorted(&sorted, 97.5),
+        })
+    }
+
+    /// Formats the five numbers in the bracketed style used on the side of Figs. 7–10,
+    /// e.g. `[-51 -34 -29 -22 -6]`.
+    pub fn to_bracket_string(&self) -> String {
+        format!(
+            "[{:.1} {:.1} {:.1} {:.1} {:.1}]",
+            self.p2_5, self.q1, self.median, self.q3, self.p97_5
+        )
+    }
+}
+
+/// Linear-interpolation percentile of an **already sorted** sample; `pct` in `[0, 100]`.
+///
+/// # Panics
+///
+/// Panics if the sample is empty.
+pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    let pct = pct.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Percentile of an unsorted sample (sorts a copy).
+///
+/// # Panics
+///
+/// Panics if the sample is empty or contains NaN.
+pub fn percentile(values: &[f64], pct: f64) -> f64 {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    percentile_sorted(&sorted, pct)
+}
+
+/// Median of a sample.
+///
+/// # Panics
+///
+/// Panics if the sample is empty.
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// Arithmetic mean, or 0 for an empty sample.
+pub fn mean(values: &[f64]) -> f64 {
+    Summary::of(values).mean
+}
+
+/// Relative variation `(value - baseline) / baseline`, expressed in percent — the quantity
+/// Table 1 and Figs. 6–10 report ("Lat. var. %", "# bits var.").
+///
+/// Returns 0 when the baseline is 0 and the value is also 0, and `f64::INFINITY` /
+/// `f64::NEG_INFINITY` when only the baseline is 0.
+pub fn relative_variation(baseline: f64, value: f64) -> f64 {
+    if baseline == 0.0 {
+        if value == 0.0 {
+            0.0
+        } else if value > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        (value - baseline) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_sample_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[4.0, 4.0, 4.0]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn summary_mean_and_bounds() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.std_dev > 0.0);
+    }
+
+    #[test]
+    fn five_number_of_empty_is_none() {
+        assert!(FiveNumber::of(&[]).is_none());
+    }
+
+    #[test]
+    fn five_number_of_uniform_ramp() {
+        let values: Vec<f64> = (0..=100).map(|v| v as f64).collect();
+        let f = FiveNumber::of(&values).unwrap();
+        assert!((f.median - 50.0).abs() < 1e-9);
+        assert!((f.q1 - 25.0).abs() < 1e-9);
+        assert!((f.q3 - 75.0).abs() < 1e-9);
+        assert!((f.p2_5 - 2.5).abs() < 1e-9);
+        assert!((f.p97_5 - 97.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn five_number_bracket_string_format() {
+        let f = FiveNumber::of(&[1.0, 2.0, 3.0]).unwrap();
+        let s = f.to_bracket_string();
+        assert!(s.starts_with('['));
+        assert!(s.ends_with(']'));
+        assert_eq!(s.split_whitespace().count(), 5);
+    }
+
+    #[test]
+    fn percentile_of_singleton() {
+        assert_eq!(percentile(&[7.0], 90.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        assert!((percentile(&[0.0, 10.0], 50.0) - 5.0).abs() < 1e-12);
+        assert!((percentile(&[0.0, 10.0], 25.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], -5.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 150.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_of_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert!((median(&[1.0, 2.0, 3.0, 4.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_variation_basic() {
+        assert!((relative_variation(100.0, 50.0) + 50.0).abs() < 1e-12);
+        assert!((relative_variation(100.0, 197.0) - 97.0).abs() < 1e-12);
+        assert_eq!(relative_variation(0.0, 0.0), 0.0);
+        assert_eq!(relative_variation(0.0, 1.0), f64::INFINITY);
+        assert_eq!(relative_variation(0.0, -1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Topology explorer: characterises candidate communication graphs and checks whether they
+//! can support Byzantine reliable broadcast for a given fault budget.
+//!
+//! Dolev's protocol (and therefore the Bracha–Dolev combination) needs the communication
+//! network to be at least `2f+1`-vertex-connected. This example builds a handful of
+//! topology families — the paper's random regular graphs, minimum-edge Harary graphs,
+//! hub-and-spoke generalized wheels, small-world and preferential-attachment graphs — and
+//! prints for each one the structural metrics that drive protocol cost (degrees, density,
+//! path lengths, clustering), its vertex connectivity, the largest fault budget it
+//! supports, and a sample of the disjoint routes the known-topology Dolev variant would
+//! precompute.
+//!
+//! Run with: `cargo run --release --example topology_explorer`
+
+use brb_graph::paths::k_disjoint_routes;
+use brb_graph::{analysis, connectivity, families, generate, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn report(label: &str, graph: &Graph) {
+    let kappa = connectivity::vertex_connectivity(graph);
+    let max_f = if kappa == 0 { 0 } else { (kappa - 1) / 2 };
+    let quorum_f = if graph.node_count() == 0 {
+        0
+    } else {
+        (graph.node_count() - 1) / 3
+    };
+    let supported_f = max_f.min(quorum_f);
+    println!("== {label}");
+    println!("   {}", analysis::describe(graph));
+    println!(
+        "   vertex connectivity k = {kappa}; supports f <= {supported_f} \
+         (connectivity allows {max_f}, quorums allow {quorum_f})"
+    );
+    let cuts = analysis::articulation_points(graph);
+    if !cuts.is_empty() {
+        println!(
+            "   WARNING: articulation points {cuts:?} — a single Byzantine process can \
+             partition this network"
+        );
+    }
+    if graph.node_count() >= 2 && kappa > 0 {
+        let routes = k_disjoint_routes(graph, 0, graph.node_count() - 1, kappa);
+        println!(
+            "   disjoint routes 0 -> {}: {:?}",
+            graph.node_count() - 1,
+            routes
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let random_regular = generate::random_regular_connected(20, 7, 7, &mut rng)
+        .expect("a 7-connected 7-regular graph over 20 nodes exists");
+    report("Random 7-regular graph, N = 20 (the paper's family)", &random_regular);
+
+    report("Petersen graph (Fig. 1 of the paper)", &generate::figure1_example());
+
+    report(
+        "Harary graph H_{5,20} (minimum edges for k = 5)",
+        &families::harary(5, 20).expect("feasible"),
+    );
+
+    report(
+        "Generalized wheel W(3, 17) (hub-and-spoke, k = 5)",
+        &families::generalized_wheel(3, 17),
+    );
+
+    report("4x5 torus (k = 4)", &families::grid(4, 5, true));
+
+    let small_world = families::watts_strogatz(20, 6, 0.15, &mut rng).expect("feasible");
+    report("Watts-Strogatz small world (N = 20, k = 6, beta = 0.15)", &small_world);
+
+    let scale_free = families::barabasi_albert(20, 3, &mut rng).expect("feasible");
+    report("Barabasi-Albert preferential attachment (N = 20, m = 3)", &scale_free);
+
+    report("Star graph (unusable: hub is a single point of failure)", &families::star(20));
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the PBRB reproduction crates.
+//!
+//! See the individual crates for details:
+//! [`brb_core`] (protocols), [`brb_graph`] (topologies), [`brb_sim`] (discrete-event
+//! simulator), [`brb_runtime`] (threaded deployment) and [`brb_stats`] (statistics).
+#![forbid(unsafe_code)]
+
+pub use brb_core as core;
+pub use brb_graph as graph;
+pub use brb_runtime as runtime;
+pub use brb_sim as sim;
+pub use brb_stats as stats;

@@ -1,0 +1,209 @@
+//! Failure-injection tests: the flooding Bracha–Dolev engine under the simulator's
+//! stronger adversary behaviours (targeted silence, flooding amplification, mid-broadcast
+//! failures), validated with the BRB invariant checkers.
+
+use brb_core::config::Config;
+use brb_core::protocol::Protocol;
+use brb_core::types::{BroadcastId, Payload};
+use brb_core::BdProcess;
+use brb_graph::{families, generate, Graph};
+use brb_sim::invariants::{check_brb_processes, check_no_duplication, BroadcastRecord};
+use brb_sim::{Behavior, DelayModel, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bd_processes(graph: &Graph, config: Config) -> Vec<BdProcess> {
+    (0..graph.node_count())
+        .map(|i| BdProcess::new(i, config, graph.neighbors_vec(i)))
+        .collect()
+}
+
+#[test]
+fn targeted_silence_cannot_starve_its_victims() {
+    // One Byzantine process drops everything addressed to two victims. The victims still
+    // receive every content through their other neighbors (the graph is 2f+1-connected),
+    // so validity and agreement hold.
+    let (n, k, f) = (14, 5, 2);
+    let mut rng = StdRng::seed_from_u64(41);
+    let graph = generate::random_regular_connected(n, k, 2 * f + 1, &mut rng).unwrap();
+    let config = Config::bdopt_mbd1(n, f);
+    let mut sim = Simulation::new(bd_processes(&graph, config), DelayModel::synchronous(), 9);
+    sim.set_behavior(3, Behavior::SilentTowards(vec![0, 7]));
+    sim.set_behavior(10, Behavior::Crash);
+
+    let payload = Payload::filled(0x11, 1024);
+    sim.broadcast(1, payload.clone());
+    sim.run_to_quiescence();
+
+    let correct = sim.correct_processes();
+    assert_eq!(correct.len(), n - 2);
+    let broadcasts = [BroadcastRecord::new(1, BroadcastId::new(1, 0), payload)];
+    check_brb_processes(sim.processes(), &correct, &broadcasts).expect("BRB properties hold");
+}
+
+#[test]
+fn flooding_amplifier_cannot_cause_duplicate_deliveries() {
+    // A Byzantine process sends five copies of every message. The protocol must stay
+    // idempotent: no correct process delivers twice, and the broadcast still completes.
+    let (n, k, f) = (12, 4, 1);
+    let mut rng = StdRng::seed_from_u64(13);
+    let graph = generate::random_regular_connected(n, k, 2 * f + 1, &mut rng).unwrap();
+    let config = Config::bandwidth_preset(n, f);
+    let mut sim = Simulation::new(bd_processes(&graph, config), DelayModel::asynchronous(), 29);
+    sim.set_behavior(6, Behavior::Flooder(5));
+
+    let payload = Payload::filled(0x22, 16);
+    sim.broadcast(0, payload.clone());
+    sim.run_to_quiescence();
+
+    let correct = sim.correct_processes();
+    let broadcasts = [BroadcastRecord::new(0, BroadcastId::new(0, 0), payload)];
+    check_brb_processes(sim.processes(), &correct, &broadcasts).expect("BRB properties hold");
+    // The flooder itself also must not double-deliver (its engine is still the correct
+    // implementation, only its link layer duplicates).
+    let logs: Vec<&[brb_core::types::Delivery]> =
+        sim.processes().iter().map(|p| p.deliveries()).collect();
+    check_no_duplication(&logs, &(0..n).collect::<Vec<_>>()).expect("no duplicates anywhere");
+}
+
+#[test]
+fn mid_broadcast_failure_leaves_a_consistent_system() {
+    // A process fails after relaying only a handful of messages: whatever partial state it
+    // propagated must not break agreement for the others.
+    let (n, k, f) = (13, 4, 1);
+    let graph = generate::circulant(n, 2);
+    let config = Config::latency_preset(n, f);
+    let mut sim = Simulation::new(bd_processes(&graph, config), DelayModel::synchronous(), 77);
+    sim.set_behavior(5, Behavior::FailsAfter(3));
+    let _ = k;
+
+    let payload = Payload::filled(0x33, 256);
+    sim.broadcast(12, payload.clone());
+    sim.run_to_quiescence();
+
+    let correct = sim.correct_processes();
+    let broadcasts = [BroadcastRecord::new(12, BroadcastId::new(12, 0), payload)];
+    check_brb_processes(sim.processes(), &correct, &broadcasts).expect("BRB properties hold");
+}
+
+#[test]
+fn lossy_links_on_a_minimum_edge_topology() {
+    // Harary graph H_{3,10}: exactly 3-connected with the minimum number of edges. One
+    // Byzantine process drops 30% of its outbound messages; the rest of the system still
+    // reaches agreement under asynchronous delays.
+    let f = 1;
+    let graph = families::harary(3, 10).unwrap();
+    let config = Config::bdopt(10, f);
+    let mut sim = Simulation::new(bd_processes(&graph, config), DelayModel::asynchronous(), 1234);
+    sim.set_behavior(4, Behavior::Lossy(0.3));
+
+    let payload = Payload::filled(0x44, 16);
+    sim.broadcast(0, payload.clone());
+    sim.run_to_quiescence();
+
+    let correct = sim.correct_processes();
+    let broadcasts = [BroadcastRecord::new(0, BroadcastId::new(0, 0), payload)];
+    check_brb_processes(sim.processes(), &correct, &broadcasts).expect("BRB properties hold");
+}
+
+#[test]
+fn mbd_one_to_eleven_survive_a_crashed_relay_on_the_wheel() {
+    // A generalized wheel with 2f+1 = 3 connectivity, one crashed rim process, and each of
+    // MBD.1–11 enabled on its own: a quick sweep that exercises the interaction of each
+    // modification with a partially failed, minimally connected topology. (MBD.12 is
+    // covered separately below: its fanout reduction is not live in this scenario.)
+    let f = 1;
+    let graph = families::generalized_wheel(1, 10); // 3-connected, 11 nodes
+    let n = graph.node_count();
+    for mbd in 1u8..=11 {
+        let config = Config::bdopt(n, f).with_mbd(&[1, mbd]);
+        let mut sim = Simulation::new(bd_processes(&graph, config), DelayModel::synchronous(), 5);
+        sim.set_behavior(6, Behavior::Crash);
+        let payload = Payload::filled(mbd, 64);
+        sim.broadcast(0, payload.clone());
+        sim.run_to_quiescence();
+
+        let correct = sim.correct_processes();
+        let broadcasts = [BroadcastRecord::new(0, BroadcastId::new(0, 0), payload)];
+        check_brb_processes(sim.processes(), &correct, &broadcasts)
+            .unwrap_or_else(|v| panic!("MBD.{mbd} violated BRB: {v}"));
+    }
+}
+
+#[test]
+fn mbd12_loses_liveness_but_not_safety_on_a_minimally_connected_wheel_with_a_crash() {
+    // Reproduction finding (documented in EXPERIMENTS.md): MBD.12 makes a process send its
+    // *newly created* messages to only 2f+1 of its neighbors, and MD.5 then stops it from
+    // relaying further paths for that content. On a minimally connected hub-and-spoke
+    // topology (generalized wheel, vertex connectivity exactly 2f+1 = 3), if a rim process
+    // crashes, the rim processes on the far side of the crash can collect only one
+    // disjoint path — the hub, having already "delivered and forwarded the empty path" (to
+    // its truncated fanout), never helps again — so nobody reaches the Echo quorum and the
+    // broadcast stalls. Safety (agreement, no duplication) is preserved: nothing wrong is
+    // ever delivered. On the paper's random regular graphs, whose connectivity comfortably
+    // exceeds 2f+1, this corner case does not arise (see `table1` harness results).
+    let f = 1;
+    let graph = families::generalized_wheel(1, 10);
+    let n = graph.node_count();
+    let config = Config::bdopt(n, f).with_mbd(&[1, 12]);
+    let mut sim = Simulation::new(bd_processes(&graph, config), DelayModel::synchronous(), 5);
+    sim.set_behavior(6, Behavior::Crash);
+    let payload = Payload::filled(12, 64);
+    sim.broadcast(0, payload.clone());
+    sim.run_to_quiescence();
+
+    // Liveness is lost: no correct process delivers.
+    assert!(sim.processes().iter().all(|p| p.deliveries().is_empty()));
+    // Safety is preserved: no duplication, and agreement holds vacuously.
+    let correct = sim.correct_processes();
+    let logs: Vec<&[brb_core::types::Delivery]> =
+        sim.processes().iter().map(|p| p.deliveries()).collect();
+    check_no_duplication(&logs, &correct).expect("no duplicates");
+    brb_sim::invariants::check_agreement(&logs, &correct).expect("vacuous agreement holds");
+
+    // The same configuration on the same topology is perfectly live without the crash...
+    let mut healthy = Simulation::new(bd_processes(&graph, config), DelayModel::synchronous(), 5);
+    healthy.broadcast(0, payload.clone());
+    healthy.run_to_quiescence();
+    assert!(healthy.processes().iter().all(|p| p.deliveries().len() == 1));
+
+    // ...and on a topology with one unit of spare connectivity (4-connected circulant),
+    // MBD.12 tolerates the crash as the paper's evaluation setting would suggest.
+    let spare = generate::circulant(11, 2);
+    let spare_config = Config::bdopt(11, f).with_mbd(&[1, 12]);
+    let mut spare_sim =
+        Simulation::new(bd_processes(&spare, spare_config), DelayModel::synchronous(), 5);
+    spare_sim.set_behavior(6, Behavior::Crash);
+    spare_sim.broadcast(0, payload.clone());
+    spare_sim.run_to_quiescence();
+    let spare_correct = spare_sim.correct_processes();
+    let broadcasts = [BroadcastRecord::new(0, BroadcastId::new(0, 0), payload)];
+    check_brb_processes(spare_sim.processes(), &spare_correct, &broadcasts)
+        .expect("BRB holds with spare connectivity");
+}
+
+#[test]
+fn two_simultaneous_sources_with_a_crash_still_agree_everywhere() {
+    let (n, k, f) = (14, 5, 2);
+    let mut rng = StdRng::seed_from_u64(99);
+    let graph = generate::random_regular_connected(n, k, 2 * f + 1, &mut rng).unwrap();
+    let config = Config::latency_bandwidth_preset(n, f);
+    let mut sim = Simulation::new(bd_processes(&graph, config), DelayModel::asynchronous(), 99);
+    sim.set_behavior(9, Behavior::Crash);
+
+    let payload_a = Payload::filled(0xA0, 128);
+    let payload_b = Payload::filled(0xB0, 128);
+    sim.broadcast(0, payload_a.clone());
+    sim.broadcast(1, payload_b.clone());
+    sim.run_to_quiescence();
+
+    let correct = sim.correct_processes();
+    let broadcasts = [
+        BroadcastRecord::new(0, BroadcastId::new(0, 0), payload_a),
+        BroadcastRecord::new(1, BroadcastId::new(1, 0), payload_b),
+    ];
+    check_brb_processes(sim.processes(), &correct, &broadcasts).expect("BRB properties hold");
+    for &p in &correct {
+        assert_eq!(sim.processes()[p].deliveries().len(), 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-backend integration test: the same protocol engine and configuration deliver the
+//! same broadcast on all three execution back ends — the deterministic discrete-event
+//! simulator, the thread-per-process channel runtime, and the TCP socket deployment.
+//!
+//! The paper's evaluation runs on one back end only (containers + TCP); keeping the three
+//! back ends in agreement is what justifies reading the simulator's latency and bandwidth
+//! figures as predictions for the deployed system.
+
+use std::time::Duration;
+
+use brb_core::config::Config;
+use brb_core::types::{BroadcastId, Payload};
+use brb_core::BdProcess;
+use brb_graph::generate;
+use brb_net::run_tcp_broadcast;
+use brb_runtime::deployment::run_threaded_broadcast;
+use brb_sim::{DelayModel, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_three_backends_deliver_the_same_broadcast() {
+    let (n, k, f) = (12, 5, 2);
+    let mut rng = StdRng::seed_from_u64(2021);
+    let graph = generate::random_regular_connected(n, k, 2 * f + 1, &mut rng).unwrap();
+    let config = Config::bandwidth_preset(n, f);
+    let payload = Payload::from("one engine, three backends");
+    let source = 4;
+    let id = BroadcastId::new(source, 0);
+
+    // 1. Discrete-event simulator.
+    let processes: Vec<BdProcess> = (0..n)
+        .map(|i| BdProcess::new(i, config, graph.neighbors_vec(i)))
+        .collect();
+    let mut sim = Simulation::new(processes, DelayModel::synchronous(), 1);
+    sim.broadcast(source, payload.clone());
+    sim.run_to_quiescence();
+    let correct = sim.correct_processes();
+    assert_eq!(sim.metrics().delivered_count(id, &correct), n);
+
+    // 2. Thread-per-process runtime over crossbeam channels.
+    let threaded = run_threaded_broadcast(
+        &graph,
+        config,
+        payload.clone(),
+        source,
+        &[],
+        Duration::from_secs(20),
+    );
+    let everyone: Vec<usize> = (0..n).collect();
+    assert!(threaded.all_delivered(&everyone, 1));
+
+    // 3. TCP sockets over loopback.
+    let tcp = run_tcp_broadcast(
+        &graph,
+        config,
+        payload.clone(),
+        source,
+        &[],
+        Duration::from_secs(20),
+    )
+    .expect("TCP deployment starts");
+    assert!(tcp.all_delivered(&everyone, 1));
+
+    // Every backend attributes the delivery to the same broadcast identifier and payload.
+    for node in threaded.nodes.iter().chain(tcp.nodes.iter()) {
+        assert_eq!(node.deliveries[0].id, id);
+        assert_eq!(node.deliveries[0].payload, payload);
+    }
+}
+
+#[test]
+fn tcp_backend_tolerates_a_crashed_process_like_the_simulator() {
+    let (n, f) = (10, 1);
+    let graph = generate::figure1_example();
+    let config = Config::latency_preset(n, f);
+    let payload = Payload::filled(0x7E, 512);
+    let crashed = vec![6usize];
+
+    // Simulator prediction: all correct processes deliver.
+    let processes: Vec<BdProcess> = (0..n)
+        .map(|i| BdProcess::new(i, config, graph.neighbors_vec(i)))
+        .collect();
+    let mut sim = Simulation::new(processes, DelayModel::synchronous(), 4);
+    sim.set_behavior(6, brb_sim::Behavior::Crash);
+    sim.broadcast(0, payload.clone());
+    sim.run_to_quiescence();
+    let sim_correct = sim.correct_processes();
+    assert_eq!(
+        sim.metrics()
+            .delivered_count(BroadcastId::new(0, 0), &sim_correct),
+        n - 1
+    );
+
+    // TCP deployment observation.
+    let report = run_tcp_broadcast(
+        &graph,
+        config,
+        payload.clone(),
+        0,
+        &crashed,
+        Duration::from_secs(20),
+    )
+    .expect("TCP deployment starts");
+    let correct: Vec<usize> = (0..n).filter(|p| !crashed.contains(p)).collect();
+    assert!(report.all_delivered(&correct, 1));
+    assert!(report.nodes[6].deliveries.is_empty());
+    assert!(report.total_bytes() > 0);
+}

@@ -18,7 +18,10 @@ fn bench_full_broadcast(c: &mut Criterion) {
         ("bdopt_mbd1", Config::bdopt_mbd1(n, f)),
         ("lat", Config::latency_preset(n, f)),
         ("bdw", Config::bandwidth_preset(n, f)),
-        ("all_mbd", Config::bdopt(n, f).with_mbd(&(1..=12).collect::<Vec<_>>())),
+        (
+            "all_mbd",
+            Config::bdopt(n, f).with_mbd(&(1..=12).collect::<Vec<_>>()),
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
             let params = ExperimentParams {

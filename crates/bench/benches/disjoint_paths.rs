@@ -24,7 +24,11 @@ fn random_paths(n: usize, count: usize, len: usize, seed: u64) -> Vec<PathSet> {
 
 fn bench_disjoint_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("disjoint_path_verification");
-    for &(n, count, len, threshold) in &[(50usize, 40usize, 3usize, 6usize), (50, 80, 5, 10), (100, 120, 4, 10)] {
+    for &(n, count, len, threshold) in &[
+        (50usize, 40usize, 3usize, 6usize),
+        (50, 80, 5, 10),
+        (100, 120, 4, 10),
+    ] {
         let paths = random_paths(n, count, len, 42);
         group.bench_with_input(
             BenchmarkId::new("add_until_threshold", format!("n{n}_paths{count}_len{len}")),

@@ -9,13 +9,18 @@ use rand::SeedableRng;
 fn bench_random_regular(c: &mut Criterion) {
     let mut group = c.benchmark_group("random_regular_graph");
     for &(n, k) in &[(30usize, 9usize), (50, 25), (100, 21)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &(n, k), |b, &(n, k)| {
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| {
-                let g = generate::random_regular_graph(black_box(n), black_box(k), &mut rng).unwrap();
-                black_box(g.edge_count())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| {
+                    let g = generate::random_regular_graph(black_box(n), black_box(k), &mut rng)
+                        .unwrap();
+                    black_box(g.edge_count())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -25,9 +30,11 @@ fn bench_vertex_connectivity(c: &mut Criterion) {
     for &(n, k) in &[(20usize, 5usize), (30, 9)] {
         let mut rng = StdRng::seed_from_u64(3);
         let graph = generate::random_regular_graph(n, k, &mut rng).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &graph, |b, graph| {
-            b.iter(|| black_box(connectivity::vertex_connectivity(graph)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &graph,
+            |b, graph| b.iter(|| black_box(connectivity::vertex_connectivity(graph))),
+        );
     }
     group.finish();
 }

@@ -54,9 +54,7 @@ fn bench_bd_configurations(c: &mut Criterion) {
         ("bdopt_mbd1", Config::bdopt_mbd1(N, F)),
         ("lat_bdw_preset", Config::latency_bandwidth_preset(N, F)),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(run_bd(&graph, config)))
-        });
+        group.bench_function(label, |b| b.iter(|| black_box(run_bd(&graph, config))));
     }
     group.finish();
 }

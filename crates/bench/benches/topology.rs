@@ -49,7 +49,9 @@ fn bench_disjoint_route_extraction(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("single_pair_maximum_set", format!("n{n}_d{d}")),
             &graph,
-            |b, graph| b.iter(|| black_box(vertex_disjoint_paths(graph, 0, graph.node_count() - 1).len())),
+            |b, graph| {
+                b.iter(|| black_box(vertex_disjoint_paths(graph, 0, graph.node_count() - 1).len()))
+            },
         );
     }
     group.finish();
@@ -66,13 +68,25 @@ fn bench_graph_families(c: &mut Criterion) {
     group.bench_function("watts_strogatz_50_6", |b| {
         b.iter_with_setup(
             || StdRng::seed_from_u64(5),
-            |mut rng| black_box(families::watts_strogatz(50, 6, 0.1, &mut rng).unwrap().edge_count()),
+            |mut rng| {
+                black_box(
+                    families::watts_strogatz(50, 6, 0.1, &mut rng)
+                        .unwrap()
+                        .edge_count(),
+                )
+            },
         )
     });
     group.bench_function("barabasi_albert_50_3", |b| {
         b.iter_with_setup(
             || StdRng::seed_from_u64(5),
-            |mut rng| black_box(families::barabasi_albert(50, 3, &mut rng).unwrap().edge_count()),
+            |mut rng| {
+                black_box(
+                    families::barabasi_albert(50, 3, &mut rng)
+                        .unwrap()
+                        .edge_count(),
+                )
+            },
         )
     });
     group.finish();

@@ -56,16 +56,22 @@ pub fn run_fig4(scale: Scale, asynchronous: bool) -> Vec<SeriesPoint> {
         Scale::Quick => (20, 3, 1024),
         Scale::Paper => (50, 9, 1024),
     };
-    let configs: Vec<(String, Config)> = [(1u8, None), (1, Some(7)), (1, Some(8)), (1, Some(9)), (1, Some(11))]
-        .iter()
-        .map(|&(_, extra)| match extra {
-            None => ("BDopt + MBD.1".to_string(), Config::bdopt_mbd1(n, f)),
-            Some(i) => (
-                format!("BDopt + MBD.1/{i}"),
-                Config::bdopt_mbd1(n, f).with_mbd(&[i]),
-            ),
-        })
-        .collect();
+    let configs: Vec<(String, Config)> = [
+        (1u8, None),
+        (1, Some(7)),
+        (1, Some(8)),
+        (1, Some(9)),
+        (1, Some(11)),
+    ]
+    .iter()
+    .map(|&(_, extra)| match extra {
+        None => ("BDopt + MBD.1".to_string(), Config::bdopt_mbd1(n, f)),
+        Some(i) => (
+            format!("BDopt + MBD.1/{i}"),
+            Config::bdopt_mbd1(n, f).with_mbd(&[i]),
+        ),
+    })
+    .collect();
     let points = sweep(scale, asynchronous, n, f, payload, &configs);
     print_series(
         &format!("Fig. 4a/4b — N={n}, f={f}, {payload} B payload"),
@@ -85,7 +91,10 @@ pub fn run_fig5(scale: Scale, asynchronous: bool) -> Vec<SeriesPoint> {
         ("BDopt + MBD.1".to_string(), Config::bdopt_mbd1(n, f)),
         ("lat.".to_string(), Config::latency_preset(n, f)),
         ("bdw.".to_string(), Config::bandwidth_preset(n, f)),
-        ("lat. & bdw.".to_string(), Config::latency_bandwidth_preset(n, f)),
+        (
+            "lat. & bdw.".to_string(),
+            Config::latency_bandwidth_preset(n, f),
+        ),
     ];
     let points = sweep(scale, asynchronous, n, f, payload, &configs);
     print_series(
@@ -182,7 +191,15 @@ pub fn run_memory(scale: Scale) -> Vec<(usize, f64, f64)> {
     for (n, k, f) in systems {
         let graphs = shared_graphs(n, k, scale.runs());
         let r = averaged_on_graphs(
-            &experiment(n, k, f, 16, Config::bdopt(n, f), DelayModel::synchronous(), 1),
+            &experiment(
+                n,
+                k,
+                f,
+                16,
+                Config::bdopt(n, f),
+                DelayModel::synchronous(),
+                1,
+            ),
             &graphs,
         );
         println!(
@@ -247,7 +264,7 @@ mod tests {
     fn connectivity_sweep_respects_constraints() {
         for &(n, f) in &[(20usize, 3usize), (30, 7), (50, 9)] {
             for k in sweep_connectivities(Scale::Paper, n, f) {
-                assert!(k >= 2 * f + 1);
+                assert!(k > 2 * f);
                 assert!(k < n);
                 assert_eq!((n * k) % 2, 0, "n*k must be even for a regular graph");
             }
@@ -258,12 +275,19 @@ mod tests {
     fn quick_fig5_bdw_reduces_bandwidth() {
         let points = run_fig5(Scale::Quick, false);
         assert!(!points.is_empty());
-        for k in points.iter().map(|p| p.k).collect::<std::collections::BTreeSet<_>>() {
+        for k in points
+            .iter()
+            .map(|p| p.k)
+            .collect::<std::collections::BTreeSet<_>>()
+        {
             let base = points
                 .iter()
                 .find(|p| p.k == k && p.label == "BDopt + MBD.1")
                 .unwrap();
-            let bdw = points.iter().find(|p| p.k == k && p.label == "bdw.").unwrap();
+            let bdw = points
+                .iter()
+                .find(|p| p.k == k && p.label == "bdw.")
+                .unwrap();
             assert!(
                 bdw.result.bytes <= base.result.bytes,
                 "bdw. preset should not increase bandwidth at k = {k}"

@@ -82,9 +82,13 @@ pub fn compute_table1(scale: Scale, asynchronous: bool, payloads: &[usize]) -> V
                 let (base_cfg, mod_cfg) = if mbd == 1 {
                     (Config::bdopt(n, f), Config::bdopt_mbd1(n, f))
                 } else {
-                    (Config::bdopt_mbd1(n, f), Config::bdopt_mbd1(n, f).with_mbd(&[mbd]))
+                    (
+                        Config::bdopt_mbd1(n, f),
+                        Config::bdopt_mbd1(n, f).with_mbd(&[mbd]),
+                    )
                 };
-                let base = averaged_on_graphs(&experiment(n, k, f, payload, base_cfg, delay, 1), &graphs);
+                let base =
+                    averaged_on_graphs(&experiment(n, k, f, payload, base_cfg, delay, 1), &graphs);
                 let modified =
                     averaged_on_graphs(&experiment(n, k, f, payload, mod_cfg, delay, 1), &graphs);
                 latency_var.push(variation_pct(base.latency_ms, modified.latency_ms));
@@ -107,7 +111,11 @@ pub fn run_table1(scale: Scale, asynchronous: bool) -> Vec<Table1Row> {
     let rows = compute_table1(scale, asynchronous, &payloads);
     println!(
         "# Table 1 — impact of each modification ({} communications, {:?} scale)",
-        if asynchronous { "asynchronous" } else { "synchronous" },
+        if asynchronous {
+            "asynchronous"
+        } else {
+            "synchronous"
+        },
         scale
     );
     println!("# MBD.1 is relative to BDopt; MBD.2-12 are relative to BDopt+MBD.1.");
@@ -146,6 +154,9 @@ mod tests {
             "MBD.1 must cut most of the bytes with 1 KiB payloads, got max {bytes_max}"
         );
         let mbd11 = rows.iter().find(|r| r.mbd == 11).unwrap();
-        assert!(mbd11.bytes_range().0 < 0.0, "MBD.11 reduces bytes somewhere in the sweep");
+        assert!(
+            mbd11.bytes_range().0 < 0.0,
+            "MBD.11 reduces bytes somewhere in the sweep"
+        );
     }
 }

@@ -23,9 +23,7 @@ use crate::config::Config;
 use crate::pathset::PathSet;
 use crate::protocol::Protocol;
 use crate::quorum;
-use crate::types::{
-    Action, BroadcastId, Content, Delivery, LocalPayloadId, Payload, ProcessId,
-};
+use crate::types::{Action, BroadcastId, Content, Delivery, LocalPayloadId, Payload, ProcessId};
 use crate::wire::{FieldPresence, MessageKind, PayloadRef, WireMessage};
 
 use state::{ContentState, DolevInstance, DolevKey, Phase, PlannedSend};
@@ -61,7 +59,11 @@ impl BdProcess {
     /// smaller than `config.n`.
     pub fn new(id: ProcessId, config: Config, neighbors: Vec<ProcessId>) -> Self {
         config.validate().expect("invalid BRB configuration");
-        assert!(id < config.n, "process id {id} out of range for n = {}", config.n);
+        assert!(
+            id < config.n,
+            "process id {id} out of range for n = {}",
+            config.n
+        );
         Self {
             id,
             neighbors,
@@ -117,7 +119,8 @@ impl BdProcess {
             PayloadRef::Inline(p) => Content::new(msg.id, p.clone()),
             PayloadRef::Announce { local_id, payload } => {
                 let content = Content::new(msg.id, payload.clone());
-                self.peer_contents.insert((from, *local_id), content.clone());
+                self.peer_contents
+                    .insert((from, *local_id), content.clone());
                 content
             }
             PayloadRef::Local(local_id) => match self.peer_contents.get(&(from, *local_id)) {
@@ -130,9 +133,10 @@ impl BdProcess {
                 }
             },
         };
-        let announced_id = msg.payload.local_id().filter(|_| {
-            matches!(msg.payload, PayloadRef::Announce { .. })
-        });
+        let announced_id = msg
+            .payload
+            .local_id()
+            .filter(|_| matches!(msg.payload, PayloadRef::Announce { .. }));
         self.process_resolved(from, &msg, content, actions);
         if let Some(local_id) = announced_id {
             if let Some(queued) = self.pending.remove(&(from, local_id)) {
@@ -244,7 +248,11 @@ impl BdProcess {
             instance.neighbors_delivered.insert(from);
         }
         // MD.4: drop paths going through a neighbor that already delivered.
-        if cfg.md.md4 && path.iter().any(|p| instance.neighbors_delivered.contains(p)) {
+        if cfg.md.md4
+            && path
+                .iter()
+                .any(|p| instance.neighbors_delivered.contains(p))
+        {
             return;
         }
 
@@ -420,8 +428,7 @@ impl BdProcess {
             let can_ready = !cfg.mbd.mbd11 || quorum::is_readier(cfg.n, cfg.f, source, self.id);
 
             let echo_trigger = state.send_validated()
-                || (cfg.mbd.mbd2
-                    && state.echo_origins.len() >= cfg.echo_amplification());
+                || (cfg.mbd.mbd2 && state.echo_origins.len() >= cfg.echo_amplification());
             let want_echo = !state.sent_echo && can_echo && echo_trigger;
 
             let ready_trigger = state.echo_origins.len() >= cfg.echo_quorum()
@@ -546,11 +553,27 @@ impl BdProcess {
             let mut sends = by_destination.remove(&to).unwrap_or_default();
             // MBD.4: merge a Ready with an Echo sharing the same path into a Ready_Echo.
             if cfg.mbd.mbd4 {
-                self.merge_pair(&mut sends, Phase::Ready, Phase::Echo, MessageKind::ReadyEcho, content, to, actions);
+                self.merge_pair(
+                    &mut sends,
+                    Phase::Ready,
+                    Phase::Echo,
+                    MessageKind::ReadyEcho,
+                    content,
+                    to,
+                    actions,
+                );
             }
             // MBD.3: merge two Echos sharing the same path into an Echo_Echo.
             if cfg.mbd.mbd3 {
-                self.merge_pair(&mut sends, Phase::Echo, Phase::Echo, MessageKind::EchoEcho, content, to, actions);
+                self.merge_pair(
+                    &mut sends,
+                    Phase::Echo,
+                    Phase::Echo,
+                    MessageKind::EchoEcho,
+                    content,
+                    to,
+                    actions,
+                );
             }
             for send in sends {
                 let message = self.make_message(
@@ -718,7 +741,11 @@ impl Protocol for BdProcess {
     }
 
     fn state_bytes(&self) -> usize {
-        let content_bytes: usize = self.contents.values().map(|c| c.approx_memory_bytes()).sum();
+        let content_bytes: usize = self
+            .contents
+            .values()
+            .map(|c| c.approx_memory_bytes())
+            .sum();
         let pending_bytes: usize = self
             .pending
             .values()

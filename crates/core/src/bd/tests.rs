@@ -59,9 +59,7 @@ impl TestNet {
             .iter()
             .enumerate()
             .filter(|(i, _)| !exclude.contains(i))
-            .all(|(_, p)| {
-                p.deliveries().len() == 1 && &p.deliveries()[0].payload == payload
-            })
+            .all(|(_, p)| p.deliveries().len() == 1 && &p.deliveries()[0].payload == payload)
     }
 }
 
@@ -72,11 +70,20 @@ fn all_individual_configs(n: usize, f: usize) -> Vec<(String, Config)> {
         ("bdopt+mbd1".to_string(), Config::bdopt_mbd1(n, f)),
         ("lat".to_string(), Config::latency_preset(n, f)),
         ("bdw".to_string(), Config::bandwidth_preset(n, f)),
-        ("lat&bdw".to_string(), Config::latency_bandwidth_preset(n, f)),
-        ("all".to_string(), Config::bdopt(n, f).with_mbd(&(1..=12).collect::<Vec<_>>())),
+        (
+            "lat&bdw".to_string(),
+            Config::latency_bandwidth_preset(n, f),
+        ),
+        (
+            "all".to_string(),
+            Config::bdopt(n, f).with_mbd(&(1..=12).collect::<Vec<_>>()),
+        ),
     ];
     for i in 2..=12u8 {
-        configs.push((format!("bdopt+mbd1+mbd{i}"), Config::bdopt_mbd1(n, f).with_mbd(&[i])));
+        configs.push((
+            format!("bdopt+mbd1+mbd{i}"),
+            Config::bdopt_mbd1(n, f).with_mbd(&[i]),
+        ));
     }
     configs
 }
@@ -133,7 +140,10 @@ fn delivery_with_silent_byzantine_processes() {
         ("bdopt+mbd1".to_string(), Config::bdopt_mbd1(14, 2)),
         ("lat".to_string(), Config::latency_preset(14, 2)),
         ("bdw".to_string(), Config::bandwidth_preset(14, 2)),
-        ("all".to_string(), Config::bdopt(14, 2).with_mbd(&(1..=12).collect::<Vec<_>>())),
+        (
+            "all".to_string(),
+            Config::bdopt(14, 2).with_mbd(&(1..=12).collect::<Vec<_>>()),
+        ),
     ] {
         let mut net = TestNet::new(&graph, config);
         net.broadcast(0, payload.clone(), &byzantine);
@@ -175,7 +185,12 @@ fn different_sources_can_broadcast() {
 // Relative message/byte counts of the modifications.
 // ---------------------------------------------------------------------------
 
-fn run_and_measure(graph: &Graph, config: Config, source: usize, payload_len: usize) -> (usize, usize) {
+fn run_and_measure(
+    graph: &Graph,
+    config: Config,
+    source: usize,
+    payload_len: usize,
+) -> (usize, usize) {
     let mut net = TestNet::new(graph, config);
     let payload = Payload::filled(1, payload_len);
     net.broadcast(source, payload.clone(), &[]);
@@ -212,7 +227,10 @@ fn mbd7_reduces_bytes_vs_mbd1_alone() {
     let graph = generate::circulant(16, 3);
     let (_, base) = run_and_measure(&graph, Config::bdopt_mbd1(16, 2), 0, 1024);
     let (_, with7) = run_and_measure(&graph, Config::bdopt_mbd1(16, 2).with_mbd(&[7]), 0, 1024);
-    assert!(with7 <= base, "MBD.7 should not increase bytes: {with7} vs {base}");
+    assert!(
+        with7 <= base,
+        "MBD.7 should not increase bytes: {with7} vs {base}"
+    );
 }
 
 #[test]
@@ -220,7 +238,10 @@ fn mbd11_reduces_bytes_vs_mbd1_alone() {
     let graph = generate::circulant(16, 3);
     let (_, base) = run_and_measure(&graph, Config::bdopt_mbd1(16, 2), 0, 1024);
     let (_, with11) = run_and_measure(&graph, Config::bdopt_mbd1(16, 2).with_mbd(&[11]), 0, 1024);
-    assert!(with11 < base, "MBD.11 should reduce bytes: {with11} vs {base}");
+    assert!(
+        with11 < base,
+        "MBD.11 should reduce bytes: {with11} vs {base}"
+    );
 }
 
 #[test]
@@ -228,7 +249,10 @@ fn bandwidth_preset_uses_fewer_bytes_than_mbd1_alone() {
     let graph = generate::circulant(16, 3);
     let (_, base) = run_and_measure(&graph, Config::bdopt_mbd1(16, 2), 0, 1024);
     let (_, bdw) = run_and_measure(&graph, Config::bandwidth_preset(16, 2), 0, 1024);
-    assert!(bdw < base, "bdw. preset should reduce bytes: {bdw} vs {base}");
+    assert!(
+        bdw < base,
+        "bdw. preset should reduce bytes: {bdw} vs {base}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -292,11 +316,19 @@ fn equivocating_source_never_splits_correct_processes() {
         .filter(|(i, _)| *i != byz)
         .flat_map(|(_, p)| p.deliveries().iter().map(|d| &d.payload))
         .collect();
-    for p in processes.iter().enumerate().filter(|(i, _)| *i != byz).map(|(_, p)| p) {
+    for p in processes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != byz)
+        .map(|(_, p)| p)
+    {
         assert!(p.deliveries().len() <= 1);
     }
     if let Some(first) = delivered.first() {
-        assert!(delivered.iter().all(|p| p == first), "correct processes disagreed");
+        assert!(
+            delivered.iter().all(|p| p == first),
+            "correct processes disagreed"
+        );
     }
 }
 
@@ -405,7 +437,10 @@ fn mbd1_reordered_local_id_messages_are_queued_and_processed() {
         fields: Default::default(),
     };
     let actions = p.handle_message(1, early);
-    assert!(actions.is_empty(), "message with unknown local id must be buffered");
+    assert!(
+        actions.is_empty(),
+        "message with unknown local id must be buffered"
+    );
     // The announcement then arrives on the same link: both messages are processed.
     let announce = WireMessage {
         kind: MessageKind::Ready,
@@ -420,7 +455,10 @@ fn mbd1_reordered_local_id_messages_are_queued_and_processed() {
         fields: Default::default(),
     };
     let actions = p.handle_message(1, announce);
-    assert!(!actions.is_empty(), "announcement must unblock the queued message");
+    assert!(
+        !actions.is_empty(),
+        "announcement must unblock the queued message"
+    );
     assert!(p.state_bytes() > 0);
 }
 
@@ -480,7 +518,11 @@ fn mbd2_send_messages_are_single_hop_and_pathless() {
             _ => None,
         })
         .collect();
-    assert_eq!(sends.len(), graph.degree(0), "Send goes to direct neighbors only");
+    assert_eq!(
+        sends.len(),
+        graph.degree(0),
+        "Send goes to direct neighbors only"
+    );
     for m in sends {
         assert!(!m.fields.path, "single-hop Send messages carry no path");
     }
@@ -535,7 +577,10 @@ fn mbd8_suppresses_echos_to_neighbors_whose_ready_was_delivered() {
     for a in &actions {
         if let Action::Send { to, message } = a {
             if matches!(message.kind, MessageKind::Echo | MessageKind::EchoEcho) {
-                assert_ne!(*to, 1, "MBD.8: no Echo to a neighbor whose Ready was delivered");
+                assert_ne!(
+                    *to, 1,
+                    "MBD.8: no Echo to a neighbor whose Ready was delivered"
+                );
             }
         }
     }
@@ -600,7 +645,10 @@ fn mbd10_ignores_superpaths() {
     assert!(!first.is_empty(), "the first path is relayed");
     // The same route plus extra hops is a superpath: ignored, nothing relayed.
     let superpath = p.handle_message(1, mk(vec![5, 7, 8]));
-    assert!(superpath.is_empty(), "superpaths must be ignored under MBD.10");
+    assert!(
+        superpath.is_empty(),
+        "superpaths must be ignored under MBD.10"
+    );
 }
 
 #[test]
@@ -619,8 +667,14 @@ fn mbd11_non_participants_do_not_create_echo_or_ready() {
         .values()
         .next()
         .expect("process 9 observed the broadcast");
-    assert!(!state.sent_echo, "process 9 must not create an Echo under MBD.11");
-    assert!(!state.sent_ready, "process 9 must not create a Ready under MBD.11");
+    assert!(
+        !state.sent_echo,
+        "process 9 must not create an Echo under MBD.11"
+    );
+    assert!(
+        !state.sent_ready,
+        "process 9 must not create a Ready under MBD.11"
+    );
 }
 
 #[test]

@@ -105,11 +105,7 @@ impl BrachaProcess {
 
     /// Sends `message` to every other process and processes it locally, accumulating the
     /// resulting actions (Bracha's sends are all-to-all, including the sender itself).
-    fn send_to_all(
-        &mut self,
-        message: BrachaMessage,
-        actions: &mut Vec<Action<BrachaMessage>>,
-    ) {
+    fn send_to_all(&mut self, message: BrachaMessage, actions: &mut Vec<Action<BrachaMessage>>) {
         for q in 0..self.n {
             if q != self.id {
                 actions.push(Action::send(q, message.clone()));
@@ -243,7 +239,10 @@ mod tests {
 
     /// Drives a set of Bracha processes to quiescence by synchronously delivering every
     /// sent message (a minimal in-test network with no Byzantine behaviour).
-    fn run_to_quiescence(processes: &mut [BrachaProcess], initial: Vec<(ProcessId, Action<BrachaMessage>)>) {
+    fn run_to_quiescence(
+        processes: &mut [BrachaProcess],
+        initial: Vec<(ProcessId, Action<BrachaMessage>)>,
+    ) {
         let mut queue: Vec<(ProcessId, Action<BrachaMessage>)> = initial;
         while let Some((sender, action)) = queue.pop() {
             if let Action::Send { to, message } = action {
@@ -267,7 +266,12 @@ mod tests {
         let initial: Vec<_> = actions.into_iter().map(|a| (0, a)).collect();
         run_to_quiescence(&mut processes, initial);
         for p in &processes {
-            assert_eq!(p.deliveries().len(), 1, "process {} did not deliver", p.process_id());
+            assert_eq!(
+                p.deliveries().len(),
+                1,
+                "process {} did not deliver",
+                p.process_id()
+            );
             assert_eq!(p.deliveries()[0].payload, Payload::from("hello"));
             assert_eq!(p.deliveries()[0].id, BroadcastId::new(0, 0));
         }

@@ -408,9 +408,7 @@ mod tests {
         let actions = p.handle_message(2, msg);
         // The RC layer delivers (origin 2 sent directly), but Bracha discards the SEND, so
         // no echo is originated and nothing is delivered.
-        assert!(actions
-            .iter()
-            .all(|a| a.as_delivery().is_none()));
+        assert!(actions.iter().all(|a| a.as_delivery().is_none()));
         assert!(p.deliveries().is_empty());
     }
 

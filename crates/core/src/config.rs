@@ -261,7 +261,10 @@ impl Config {
             return Err(ConfigError::EmptySystem);
         }
         if self.f > quorum::max_faults(self.n) {
-            return Err(ConfigError::TooManyFaults { n: self.n, f: self.f });
+            return Err(ConfigError::TooManyFaults {
+                n: self.n,
+                f: self.f,
+            });
         }
         Ok(())
     }
@@ -333,7 +336,10 @@ mod tests {
         assert_eq!(bdw.mbd.enabled_indices(), vec![1, 7, 8, 9, 11]);
         let both = Config::latency_bandwidth_preset(50, 10);
         assert_eq!(both.mbd.enabled_indices(), vec![1, 7, 8, 9]);
-        assert_eq!(Config::bdopt(50, 10).mbd.enabled_indices(), Vec::<u8>::new());
+        assert_eq!(
+            Config::bdopt(50, 10).mbd.enabled_indices(),
+            Vec::<u8>::new()
+        );
         assert_eq!(Config::bdopt_mbd1(50, 10).mbd.enabled_indices(), vec![1]);
         assert_eq!(Config::plain(50, 10).md, MdFlags::none());
     }

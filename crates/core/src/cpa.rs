@@ -36,11 +36,7 @@ pub struct CpaMessage {
 impl CpaMessage {
     /// Wire size following Table 3: `mtype + s + bid + payloadSize + payload`.
     pub fn wire_size(&self) -> usize {
-        FIELD_MTYPE
-            + FIELD_PROCESS_ID
-            + FIELD_BID
-            + FIELD_PAYLOAD_SIZE
-            + self.content.payload.len()
+        FIELD_MTYPE + FIELD_PROCESS_ID + FIELD_BID + FIELD_PAYLOAD_SIZE + self.content.payload.len()
     }
 }
 
@@ -88,11 +84,7 @@ impl CpaProcess {
         self.t_local + 1
     }
 
-    fn deliver_and_relay(
-        &mut self,
-        content: &Content,
-        actions: &mut Vec<Action<CpaMessage>>,
-    ) {
+    fn deliver_and_relay(&mut self, content: &Content, actions: &mut Vec<Action<CpaMessage>>) {
         let state = self.states.entry(content.clone()).or_default();
         if !state.delivered {
             state.delivered = true;
@@ -146,7 +138,7 @@ impl Protocol for CpaProcess {
             return actions;
         }
         state.witnesses.insert(from);
-        if state.witnesses.len() >= self.t_local + 1 {
+        if state.witnesses.len() > self.t_local {
             self.deliver_and_relay(&content, &mut actions);
         }
         actions
@@ -173,7 +165,12 @@ mod tests {
     use super::*;
     use brb_graph::{generate, Graph};
 
-    fn run_broadcast(graph: &Graph, t: usize, source: ProcessId, byzantine: &[ProcessId]) -> Vec<CpaProcess> {
+    fn run_broadcast(
+        graph: &Graph,
+        t: usize,
+        source: ProcessId,
+        byzantine: &[ProcessId],
+    ) -> Vec<CpaProcess> {
         let n = graph.node_count();
         let mut processes: Vec<CpaProcess> = (0..n)
             .map(|i| CpaProcess::new(i, t, graph.neighbors_vec(i)))
@@ -248,7 +245,12 @@ mod tests {
         let mut p = CpaProcess::new(0, 2, vec![1, 2, 3, 4]);
         let content = Content::new(BroadcastId::new(9, 0), Payload::from("forged"));
         // Only t = 2 Byzantine neighbors vouch for a content the source never sent.
-        p.handle_message(1, CpaMessage { content: content.clone() });
+        p.handle_message(
+            1,
+            CpaMessage {
+                content: content.clone(),
+            },
+        );
         p.handle_message(2, CpaMessage { content });
         assert!(p.deliveries().is_empty());
     }
@@ -257,8 +259,14 @@ mod tests {
     fn source_delivers_its_own_broadcast_and_relays_once() {
         let mut p = CpaProcess::new(3, 1, vec![0, 1]);
         let actions = p.broadcast(Payload::from("a"));
-        assert_eq!(actions.iter().filter(|a| a.as_delivery().is_some()).count(), 1);
-        assert_eq!(actions.iter().filter(|a| a.as_delivery().is_none()).count(), 2);
+        assert_eq!(
+            actions.iter().filter(|a| a.as_delivery().is_some()).count(),
+            1
+        );
+        assert_eq!(
+            actions.iter().filter(|a| a.as_delivery().is_none()).count(),
+            2
+        );
         assert_eq!(p.deliveries()[0].id, BroadcastId::new(3, 0));
     }
 

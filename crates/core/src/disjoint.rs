@@ -182,7 +182,11 @@ impl DisjointPathTracker {
     /// Approximate number of bytes of protocol state held by this tracker (used by the
     /// Sec. 7.3 memory-consumption proxy).
     pub fn approx_memory_bytes(&self) -> usize {
-        let path_bytes: usize = self.paths.iter().map(|p| 8 * ((p.to_vec().len() / 64) + 1)).sum();
+        let path_bytes: usize = self
+            .paths
+            .iter()
+            .map(|p| 8 * ((p.to_vec().len() / 64) + 1))
+            .sum();
         let combo_bytes = self.combos.len() * 24;
         path_bytes + combo_bytes
     }

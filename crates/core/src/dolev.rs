@@ -107,7 +107,10 @@ impl DolevProcess {
 
     /// Number of paths currently stored across all contents (memory proxy, Sec. 7.3).
     pub fn stored_paths(&self) -> usize {
-        self.instances.values().map(|i| i.tracker.path_count()).sum()
+        self.instances
+            .values()
+            .map(|i| i.tracker.path_count())
+            .sum()
     }
 
     fn deliver(
@@ -151,7 +154,10 @@ impl Protocol for DolevProcess {
             ));
         }
         // The source delivers its own message immediately (Algorithm 2, lines 12–13).
-        let state = self.instances.entry(content.clone()).or_insert_with(InstanceState::new);
+        let state = self
+            .instances
+            .entry(content.clone())
+            .or_insert_with(InstanceState::new);
         Self::deliver(&content, state, &mut self.deliveries, &mut actions);
         state.relayed_empty = true;
         actions
@@ -308,7 +314,10 @@ mod tests {
         let mut steps = 0usize;
         while let Some((sender, action)) = queue.pop() {
             steps += 1;
-            assert!(steps < 2_000_000, "message explosion: protocol did not quiesce");
+            assert!(
+                steps < 2_000_000,
+                "message explosion: protocol did not quiesce"
+            );
             if let Action::Send { to, message } = action {
                 for a in processes[to].handle_message(sender, message) {
                     queue.push((to, a));
@@ -479,7 +488,10 @@ mod tests {
                 path: vec![2, 7],
             },
         );
-        assert!(actions.is_empty(), "paths through a delivered neighbor are dropped");
+        assert!(
+            actions.is_empty(),
+            "paths through a delivered neighbor are dropped"
+        );
     }
 
     #[test]
@@ -488,7 +500,10 @@ mod tests {
         // Run an optimized broadcast, then poke a delivered process with a fresh path and
         // check it stays silent.
         let mut processes = run_broadcast(&g, 1, MdFlags::all(), 0);
-        let content = Content::new(BroadcastId::new(0, 0), processes[0].deliveries()[0].payload.clone());
+        let content = Content::new(
+            BroadcastId::new(0, 0),
+            processes[0].deliveries()[0].payload.clone(),
+        );
         let actions = processes[5].handle_message(
             6,
             DolevMessage {

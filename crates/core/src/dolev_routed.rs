@@ -29,9 +29,7 @@ use brb_graph::Graph;
 use crate::protocol::Protocol;
 use crate::rc::{RcDelivery, RcTransport};
 use crate::types::{Action, BroadcastId, Delivery, Payload, ProcessId};
-use crate::wire::{
-    FIELD_BID, FIELD_MTYPE, FIELD_PATH_LEN, FIELD_PAYLOAD_SIZE, FIELD_PROCESS_ID,
-};
+use crate::wire::{FIELD_BID, FIELD_MTYPE, FIELD_PATH_LEN, FIELD_PAYLOAD_SIZE, FIELD_PROCESS_ID};
 
 /// A message of the routed Dolev protocol.
 ///

@@ -63,7 +63,7 @@ impl PathSet {
     /// Whether the identifier is in the set.
     pub fn contains(&self, id: ProcessId) -> bool {
         let (word, bit) = (id / 64, id % 64);
-        self.words.get(word).map_or(false, |w| w & (1u64 << bit) != 0)
+        self.words.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
     }
 
     /// Number of identifiers in the set.

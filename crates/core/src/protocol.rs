@@ -26,8 +26,11 @@ pub trait Protocol {
 
     /// Handles a message received from direct neighbor `from` over the authenticated link
     /// and returns the resulting actions.
-    fn handle_message(&mut self, from: ProcessId, message: Self::Message)
-        -> Vec<Action<Self::Message>>;
+    fn handle_message(
+        &mut self,
+        from: ProcessId,
+        message: Self::Message,
+    ) -> Vec<Action<Self::Message>>;
 
     /// All payloads delivered so far, in delivery order.
     fn deliveries(&self) -> &[Delivery];

@@ -131,7 +131,7 @@ mod tests {
         // correct processes) and ready_quorum > 2 * f.
         for n in 4..60 {
             for f in 0..=max_faults(n) {
-                assert!(2 * echo_quorum(n, f) >= n + f + 1);
+                assert!(2 * echo_quorum(n, f) > n + f);
                 assert!(ready_quorum(f) == 2 * f + 1);
                 assert!(echoer_count(n, f) >= echo_quorum(n, f));
                 assert!(readier_count(n, f) >= ready_quorum(f));

@@ -400,10 +400,7 @@ mod tests {
         assert_eq!(bridges(&families::path(4)), vec![(0, 1), (1, 2), (2, 3)]);
         assert!(bridges(&generate::ring(5)).is_empty());
         // Two triangles joined by a single edge: that edge is the only bridge.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         assert_eq!(bridges(&g), vec![(2, 3)]);
     }
 

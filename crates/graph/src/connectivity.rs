@@ -25,7 +25,10 @@ use crate::graph::{Graph, ProcessId};
 /// Panics if `s == t` or if either endpoint is out of range.
 pub fn local_connectivity(g: &Graph, s: ProcessId, t: ProcessId) -> usize {
     assert!(s != t, "local connectivity is undefined for s == t");
-    assert!(s < g.node_count() && t < g.node_count(), "node out of range");
+    assert!(
+        s < g.node_count() && t < g.node_count(),
+        "node out of range"
+    );
     let mut flow = FlowNetwork::node_split(g, s, t);
     flow.max_flow()
 }
@@ -81,10 +84,10 @@ fn vertex_connectivity_bounded(g: &Graph, bound: usize) -> usize {
             let k = local_connectivity(g, v, u);
             if k < best {
                 best = k;
-                if best < bound || best == 0 {
-                    if best < bound {
-                        return best;
-                    }
+                // Early exit once the connectivity provably falls below the caller's
+                // bound (best == 0 cannot occur here: the graph is connected).
+                if best < bound {
+                    return best;
                 }
             }
         }

@@ -141,7 +141,7 @@ pub fn harary(k: usize, n: usize) -> Result<Graph, GenerateError> {
         }
     }
     if k % 2 == 1 {
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             // Odd k, even n: add diameters i — i + n/2.
             for u in 0..n / 2 {
                 g.add_edge(u, u + n / 2);
@@ -149,7 +149,7 @@ pub fn harary(k: usize, n: usize) -> Result<Graph, GenerateError> {
         } else {
             // Odd k, odd n: add near-diameters i — i + (n+1)/2 for 0 <= i <= (n-1)/2.
             for u in 0..=(n - 1) / 2 {
-                g.add_edge(u, (u + (n + 1) / 2) % n);
+                g.add_edge(u, (u + n.div_ceil(2)) % n);
             }
         }
     }
@@ -174,7 +174,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     beta: f64,
     rng: &mut R,
 ) -> Result<Graph, GenerateError> {
-    if k == 0 || k % 2 != 0 || k >= n {
+    if k == 0 || !k.is_multiple_of(2) || k >= n {
         return Err(GenerateError::InfeasibleRegular { n, degree: k });
     }
     let mut g = Graph::new(n);

@@ -129,7 +129,7 @@ pub fn random_regular_graph<R: Rng + ?Sized>(
     degree: usize,
     rng: &mut R,
 ) -> Result<Graph, GenerateError> {
-    if degree >= n || (n * degree) % 2 != 0 {
+    if degree >= n || !(n * degree).is_multiple_of(2) {
         return Err(GenerateError::InfeasibleRegular { n, degree });
     }
     if degree == 0 {
@@ -156,7 +156,7 @@ pub fn random_regular_graph<R: Rng + ?Sized>(
 fn try_pairing<R: Rng + ?Sized>(n: usize, degree: usize, rng: &mut R) -> Option<Graph> {
     // Stubs: each node appears `degree` times.
     let mut stubs: Vec<ProcessId> = (0..n)
-        .flat_map(|u| std::iter::repeat(u).take(degree))
+        .flat_map(|u| std::iter::repeat_n(u, degree))
         .collect();
     let mut g = Graph::new(n);
     while !stubs.is_empty() {

@@ -25,7 +25,10 @@ use crate::graph::{Graph, ProcessId};
 /// Panics if `s == t` or either endpoint is out of range.
 pub fn vertex_disjoint_paths(g: &Graph, s: ProcessId, t: ProcessId) -> Vec<Vec<ProcessId>> {
     assert!(s != t, "disjoint paths are undefined for s == t");
-    assert!(s < g.node_count() && t < g.node_count(), "node out of range");
+    assert!(
+        s < g.node_count() && t < g.node_count(),
+        "node out of range"
+    );
     let mut net = SplitFlow::new(g, s, t);
     net.run();
     let mut paths = net.decompose(g.node_count(), s, t);
@@ -40,12 +43,7 @@ pub fn vertex_disjoint_paths(g: &Graph, s: ProcessId, t: ProcessId) -> Vec<Vec<P
 /// needs `2f+1` routes calls this with `k = 2f+1`. If the graph offers fewer than `k`
 /// disjoint paths all of them are returned, so callers must check the length of the result
 /// against their fault assumption.
-pub fn k_disjoint_routes(
-    g: &Graph,
-    s: ProcessId,
-    t: ProcessId,
-    k: usize,
-) -> Vec<Vec<ProcessId>> {
+pub fn k_disjoint_routes(g: &Graph, s: ProcessId, t: ProcessId, k: usize) -> Vec<Vec<ProcessId>> {
     let mut all = vertex_disjoint_paths(g, s, t);
     all.sort_by_key(|p| (p.len(), p.clone()));
     all.truncate(k);

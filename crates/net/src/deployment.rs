@@ -309,7 +309,10 @@ mod tests {
         )
         .expect("deployment starts");
         let everyone: Vec<ProcessId> = (0..10).collect();
-        assert!(report.all_delivered(&everyone, 1), "every process must deliver");
+        assert!(
+            report.all_delivered(&everyone, 1),
+            "every process must deliver"
+        );
         assert!(report.total_messages() > 0);
         assert!(report.total_bytes() > 0);
         for node in &report.nodes {
@@ -340,11 +343,13 @@ mod tests {
     fn deployment_reports_process_count_and_handles_shutdown_without_broadcast() {
         let graph = generate::ring(4);
         let config = Config::plain(4, 0);
-        let deployment =
-            TcpDeployment::start(&graph, config, TcpOptions::default(), &[]).unwrap();
+        let deployment = TcpDeployment::start(&graph, config, TcpOptions::default(), &[]).unwrap();
         assert_eq!(deployment.process_count(), 4);
         // No broadcast: awaiting deliveries times out at zero.
-        assert_eq!(deployment.await_deliveries(1, Duration::from_millis(100)), 0);
+        assert_eq!(
+            deployment.await_deliveries(1, Duration::from_millis(100)),
+            0
+        );
         let report = deployment.shutdown();
         assert_eq!(report.total_messages(), 0);
     }

@@ -84,25 +84,29 @@ pub fn connect_mesh(graph: &Graph, endpoints: &[Endpoint]) -> io::Result<Vec<Nod
             .collect();
         let listener = endpoint.listener.try_clone()?;
         let my_id = endpoint.id;
-        acceptors.push(std::thread::spawn(move || -> io::Result<Vec<(ProcessId, TcpStream)>> {
-            let mut accepted = Vec::with_capacity(expected.len());
-            let mut remaining: Vec<ProcessId> = expected;
-            while !remaining.is_empty() {
-                let (mut stream, _) = listener.accept()?;
-                stream.set_nodelay(true)?;
-                let peer = read_handshake(&mut stream)?;
-                let Some(pos) = remaining.iter().position(|&p| p == peer) else {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("process {my_id} received a handshake from unexpected peer {peer}"),
-                    ));
-                };
-                remaining.swap_remove(pos);
-                write_handshake(&mut stream, my_id)?;
-                accepted.push((peer, stream));
-            }
-            Ok(accepted)
-        }));
+        acceptors.push(std::thread::spawn(
+            move || -> io::Result<Vec<(ProcessId, TcpStream)>> {
+                let mut accepted = Vec::with_capacity(expected.len());
+                let mut remaining: Vec<ProcessId> = expected;
+                while !remaining.is_empty() {
+                    let (mut stream, _) = listener.accept()?;
+                    stream.set_nodelay(true)?;
+                    let peer = read_handshake(&mut stream)?;
+                    let Some(pos) = remaining.iter().position(|&p| p == peer) else {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "process {my_id} received a handshake from unexpected peer {peer}"
+                            ),
+                        ));
+                    };
+                    remaining.swap_remove(pos);
+                    write_handshake(&mut stream, my_id)?;
+                    accepted.push((peer, stream));
+                }
+                Ok(accepted)
+            },
+        ));
     }
 
     // Outbound connections: u -> v for every edge with u < v.
@@ -180,12 +184,12 @@ mod tests {
         let graph = generate::ring(5);
         let endpoints = bind_endpoints(5).unwrap();
         let links = connect_mesh(&graph, &endpoints).unwrap();
-        for u in 0..5 {
+        for (u, node) in links.iter().enumerate() {
             let expected: Vec<ProcessId> = graph.neighbors_vec(u);
-            let mut have: Vec<ProcessId> = links[u].writers.keys().copied().collect();
+            let mut have: Vec<ProcessId> = node.writers.keys().copied().collect();
             have.sort_unstable();
             assert_eq!(have, expected, "node {u} writer links");
-            let mut have: Vec<ProcessId> = links[u].readers.keys().copied().collect();
+            let mut have: Vec<ProcessId> = node.readers.keys().copied().collect();
             have.sort_unstable();
             assert_eq!(have, expected, "node {u} reader links");
         }
@@ -204,8 +208,14 @@ mod tests {
             spawn_link_reader(peer, stream, tx.clone());
         }
         // Node 0 and node 1 each send one frame to node 2.
-        assert!(send_frame(links[0].writers.get_mut(&2).unwrap(), b"from zero"));
-        assert!(send_frame(links[1].writers.get_mut(&2).unwrap(), b"from one"));
+        assert!(send_frame(
+            links[0].writers.get_mut(&2).unwrap(),
+            b"from zero"
+        ));
+        assert!(send_frame(
+            links[1].writers.get_mut(&2).unwrap(),
+            b"from one"
+        ));
 
         let mut received: Vec<(ProcessId, Vec<u8>)> = vec![
             rx.recv_timeout(Duration::from_secs(5)).unwrap(),

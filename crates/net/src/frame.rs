@@ -28,7 +28,10 @@ pub fn write_frame<W: Write>(writer: &mut W, bytes: &[u8]) -> io::Result<()> {
     if bytes.len() > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
-            format!("frame of {} bytes exceeds the {MAX_FRAME_BYTES} byte cap", bytes.len()),
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_BYTES} byte cap",
+                bytes.len()
+            ),
         ));
     }
     writer.write_all(&(bytes.len() as u32).to_be_bytes())?;

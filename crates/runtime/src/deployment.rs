@@ -340,7 +340,10 @@ mod tests {
             Duration::from_secs(10),
         );
         let everyone: Vec<ProcessId> = (0..10).collect();
-        assert!(report.all_delivered(&everyone, 1), "every process must deliver");
+        assert!(
+            report.all_delivered(&everyone, 1),
+            "every process must deliver"
+        );
         assert!(report.total_messages() > 0);
         assert!(report.total_bytes() > 0);
         for node in &report.nodes {

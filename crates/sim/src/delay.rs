@@ -111,12 +111,17 @@ mod tests {
     fn asynchronous_delays_vary_and_stay_positive() {
         let mut rng = StdRng::seed_from_u64(2);
         let model = DelayModel::asynchronous();
-        let samples: Vec<u64> = (0..200).map(|_| model.sample(&mut rng).as_micros()).collect();
+        let samples: Vec<u64> = (0..200)
+            .map(|_| model.sample(&mut rng).as_micros())
+            .collect();
         assert!(samples.iter().all(|&d| d >= 1_000));
         let distinct: std::collections::BTreeSet<_> = samples.iter().collect();
         assert!(distinct.len() > 50, "normal delays should vary");
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-        assert!((mean - 50_000.0).abs() < 20_000.0, "mean should be near 50 ms, got {mean}");
+        assert!(
+            (mean - 50_000.0).abs() < 20_000.0,
+            "mean should be near 50 ms, got {mean}"
+        );
     }
 
     #[test]

@@ -141,7 +141,7 @@ pub fn run_experiment_on_graph(params: &ExperimentParams, graph: &Graph) -> Expe
     let peak_stored_paths = sim
         .processes()
         .iter()
-        .map(|p| BdProcess::stored_paths(p))
+        .map(BdProcess::stored_paths)
         .max()
         .unwrap_or(0)
         .max(sim.metrics().peak_stored_paths);
@@ -209,7 +209,10 @@ mod tests {
         p.crashed = 2;
         let r = run_experiment(&p);
         assert_eq!(r.correct, 14);
-        assert!(r.complete(), "correct processes must deliver despite crashes");
+        assert!(
+            r.complete(),
+            "correct processes must deliver despite crashes"
+        );
     }
 
     #[test]

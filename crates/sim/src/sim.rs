@@ -357,7 +357,10 @@ mod tests {
         // Different seeds almost surely reorder events and change counters.
         let a = run(1);
         let b = run(2);
-        assert!(a != b || a.0 == b.0, "runs are allowed to coincide but usually differ");
+        assert!(
+            a != b || a.0 == b.0,
+            "runs are allowed to coincide but usually differ"
+        );
     }
 
     #[test]
@@ -391,7 +394,8 @@ mod tests {
         sim.run_to_quiescence();
         let correct = sim.correct_processes();
         assert_eq!(
-            sim.metrics().delivered_count(BroadcastId::new(0, 0), &correct),
+            sim.metrics()
+                .delivered_count(BroadcastId::new(0, 0), &correct),
             10
         );
     }

@@ -41,7 +41,11 @@ fn main() {
     println!("Byzantine process {byzantine} equivocates: \"BUY\" to half its neighbors, \"SELL\" to the rest.");
     let mut queue: VecDeque<(ProcessId, Action<WireMessage>)> = VecDeque::new();
     for (idx, neighbor) in graph.neighbors_vec(byzantine).into_iter().enumerate() {
-        let message = if idx % 2 == 0 { forged("BUY") } else { forged("SELL") };
+        let message = if idx % 2 == 0 {
+            forged("BUY")
+        } else {
+            forged("SELL")
+        };
         for action in processes[neighbor].handle_message(byzantine, message) {
             queue.push_back((neighbor, action));
         }

@@ -21,12 +21,15 @@ use rand::SeedableRng;
 fn main() {
     let (n, k, f) = (16, 5, 2);
     let mut rng = StdRng::seed_from_u64(7);
-    let graph = generate::random_regular_connected(n, k, 2 * f + 1, &mut rng)
-        .expect("topology generation");
+    let graph =
+        generate::random_regular_connected(n, k, 2 * f + 1, &mut rng).expect("topology generation");
     let config = Config::latency_bandwidth_preset(n, f);
     let crashed: Vec<ProcessId> = vec![13];
 
-    println!("Starting {n} replicas ({} crashed) on a {k}-connected random topology...", crashed.len());
+    println!(
+        "Starting {n} replicas ({} crashed) on a {k}-connected random topology...",
+        crashed.len()
+    );
     let deployment = Deployment::start(&graph, config, RuntimeOptions::default(), &crashed);
 
     let payments = [
@@ -55,7 +58,12 @@ fn main() {
         if orders.len() != payments.len() {
             total_ok = false;
         }
-        println!("  replica {:>2} applied {} payments: {:?}", node.id, orders.len(), orders);
+        println!(
+            "  replica {:>2} applied {} payments: {:?}",
+            node.id,
+            orders.len(),
+            orders
+        );
     }
     println!(
         "Network consumption: {:.1} kB over {} messages.",

@@ -28,8 +28,14 @@ fn main() {
     for (label, config) in [
         ("BDopt (state of the art)      ", Config::bdopt(n, f)),
         ("BDopt + MBD.1                 ", Config::bdopt_mbd1(n, f)),
-        ("latency preset (MBD.1/2/7/8/9)", Config::latency_preset(n, f)),
-        ("bandwidth preset (1/7/8/9/11) ", Config::bandwidth_preset(n, f)),
+        (
+            "latency preset (MBD.1/2/7/8/9)",
+            Config::latency_preset(n, f),
+        ),
+        (
+            "bandwidth preset (1/7/8/9/11) ",
+            Config::bandwidth_preset(n, f),
+        ),
     ] {
         let params = ExperimentParams {
             n,

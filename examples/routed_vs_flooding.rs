@@ -51,7 +51,9 @@ fn main() {
         let correct = sim.correct_processes();
         rows.push((
             label,
-            sim.metrics().latency(id, &correct).map(|t| t.as_millis_f64()),
+            sim.metrics()
+                .latency(id, &correct)
+                .map(|t| t.as_millis_f64()),
             sim.metrics().kilobytes_sent(),
             sim.metrics().messages_sent,
         ));
@@ -66,12 +68,17 @@ fn main() {
     let correct = sim.correct_processes();
     rows.push((
         "routed Dolev under Bracha   ",
-        sim.metrics().latency(id, &correct).map(|t| t.as_millis_f64()),
+        sim.metrics()
+            .latency(id, &correct)
+            .map(|t| t.as_millis_f64()),
         sim.metrics().kilobytes_sent(),
         sim.metrics().messages_sent,
     ));
 
-    println!("{:<30} {:>12} {:>14} {:>10}", "stack", "latency (ms)", "network (kB)", "messages");
+    println!(
+        "{:<30} {:>12} {:>14} {:>10}",
+        "stack", "latency (ms)", "network (kB)", "messages"
+    );
     for (label, latency, kilobytes, messages) in rows {
         println!(
             "{label:<30} {:>12.1} {kilobytes:>14.1} {messages:>10}",

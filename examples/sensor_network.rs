@@ -21,8 +21,8 @@ use rand::SeedableRng;
 fn main() {
     let (n, k, f) = (20, 5, 2);
     let mut rng = StdRng::seed_from_u64(99);
-    let graph = generate::random_regular_connected(n, k, 2 * f + 1, &mut rng)
-        .expect("topology generation");
+    let graph =
+        generate::random_regular_connected(n, k, 2 * f + 1, &mut rng).expect("topology generation");
     let config = Config::latency_preset(n, f);
 
     let processes: Vec<BdProcess> = (0..n)
@@ -34,7 +34,10 @@ fn main() {
     sim.set_behavior(17, Behavior::FailsAfter(40));
 
     let readings: Vec<f32> = (0..10).map(|i| 20.0 + i as f32 * 0.3).collect();
-    println!("Sensor (process 0) publishes {} temperature readings...", readings.len());
+    println!(
+        "Sensor (process 0) publishes {} temperature readings...",
+        readings.len()
+    );
     for reading in &readings {
         sim.broadcast(0, Payload::new(reading.to_be_bytes().to_vec()));
         sim.run_to_quiescence();
@@ -55,7 +58,11 @@ fn main() {
             correct.len(),
             latency,
         );
-        assert_eq!(delivered, correct.len(), "every correct process must deliver");
+        assert_eq!(
+            delivered,
+            correct.len(),
+            "every correct process must deliver"
+        );
     }
     // No duplication: every process delivered exactly one payload per reading.
     for &p in &correct {

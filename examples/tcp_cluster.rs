@@ -77,6 +77,8 @@ fn main() -> std::io::Result<()> {
         report.total_bytes() as f64 / 1000.0,
         report.total_messages()
     );
-    println!("\nSame engine, same wire format, real sockets: the simulator's predictions carry over.");
+    println!(
+        "\nSame engine, same wire format, real sockets: the simulator's predictions carry over."
+    );
     Ok(())
 }

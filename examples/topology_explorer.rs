@@ -55,9 +55,15 @@ fn main() {
 
     let random_regular = generate::random_regular_connected(20, 7, 7, &mut rng)
         .expect("a 7-connected 7-regular graph over 20 nodes exists");
-    report("Random 7-regular graph, N = 20 (the paper's family)", &random_regular);
+    report(
+        "Random 7-regular graph, N = 20 (the paper's family)",
+        &random_regular,
+    );
 
-    report("Petersen graph (Fig. 1 of the paper)", &generate::figure1_example());
+    report(
+        "Petersen graph (Fig. 1 of the paper)",
+        &generate::figure1_example(),
+    );
 
     report(
         "Harary graph H_{5,20} (minimum edges for k = 5)",
@@ -72,10 +78,19 @@ fn main() {
     report("4x5 torus (k = 4)", &families::grid(4, 5, true));
 
     let small_world = families::watts_strogatz(20, 6, 0.15, &mut rng).expect("feasible");
-    report("Watts-Strogatz small world (N = 20, k = 6, beta = 0.15)", &small_world);
+    report(
+        "Watts-Strogatz small world (N = 20, k = 6, beta = 0.15)",
+        &small_world,
+    );
 
     let scale_free = families::barabasi_albert(20, 3, &mut rng).expect("feasible");
-    report("Barabasi-Albert preferential attachment (N = 20, m = 3)", &scale_free);
+    report(
+        "Barabasi-Albert preferential attachment (N = 20, m = 3)",
+        &scale_free,
+    );
 
-    report("Star graph (unusable: hub is a single point of failure)", &families::star(20));
+    report(
+        "Star graph (unusable: hub is a single point of failure)",
+        &families::star(20),
+    );
 }

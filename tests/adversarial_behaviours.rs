@@ -94,7 +94,11 @@ fn lossy_links_on_a_minimum_edge_topology() {
     let f = 1;
     let graph = families::harary(3, 10).unwrap();
     let config = Config::bdopt(10, f);
-    let mut sim = Simulation::new(bd_processes(&graph, config), DelayModel::asynchronous(), 1234);
+    let mut sim = Simulation::new(
+        bd_processes(&graph, config),
+        DelayModel::asynchronous(),
+        1234,
+    );
     sim.set_behavior(4, Behavior::Lossy(0.3));
 
     let payload = Payload::filled(0x44, 16);
@@ -165,14 +169,20 @@ fn mbd12_loses_liveness_but_not_safety_on_a_minimally_connected_wheel_with_a_cra
     let mut healthy = Simulation::new(bd_processes(&graph, config), DelayModel::synchronous(), 5);
     healthy.broadcast(0, payload.clone());
     healthy.run_to_quiescence();
-    assert!(healthy.processes().iter().all(|p| p.deliveries().len() == 1));
+    assert!(healthy
+        .processes()
+        .iter()
+        .all(|p| p.deliveries().len() == 1));
 
     // ...and on a topology with one unit of spare connectivity (4-connected circulant),
     // MBD.12 tolerates the crash as the paper's evaluation setting would suggest.
     let spare = generate::circulant(11, 2);
     let spare_config = Config::bdopt(11, f).with_mbd(&[1, 12]);
-    let mut spare_sim =
-        Simulation::new(bd_processes(&spare, spare_config), DelayModel::synchronous(), 5);
+    let mut spare_sim = Simulation::new(
+        bd_processes(&spare, spare_config),
+        DelayModel::synchronous(),
+        5,
+    );
     spare_sim.set_behavior(6, Behavior::Crash);
     spare_sim.broadcast(0, payload.clone());
     spare_sim.run_to_quiescence();

@@ -15,7 +15,12 @@ fn graph_20_7() -> brb_graph::Graph {
     generate::random_regular_connected(20, 7, 7, &mut rng).unwrap()
 }
 
-fn run(config: Config, graph: &brb_graph::Graph, payload_size: usize, delay: DelayModel) -> brb_sim::ExperimentResult {
+fn run(
+    config: Config,
+    graph: &brb_graph::Graph,
+    payload_size: usize,
+    delay: DelayModel,
+) -> brb_sim::ExperimentResult {
     let params = ExperimentParams {
         n: graph.node_count(),
         connectivity: 7,
@@ -46,8 +51,18 @@ fn mbd1_byte_reduction_matches_paper_magnitude() {
     // On a 20-node, 7-connected graph the reduction is of the same order (the exact value
     // depends on N and k).
     let graph = graph_20_7();
-    let base = run(Config::bdopt(20, 3), &graph, 1024, DelayModel::synchronous());
-    let opt = run(Config::bdopt_mbd1(20, 3), &graph, 1024, DelayModel::synchronous());
+    let base = run(
+        Config::bdopt(20, 3),
+        &graph,
+        1024,
+        DelayModel::synchronous(),
+    );
+    let opt = run(
+        Config::bdopt_mbd1(20, 3),
+        &graph,
+        1024,
+        DelayModel::synchronous(),
+    );
     assert!(base.complete() && opt.complete());
     let reduction = 1.0 - opt.bytes as f64 / base.bytes as f64;
     assert!(
@@ -62,9 +77,24 @@ fn mbd1_reduction_is_smaller_for_small_payloads() {
     // With 16 B payloads Table 1 reports a (much) smaller impact of MBD.1 than with 1 KiB.
     let graph = graph_20_7();
     let base16 = run(Config::bdopt(20, 3), &graph, 16, DelayModel::synchronous());
-    let opt16 = run(Config::bdopt_mbd1(20, 3), &graph, 16, DelayModel::synchronous());
-    let base1k = run(Config::bdopt(20, 3), &graph, 1024, DelayModel::synchronous());
-    let opt1k = run(Config::bdopt_mbd1(20, 3), &graph, 1024, DelayModel::synchronous());
+    let opt16 = run(
+        Config::bdopt_mbd1(20, 3),
+        &graph,
+        16,
+        DelayModel::synchronous(),
+    );
+    let base1k = run(
+        Config::bdopt(20, 3),
+        &graph,
+        1024,
+        DelayModel::synchronous(),
+    );
+    let opt1k = run(
+        Config::bdopt_mbd1(20, 3),
+        &graph,
+        1024,
+        DelayModel::synchronous(),
+    );
     let red16 = 1.0 - opt16.bytes as f64 / base16.bytes as f64;
     let red1k = 1.0 - opt1k.bytes as f64 / base1k.bytes as f64;
     assert!(
@@ -76,9 +106,24 @@ fn mbd1_reduction_is_smaller_for_small_payloads() {
 #[test]
 fn bandwidth_preset_beats_mbd1_alone_on_bytes() {
     let graph = graph_20_7();
-    let base = run(Config::bdopt_mbd1(20, 3), &graph, 1024, DelayModel::synchronous());
-    let bdw = run(Config::bandwidth_preset(20, 3), &graph, 1024, DelayModel::synchronous());
-    assert!(bdw.bytes < base.bytes, "bdw preset: {} vs {}", bdw.bytes, base.bytes);
+    let base = run(
+        Config::bdopt_mbd1(20, 3),
+        &graph,
+        1024,
+        DelayModel::synchronous(),
+    );
+    let bdw = run(
+        Config::bandwidth_preset(20, 3),
+        &graph,
+        1024,
+        DelayModel::synchronous(),
+    );
+    assert!(
+        bdw.bytes < base.bytes,
+        "bdw preset: {} vs {}",
+        bdw.bytes,
+        base.bytes
+    );
 }
 
 #[test]
@@ -86,7 +131,12 @@ fn mbd11_increases_latency_but_decreases_bytes() {
     // Sec. 6.6 / Fig. 4: MBD.11 drastically decreases the number of messages but tends to
     // increase latency because the designated Echo/Ready creators may be far apart.
     let graph = graph_20_7();
-    let base = run(Config::bdopt_mbd1(20, 3), &graph, 1024, DelayModel::synchronous());
+    let base = run(
+        Config::bdopt_mbd1(20, 3),
+        &graph,
+        1024,
+        DelayModel::synchronous(),
+    );
     let with11 = run(
         Config::bdopt_mbd1(20, 3).with_mbd(&[11]),
         &graph,
@@ -126,7 +176,17 @@ fn latency_scales_with_hop_count_on_a_ring_like_topology() {
         .metrics()
         .latency(BroadcastId::new(0, 0), &sim.correct_processes())
         .unwrap();
-    assert_eq!(latency.as_micros() % 50_000, 0, "latency is a multiple of the hop delay");
-    assert!(latency.as_millis_f64() >= 150.0, "at least Send+Echo+Ready hops");
-    assert!(latency.as_millis_f64() <= 600.0, "bounded by a few diameters");
+    assert_eq!(
+        latency.as_micros() % 50_000,
+        0,
+        "latency is a multiple of the hop delay"
+    );
+    assert!(
+        latency.as_millis_f64() >= 150.0,
+        "at least Send+Echo+Ready hops"
+    );
+    assert!(
+        latency.as_millis_f64() <= 600.0,
+        "bounded by a few diameters"
+    );
 }

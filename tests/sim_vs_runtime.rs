@@ -29,12 +29,20 @@ fn simulator_and_threaded_runtime_agree_on_delivery() {
     sim.run_to_quiescence();
     let correct = sim.correct_processes();
     assert_eq!(
-        sim.metrics().delivered_count(BroadcastId::new(3, 0), &correct),
+        sim.metrics()
+            .delivered_count(BroadcastId::new(3, 0), &correct),
         n
     );
 
     // Threaded deployment (same engine, real concurrency).
-    let report = run_threaded_broadcast(&graph, config, payload.clone(), 3, &[], Duration::from_secs(20));
+    let report = run_threaded_broadcast(
+        &graph,
+        config,
+        payload.clone(),
+        3,
+        &[],
+        Duration::from_secs(20),
+    );
     let everyone: Vec<usize> = (0..n).collect();
     assert!(report.all_delivered(&everyone, 1));
     for node in &report.nodes {
@@ -52,7 +60,14 @@ fn threaded_runtime_tolerates_crashes_like_the_simulator() {
     let payload = Payload::filled(0x42, 256);
     let crashed = vec![5usize, 11];
 
-    let report = run_threaded_broadcast(&graph, config, payload.clone(), 0, &crashed, Duration::from_secs(20));
+    let report = run_threaded_broadcast(
+        &graph,
+        config,
+        payload.clone(),
+        0,
+        &crashed,
+        Duration::from_secs(20),
+    );
     let correct: Vec<usize> = (0..n).filter(|p| !crashed.contains(p)).collect();
     assert!(report.all_delivered(&correct, 1));
     for &c in &crashed {

@@ -1,0 +1,323 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! The build environment of this repository has no crates.io access, so this crate
+//! implements the benchmarking API surface the workspace's `benches/` targets use —
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`], [`black_box`],
+//! [`BenchmarkId`] and grouped/parametrised benches — with a deliberately simple
+//! measurement loop: a short warm-up, then `sample_size` timed iterations whose mean and
+//! minimum are printed per benchmark. It has no statistical analysis, plotting or CLI;
+//! its job is to keep `cargo bench` targets compiling and producing comparable
+//! wall-clock numbers until the real criterion can be dropped in.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimiser from deleting a computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter description.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter description.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(function), Some(parameter)) => write!(f, "{function}/{parameter}"),
+            (Some(function), None) => write!(f, "{function}"),
+            (None, Some(parameter)) => write!(f, "{parameter}"),
+            (None, None) => write!(f, "<unnamed>"),
+        }
+    }
+}
+
+/// Settings shared by [`Criterion`] and [`BenchmarkGroup`].
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples >= 2, "sample size must be at least 2");
+        self.settings.sample_size = samples;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.settings.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.settings.measurement_time = duration;
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.settings, &mut routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+}
+
+/// A named group of benchmarks with its own settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples >= 2, "sample size must be at least 2");
+        self.settings.sample_size = samples;
+        self
+    }
+
+    /// Sets the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement budget for this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.measurement_time = duration;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.settings,
+            &mut routine,
+        );
+        self
+    }
+
+    /// Runs one parametrised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.settings, &mut |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (reporting already happened per benchmark; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Times a closure over the configured number of iterations.
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine` once per sample, recording each sample's wall-clock duration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_up_deadline = Instant::now() + self.settings.warm_up_time;
+        while Instant::now() < warm_up_deadline {
+            black_box(routine());
+        }
+        let budget = Instant::now() + self.settings.measurement_time;
+        self.samples.clear();
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() > budget {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`], but runs `setup` outside the timed section to produce the
+    /// input each timed call consumes.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_up_deadline = Instant::now() + self.settings.warm_up_time;
+        while Instant::now() < warm_up_deadline {
+            black_box(routine(setup()));
+        }
+        let budget = Instant::now() + self.settings.measurement_time;
+        self.samples.clear();
+        for _ in 0..self.settings.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() > budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark(label: &str, settings: Settings, routine: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        settings,
+        samples: Vec::new(),
+    };
+    routine(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench {label:<60} (no samples: routine never called iter)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench {label:<60} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+        mean,
+        min,
+        bencher.samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions, optionally with a custom [`Criterion`] config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench-target `main` function from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = quick();
+        let mut runs = 0usize;
+        c.bench_function("counter", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function(BenchmarkId::from_parameter("p"), |b| {
+            b.iter(|| black_box(1))
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

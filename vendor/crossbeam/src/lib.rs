@@ -1,0 +1,322 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam) crate.
+//!
+//! Implements the multi-producer multi-consumer channel subset this workspace uses
+//! ([`channel::unbounded`], [`channel::Sender`], [`channel::Receiver`] and the
+//! [`select!`] macro) on top of `std::sync` primitives. The `select!` implementation polls
+//! its `recv` arms in order with a short park between rounds, which matches crossbeam's
+//! observable semantics for the workspace's two-arms-plus-default loops (arbitrary-order
+//! arm readiness, `Err` on disconnection, `default(timeout)` after inactivity).
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! MPMC channels mirroring `crossbeam_channel`.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        cond: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cond: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.shared.cond.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.senders += 1;
+            drop(inner);
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.senders -= 1;
+            let disconnected = inner.senders == 0;
+            drop(inner);
+            if disconnected {
+                self.shared.cond.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .cond
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Receives a message, waiting at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .cond
+                    .wait_timeout(inner, remaining)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
+            }
+        }
+
+        /// Receives a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(value) = inner.queue.pop_front() {
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Whether the channel currently holds no messages.
+        pub fn is_empty(&self) -> bool {
+            let inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.queue.is_empty()
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            let inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.queue.len()
+        }
+
+        #[doc(hidden)]
+        pub fn __select_disconnected_result(&self) -> Result<T, RecvError> {
+            Err(RecvError)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.receivers += 1;
+            drop(inner);
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.receivers -= 1;
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    pub use crate::select;
+}
+
+/// Waits on several channel operations at once: `recv(receiver) -> result => body` arms
+/// plus a mandatory `default(timeout) => body` arm (the only shape this workspace uses).
+///
+/// Arms are polled in order; between polling rounds the thread parks briefly. An arm on a
+/// disconnected channel is considered ready with `Err(RecvError)`, like crossbeam's.
+#[macro_export]
+macro_rules! select {
+    ($(recv($r:expr) -> $res:pat => $body:expr,)+ default($timeout:expr) => $default:expr $(,)?) => {{
+        let __deadline = ::std::time::Instant::now() + $timeout;
+        'crossbeam_select: loop {
+            $(
+                {
+                    let __receiver = &$r;
+                    match __receiver.try_recv() {
+                        ::std::result::Result::Ok(__value) => {
+                            let $res: ::std::result::Result<_, $crate::channel::RecvError> =
+                                ::std::result::Result::Ok(__value);
+                            break 'crossbeam_select ($body);
+                        }
+                        ::std::result::Result::Err(
+                            $crate::channel::TryRecvError::Disconnected,
+                        ) => {
+                            let $res = __receiver.__select_disconnected_result();
+                            break 'crossbeam_select ($body);
+                        }
+                        ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                    }
+                }
+            )+
+            if ::std::time::Instant::now() >= __deadline {
+                break 'crossbeam_select ($default);
+            }
+            ::std::thread::park_timeout(::std::time::Duration::from_micros(200));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+    }
+
+    #[test]
+    fn disconnection_is_observed() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn select_picks_ready_arm_and_default() {
+        let (tx, rx) = unbounded();
+        let (_tx2, rx2) = unbounded::<u8>();
+        tx.send(9u8).unwrap();
+        let mut got = None;
+        let mut defaulted = false;
+        crate::channel::select! {
+            recv(rx) -> msg => got = msg.ok(),
+            recv(rx2) -> msg => got = msg.ok(),
+            default(Duration::from_millis(5)) => defaulted = true,
+        }
+        assert_eq!(got, Some(9));
+        assert!(!defaulted);
+        crate::channel::select! {
+            recv(rx) -> msg => { let _ = msg; },
+            recv(rx2) -> msg => { let _ = msg; },
+            default(Duration::from_millis(5)) => defaulted = true,
+        }
+        assert!(defaulted);
+    }
+}

@@ -1,0 +1,728 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment of this repository has no crates.io access, so this crate
+//! re-implements the property-testing subset the workspace's test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`, multiple `#[test]`
+//!   functions, and `pattern in strategy` argument lists);
+//! * the [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`]
+//!   macros;
+//! * [`strategy::Strategy`] with `prop_map`, [`strategy::Just`], [`prop_oneof!`] unions,
+//!   integer/float range strategies, [`arbitrary::any`] and [`collection::vec`];
+//! * a deterministic [`test_runner::TestRunner`]: every case's RNG seed is a pure function
+//!   of the committed [`test_runner::ProptestConfig::rng_seed`], the test name and the
+//!   case index, so failures reproduce bit-for-bit on every machine;
+//! * file-based failure persistence compatible in spirit with upstream proptest:
+//!   failing case seeds are appended under `tests/proptest-regressions/` and replayed
+//!   first on the next run.
+//!
+//! Shrinking is intentionally not implemented: on failure the runner reports the exact
+//! input value and the case seed instead.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::Rng;
+
+    /// The RNG handed to strategies; pinned to the vendored deterministic `StdRng`.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// A recipe for generating values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Boxes the strategy behind a trait object.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A heap-allocated, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among several strategies; built by [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over the given non-empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].new_value(rng)
+        }
+    }
+
+    /// Boxes a strategy; used by [`crate::prop_oneof!`] so that the value types of all
+    /// arms unify through type inference (a plain `as` cast would not propagate the
+    /// expected type into unsuffixed literals).
+    pub fn boxed_strategy<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+        Box::new(strategy)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for "any value of type `T`".
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec`s whose length is drawn from `size` and whose elements come from
+    /// `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates vectors with lengths in `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case runner and its configuration.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::SeedableRng;
+    use std::fmt::Debug;
+    use std::io::Write;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::PathBuf;
+
+    /// Outcome of one failed or rejected test case.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The case's preconditions were not met (`prop_assume!`); the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// A precondition rejection with the given message.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    /// Where to persist (and from where to replay) failing case seeds.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FileFailurePersistence {
+        /// `<dir of the test's source file>/<subdir>/<source file stem>.txt`.
+        SourceParallel(&'static str),
+        /// Persistence disabled.
+        Off,
+    }
+
+    /// Runner configuration; committed in every suite so runs reproduce across machines.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the property to pass.
+        pub cases: u32,
+        /// Base RNG seed. Together with the test name and case index it fully determines
+        /// every generated value.
+        pub rng_seed: u64,
+        /// Maximum number of `prop_assume!` rejections tolerated before the run errors.
+        pub max_global_rejects: u32,
+        /// Failure-persistence location.
+        pub failure_persistence: FileFailurePersistence,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                rng_seed: 0x0B0B_5EED_0D01_EF00,
+                max_global_rejects: 65_536,
+                failure_persistence: FileFailurePersistence::SourceParallel("proptest-regressions"),
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A default configuration with the given number of cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+
+        /// Overrides the base RNG seed.
+        pub fn with_rng_seed(mut self, seed: u64) -> Self {
+            self.rng_seed = seed;
+            self
+        }
+
+        /// Overrides the failure-persistence location.
+        pub fn with_failure_persistence(mut self, persistence: FileFailurePersistence) -> Self {
+            self.failure_persistence = persistence;
+            self
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        hash
+    }
+
+    /// Executes one property across its configured cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        test_name: &'static str,
+        source_file: &'static str,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for the named test defined in `source_file` (pass `file!()`).
+        pub fn new(
+            config: ProptestConfig,
+            test_name: &'static str,
+            source_file: &'static str,
+        ) -> Self {
+            Self {
+                config,
+                test_name,
+                source_file,
+            }
+        }
+
+        fn regression_path(&self) -> Option<PathBuf> {
+            match self.config.failure_persistence {
+                FileFailurePersistence::Off => None,
+                FileFailurePersistence::SourceParallel(subdir) => {
+                    let source = PathBuf::from(self.source_file);
+                    let dir = source.parent()?.join(subdir);
+                    let stem = source.file_stem()?.to_str()?.to_owned();
+                    Some(dir.join(format!("{stem}.txt")))
+                }
+            }
+        }
+
+        fn stored_seeds(&self) -> Vec<u64> {
+            let Some(path) = self.regression_path() else {
+                return Vec::new();
+            };
+            let Ok(contents) = std::fs::read_to_string(path) else {
+                return Vec::new();
+            };
+            let mut seeds: Vec<u64> = contents
+                .lines()
+                .filter_map(|line| {
+                    let mut fields = line.split_whitespace();
+                    match (fields.next(), fields.next(), fields.next()) {
+                        (Some("cc"), Some(name), Some(seed)) if name == self.test_name => {
+                            u64::from_str_radix(seed.trim_start_matches("0x"), 16).ok()
+                        }
+                        _ => None,
+                    }
+                })
+                .collect();
+            // Repeated failing runs append the same seed once per run; replay each
+            // distinct seed only once.
+            seeds.sort_unstable();
+            seeds.dedup();
+            seeds
+        }
+
+        fn persist_failure(&self, case_seed: u64) {
+            if self.stored_seeds().contains(&case_seed) {
+                return;
+            }
+            let Some(path) = self.regression_path() else {
+                return;
+            };
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    file,
+                    "cc {} 0x{case_seed:016x} # seeds are replayed before new cases; do not edit",
+                    self.test_name
+                );
+            }
+        }
+
+        fn case_seed(&self, case: u64) -> u64 {
+            self.config
+                .rng_seed
+                .wrapping_add(fnv1a(self.test_name.as_bytes()))
+                .wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+
+        /// Runs the property: stored regression seeds first, then `cases` fresh cases.
+        ///
+        /// # Panics
+        ///
+        /// Panics (failing the enclosing `#[test]`) on the first falsified case, after
+        /// persisting its seed.
+        pub fn run<S>(
+            &mut self,
+            strategy: &S,
+            mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        ) where
+            S: Strategy,
+            S::Value: Debug,
+        {
+            let stored = self.stored_seeds();
+            for seed in stored {
+                self.run_one(strategy, &mut test, seed, true);
+            }
+            let mut rejects = 0u32;
+            let mut sequence = 0u64;
+            let mut passed = 0u32;
+            while passed < self.config.cases {
+                let seed = self.case_seed(sequence);
+                sequence += 1;
+                match self.run_one(strategy, &mut test, seed, false) {
+                    CaseOutcome::Pass => passed += 1,
+                    CaseOutcome::Reject => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= self.config.max_global_rejects,
+                            "property {} rejected {} cases (max {}); weaken prop_assume! or \
+                             raise max_global_rejects",
+                            self.test_name,
+                            rejects,
+                            self.config.max_global_rejects
+                        );
+                    }
+                }
+            }
+        }
+
+        fn run_one<S>(
+            &self,
+            strategy: &S,
+            test: &mut impl FnMut(S::Value) -> Result<(), TestCaseError>,
+            seed: u64,
+            replay: bool,
+        ) -> CaseOutcome
+        where
+            S: Strategy,
+            S::Value: Debug,
+        {
+            let mut rng = TestRng::seed_from_u64(seed);
+            let value = strategy.new_value(&mut rng);
+            let input_repr = format!("{value:?}");
+            let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+            let phase = if replay {
+                "replayed regression"
+            } else {
+                "case"
+            };
+            match outcome {
+                Ok(Ok(())) => CaseOutcome::Pass,
+                Ok(Err(TestCaseError::Reject(_))) => CaseOutcome::Reject,
+                Ok(Err(TestCaseError::Fail(message))) => {
+                    if !replay {
+                        self.persist_failure(seed);
+                    }
+                    panic!(
+                        "property {} falsified ({phase}, seed=0x{seed:016x}): {message}\n\
+                         input: {input_repr}",
+                        self.test_name
+                    );
+                }
+                Err(panic_payload) => {
+                    if !replay {
+                        self.persist_failure(seed);
+                    }
+                    let message = panic_message(&panic_payload);
+                    panic!(
+                        "property {} panicked ({phase}, seed=0x{seed:016x}): {message}\n\
+                         input: {input_repr}",
+                        self.test_name
+                    );
+                }
+            }
+        }
+    }
+
+    enum CaseOutcome {
+        Pass,
+        Reject,
+    }
+
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_owned()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface test files use.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{FileFailurePersistence, ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: an optional `#![proptest_config(..)]` header followed by
+/// `#[test]` functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let __strategy = ($($strat,)+);
+                let mut __runner =
+                    $crate::test_runner::TestRunner::new(__config, stringify!($name), file!());
+                __runner.run(&__strategy, |__values| {
+                    let ($($pat,)+) = __values;
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current property case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Rejects the current property case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed_strategy($strategy),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32)
+            .with_rng_seed(0xA11C_E5ED)
+            .with_failure_persistence(FileFailurePersistence::Off))]
+
+        /// Tuple + map + range + collection strategies compose.
+        #[test]
+        fn composed_strategies_generate_in_bounds(
+            (a, b) in (1u8..=6, 10usize..20).prop_map(|(a, b)| (a, b + 1)),
+            v in crate::collection::vec(any::<u8>(), 0..5),
+            flag in any::<bool>(),
+            pick in prop_oneof![Just(1u32), Just(2), Just(3)],
+        ) {
+            prop_assert!((1..=6).contains(&a));
+            prop_assert!((11..=20).contains(&b));
+            prop_assert!(v.len() < 5);
+            prop_assert!((1..=3).contains(&pick));
+            let _ = flag;
+            prop_assume!(a != 200); // never rejects, exercises the macro
+            prop_assert_eq!(a as u32 * 2, a as u32 + a as u32);
+            prop_assert_ne!(b, 0);
+        }
+    }
+
+    #[test]
+    fn determinism_same_config_same_values() {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::SeedableRng;
+        let strategy = (1u8..=6, crate::collection::vec(any::<u16>(), 0..4));
+        let mut a = TestRng::seed_from_u64(99);
+        let mut b = TestRng::seed_from_u64(99);
+        for _ in 0..50 {
+            assert_eq!(strategy.new_value(&mut a), strategy.new_value(&mut b));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr) crate.
+//!
+//! Provides the [`Normal`] distribution (Box–Muller transform) and re-exports the
+//! [`Distribution`] trait from the vendored `rand`, which is all this workspace uses.
+
+#![forbid(unsafe_code)]
+
+use rand::RngCore;
+
+pub use rand::distributions::Distribution;
+
+/// Error returned by [`Normal::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or NaN.
+    StdDevTooSmall,
+    /// The mean was NaN.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::StdDevTooSmall => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] if `std_dev` is negative or either parameter is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::StdDevTooSmall);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms in (0, 1] -> one standard normal deviate.
+        let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn sample_mean_and_spread_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let normal = Normal::new(50.0, 10.0).unwrap();
+        let samples: Vec<f64> = (0..4000).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 50.0).abs() < 1.0, "sample mean {mean}");
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(
+            (var.sqrt() - 10.0).abs() < 1.0,
+            "sample std dev {}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn zero_std_dev_is_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let normal = Normal::new(5.0, 0.0).unwrap();
+        for _ in 0..10 {
+            assert_eq!(normal.sample(&mut rng), 5.0);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the no-op derive
+//! macros from the vendored `serde_derive`, so that `#[derive(Serialize, Deserialize)]`
+//! across the workspace compiles without registry access. Nothing in the workspace
+//! currently serializes values, so no serializer implementations are provided; swapping in
+//! the real serde is a one-line Cargo change.
+
+#![forbid(unsafe_code)]
+
+// Only the derive macros are exported — deliberately no `Serialize`/`Deserialize`
+// *traits*. The no-op derives implement nothing, so shipping marker traits of the same
+// name would let someone write a `T: serde::Serialize` bound that no type satisfies and
+// get a baffling "trait not implemented" error despite the visible derive. Without the
+// traits, such a bound fails fast with "expected trait, found derive macro", which
+// points straight at this stand-in.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline stand-in for the [`serde_derive`](https://crates.io/crates/serde_derive) crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types so that a real
+//! serde can be dropped in once the build environment has registry access, but nothing in
+//! the workspace currently *calls* serde serialization. These derive macros therefore
+//! expand to nothing: the attribute is accepted and type-checked away.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -44,20 +44,85 @@ fn bench_full_broadcast(c: &mut Criterion) {
     group.finish();
 }
 
+/// One full broadcast on the N=100 random-graph scenario: the pooled-engine headline
+/// number the determinism/throughput work is judged on (compare against the seed engine's
+/// run of the same benchmark id).
+fn bench_broadcast_n100(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_e2e_n100_k12_f5");
+    group.sample_size(10);
+    let (n, k, f) = (100usize, 12usize, 5usize);
+    let graph = brb_sim::experiment::experiment_graph(n, k, 424_242);
+    let params = ExperimentParams {
+        n,
+        connectivity: k,
+        f,
+        crashed: 0,
+        payload_size: 1024,
+        config: Config::bandwidth_preset(n, f),
+        delay: DelayModel::synchronous(),
+        seed: 7,
+    };
+    group.bench_function("bdw_preset", |b| {
+        b.iter(|| {
+            let r = run_experiment_on_graph(&params, &graph);
+            assert!(r.complete());
+            black_box(r.bytes)
+        })
+    });
+    group.finish();
+}
+
+/// The parallel sweep engine on a small matrix, 1 worker vs all cores: the wall-clock gap
+/// in the criterion report is the sweep throughput the parallel driver buys.
+fn bench_sweep_workers(c: &mut Criterion) {
+    use brb_sim::{run_sweep, ExperimentSpec};
+    let specs: Vec<ExperimentSpec> = (0..8u64)
+        .map(|run| {
+            let params = ExperimentParams {
+                n: 30,
+                connectivity: 9,
+                f: 4,
+                crashed: 0,
+                payload_size: 1024,
+                config: Config::bdopt_mbd1(30, 4),
+                delay: DelayModel::synchronous(),
+                seed: 1 + run,
+            };
+            ExperimentSpec::new(format!("bench/run={run}"), 5_000 + run, params)
+        })
+        .collect();
+    let mut group = c.benchmark_group("sweep_n30_8points");
+    group.sample_size(10);
+    for workers in [1usize, brb_sim::sweep::default_workers()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("workers={workers}")),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let outcomes = run_sweep(&specs, workers);
+                    black_box(outcomes.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Emits one quick-scale sample of every paper experiment into the bench output.
 fn paper_experiment_samples(_c: &mut Criterion) {
     // Print the quick-scale tables/figures once so they appear in bench_output.txt. The
     // timing of the underlying sweeps is covered by `bench_full_broadcast`; re-timing the
     // whole table inside a Criterion loop would only slow `cargo bench` down.
+    let workers = brb_sim::sweep::default_workers();
     println!("\n===== quick-scale reproduction of the paper's tables and figures =====");
-    table1::run_table1(Scale::Quick, false);
-    figures::run_fig4(Scale::Quick, false);
-    figures::run_fig5(Scale::Quick, false);
-    figures::run_fig6(Scale::Quick, false);
-    figures::run_fig7_to_10(Scale::Quick, false);
-    figures::run_memory(Scale::Quick);
+    table1::run_table1(Scale::Quick, false, workers);
+    figures::run_fig4(Scale::Quick, false, workers);
+    figures::run_fig5(Scale::Quick, false, workers);
+    figures::run_fig6(Scale::Quick, false, workers);
+    figures::run_fig7_to_10(Scale::Quick, false, workers);
+    figures::run_memory(Scale::Quick, workers);
     println!("===== asynchronous variant (Sec. 7.6) =====");
-    figures::run_fig7_to_10(Scale::Quick, true);
+    figures::run_fig7_to_10(Scale::Quick, true, workers);
 }
 
 fn fast_config() -> Criterion {
@@ -70,6 +135,6 @@ fn fast_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast_config();
-    targets = bench_full_broadcast, paper_experiment_samples
+    targets = bench_full_broadcast, bench_broadcast_n100, bench_sweep_workers, paper_experiment_samples
 }
 criterion_main!(benches);

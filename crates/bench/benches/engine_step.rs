@@ -8,6 +8,8 @@ use brb_core::config::Config;
 use brb_core::protocol::Protocol;
 use brb_core::types::{BroadcastId, Payload};
 use brb_core::wire::{FieldPresence, MessageKind, PayloadRef, WireMessage};
+use brb_graph::NeighborIndex;
+use brb_sim::{DelayModel, Simulation};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn echo_message(originator: usize, seq: u32, path: Vec<usize>) -> WireMessage {
@@ -63,6 +65,31 @@ fn bench_wire_codec(c: &mut Criterion) {
     });
 }
 
+/// Drives the pooled discrete-event engine through a full N=100 broadcast: the
+/// Arc-fan-out, batch-draining and label-interning work shows up directly in this number
+/// (compare against the seed engine's run of the same benchmark id).
+fn bench_engine_quiescence_n100(c: &mut Criterion) {
+    let (n, k, f) = (100usize, 12usize, 5usize);
+    let graph = brb_sim::experiment::experiment_graph(n, k, 424_242);
+    let index = NeighborIndex::new(&graph);
+    let config = Config::bandwidth_preset(n, f);
+    c.bench_function("engine_quiescence_n100_k12", |b| {
+        b.iter_with_setup(
+            || {
+                let processes: Vec<BdProcess> = (0..n)
+                    .map(|i| BdProcess::new(i, config, index.neighbors(i).to_vec()))
+                    .collect();
+                Simulation::new(processes, DelayModel::synchronous(), 7)
+            },
+            |mut sim| {
+                sim.broadcast(0, Payload::filled(0xAB, 1024));
+                let events = sim.run_to_quiescence();
+                black_box(events)
+            },
+        )
+    });
+}
+
 fn fast_config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -73,6 +100,6 @@ fn fast_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast_config();
-    targets = bench_handle_echo, bench_broadcast_creation, bench_wire_codec
+    targets = bench_handle_echo, bench_broadcast_creation, bench_wire_codec, bench_engine_quiescence_n100
 }
 criterion_main!(benches);

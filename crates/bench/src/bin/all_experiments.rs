@@ -1,25 +1,111 @@
 //! Runs every experiment harness in sequence (Table 1, Figs. 4–10, memory) and prints all
 //! results — the one-stop reproduction of the paper's evaluation section.
 //!
-//! Usage: `cargo run --release -p brb-bench --bin all_experiments [-- --quick] [-- --async]`
+//! Usage: `cargo run --release -p brb-bench --bin all_experiments [-- --quick] [-- --async]
+//! [-- --workers N] [-- --csv PATH]`
+//!
+//! With `--csv PATH` every data point is also written to a CSV file with fixed formatting.
+//! Because the sweep engine is deterministic regardless of the worker count, the CSV
+//! written with `--workers 1` and `--workers 4` is byte-identical — the CI smoke job
+//! relies on exactly this by diffing the two files.
 
-use brb_bench::{async_from_args, figures, table1, Scale};
+use std::fmt::Write as _;
+
+use brb_bench::{async_from_args, figures, table1, workers_from_args, Scale};
+
+/// Fixed-format float rendering used for every CSV cell, so the file is a pure function
+/// of the computed values.
+fn cell(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{value:.6}")
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
     let asynchronous = async_from_args(&args);
+    let workers = workers_from_args(&args);
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--csv=").map(str::to_string))
+        });
+
+    let mut csv = String::from("section,label,x,v1,v2,v3,v4,v5\n");
 
     println!("==============================================================");
-    table1::run_table1(scale, asynchronous);
+    for row in table1::run_table1(scale, asynchronous, workers) {
+        let (lmin, lmax) = row.latency_range();
+        let (bmin, bmax) = row.bytes_range();
+        let _ = writeln!(
+            csv,
+            "table1,MBD.{},{},{},{},{},{},",
+            row.mbd,
+            row.payload,
+            cell(lmin),
+            cell(lmax),
+            cell(bmin),
+            cell(bmax)
+        );
+    }
     println!("==============================================================");
-    figures::run_fig4(scale, asynchronous);
+    for p in figures::run_fig4(scale, asynchronous, workers) {
+        let _ = writeln!(
+            csv,
+            "fig4,{},{},{},{},{},,",
+            p.label,
+            p.k,
+            cell(p.result.latency_ms),
+            cell(p.result.bytes),
+            cell(p.result.messages)
+        );
+    }
     println!("==============================================================");
-    figures::run_fig5(scale, asynchronous);
+    for p in figures::run_fig5(scale, asynchronous, workers) {
+        let _ = writeln!(
+            csv,
+            "fig5,{},{},{},{},{},,",
+            p.label,
+            p.k,
+            cell(p.result.latency_ms),
+            cell(p.result.bytes),
+            cell(p.result.messages)
+        );
+    }
     println!("==============================================================");
-    figures::run_fig6(scale, asynchronous);
+    for (label, k, bytes_var, latency_var) in figures::run_fig6(scale, asynchronous, workers) {
+        let _ = writeln!(
+            csv,
+            "fig6,\"{label}\",{k},{},{},,,",
+            cell(bytes_var),
+            cell(latency_var)
+        );
+    }
     println!("==============================================================");
-    figures::run_fig7_to_10(scale, asynchronous);
+    for (mbd, bytes, latency) in figures::run_fig7_to_10(scale, asynchronous, workers) {
+        let _ = writeln!(
+            csv,
+            "fig7_to_10,MBD.{mbd},,{},{},{},{},{}",
+            cell(bytes.p2_5),
+            cell(bytes.median),
+            cell(bytes.p97_5),
+            cell(latency.median),
+            cell(latency.p97_5)
+        );
+    }
     println!("==============================================================");
-    figures::run_memory(scale);
+    for (n, paths, state) in figures::run_memory(scale, workers) {
+        let _ = writeln!(csv, "memory,N={n},,{},{},,,", cell(paths), cell(state));
+    }
+
+    if let Some(path) = csv_path {
+        std::fs::write(&path, csv).expect("CSV output path must be writable");
+        println!("# CSV written to {path}");
+    }
 }

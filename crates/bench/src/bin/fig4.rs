@@ -2,11 +2,15 @@
 //! BDopt + MBD.1 and BDopt + MBD.1/{7, 8, 9, 11} as a function of the network
 //! connectivity, with N = 50, f = 9 and 1024 B payloads.
 //!
-//! Usage: `cargo run --release -p brb-bench --bin fig4 [-- --quick] [-- --async]`
+//! Usage: `cargo run --release -p brb-bench --bin fig4 [-- --quick] [-- --async] [-- --workers N]`
 
-use brb_bench::{async_from_args, figures::run_fig4, Scale};
+use brb_bench::{async_from_args, figures::run_fig4, workers_from_args, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    run_fig4(Scale::from_args(&args), async_from_args(&args));
+    run_fig4(
+        Scale::from_args(&args),
+        async_from_args(&args),
+        workers_from_args(&args),
+    );
 }

@@ -2,11 +2,15 @@
 //! lat. / bdw. / lat.&bdw. combined configurations versus BDopt + MBD.1 as a function of
 //! the network connectivity, with (N, f) = (50, 10) and 1024 B payloads.
 //!
-//! Usage: `cargo run --release -p brb-bench --bin fig5 [-- --quick] [-- --async]`
+//! Usage: `cargo run --release -p brb-bench --bin fig5 [-- --quick] [-- --async] [-- --workers N]`
 
-use brb_bench::{async_from_args, figures::run_fig5, Scale};
+use brb_bench::{async_from_args, figures::run_fig5, workers_from_args, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    run_fig5(Scale::from_args(&args), async_from_args(&args));
+    run_fig5(
+        Scale::from_args(&args),
+        async_from_args(&args),
+        workers_from_args(&args),
+    );
 }

@@ -2,11 +2,15 @@
 //! paper: relative variation of the lat. and bdw. configurations over BDopt + MBD.1 as a
 //! function of the connectivity, for N = 30 and N = 50 with 1024 B payloads.
 //!
-//! Usage: `cargo run --release -p brb-bench --bin fig6 [-- --quick] [-- --async]`
+//! Usage: `cargo run --release -p brb-bench --bin fig6 [-- --quick] [-- --async] [-- --workers N]`
 
-use brb_bench::{async_from_args, figures::run_fig6, Scale};
+use brb_bench::{async_from_args, figures::run_fig6, workers_from_args, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    run_fig6(Scale::from_args(&args), async_from_args(&args));
+    run_fig6(
+        Scale::from_args(&args),
+        async_from_args(&args),
+        workers_from_args(&args),
+    );
 }

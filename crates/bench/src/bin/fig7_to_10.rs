@@ -3,11 +3,15 @@
 //! 1 KiB payloads, under synchronous (Figs. 7/9) or asynchronous (Figs. 8/10, `--async`)
 //! communications.
 //!
-//! Usage: `cargo run --release -p brb-bench --bin fig7_to_10 [-- --quick] [-- --async]`
+//! Usage: `cargo run --release -p brb-bench --bin fig7_to_10 [-- --quick] [-- --async] [-- --workers N]`
 
-use brb_bench::{async_from_args, figures::run_fig7_to_10, Scale};
+use brb_bench::{async_from_args, figures::run_fig7_to_10, workers_from_args, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    run_fig7_to_10(Scale::from_args(&args), async_from_args(&args));
+    run_fig7_to_10(
+        Scale::from_args(&args),
+        async_from_args(&args),
+        workers_from_args(&args),
+    );
 }

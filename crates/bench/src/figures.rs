@@ -1,11 +1,14 @@
 //! Figures 4–10 and the Sec. 7.3 memory experiment.
+//!
+//! Every harness builds the full list of sweep points up front and runs it through the
+//! parallel sweep engine (`brb_sim::sweep`); outcomes come back in spec order, so the
+//! printed series are bit-identical for every worker count.
 
 use brb_core::config::Config;
-use brb_graph::Graph;
-use brb_sim::DelayModel;
+use brb_sim::{run_sweep, DelayModel, ExperimentSpec, SweepOutcome};
 use brb_stats::FiveNumber;
 
-use crate::{averaged_on_graphs, experiment, variation_pct, AveragedResult, Scale};
+use crate::{averaged_of_outcomes, experiment, point_specs, variation_pct, AveragedResult, Scale};
 
 /// One point of a connectivity-sweep series: the configuration label, the connectivity and
 /// the averaged metrics.
@@ -27,10 +30,10 @@ fn delay(asynchronous: bool) -> DelayModel {
     }
 }
 
-fn shared_graphs(n: usize, k: usize, runs: usize) -> Vec<Graph> {
-    (0..runs)
-        .map(|i| brb_sim::experiment::experiment_graph(n, k, 7_000 + i as u64 + (n * k) as u64))
-        .collect()
+/// Topology seed base shared by every configuration compared at one `(n, k)` point (the
+/// paper reuses one generated graph per tuple; run `i` uses `graph_seed_base(n, k) + i`).
+fn graph_seed_base(n: usize, k: usize) -> u64 {
+    7_000 + (n * k) as u64
 }
 
 fn sweep_connectivities(scale: Scale, n: usize, f: usize) -> Vec<usize> {
@@ -51,7 +54,7 @@ fn sweep_connectivities(scale: Scale, n: usize, f: usize) -> Vec<usize> {
 
 /// Fig. 4a/4b: latency and bandwidth versus connectivity for BDopt + MBD.1 and
 /// BDopt + MBD.1/{7, 8, 9, 11}, with `N = 50`, `f = 9`, 1024 B payloads.
-pub fn run_fig4(scale: Scale, asynchronous: bool) -> Vec<SeriesPoint> {
+pub fn run_fig4(scale: Scale, asynchronous: bool, workers: usize) -> Vec<SeriesPoint> {
     let (n, f, payload) = match scale {
         Scale::Quick => (20, 3, 1024),
         Scale::Paper => (50, 9, 1024),
@@ -72,7 +75,7 @@ pub fn run_fig4(scale: Scale, asynchronous: bool) -> Vec<SeriesPoint> {
         ),
     })
     .collect();
-    let points = sweep(scale, asynchronous, n, f, payload, &configs);
+    let points = sweep(scale, asynchronous, n, f, payload, &configs, workers);
     print_series(
         &format!("Fig. 4a/4b — N={n}, f={f}, {payload} B payload"),
         &points,
@@ -82,7 +85,7 @@ pub fn run_fig4(scale: Scale, asynchronous: bool) -> Vec<SeriesPoint> {
 
 /// Fig. 5a/5b: latency and bandwidth versus connectivity for the lat. / bdw. / lat.&bdw.
 /// combined configurations, with `(N, f) = (50, 10)` and 1024 B payloads.
-pub fn run_fig5(scale: Scale, asynchronous: bool) -> Vec<SeriesPoint> {
+pub fn run_fig5(scale: Scale, asynchronous: bool, workers: usize) -> Vec<SeriesPoint> {
     let (n, f, payload) = match scale {
         Scale::Quick => (20, 3, 1024),
         Scale::Paper => (50, 10, 1024),
@@ -96,7 +99,7 @@ pub fn run_fig5(scale: Scale, asynchronous: bool) -> Vec<SeriesPoint> {
             Config::latency_bandwidth_preset(n, f),
         ),
     ];
-    let points = sweep(scale, asynchronous, n, f, payload, &configs);
+    let points = sweep(scale, asynchronous, n, f, payload, &configs, workers);
     print_series(
         &format!("Fig. 5a/5b — (N, f)=({n}, {f}), {payload} B payload"),
         &points,
@@ -106,41 +109,60 @@ pub fn run_fig5(scale: Scale, asynchronous: bool) -> Vec<SeriesPoint> {
 
 /// Fig. 6a/6b: relative bandwidth and latency variation (in %) of the lat. and bdw.
 /// configurations over BDopt + MBD.1, for `N = 30` and `N = 50`.
-pub fn run_fig6(scale: Scale, asynchronous: bool) -> Vec<(String, usize, f64, f64)> {
+pub fn run_fig6(
+    scale: Scale,
+    asynchronous: bool,
+    workers: usize,
+) -> Vec<(String, usize, f64, f64)> {
     let systems: Vec<(usize, usize)> = match scale {
         Scale::Quick => vec![(20, 3)],
         Scale::Paper => vec![(30, 7), (50, 12)],
     };
     let payload = 1024;
     let runs = scale.runs();
+    let dl = delay(asynchronous);
+
+    // One flat spec list over every (system, k, configuration, run) tuple; the sweep
+    // engine shards it, and chunks of `runs` outcomes are averaged back below.
+    let mut specs: Vec<ExperimentSpec> = Vec::new();
+    let mut groups: Vec<(String, usize)> = Vec::new();
+    for &(n, f) in &systems {
+        for k in sweep_connectivities(scale, n, f) {
+            for (label, config) in [
+                ("base".to_string(), Config::bdopt_mbd1(n, f)),
+                (format!("lat., N={n}"), Config::latency_preset(n, f)),
+                (format!("bdw., N={n}"), Config::bandwidth_preset(n, f)),
+            ] {
+                let params = experiment(n, k, f, payload, config, dl, 1);
+                specs.extend(point_specs(&label, &params, graph_seed_base(n, k), runs));
+                groups.push((label, k));
+            }
+        }
+    }
+    let outcomes = run_sweep(&specs, workers);
+
     let mut rows = Vec::new();
     println!("# Fig. 6a/6b — variation (%) over BDopt+MBD.1, {payload} B payload");
     println!(
         "{:<14} {:>4} {:>4} {:>18} {:>18}",
         "configuration", "N", "k", "bandwidth var. %", "latency var. %"
     );
-    for &(n, f) in &systems {
-        for k in sweep_connectivities(scale, n, f) {
-            let graphs = shared_graphs(n, k, runs);
-            let dl = delay(asynchronous);
-            let base = averaged_on_graphs(
-                &experiment(n, k, f, payload, Config::bdopt_mbd1(n, f), dl, 1),
-                &graphs,
-            );
-            for (label, config) in [
-                (format!("lat., N={n}"), Config::latency_preset(n, f)),
-                (format!("bdw., N={n}"), Config::bandwidth_preset(n, f)),
-            ] {
-                let r = averaged_on_graphs(&experiment(n, k, f, payload, config, dl, 1), &graphs);
-                let bytes_var = variation_pct(base.bytes, r.bytes);
-                let latency_var = variation_pct(base.latency_ms, r.latency_ms);
-                println!(
-                    "{:<14} {:>4} {:>4} {:>18.1} {:>18.1}",
-                    label, n, k, bytes_var, latency_var
-                );
-                rows.push((label, k, bytes_var, latency_var));
-            }
+    let mut base = averaged_of_outcomes(&[]);
+    for (chunk, (label, k)) in outcomes.chunks(runs).zip(groups) {
+        let r = averaged_of_outcomes(chunk);
+        if label == "base" {
+            base = r;
+            continue;
         }
+        // No process crashes in this figure, so `correct` is exactly N.
+        let n: usize = chunk[0].record.result.correct;
+        let bytes_var = variation_pct(base.bytes, r.bytes);
+        let latency_var = variation_pct(base.latency_ms, r.latency_ms);
+        println!(
+            "{:<14} {:>4} {:>4} {:>18.1} {:>18.1}",
+            label, n, k, bytes_var, latency_var
+        );
+        rows.push((label, k, bytes_var, latency_var));
     }
     rows
 }
@@ -148,8 +170,12 @@ pub fn run_fig6(scale: Scale, asynchronous: bool) -> Vec<(String, usize, f64, f6
 /// Figs. 7–10: distribution (five-number summary) of the impact of each modification on
 /// network consumption and latency over the whole sweep, with synchronous
 /// (Figs. 7/9) or asynchronous (Figs. 8/10) communications and 1 KiB payloads.
-pub fn run_fig7_to_10(scale: Scale, asynchronous: bool) -> Vec<(u8, FiveNumber, FiveNumber)> {
-    let rows = crate::table1::compute_table1(scale, asynchronous, &[1024]);
+pub fn run_fig7_to_10(
+    scale: Scale,
+    asynchronous: bool,
+    workers: usize,
+) -> Vec<(u8, FiveNumber, FiveNumber)> {
+    let rows = crate::table1::compute_table1(scale, asynchronous, &[1024], workers);
     let mode = if asynchronous {
         "asynchronous (Figs. 8 and 10)"
     } else {
@@ -177,31 +203,40 @@ pub fn run_fig7_to_10(scale: Scale, asynchronous: bool) -> Vec<(u8, FiveNumber, 
 
 /// Sec. 7.3: memory-consumption proxy (peak stored paths / protocol state) for
 /// `N ∈ {10, 30, 50}` with 16 B payloads.
-pub fn run_memory(scale: Scale) -> Vec<(usize, f64, f64)> {
+pub fn run_memory(scale: Scale, workers: usize) -> Vec<(usize, f64, f64)> {
     let systems: Vec<(usize, usize, usize)> = match scale {
         Scale::Quick => vec![(10, 3, 1), (20, 7, 3)],
         Scale::Paper => vec![(10, 3, 1), (30, 9, 4), (50, 21, 9)],
     };
+    let runs = scale.runs();
+    let mut specs: Vec<ExperimentSpec> = Vec::new();
+    for &(n, k, f) in &systems {
+        let params = experiment(
+            n,
+            k,
+            f,
+            16,
+            Config::bdopt(n, f),
+            DelayModel::synchronous(),
+            1,
+        );
+        specs.extend(point_specs(
+            &format!("memory/N={n}"),
+            &params,
+            graph_seed_base(n, k),
+            runs,
+        ));
+    }
+    let outcomes = run_sweep(&specs, workers);
+
     println!("# Sec. 7.3 — memory consumption proxy (16 B payload, synchronous)");
     println!(
         "{:<4} {:>6} {:>4} {:>22} {:>22}",
         "N", "k", "f", "peak stored paths", "peak state bytes"
     );
     let mut rows = Vec::new();
-    for (n, k, f) in systems {
-        let graphs = shared_graphs(n, k, scale.runs());
-        let r = averaged_on_graphs(
-            &experiment(
-                n,
-                k,
-                f,
-                16,
-                Config::bdopt(n, f),
-                DelayModel::synchronous(),
-                1,
-            ),
-            &graphs,
-        );
+    for (chunk, &(n, k, f)) in outcomes.chunks(runs).zip(&systems) {
+        let r = averaged_of_outcomes(chunk);
         println!(
             "{:<4} {:>6} {:>4} {:>22.0} {:>22.0}",
             n, k, f, r.peak_stored_paths, r.peak_state_bytes
@@ -218,24 +253,28 @@ fn sweep(
     f: usize,
     payload: usize,
     configs: &[(String, Config)],
+    workers: usize,
 ) -> Vec<SeriesPoint> {
     let runs = scale.runs();
-    let mut points = Vec::new();
+    let mut specs: Vec<ExperimentSpec> = Vec::new();
+    let mut groups: Vec<(String, usize)> = Vec::new();
     for k in sweep_connectivities(scale, n, f) {
-        let graphs = shared_graphs(n, k, runs);
         for (label, config) in configs {
-            let result = averaged_on_graphs(
-                &experiment(n, k, f, payload, *config, delay(asynchronous), 1),
-                &graphs,
-            );
-            points.push(SeriesPoint {
-                label: label.clone(),
-                k,
-                result,
-            });
+            let params = experiment(n, k, f, payload, *config, delay(asynchronous), 1);
+            specs.extend(point_specs(label, &params, graph_seed_base(n, k), runs));
+            groups.push((label.clone(), k));
         }
     }
-    points
+    let outcomes: Vec<SweepOutcome> = run_sweep(&specs, workers);
+    outcomes
+        .chunks(runs)
+        .zip(groups)
+        .map(|(chunk, (label, k))| SeriesPoint {
+            label,
+            k,
+            result: averaged_of_outcomes(chunk),
+        })
+        .collect()
 }
 
 fn print_series(title: &str, points: &[SeriesPoint]) {
@@ -273,7 +312,7 @@ mod tests {
 
     #[test]
     fn quick_fig5_bdw_reduces_bandwidth() {
-        let points = run_fig5(Scale::Quick, false);
+        let points = run_fig5(Scale::Quick, false, 2);
         assert!(!points.is_empty());
         for k in points
             .iter()
@@ -296,8 +335,22 @@ mod tests {
     }
 
     #[test]
+    fn quick_fig5_is_worker_count_invariant() {
+        let one = run_fig5(Scale::Quick, false, 1);
+        let four = run_fig5(Scale::Quick, false, 4);
+        assert_eq!(one.len(), four.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.result.latency_ms.to_bits(), b.result.latency_ms.to_bits());
+            assert_eq!(a.result.bytes.to_bits(), b.result.bytes.to_bits());
+            assert_eq!(a.result.messages.to_bits(), b.result.messages.to_bits());
+        }
+    }
+
+    #[test]
     fn quick_memory_grows_with_system_size() {
-        let rows = run_memory(Scale::Quick);
+        let rows = run_memory(Scale::Quick, 2);
         assert!(rows.len() >= 2);
         assert!(rows[0].2 <= rows[1].2, "state bytes grow with N");
     }

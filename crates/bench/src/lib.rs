@@ -30,7 +30,10 @@ pub mod table1;
 
 use brb_core::config::Config;
 use brb_graph::Graph;
-use brb_sim::{run_experiment_on_graph, DelayModel, ExperimentParams};
+use brb_sim::{
+    run_experiment_on_graph, DelayModel, ExperimentParams, ExperimentSpec, SweepOutcome,
+};
+use brb_stats::Accumulator;
 
 /// Sweep size of a harness run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +66,75 @@ impl Scale {
 /// Whether the asynchronous delay model was requested on the command line.
 pub fn async_from_args(args: &[String]) -> bool {
     args.iter().any(|a| a == "--async")
+}
+
+/// Parses the `--workers N` / `--workers=N` command-line option.
+///
+/// Defaults to the host parallelism. Results are bit-identical for every worker count
+/// (see `brb_sim::sweep`), so the flag only trades wall-clock time for CPU.
+pub fn workers_from_args(args: &[String]) -> usize {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--workers" {
+            if let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        } else if let Some(v) = arg.strip_prefix("--workers=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    brb_sim::sweep::default_workers()
+}
+
+/// Builds the `runs` sweep specs of one data point: run `i` uses topology seed
+/// `graph_seed_base + i` and run seed `params.seed + i`, the same seeding scheme as
+/// [`averaged_on_graphs`], so sweep-based harnesses run the exact same simulations.
+pub fn point_specs(
+    label: &str,
+    params: &ExperimentParams,
+    graph_seed_base: u64,
+    runs: usize,
+) -> Vec<ExperimentSpec> {
+    (0..runs)
+        .map(|i| {
+            let mut p = params.clone();
+            p.seed = params.seed.wrapping_add(i as u64);
+            ExperimentSpec::new(label.to_string(), graph_seed_base + i as u64, p)
+        })
+        .collect()
+}
+
+/// Averages the outcomes of one data point's runs (the sweep-based counterpart of
+/// [`averaged_on_graphs`]), aggregating with the `brb-stats` accumulators.
+pub fn averaged_of_outcomes(outcomes: &[SweepOutcome]) -> AveragedResult {
+    let mut latency = Accumulator::new();
+    let mut bytes = Accumulator::new();
+    let mut messages = Accumulator::new();
+    let mut state = Accumulator::new();
+    let mut paths = Accumulator::new();
+    for outcome in outcomes {
+        let r = &outcome.record.result;
+        if let Some(l) = r.latency_ms {
+            latency.push(l);
+        }
+        bytes.push(r.bytes as f64);
+        messages.push(r.messages as f64);
+        state.push(r.peak_state_bytes as f64);
+        paths.push(r.peak_stored_paths as f64);
+    }
+    AveragedResult {
+        latency_ms: if latency.count() > 0 {
+            latency.mean()
+        } else {
+            f64::NAN
+        },
+        bytes: bytes.mean(),
+        messages: messages.mean(),
+        peak_state_bytes: state.mean(),
+        peak_stored_paths: paths.mean(),
+    }
 }
 
 /// Averaged metrics of an experiment repeated over several seeds.

@@ -6,12 +6,16 @@
 //! MBD.2–12 are compared against BDopt + MBD.1 (the paper's reference configuration).
 //! Running the harness with `--async` reproduces the asynchronous variant of Sec. 7.6
 //! (Tables 8 and 10 of the appendix).
+//!
+//! The whole table is submitted as one flat spec list to the parallel sweep engine;
+//! baseline and modified configurations of one `(N, k, f)` tuple share their topology
+//! seeds, so both run on the same generated graphs regardless of which worker picks each
+//! point up.
 
 use brb_core::config::Config;
-use brb_graph::Graph;
-use brb_sim::DelayModel;
+use brb_sim::{run_sweep, DelayModel, ExperimentSpec};
 
-use crate::{averaged_on_graphs, experiment, variation_pct, Scale};
+use crate::{averaged_of_outcomes, experiment, point_specs, variation_pct, Scale};
 
 /// One row of Table 1: the impact of a single modification for one payload size.
 #[derive(Debug, Clone)]
@@ -59,26 +63,28 @@ fn sweep(scale: Scale) -> Vec<(usize, usize, usize)> {
     }
 }
 
-/// Computes every row of Table 1 for the given payload sizes.
-pub fn compute_table1(scale: Scale, asynchronous: bool, payloads: &[usize]) -> Vec<Table1Row> {
+/// Computes every row of Table 1 for the given payload sizes, sharding the underlying
+/// simulations across `workers` threads.
+pub fn compute_table1(
+    scale: Scale,
+    asynchronous: bool,
+    payloads: &[usize],
+    workers: usize,
+) -> Vec<Table1Row> {
     let delay = if asynchronous {
         DelayModel::asynchronous()
     } else {
         DelayModel::synchronous()
     };
     let runs = scale.runs();
-    let mut rows = Vec::new();
+
+    // Flatten the whole table into one spec list: for every (payload, mbd, (n, k, f))
+    // cell, `runs` baseline points followed by `runs` modified points, both on the same
+    // topology seeds (1_000 + k + i, the scheme the serial harness used).
+    let mut specs: Vec<ExperimentSpec> = Vec::new();
     for &payload in payloads {
         for mbd in 1..=12u8 {
-            let mut latency_var = Vec::new();
-            let mut bytes_var = Vec::new();
             for &(n, k, f) in &sweep(scale) {
-                // Reuse the same graphs for the baseline and the modified configuration.
-                let graphs: Vec<Graph> = (0..runs)
-                    .map(|i| {
-                        brb_sim::experiment::experiment_graph(n, k, 1_000 + (i as u64) + k as u64)
-                    })
-                    .collect();
                 let (base_cfg, mod_cfg) = if mbd == 1 {
                     (Config::bdopt(n, f), Config::bdopt_mbd1(n, f))
                 } else {
@@ -87,10 +93,38 @@ pub fn compute_table1(scale: Scale, asynchronous: bool, payloads: &[usize]) -> V
                         Config::bdopt_mbd1(n, f).with_mbd(&[mbd]),
                     )
                 };
-                let base =
-                    averaged_on_graphs(&experiment(n, k, f, payload, base_cfg, delay, 1), &graphs);
-                let modified =
-                    averaged_on_graphs(&experiment(n, k, f, payload, mod_cfg, delay, 1), &graphs);
+                let graph_base = 1_000 + k as u64;
+                let base = experiment(n, k, f, payload, base_cfg, delay, 1);
+                let modified = experiment(n, k, f, payload, mod_cfg, delay, 1);
+                let label = format!("table1/mbd={mbd}/payload={payload}/n={n}/k={k}");
+                specs.extend(point_specs(
+                    &format!("{label}/base"),
+                    &base,
+                    graph_base,
+                    runs,
+                ));
+                specs.extend(point_specs(
+                    &format!("{label}/mod"),
+                    &modified,
+                    graph_base,
+                    runs,
+                ));
+            }
+        }
+    }
+    let outcomes = run_sweep(&specs, workers);
+
+    // Walk the outcomes back in the same nesting order, 2 * runs per cell.
+    let mut rows = Vec::new();
+    let mut cells = outcomes.chunks(2 * runs);
+    for &payload in payloads {
+        for mbd in 1..=12u8 {
+            let mut latency_var = Vec::new();
+            let mut bytes_var = Vec::new();
+            for _ in &sweep(scale) {
+                let cell = cells.next().expect("one cell per (payload, mbd, nkf)");
+                let base = averaged_of_outcomes(&cell[..runs]);
+                let modified = averaged_of_outcomes(&cell[runs..]);
                 latency_var.push(variation_pct(base.latency_ms, modified.latency_ms));
                 bytes_var.push(variation_pct(base.bytes, modified.bytes));
             }
@@ -106,9 +140,9 @@ pub fn compute_table1(scale: Scale, asynchronous: bool, payloads: &[usize]) -> V
 }
 
 /// Runs the Table 1 harness and prints the table to stdout.
-pub fn run_table1(scale: Scale, asynchronous: bool) -> Vec<Table1Row> {
+pub fn run_table1(scale: Scale, asynchronous: bool, workers: usize) -> Vec<Table1Row> {
     let payloads = [16usize, 1024];
-    let rows = compute_table1(scale, asynchronous, &payloads);
+    let rows = compute_table1(scale, asynchronous, &payloads, workers);
     println!(
         "# Table 1 — impact of each modification ({} communications, {:?} scale)",
         if asynchronous {
@@ -145,7 +179,7 @@ mod tests {
 
     #[test]
     fn quick_table1_has_expected_shape_and_mbd1_reduces_bytes() {
-        let rows = compute_table1(Scale::Quick, false, &[1024]);
+        let rows = compute_table1(Scale::Quick, false, &[1024], 4);
         assert_eq!(rows.len(), 12);
         let mbd1 = rows.iter().find(|r| r.mbd == 1).unwrap();
         let (_, bytes_max) = mbd1.bytes_range();
@@ -158,5 +192,19 @@ mod tests {
             mbd11.bytes_range().0 < 0.0,
             "MBD.11 reduces bytes somewhere in the sweep"
         );
+    }
+
+    #[test]
+    fn quick_table1_is_worker_count_invariant() {
+        let one = compute_table1(Scale::Quick, false, &[16], 1);
+        let four = compute_table1(Scale::Quick, false, &[16], 4);
+        assert_eq!(one.len(), four.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.mbd, b.mbd);
+            assert_eq!(a.payload, b.payload);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.latency_var), bits(&b.latency_var));
+            assert_eq!(bits(&a.bytes_var), bits(&b.bytes_var));
+        }
     }
 }

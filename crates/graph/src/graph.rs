@@ -148,6 +148,55 @@ impl Graph {
     }
 }
 
+/// A compressed (CSR-style) snapshot of a graph's adjacency, built **once per run**.
+///
+/// [`Graph`] stores one `BTreeSet` per node, which is convenient while a topology is being
+/// generated or mutated but costs a tree walk every time a neighbor list is materialised.
+/// Simulation runs query neighbor lists for every process of every run of a sweep, so the
+/// experiment runner flattens the adjacency into a single `targets` array with per-node
+/// `offsets` and hands out `&[ProcessId]` slices instead of walking the sets again.
+///
+/// Neighbor slices preserve the deterministic increasing order of [`Graph::neighbors`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborIndex {
+    offsets: Vec<usize>,
+    targets: Vec<ProcessId>,
+}
+
+impl NeighborIndex {
+    /// Builds the index from a graph in one pass over its adjacency.
+    pub fn new(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0);
+        for u in 0..n {
+            targets.extend(graph.adjacency[u].iter().copied());
+            offsets.push(targets.len());
+        }
+        Self { offsets, targets }
+    }
+
+    /// Number of nodes indexed.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Neighbors of `u` in increasing order, as a borrowed slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a valid node.
+    pub fn neighbors(&self, u: ProcessId) -> &[ProcessId] {
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: ProcessId) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+}
+
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Graph")
@@ -244,5 +293,25 @@ mod tests {
         let g = Graph::from_edges(2, [(0, 1)]);
         assert!(!format!("{g:?}").is_empty());
         assert!(format!("{g}").contains("0 -- [1]"));
+    }
+
+    #[test]
+    fn neighbor_index_matches_graph_adjacency() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 3), (1, 2), (2, 3), (3, 4)]);
+        let index = NeighborIndex::new(&g);
+        assert_eq!(index.node_count(), 5);
+        for u in g.nodes() {
+            assert_eq!(index.neighbors(u), g.neighbors_vec(u).as_slice());
+            assert_eq!(index.degree(u), g.degree(u));
+        }
+    }
+
+    #[test]
+    fn neighbor_index_of_isolated_nodes_is_empty() {
+        let g = Graph::new(3);
+        let index = NeighborIndex::new(&g);
+        for u in 0..3 {
+            assert!(index.neighbors(u).is_empty());
+        }
     }
 }

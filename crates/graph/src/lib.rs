@@ -47,4 +47,4 @@ pub mod graph;
 pub mod paths;
 pub mod traversal;
 
-pub use graph::{Graph, ProcessId};
+pub use graph::{Graph, NeighborIndex, ProcessId};

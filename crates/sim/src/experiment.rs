@@ -11,17 +11,18 @@ use brb_core::bd::BdProcess;
 use brb_core::config::Config;
 use brb_core::protocol::Protocol;
 use brb_core::types::{BroadcastId, Payload, ProcessId};
-use brb_graph::{generate, Graph};
+use brb_graph::{generate, Graph, NeighborIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::behavior::Behavior;
 use crate::delay::DelayModel;
+use crate::metrics::RunMetrics;
 use crate::sim::Simulation;
 
 /// Parameters of one experiment (one data point of a figure or table).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentParams {
     /// Number of processes `N`.
     pub n: usize,
@@ -59,7 +60,7 @@ impl ExperimentParams {
 }
 
 /// Result of one experiment run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
     /// Broadcast latency in milliseconds (time until all correct processes delivered), or
     /// `None` if some correct process never delivered.
@@ -101,6 +102,19 @@ pub fn experiment_graph(n: usize, connectivity: usize, seed: u64) -> Graph {
         .expect("the (n, k) combinations used in experiments admit regular graphs")
 }
 
+/// An [`ExperimentResult`] together with the full [`RunMetrics`] of the underlying
+/// simulation run, as returned by [`run_experiment_recorded`].
+///
+/// The determinism harness compares the canonical rendering of `metrics` against golden
+/// snapshots, which would be impossible from the aggregated [`ExperimentResult`] alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// The aggregated per-run result (what the figures and tables consume).
+    pub result: ExperimentResult,
+    /// The raw simulator metrics of the run.
+    pub metrics: RunMetrics,
+}
+
 /// Runs one experiment and returns its metrics.
 ///
 /// The source is process 0; the `crashed` Byzantine processes are chosen among the highest
@@ -113,13 +127,22 @@ pub fn run_experiment(params: &ExperimentParams) -> ExperimentResult {
 /// Runs one experiment on a caller-provided topology (used when several configurations
 /// must be compared on the *same* graph, as in Table 1 and Figs. 4–10).
 pub fn run_experiment_on_graph(params: &ExperimentParams, graph: &Graph) -> ExperimentResult {
+    run_experiment_recorded(params, graph).result
+}
+
+/// Runs one experiment on a caller-provided topology and returns both the aggregated
+/// result and the full run metrics.
+pub fn run_experiment_recorded(params: &ExperimentParams, graph: &Graph) -> ExperimentRecord {
     assert_eq!(graph.node_count(), params.n, "graph size must match N");
     assert!(
         params.crashed <= params.f,
         "cannot crash more than f processes"
     );
+    // Flatten the adjacency once per run; every process then copies its own (sorted)
+    // neighbor slice instead of walking the graph's per-node tree sets.
+    let index = NeighborIndex::new(graph);
     let processes: Vec<BdProcess> = (0..params.n)
-        .map(|i| BdProcess::new(i, params.config, graph.neighbors_vec(i)))
+        .map(|i| BdProcess::new(i, params.config, index.neighbors(i).to_vec()))
         .collect();
     let mut sim = Simulation::new(processes, params.delay, params.seed);
     // Crash the `crashed` highest-numbered processes (never the source, process 0).
@@ -152,7 +175,7 @@ pub fn run_experiment_on_graph(params: &ExperimentParams, graph: &Graph) -> Expe
         .max()
         .unwrap_or(0)
         .max(sim.metrics().peak_state_bytes);
-    ExperimentResult {
+    let result = ExperimentResult {
         latency_ms,
         bytes: sim.metrics().bytes_sent,
         messages: sim.metrics().messages_sent,
@@ -160,6 +183,10 @@ pub fn run_experiment_on_graph(params: &ExperimentParams, graph: &Graph) -> Expe
         correct: correct.len(),
         peak_state_bytes,
         peak_stored_paths,
+    };
+    ExperimentRecord {
+        result,
+        metrics: sim.into_metrics(),
     }
 }
 

@@ -15,9 +15,11 @@
 //! * [`invariants`] — checkers for the four BRB properties over finished executions, used
 //!   by the integration and property tests of every protocol stack;
 //! * [`experiment`] — the high-level runner the benchmark harnesses use to regenerate the
-//!   paper's tables and figures point by point.
+//!   paper's tables and figures point by point;
+//! * [`sweep`] — the parallel sweep engine: shards a `Vec<ExperimentSpec>` across worker
+//!   threads with deterministic, worker-count-independent results.
 //!
-//! # Example
+//! # Example: one experiment
 //!
 //! ```
 //! use brb_core::config::Config;
@@ -38,6 +40,32 @@
 //! assert!(result.complete());
 //! println!("latency = {:?} ms, bytes = {}", result.latency_ms, result.bytes);
 //! ```
+//!
+//! # Example: a parallel sweep
+//!
+//! A sweep is a list of labelled [`sweep::ExperimentSpec`]s. Specs sharing the same
+//! `(n, connectivity, graph_seed)` run on the same generated topology, and the outcome
+//! vector is bit-identical whatever the worker count:
+//!
+//! ```
+//! use brb_core::config::Config;
+//! use brb_sim::experiment::ExperimentParams;
+//! use brb_sim::sweep::{run_sweep, summarize, ExperimentSpec};
+//!
+//! let specs: Vec<ExperimentSpec> = (0..4u64)
+//!     .map(|run| {
+//!         let mut params = ExperimentParams::new(12, 5, 2, Config::bdopt_mbd1(12, 2));
+//!         params.seed = 100 + run;
+//!         ExperimentSpec::new(format!("demo/run={run}"), 9_000 + run, params)
+//!     })
+//!     .collect();
+//! let serial = run_sweep(&specs, 1);
+//! let parallel = run_sweep(&specs, 2);
+//! assert_eq!(serial, parallel, "outcomes never depend on the worker count");
+//! let summary = summarize(&parallel);
+//! assert_eq!(summary.completed, 4);
+//! assert!(summary.latency_ms.mean() > 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,12 +76,17 @@ pub mod experiment;
 pub mod invariants;
 pub mod metrics;
 pub mod sim;
+pub mod sweep;
 pub mod time;
 
 pub use behavior::Behavior;
 pub use delay::DelayModel;
-pub use experiment::{run_experiment, run_experiment_on_graph, ExperimentParams, ExperimentResult};
+pub use experiment::{
+    run_experiment, run_experiment_on_graph, run_experiment_recorded, ExperimentParams,
+    ExperimentRecord, ExperimentResult,
+};
 pub use invariants::{check_brb, check_brb_processes, BroadcastRecord, Violation};
 pub use metrics::RunMetrics;
 pub use sim::Simulation;
+pub use sweep::{run_sweep, summarize, ExperimentSpec, SweepOutcome, SweepSummary};
 pub use time::SimTime;

@@ -7,8 +7,13 @@
 //!   field accounting);
 //! * **memory consumption** — dominated by the transmission paths stored for disjoint-path
 //!   verification (Sec. 7.3), which the simulator tracks as a peak value.
+//!
+//! All per-kind and per-process tables are ordered maps, so two [`RunMetrics`] values that
+//! compare equal also render to identical [`RunMetrics::canonical_text`] snapshots — the
+//! property the golden-file determinism suite (`tests/determinism.rs`) is built on.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 use brb_core::types::{BroadcastId, ProcessId};
 use serde::{Deserialize, Serialize};
@@ -16,16 +21,17 @@ use serde::{Deserialize, Serialize};
 use crate::time::SimTime;
 
 /// Counters accumulated while a simulation runs.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunMetrics {
     /// Number of messages transmitted on the links.
     pub messages_sent: usize,
     /// Total bytes transmitted (per the paper's Table 3 accounting).
     pub bytes_sent: usize,
-    /// Messages per wire kind (diagnostic; keys are debug-formatted kinds).
-    pub messages_per_kind: HashMap<String, usize>,
-    /// Delivery time of each broadcast at each process.
-    pub delivery_times: HashMap<(ProcessId, BroadcastId), SimTime>,
+    /// Messages per wire kind (diagnostic; keys are debug-formatted kinds). Ordered so
+    /// that iteration — and therefore serialization — is deterministic.
+    pub messages_per_kind: BTreeMap<String, usize>,
+    /// Delivery time of each broadcast at each process, ordered by `(process, id)`.
+    pub delivery_times: BTreeMap<(ProcessId, BroadcastId), SimTime>,
     /// Peak number of transmission paths stored by any single process.
     pub peak_stored_paths: usize,
     /// Peak protocol-state bytes held by any single process.
@@ -39,7 +45,13 @@ impl RunMetrics {
     pub fn record_send(&mut self, kind: &str, bytes: usize) {
         self.messages_sent += 1;
         self.bytes_sent += bytes;
-        *self.messages_per_kind.entry(kind.to_string()).or_insert(0) += 1;
+        // Hot path: only allocate the key string the first time a kind is seen.
+        match self.messages_per_kind.get_mut(kind) {
+            Some(count) => *count += 1,
+            None => {
+                self.messages_per_kind.insert(kind.to_string(), 1);
+            }
+        }
     }
 
     /// Records a delivery.
@@ -71,6 +83,34 @@ impl RunMetrics {
     /// Network consumption in kilobytes (the unit of Figs. 4b/5b of the paper).
     pub fn kilobytes_sent(&self) -> f64 {
         self.bytes_sent as f64 / 1_000.0
+    }
+
+    /// Renders every counter into a canonical, line-oriented text form.
+    ///
+    /// Two metrics values render identically if and only if they are equal: all integer
+    /// counters are printed in full, delivery times in exact microseconds, and both maps
+    /// in their (deterministic) key order. The golden snapshots under `tests/golden/` and
+    /// the 1-vs-N-worker sweep comparisons are byte-level comparisons of this rendering.
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "messages_sent={}", self.messages_sent);
+        let _ = writeln!(out, "bytes_sent={}", self.bytes_sent);
+        let _ = writeln!(out, "events_processed={}", self.events_processed);
+        let _ = writeln!(out, "peak_stored_paths={}", self.peak_stored_paths);
+        let _ = writeln!(out, "peak_state_bytes={}", self.peak_state_bytes);
+        for (kind, count) in &self.messages_per_kind {
+            let _ = writeln!(out, "kind {kind}={count}");
+        }
+        for (&(process, id), &at) in &self.delivery_times {
+            let _ = writeln!(
+                out,
+                "delivery p{process} ({}, {}) at_us={}",
+                id.source,
+                id.seq,
+                at.as_micros()
+            );
+        }
+        out
     }
 }
 
@@ -109,5 +149,32 @@ mod tests {
         m.record_delivery(1, id, SimTime::from_millis(10));
         m.record_delivery(1, id, SimTime::from_millis(99));
         assert_eq!(m.delivery_times[&(1, id)], SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn canonical_text_is_stable_and_discriminating() {
+        let mut a = RunMetrics::default();
+        a.record_send("Echo", 10);
+        a.record_send("Send", 5);
+        a.record_delivery(2, BroadcastId::new(0, 1), SimTime::from_micros(1_500));
+        a.record_delivery(1, BroadcastId::new(0, 1), SimTime::from_micros(999));
+        let b = a.clone();
+        assert_eq!(a.canonical_text(), b.canonical_text());
+        assert!(a.canonical_text().contains("kind Echo=1"));
+        assert!(a.canonical_text().contains("delivery p1 (0, 1) at_us=999"));
+        let mut c = a.clone();
+        c.record_send("Echo", 1);
+        assert_ne!(a.canonical_text(), c.canonical_text());
+    }
+
+    #[test]
+    fn canonical_text_orders_deliveries_by_process_then_id() {
+        let mut m = RunMetrics::default();
+        m.record_delivery(3, BroadcastId::new(1, 0), SimTime::from_micros(5));
+        m.record_delivery(1, BroadcastId::new(2, 0), SimTime::from_micros(7));
+        let text = m.canonical_text();
+        let p1 = text.find("delivery p1").unwrap();
+        let p3 = text.find("delivery p3").unwrap();
+        assert!(p1 < p3, "deliveries must be sorted by process id");
     }
 }

@@ -7,10 +7,26 @@
 //! (asynchronous delays reorder messages exactly as described in Sec. 7.6).
 //!
 //! Determinism: for a fixed seed, topology and protocol configuration, a run is perfectly
-//! reproducible (events with equal timestamps are ordered by a sequence number).
+//! reproducible. Events with equal timestamps are ordered by `(from, to)` and only then by
+//! a global sequence number, so the order in which same-time events are drained never
+//! depends on the order in which they were scheduled (see [`Simulation::step_batch`]).
+//!
+//! # Engine internals
+//!
+//! Three structural choices keep the per-event cost low enough for large parameter sweeps:
+//!
+//! * in-flight messages are reference-counted ([`Arc`]): scheduling `c` copies of a
+//!   message performs `c` pointer clones instead of `c` deep clones, and the deep value is
+//!   recovered without copying when the last copy is dispatched;
+//! * same-timestamp events are drained in one pass ([`Simulation::step_batch`]) into a
+//!   reusable batch buffer — an event pool whose allocation is recycled across batches;
+//! * per-kind diagnostic labels are interned per message discriminant, so the hot send
+//!   path never formats a message's `Debug` representation more than once per kind.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::mem::{discriminant, Discriminant};
+use std::sync::Arc;
 
 use brb_core::protocol::Protocol;
 use brb_core::types::{Action, Payload, ProcessId};
@@ -22,19 +38,23 @@ use crate::delay::DelayModel;
 use crate::metrics::RunMetrics;
 use crate::time::SimTime;
 
-/// An in-flight message.
+/// An in-flight message. The payload is reference-counted so that fan-out (behaviour
+/// duplication, flooding) shares one allocation across all scheduled copies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Event<M> {
     at: SimTime,
-    seq: u64,
     from: ProcessId,
     to: ProcessId,
-    message: M,
+    seq: u64,
+    message: Arc<M>,
 }
 
 impl<M: Eq> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        // Ties on the timestamp are broken by the link (from, to) *before* the insertion
+        // sequence number, so batched draining processes same-time events in a canonical
+        // per-link order rather than in whatever order they happened to be scheduled.
+        (self.at, self.from, self.to, self.seq).cmp(&(other.at, other.from, other.to, other.seq))
     }
 }
 
@@ -53,11 +73,17 @@ where
     behaviors: Vec<Behavior>,
     sent_per_process: Vec<usize>,
     queue: BinaryHeap<Reverse<Event<P::Message>>>,
+    /// Reusable batch buffer: [`Simulation::step_batch`] drains same-time events into this
+    /// vector, whose allocation is recycled across batches (the event pool).
+    batch: Vec<Event<P::Message>>,
     now: SimTime,
     next_seq: u64,
     delay: DelayModel,
     rng: StdRng,
     metrics: RunMetrics,
+    /// Interned per-kind labels: one `Debug`-derived string per message discriminant,
+    /// computed lazily so the hot send path never re-formats a message.
+    kind_labels: HashMap<Discriminant<P::Message>, String>,
     /// Safety bound on processed events (guards against configuration mistakes that would
     /// otherwise loop forever, e.g. the unoptimized protocol on large dense graphs).
     max_events: usize,
@@ -75,11 +101,13 @@ where
             behaviors: vec![Behavior::Correct; n],
             sent_per_process: vec![0; n],
             queue: BinaryHeap::new(),
+            batch: Vec::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             delay,
             rng: StdRng::seed_from_u64(seed),
             metrics: RunMetrics::default(),
+            kind_labels: HashMap::new(),
             max_events: 50_000_000,
         }
     }
@@ -114,6 +142,12 @@ where
         &self.metrics
     }
 
+    /// Consumes the simulation and returns the collected metrics (used by the experiment
+    /// runner to hand full run metrics to the determinism harness without cloning).
+    pub fn into_metrics(self) -> RunMetrics {
+        self.metrics
+    }
+
     /// Immutable access to the protocol instances.
     pub fn processes(&self) -> &[P] {
         &self.processes
@@ -123,6 +157,11 @@ where
     /// protocol state between runs).
     pub fn processes_mut(&mut self) -> &mut [P] {
         &mut self.processes
+    }
+
+    /// Number of events currently in flight.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     /// Makes process `source` broadcast `payload` at the current virtual time.
@@ -137,6 +176,48 @@ where
         self.schedule_actions(source, actions);
     }
 
+    /// Drains and processes **all** events scheduled at the earliest pending timestamp in
+    /// one pass, advancing the clock to that timestamp.
+    ///
+    /// The batch is the set of events due at that timestamp when the call starts; events
+    /// the batch itself schedules are queued for later calls (with a zero-delay model they
+    /// run at the same virtual time, in a subsequent batch). Within a batch, events are
+    /// processed in `(from, to, seq)` order. Returns the number of events processed, or 0
+    /// if the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event bound is exceeded, which indicates a diverging configuration.
+    pub fn step_batch(&mut self) -> usize {
+        let batch_at = match self.queue.peek() {
+            Some(Reverse(event)) => event.at,
+            None => return 0,
+        };
+        // Move the pooled buffer out so the queue and the processes can be borrowed
+        // mutably while iterating it; its capacity is given back at the end.
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
+        while let Some(Reverse(event)) = self.queue.peek() {
+            if event.at != batch_at {
+                break;
+            }
+            batch.push(self.queue.pop().expect("peeked event exists").0);
+        }
+        self.now = batch_at;
+        let processed = batch.len();
+        self.metrics.events_processed += processed;
+        assert!(
+            self.metrics.events_processed <= self.max_events,
+            "simulation exceeded {} events without quiescing",
+            self.max_events
+        );
+        for event in batch.drain(..) {
+            self.dispatch(event);
+        }
+        self.batch = batch;
+        processed
+    }
+
     /// Processes events until no message is in flight (or the safety bound is reached).
     ///
     /// Returns the number of events processed.
@@ -146,23 +227,13 @@ where
     /// Panics if the event bound is exceeded, which indicates a diverging configuration.
     pub fn run_to_quiescence(&mut self) -> usize {
         let mut processed = 0usize;
-        while let Some(Reverse(event)) = self.queue.pop() {
-            processed += 1;
-            self.metrics.events_processed += 1;
-            assert!(
-                processed <= self.max_events,
-                "simulation exceeded {} events without quiescing",
-                self.max_events
-            );
-            self.now = event.at;
-            if !self.behaviors[event.to].receives() {
-                continue;
+        loop {
+            let step = self.step_batch();
+            if step == 0 {
+                return processed;
             }
-            let actions = self.processes[event.to].handle_message(event.from, event.message);
-            self.schedule_actions(event.to, actions);
-            self.update_memory_peaks(event.to);
+            processed += step;
         }
-        processed
     }
 
     /// Runs until either quiescence or the given virtual deadline; events scheduled after
@@ -174,24 +245,23 @@ where
             if !due {
                 break;
             }
-            let Reverse(event) = self.queue.pop().expect("peeked event exists");
-            processed += 1;
-            self.metrics.events_processed += 1;
-            assert!(
-                processed <= self.max_events,
-                "simulation exceeded {} events without quiescing",
-                self.max_events
-            );
-            self.now = event.at;
-            if !self.behaviors[event.to].receives() {
-                continue;
-            }
-            let actions = self.processes[event.to].handle_message(event.from, event.message);
-            self.schedule_actions(event.to, actions);
-            self.update_memory_peaks(event.to);
+            processed += self.step_batch();
         }
         self.now = self.now.max(deadline);
         processed
+    }
+
+    /// Delivers one event to its destination process and schedules the resulting actions.
+    fn dispatch(&mut self, event: Event<P::Message>) {
+        if !self.behaviors[event.to].receives() {
+            return;
+        }
+        // Recover the message without copying when this is the last scheduled copy; only
+        // fan-out destinations that actually receive pay for a deep clone.
+        let message = Arc::try_unwrap(event.message).unwrap_or_else(|shared| (*shared).clone());
+        let actions = self.processes[event.to].handle_message(event.from, message);
+        self.schedule_actions(event.to, actions);
+        self.update_memory_peaks(event.to);
     }
 
     fn schedule_actions(&mut self, from: ProcessId, actions: Vec<Action<P::Message>>) {
@@ -202,16 +272,24 @@ where
                     let copies =
                         behavior.outbound_copies(to, self.sent_per_process[from], &mut self.rng);
                     self.sent_per_process[from] += 1;
+                    if copies == 0 {
+                        continue;
+                    }
+                    let bytes = P::message_size(&message);
+                    let label = self
+                        .kind_labels
+                        .entry(discriminant(&message))
+                        .or_insert_with(|| kind_label(&message));
+                    let message = Arc::new(message);
                     for _ in 0..copies {
-                        let bytes = P::message_size(&message);
-                        self.metrics.record_send(&kind_label(&message), bytes);
+                        self.metrics.record_send(label, bytes);
                         let delay = self.delay.sample(&mut self.rng);
                         let event = Event {
                             at: self.now + delay,
-                            seq: self.next_seq,
                             from,
                             to,
-                            message: message.clone(),
+                            seq: self.next_seq,
+                            message: Arc::clone(&message),
                         };
                         self.next_seq += 1;
                         self.queue.push(Reverse(event));
@@ -238,7 +316,8 @@ where
 }
 
 /// A short label for the message kind, derived from its `Debug` representation (the first
-/// identifier), used only for diagnostic per-kind counters.
+/// identifier), used only for diagnostic per-kind counters. Called at most once per
+/// message discriminant thanks to the interning cache.
 fn kind_label<M: std::fmt::Debug>(message: &M) -> String {
     let repr = format!("{message:?}");
     repr.split(|c: char| !c.is_alphanumeric())
@@ -418,5 +497,61 @@ mod tests {
         sim.set_max_events(5);
         sim.broadcast(0, Payload::filled(1, 16));
         sim.run_to_quiescence();
+    }
+
+    fn event_at(at: SimTime, from: ProcessId, to: ProcessId, seq: u64) -> Event<u8> {
+        Event {
+            at,
+            from,
+            to,
+            seq,
+            message: Arc::new(0u8),
+        }
+    }
+
+    #[test]
+    fn equal_timestamp_events_order_by_link_before_seq() {
+        let t = SimTime::from_millis(50);
+        // Scheduled "late" (high seq) but on an earlier link: must still come first.
+        let early_link_late_seq = event_at(t, 1, 2, 900);
+        let late_link_early_seq = event_at(t, 3, 0, 1);
+        assert!(early_link_late_seq < late_link_early_seq);
+        // Same from, ties broken by destination.
+        assert!(event_at(t, 1, 0, 7) < event_at(t, 1, 5, 2));
+        // Same link, ties finally broken by sequence number.
+        assert!(event_at(t, 1, 2, 3) < event_at(t, 1, 2, 4));
+        // The timestamp always dominates.
+        assert!(event_at(SimTime::from_millis(49), 9, 9, 9) < event_at(t, 0, 0, 0));
+    }
+
+    #[test]
+    fn step_batch_drains_whole_timestamp_in_link_order() {
+        let n = 7;
+        let processes: Vec<BrachaProcess> = (0..n).map(|i| BrachaProcess::new(i, n, 2)).collect();
+        let mut sim = Simulation::new(processes, DelayModel::synchronous(), 11);
+        sim.broadcast(2, Payload::from("batched"));
+        // The source sends one SEND to each of the 6 other processes and, having handled
+        // its own copy locally, one ECHO to each as well — 12 events, all due at 50 ms.
+        assert_eq!(sim.pending_events(), 12);
+        let processed = sim.step_batch();
+        assert_eq!(processed, 12, "one batch drains every same-time event");
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+        // Processing the first wave scheduled the next one, all due at 100 ms.
+        assert!(sim.pending_events() > 0);
+        sim.run_to_quiescence();
+        let correct = sim.correct_processes();
+        assert_eq!(
+            sim.metrics()
+                .delivered_count(BroadcastId::new(2, 0), &correct),
+            n
+        );
+    }
+
+    #[test]
+    fn step_batch_on_empty_queue_is_a_no_op() {
+        let processes: Vec<BrachaProcess> = (0..4).map(|i| BrachaProcess::new(i, 4, 1)).collect();
+        let mut sim = Simulation::new(processes, DelayModel::synchronous(), 1);
+        assert_eq!(sim.step_batch(), 0);
+        assert_eq!(sim.now(), SimTime::ZERO);
     }
 }

@@ -18,17 +18,17 @@ impl SimTime {
     pub const ZERO: SimTime = SimTime(0);
 
     /// Creates a time from microseconds.
-    pub fn from_micros(micros: u64) -> Self {
+    pub const fn from_micros(micros: u64) -> Self {
         SimTime(micros)
     }
 
     /// Creates a time from milliseconds.
-    pub fn from_millis(millis: u64) -> Self {
+    pub const fn from_millis(millis: u64) -> Self {
         SimTime(millis * 1_000)
     }
 
     /// This time in microseconds.
-    pub fn as_micros(self) -> u64 {
+    pub const fn as_micros(self) -> u64 {
         self.0
     }
 

@@ -6,6 +6,8 @@
 //! ranges). This crate provides the small statistics toolbox those reports need:
 //!
 //! * [`Summary`] — mean / min / max / count over a sample;
+//! * [`Accumulator`] — a streaming, mergeable counterpart of [`Summary`] used by the
+//!   parallel sweep engine to aggregate partial results;
 //! * [`FiveNumber`] — the box-plot row used in Figs. 7–10 (2.5th percentile, first
 //!   quartile, median, third quartile, 97.5th percentile);
 //! * [`relative_variation`] — the `(new - baseline) / baseline` percentage used throughout
@@ -54,6 +56,125 @@ impl Summary {
             min,
             max,
             std_dev: var.sqrt(),
+        }
+    }
+}
+
+/// A streaming, mergeable summary accumulator (Welford / Chan parallel moments).
+///
+/// The parallel sweep engine (`brb-sim::sweep`) aggregates partial results per chunk and
+/// merges the partials in a deterministic order; `Accumulator` is the merge-friendly
+/// counterpart of [`Summary`]: it carries count, mean, the centered second moment, min and
+/// max, and two accumulators can be [`Accumulator::merge`]d without revisiting samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Accumulator {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in (Welford's online update).
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another accumulator in (Chan et al.'s parallel combination).
+    ///
+    /// Merging is exact on counts/min/max and numerically stable on mean/variance; the
+    /// result depends on the merge *order* only through floating-point rounding, which is
+    /// why the sweep engine always merges partials in a canonical order.
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Minimum observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Population standard deviation (0 when empty).
+    pub fn std_dev(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0).sqrt()
+        }
+    }
+
+    /// Converts into the plain [`Summary`] report.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            std_dev: self.std_dev(),
         }
     }
 }
@@ -264,5 +385,67 @@ mod tests {
     #[test]
     fn mean_of_empty_is_zero() {
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn accumulator_matches_bulk_summary() {
+        let values = [3.0, 1.5, 4.25, -2.0, 9.0, 0.0, 7.5];
+        let mut acc = Accumulator::new();
+        for &v in &values {
+            acc.push(v);
+        }
+        let bulk = Summary::of(&values);
+        let streamed = acc.summary();
+        assert_eq!(streamed.count, bulk.count);
+        assert!((streamed.mean - bulk.mean).abs() < 1e-12);
+        assert_eq!(streamed.min, bulk.min);
+        assert_eq!(streamed.max, bulk.max);
+        assert!((streamed.std_dev - bulk.std_dev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_single_pass() {
+        let values: Vec<f64> = (0..40).map(|i| (i as f64) * 1.37 - 11.0).collect();
+        let mut whole = Accumulator::new();
+        for &v in &values {
+            whole.push(v);
+        }
+        let mut merged = Accumulator::new();
+        for chunk in values.chunks(7) {
+            let mut part = Accumulator::new();
+            for &v in chunk {
+                part.push(v);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        assert!((merged.std_dev() - whole.std_dev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty_sides() {
+        let mut a = Accumulator::new();
+        a.push(5.0);
+        let empty = Accumulator::new();
+        let mut b = a;
+        b.merge(&empty);
+        assert_eq!(b, a, "merging an empty accumulator is a no-op");
+        let mut c = Accumulator::new();
+        c.merge(&a);
+        assert_eq!(c, a, "merging into an empty accumulator copies");
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zeroes() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.min(), 0.0);
+        assert_eq!(acc.max(), 0.0);
+        assert_eq!(acc.std_dev(), 0.0);
+        assert_eq!(acc.summary(), Summary::of(&[]));
     }
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Sweep-determinism smoke check: runs the full quick-scale experiment suite (N <= 20)
+# with 1 worker and with 4 workers, and requires the two CSV outputs to be byte-identical.
+# This is the end-to-end guard for the parallel sweep engine's worker-count invariance
+# (the unit/integration-level guards live in tests/determinism.rs).
+#
+# Usage: scripts/ci_smoke.sh [output-dir]
+set -euo pipefail
+
+out="${1:-target/smoke}"
+mkdir -p "$out"
+
+# Time-box each run: the quick preset finishes in well under a minute on CI hardware,
+# so ten minutes signals a hang rather than a slow machine.
+timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
+    --quick --workers 1 --csv "$out/sweep_w1.csv" > "$out/stdout_w1.txt"
+timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
+    --quick --workers 4 --csv "$out/sweep_w4.csv" > "$out/stdout_w4.txt"
+
+if ! diff -u "$out/sweep_w1.csv" "$out/sweep_w4.csv"; then
+    echo "FAIL: sweep output differs between 1 and 4 workers" >&2
+    exit 1
+fi
+
+rows=$(wc -l < "$out/sweep_w1.csv")
+if [ "$rows" -lt 10 ]; then
+    echo "FAIL: suspiciously small CSV ($rows rows) — did the sweep run?" >&2
+    exit 1
+fi
+
+echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows)"

@@ -1,0 +1,208 @@
+//! Golden-snapshot determinism regression suite.
+//!
+//! Two families of checks:
+//!
+//! 1. **Engine snapshots** — for a matrix of (protocol, topology, seed) cases, the full
+//!    [`RunMetrics`] of a run, rendered through `RunMetrics::canonical_text`, must match
+//!    the committed snapshot under `tests/golden/` byte for byte. Any engine change that
+//!    alters event ordering, byte accounting or delivery times shows up as a diff here.
+//! 2. **Sweep worker-count invariance** — the parallel sweep must produce byte-identical
+//!    metrics for 1, 2 and 8 workers, and those metrics must match their own golden
+//!    snapshot.
+//!
+//! Regenerating snapshots after an *intentional* engine change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -q -p brb --test determinism && cargo test -q -p brb --test determinism
+//! ```
+//!
+//! See `tests/README.md` for when a diff is legitimate.
+
+use std::fs;
+use std::path::PathBuf;
+
+use brb_core::bracha::BrachaProcess;
+use brb_core::config::Config;
+use brb_core::types::Payload;
+use brb_core::BdProcess;
+use brb_graph::{generate, NeighborIndex};
+use brb_sim::experiment::experiment_graph;
+use brb_sim::{
+    run_experiment_recorded, run_sweep, Behavior, DelayModel, ExperimentParams, ExperimentSpec,
+    Simulation,
+};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Compares `rendered` against the committed snapshot, or rewrites the snapshot when the
+/// `UPDATE_GOLDEN` environment variable is set.
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("tests/golden must be creatable");
+        fs::write(&path, rendered).expect("golden snapshot must be writable");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden snapshot {name}; regenerate with UPDATE_GOLDEN=1 (see tests/README.md)"
+        )
+    });
+    assert_eq!(
+        expected, rendered,
+        "run metrics diverged from tests/golden/{name}.txt — if the engine change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 and commit the diff"
+    );
+}
+
+/// One BD run on the paper's Fig. 1 topology, returning the canonical metrics rendering.
+fn bd_fig1_run(config: Config, delay: DelayModel, seed: u64, payload: usize) -> String {
+    let graph = generate::figure1_example();
+    let index = NeighborIndex::new(&graph);
+    let processes: Vec<BdProcess> = (0..graph.node_count())
+        .map(|i| BdProcess::new(i, config, index.neighbors(i).to_vec()))
+        .collect();
+    let mut sim = Simulation::new(processes, delay, seed);
+    sim.broadcast(0, Payload::filled(1, payload));
+    sim.run_to_quiescence();
+    sim.metrics().canonical_text()
+}
+
+#[test]
+fn determinism_bd_fig1_synchronous_matches_golden() {
+    let rendered = bd_fig1_run(Config::bdopt_mbd1(10, 1), DelayModel::synchronous(), 1, 16);
+    check_golden("bd_fig1_sync", &rendered);
+}
+
+#[test]
+fn determinism_bd_fig1_asynchronous_matches_golden() {
+    let rendered = bd_fig1_run(
+        Config::latency_preset(10, 1),
+        DelayModel::asynchronous(),
+        7,
+        1024,
+    );
+    check_golden("bd_fig1_async", &rendered);
+}
+
+#[test]
+fn determinism_bracha_complete_graph_matches_golden() {
+    let n = 7;
+    let processes: Vec<BrachaProcess> = (0..n).map(|i| BrachaProcess::new(i, n, 2)).collect();
+    let mut sim = Simulation::new(processes, DelayModel::synchronous(), 11);
+    sim.broadcast(2, Payload::from("golden"));
+    sim.run_to_quiescence();
+    check_golden("bracha_complete_n7", &sim.metrics().canonical_text());
+}
+
+#[test]
+fn determinism_bd_with_crashes_matches_golden() {
+    let params = ExperimentParams {
+        n: 16,
+        connectivity: 5,
+        f: 2,
+        crashed: 2,
+        payload_size: 64,
+        config: Config::bandwidth_preset(16, 2),
+        delay: DelayModel::synchronous(),
+        seed: 11,
+    };
+    let graph = experiment_graph(16, 5, 33);
+    let record = run_experiment_recorded(&params, &graph);
+    assert!(record.result.complete());
+    check_golden("bd_random_n16_crashed", &record.metrics.canonical_text());
+}
+
+#[test]
+fn determinism_byzantine_behaviours_match_golden() {
+    let graph = generate::figure1_example();
+    let index = NeighborIndex::new(&graph);
+    let config = Config::bdopt_mbd1(10, 1);
+    let processes: Vec<BdProcess> = (0..graph.node_count())
+        .map(|i| BdProcess::new(i, config, index.neighbors(i).to_vec()))
+        .collect();
+    let mut sim = Simulation::new(processes, DelayModel::asynchronous(), 13);
+    sim.set_behavior(4, Behavior::Replayer);
+    sim.set_behavior(7, Behavior::Lossy(0.3));
+    sim.broadcast(0, Payload::filled(3, 256));
+    sim.run_to_quiescence();
+    check_golden("bd_fig1_byzantine", &sim.metrics().canonical_text());
+}
+
+/// The sweep matrix shared by the worker-count tests: three systems, two configurations
+/// and two seeds each.
+fn sweep_matrix() -> Vec<ExperimentSpec> {
+    let mut specs = Vec::new();
+    for &(n, k, f) in &[(10usize, 4usize, 1usize), (12, 5, 2), (16, 7, 3)] {
+        for (tag, config) in [
+            ("mbd1", Config::bdopt_mbd1(n, f)),
+            ("bdw", Config::bandwidth_preset(n, f)),
+        ] {
+            for run in 0..2u64 {
+                let mut params = ExperimentParams::new(n, k, f, config);
+                params.payload_size = 128;
+                params.seed = 21 + run;
+                specs.push(ExperimentSpec::new(
+                    format!("matrix/n={n}/k={k}/{tag}/run={run}"),
+                    4_000 + run,
+                    params,
+                ));
+            }
+        }
+    }
+    specs
+}
+
+fn render_outcomes(outcomes: &[brb_sim::SweepOutcome]) -> String {
+    let mut out = String::new();
+    for outcome in outcomes {
+        out.push_str("=== ");
+        out.push_str(&outcome.label);
+        out.push('\n');
+        out.push_str(&outcome.record.metrics.canonical_text());
+    }
+    out
+}
+
+#[test]
+fn determinism_sweep_1_2_8_workers_byte_identical_and_golden() {
+    let specs = sweep_matrix();
+    let serial = run_sweep(&specs, 1);
+    let rendered = render_outcomes(&serial);
+    for workers in [2usize, 8] {
+        let parallel = run_sweep(&specs, workers);
+        assert_eq!(
+            rendered,
+            render_outcomes(&parallel),
+            "sweep metrics differ between 1 and {workers} workers"
+        );
+        assert_eq!(
+            serial, parallel,
+            "full outcomes differ with {workers} workers"
+        );
+    }
+    check_golden("sweep_matrix", &rendered);
+}
+
+#[test]
+fn determinism_repeated_runs_are_bit_identical() {
+    // Same process twice in one address space: guards against any hidden global state
+    // (thread-local RNGs, allocation-order-dependent hashing) leaking into the metrics.
+    let a = bd_fig1_run(
+        Config::bdopt_mbd1(10, 1),
+        DelayModel::asynchronous(),
+        99,
+        512,
+    );
+    let b = bd_fig1_run(
+        Config::bdopt_mbd1(10, 1),
+        DelayModel::asynchronous(),
+        99,
+        512,
+    );
+    assert_eq!(a, b);
+}

@@ -1,0 +1,83 @@
+//! Criterion comparison of the sink-based event API against the `Vec<Action>` shim.
+//!
+//! The `brb_core::stack` redesign added `handle_message_into(from, msg, &mut ActionBuf)`
+//! to the [`Protocol`] trait so that hot loops reuse one action buffer across events
+//! instead of allocating a fresh `Vec` per event (the simulator's dispatch path and the
+//! deployment node loops both adopted it). These benchmarks measure the difference on the
+//! event mix that dominates the N=100/k=12 quiescence scenario: Echo handling at a
+//! well-connected BD process, and the full engine run itself (`engine_quiescence_n100_k12`
+//! in `engine_step.rs` is the companion end-to-end number; its hot loop now runs on the
+//! sink path).
+
+use brb_core::bd::BdProcess;
+use brb_core::config::Config;
+use brb_core::protocol::{ActionBuf, Protocol};
+use brb_core::types::{BroadcastId, Payload};
+use brb_core::wire::{FieldPresence, MessageKind, PayloadRef, WireMessage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// The (n, k, f) of the quiescence scenario; the process under benchmark has k = 12
+/// neighbors and handles Echos from distinct originators, the dominant event kind.
+const N: usize = 100;
+const K: usize = 12;
+const F: usize = 5;
+
+fn echo_message(originator: usize, path_hop: usize) -> WireMessage {
+    WireMessage {
+        kind: MessageKind::Echo,
+        id: BroadcastId::new(0, 0),
+        originator,
+        originator2: None,
+        payload: PayloadRef::Inline(Payload::filled(1, 1024)),
+        path: vec![originator, path_hop],
+        fields: FieldPresence::full(),
+    }
+}
+
+fn fresh_process() -> BdProcess {
+    BdProcess::new(0, Config::bandwidth_preset(N, F), (1..=K).collect())
+}
+
+/// The pre-redesign event loop: one `Vec<Action>` allocated and dropped per event.
+fn bench_vec_shim(c: &mut Criterion) {
+    c.bench_function("bd_echo_burst_vec_shim", |b| {
+        b.iter_with_setup(fresh_process, |mut process| {
+            let mut total = 0usize;
+            for originator in K + 1..K + 41 {
+                let actions = process.handle_message(1, echo_message(originator, originator + 1));
+                total += actions.len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+/// The sink path: one reusable `ActionBuf`, drained in place after every event — what the
+/// simulator's dispatch loop and the deployment node loops now do.
+fn bench_action_sink(c: &mut Criterion) {
+    c.bench_function("bd_echo_burst_action_sink", |b| {
+        b.iter_with_setup(fresh_process, |mut process| {
+            let mut sink: ActionBuf<WireMessage> = ActionBuf::new();
+            let mut total = 0usize;
+            for originator in K + 1..K + 41 {
+                process.handle_message_into(1, echo_message(originator, originator + 1), &mut sink);
+                total += sink.drain().count();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_vec_shim, bench_action_sink
+}
+criterion_main!(benches);

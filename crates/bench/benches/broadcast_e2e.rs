@@ -5,6 +5,7 @@
 
 use brb_bench::{figures, table1, Scale};
 use brb_core::config::Config;
+use brb_core::stack::StackSpec;
 use brb_sim::{run_experiment_on_graph, DelayModel, ExperimentParams};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -31,6 +32,7 @@ fn bench_full_broadcast(c: &mut Criterion) {
                 crashed: 0,
                 payload_size: 1024,
                 config: *config,
+                stack: StackSpec::Bd,
                 delay: DelayModel::synchronous(),
                 seed: 5,
             };
@@ -59,6 +61,7 @@ fn bench_broadcast_n100(c: &mut Criterion) {
         crashed: 0,
         payload_size: 1024,
         config: Config::bandwidth_preset(n, f),
+        stack: StackSpec::Bd,
         delay: DelayModel::synchronous(),
         seed: 7,
     };
@@ -85,6 +88,7 @@ fn bench_sweep_workers(c: &mut Criterion) {
                 crashed: 0,
                 payload_size: 1024,
                 config: Config::bdopt_mbd1(30, 4),
+                stack: StackSpec::Bd,
                 delay: DelayModel::synchronous(),
                 seed: 1 + run,
             };
@@ -115,14 +119,14 @@ fn paper_experiment_samples(_c: &mut Criterion) {
     // whole table inside a Criterion loop would only slow `cargo bench` down.
     let workers = brb_sim::sweep::default_workers();
     println!("\n===== quick-scale reproduction of the paper's tables and figures =====");
-    table1::run_table1(Scale::Quick, false, workers);
-    figures::run_fig4(Scale::Quick, false, workers);
-    figures::run_fig5(Scale::Quick, false, workers);
-    figures::run_fig6(Scale::Quick, false, workers);
-    figures::run_fig7_to_10(Scale::Quick, false, workers);
-    figures::run_memory(Scale::Quick, workers);
+    table1::run_table1(Scale::Quick, false, workers, StackSpec::Bd);
+    figures::run_fig4(Scale::Quick, false, workers, StackSpec::Bd);
+    figures::run_fig5(Scale::Quick, false, workers, StackSpec::Bd);
+    figures::run_fig6(Scale::Quick, false, workers, StackSpec::Bd);
+    figures::run_fig7_to_10(Scale::Quick, false, workers, StackSpec::Bd);
+    figures::run_memory(Scale::Quick, workers, StackSpec::Bd);
     println!("===== asynchronous variant (Sec. 7.6) =====");
-    figures::run_fig7_to_10(Scale::Quick, true, workers);
+    figures::run_fig7_to_10(Scale::Quick, true, workers, StackSpec::Bd);
 }
 
 fn fast_config() -> Criterion {

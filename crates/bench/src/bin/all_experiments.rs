@@ -2,7 +2,12 @@
 //! results — the one-stop reproduction of the paper's evaluation section.
 //!
 //! Usage: `cargo run --release -p brb-bench --bin all_experiments [-- --quick] [-- --async]
-//! [-- --workers N] [-- --csv PATH]`
+//! [-- --workers N] [-- --stack NAME] [-- --csv PATH]`
+//!
+//! `--stack NAME` selects the protocol stack every harness sweeps (default `bd`, the
+//! paper's Bracha–Dolev combination; see `brb_core::stack::StackSpec` for the other
+//! names), so table/figure baselines can be regenerated per stack. The chosen stack is
+//! recorded in the `stack` column of the CSV output.
 //!
 //! With `--csv PATH` every data point is also written to a CSV file with fixed formatting.
 //! Because the sweep engine is deterministic regardless of the worker count, the CSV
@@ -11,7 +16,7 @@
 
 use std::fmt::Write as _;
 
-use brb_bench::{async_from_args, figures, table1, workers_from_args, Scale};
+use brb_bench::{async_from_args, figures, stack_from_args, table1, workers_from_args, Scale};
 
 /// Fixed-format float rendering used for every CSV cell, so the file is a pure function
 /// of the computed values.
@@ -28,6 +33,7 @@ fn main() {
     let scale = Scale::from_args(&args);
     let asynchronous = async_from_args(&args);
     let workers = workers_from_args(&args);
+    let stack = stack_from_args(&args);
     let csv_path = args
         .iter()
         .position(|a| a == "--csv")
@@ -37,15 +43,15 @@ fn main() {
                 .find_map(|a| a.strip_prefix("--csv=").map(str::to_string))
         });
 
-    let mut csv = String::from("section,label,x,v1,v2,v3,v4,v5\n");
+    let mut csv = String::from("section,stack,label,x,v1,v2,v3,v4,v5\n");
 
     println!("==============================================================");
-    for row in table1::run_table1(scale, asynchronous, workers) {
+    for row in table1::run_table1(scale, asynchronous, workers, stack) {
         let (lmin, lmax) = row.latency_range();
         let (bmin, bmax) = row.bytes_range();
         let _ = writeln!(
             csv,
-            "table1,MBD.{},{},{},{},{},{},",
+            "table1,{stack},MBD.{},{},{},{},{},{},",
             row.mbd,
             row.payload,
             cell(lmin),
@@ -55,10 +61,10 @@ fn main() {
         );
     }
     println!("==============================================================");
-    for p in figures::run_fig4(scale, asynchronous, workers) {
+    for p in figures::run_fig4(scale, asynchronous, workers, stack) {
         let _ = writeln!(
             csv,
-            "fig4,{},{},{},{},{},,",
+            "fig4,{stack},{},{},{},{},{},,",
             p.label,
             p.k,
             cell(p.result.latency_ms),
@@ -67,10 +73,10 @@ fn main() {
         );
     }
     println!("==============================================================");
-    for p in figures::run_fig5(scale, asynchronous, workers) {
+    for p in figures::run_fig5(scale, asynchronous, workers, stack) {
         let _ = writeln!(
             csv,
-            "fig5,{},{},{},{},{},,",
+            "fig5,{stack},{},{},{},{},{},,",
             p.label,
             p.k,
             cell(p.result.latency_ms),
@@ -79,19 +85,20 @@ fn main() {
         );
     }
     println!("==============================================================");
-    for (label, k, bytes_var, latency_var) in figures::run_fig6(scale, asynchronous, workers) {
+    for (label, k, bytes_var, latency_var) in figures::run_fig6(scale, asynchronous, workers, stack)
+    {
         let _ = writeln!(
             csv,
-            "fig6,\"{label}\",{k},{},{},,,",
+            "fig6,{stack},\"{label}\",{k},{},{},,,",
             cell(bytes_var),
             cell(latency_var)
         );
     }
     println!("==============================================================");
-    for (mbd, bytes, latency) in figures::run_fig7_to_10(scale, asynchronous, workers) {
+    for (mbd, bytes, latency) in figures::run_fig7_to_10(scale, asynchronous, workers, stack) {
         let _ = writeln!(
             csv,
-            "fig7_to_10,MBD.{mbd},,{},{},{},{},{}",
+            "fig7_to_10,{stack},MBD.{mbd},,{},{},{},{},{}",
             cell(bytes.p2_5),
             cell(bytes.median),
             cell(bytes.p97_5),
@@ -100,8 +107,13 @@ fn main() {
         );
     }
     println!("==============================================================");
-    for (n, paths, state) in figures::run_memory(scale, workers) {
-        let _ = writeln!(csv, "memory,N={n},,{},{},,,", cell(paths), cell(state));
+    for (n, paths, state) in figures::run_memory(scale, workers, stack) {
+        let _ = writeln!(
+            csv,
+            "memory,{stack},N={n},,{},{},,,",
+            cell(paths),
+            cell(state)
+        );
     }
 
     if let Some(path) = csv_path {

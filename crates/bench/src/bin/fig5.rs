@@ -2,9 +2,9 @@
 //! lat. / bdw. / lat.&bdw. combined configurations versus BDopt + MBD.1 as a function of
 //! the network connectivity, with (N, f) = (50, 10) and 1024 B payloads.
 //!
-//! Usage: `cargo run --release -p brb-bench --bin fig5 [-- --quick] [-- --async] [-- --workers N]`
+//! Usage: `cargo run --release -p brb-bench --bin fig5 [-- --quick] [-- --async] [-- --workers N] [-- --stack NAME]`
 
-use brb_bench::{async_from_args, figures::run_fig5, workers_from_args, Scale};
+use brb_bench::{async_from_args, figures::run_fig5, stack_from_args, workers_from_args, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,5 +12,6 @@ fn main() {
         Scale::from_args(&args),
         async_from_args(&args),
         workers_from_args(&args),
+        stack_from_args(&args),
     );
 }

@@ -3,9 +3,11 @@
 //! 1 KiB payloads, under synchronous (Figs. 7/9) or asynchronous (Figs. 8/10, `--async`)
 //! communications.
 //!
-//! Usage: `cargo run --release -p brb-bench --bin fig7_to_10 [-- --quick] [-- --async] [-- --workers N]`
+//! Usage: `cargo run --release -p brb-bench --bin fig7_to_10 [-- --quick] [-- --async] [-- --workers N] [-- --stack NAME]`
 
-use brb_bench::{async_from_args, figures::run_fig7_to_10, workers_from_args, Scale};
+use brb_bench::{
+    async_from_args, figures::run_fig7_to_10, stack_from_args, workers_from_args, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,5 +15,6 @@ fn main() {
         Scale::from_args(&args),
         async_from_args(&args),
         workers_from_args(&args),
+        stack_from_args(&args),
     );
 }

@@ -1,11 +1,15 @@
 //! Regenerates the Sec. 7.3 memory-consumption experiment: the growth of the protocol
 //! state (dominated by stored transmission paths) with the system size, for 16 B payloads.
 //!
-//! Usage: `cargo run --release -p brb-bench --bin memory [-- --quick] [-- --workers N]`
+//! Usage: `cargo run --release -p brb-bench --bin memory [-- --quick] [-- --workers N] [-- --stack NAME]`
 
-use brb_bench::{figures::run_memory, workers_from_args, Scale};
+use brb_bench::{figures::run_memory, stack_from_args, workers_from_args, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    run_memory(Scale::from_args(&args), workers_from_args(&args));
+    run_memory(
+        Scale::from_args(&args),
+        workers_from_args(&args),
+        stack_from_args(&args),
+    );
 }

@@ -2,9 +2,9 @@
 //! `--async`): the impact of each modification MBD.1–12 on latency and network consumption
 //! for 16 B and 1024 B payloads over random regular graphs.
 //!
-//! Usage: `cargo run --release -p brb-bench --bin table1 [-- --quick] [-- --async] [-- --workers N]`
+//! Usage: `cargo run --release -p brb-bench --bin table1 [-- --quick] [-- --async] [-- --workers N] [-- --stack NAME]`
 
-use brb_bench::{async_from_args, table1::run_table1, workers_from_args, Scale};
+use brb_bench::{async_from_args, stack_from_args, table1::run_table1, workers_from_args, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,5 +12,6 @@ fn main() {
         Scale::from_args(&args),
         async_from_args(&args),
         workers_from_args(&args),
+        stack_from_args(&args),
     );
 }

@@ -5,6 +5,7 @@
 //! printed series are bit-identical for every worker count.
 
 use brb_core::config::Config;
+use brb_core::stack::StackSpec;
 use brb_sim::{run_sweep, DelayModel, ExperimentSpec, SweepOutcome};
 use brb_stats::FiveNumber;
 
@@ -54,7 +55,12 @@ fn sweep_connectivities(scale: Scale, n: usize, f: usize) -> Vec<usize> {
 
 /// Fig. 4a/4b: latency and bandwidth versus connectivity for BDopt + MBD.1 and
 /// BDopt + MBD.1/{7, 8, 9, 11}, with `N = 50`, `f = 9`, 1024 B payloads.
-pub fn run_fig4(scale: Scale, asynchronous: bool, workers: usize) -> Vec<SeriesPoint> {
+pub fn run_fig4(
+    scale: Scale,
+    asynchronous: bool,
+    workers: usize,
+    stack: StackSpec,
+) -> Vec<SeriesPoint> {
     let (n, f, payload) = match scale {
         Scale::Quick => (20, 3, 1024),
         Scale::Paper => (50, 9, 1024),
@@ -75,9 +81,9 @@ pub fn run_fig4(scale: Scale, asynchronous: bool, workers: usize) -> Vec<SeriesP
         ),
     })
     .collect();
-    let points = sweep(scale, asynchronous, n, f, payload, &configs, workers);
+    let points = sweep(scale, asynchronous, n, f, payload, &configs, workers, stack);
     print_series(
-        &format!("Fig. 4a/4b — N={n}, f={f}, {payload} B payload"),
+        &format!("Fig. 4a/4b — stack={stack}, N={n}, f={f}, {payload} B payload"),
         &points,
     );
     points
@@ -85,7 +91,12 @@ pub fn run_fig4(scale: Scale, asynchronous: bool, workers: usize) -> Vec<SeriesP
 
 /// Fig. 5a/5b: latency and bandwidth versus connectivity for the lat. / bdw. / lat.&bdw.
 /// combined configurations, with `(N, f) = (50, 10)` and 1024 B payloads.
-pub fn run_fig5(scale: Scale, asynchronous: bool, workers: usize) -> Vec<SeriesPoint> {
+pub fn run_fig5(
+    scale: Scale,
+    asynchronous: bool,
+    workers: usize,
+    stack: StackSpec,
+) -> Vec<SeriesPoint> {
     let (n, f, payload) = match scale {
         Scale::Quick => (20, 3, 1024),
         Scale::Paper => (50, 10, 1024),
@@ -99,9 +110,9 @@ pub fn run_fig5(scale: Scale, asynchronous: bool, workers: usize) -> Vec<SeriesP
             Config::latency_bandwidth_preset(n, f),
         ),
     ];
-    let points = sweep(scale, asynchronous, n, f, payload, &configs, workers);
+    let points = sweep(scale, asynchronous, n, f, payload, &configs, workers, stack);
     print_series(
-        &format!("Fig. 5a/5b — (N, f)=({n}, {f}), {payload} B payload"),
+        &format!("Fig. 5a/5b — stack={stack}, (N, f)=({n}, {f}), {payload} B payload"),
         &points,
     );
     points
@@ -113,6 +124,7 @@ pub fn run_fig6(
     scale: Scale,
     asynchronous: bool,
     workers: usize,
+    stack: StackSpec,
 ) -> Vec<(String, usize, f64, f64)> {
     let systems: Vec<(usize, usize)> = match scale {
         Scale::Quick => vec![(20, 3)],
@@ -133,7 +145,7 @@ pub fn run_fig6(
                 (format!("lat., N={n}"), Config::latency_preset(n, f)),
                 (format!("bdw., N={n}"), Config::bandwidth_preset(n, f)),
             ] {
-                let params = experiment(n, k, f, payload, config, dl, 1);
+                let params = experiment(n, k, f, payload, config, dl, 1).with_stack(stack);
                 specs.extend(point_specs(&label, &params, graph_seed_base(n, k), runs));
                 groups.push((label, k));
             }
@@ -142,7 +154,7 @@ pub fn run_fig6(
     let outcomes = run_sweep(&specs, workers);
 
     let mut rows = Vec::new();
-    println!("# Fig. 6a/6b — variation (%) over BDopt+MBD.1, {payload} B payload");
+    println!("# Fig. 6a/6b — stack={stack}, variation (%) over BDopt+MBD.1, {payload} B payload");
     println!(
         "{:<14} {:>4} {:>4} {:>18} {:>18}",
         "configuration", "N", "k", "bandwidth var. %", "latency var. %"
@@ -174,8 +186,9 @@ pub fn run_fig7_to_10(
     scale: Scale,
     asynchronous: bool,
     workers: usize,
+    stack: StackSpec,
 ) -> Vec<(u8, FiveNumber, FiveNumber)> {
-    let rows = crate::table1::compute_table1(scale, asynchronous, &[1024], workers);
+    let rows = crate::table1::compute_table1(scale, asynchronous, &[1024], workers, stack);
     let mode = if asynchronous {
         "asynchronous (Figs. 8 and 10)"
     } else {
@@ -203,7 +216,7 @@ pub fn run_fig7_to_10(
 
 /// Sec. 7.3: memory-consumption proxy (peak stored paths / protocol state) for
 /// `N ∈ {10, 30, 50}` with 16 B payloads.
-pub fn run_memory(scale: Scale, workers: usize) -> Vec<(usize, f64, f64)> {
+pub fn run_memory(scale: Scale, workers: usize, stack: StackSpec) -> Vec<(usize, f64, f64)> {
     let systems: Vec<(usize, usize, usize)> = match scale {
         Scale::Quick => vec![(10, 3, 1), (20, 7, 3)],
         Scale::Paper => vec![(10, 3, 1), (30, 9, 4), (50, 21, 9)],
@@ -219,7 +232,8 @@ pub fn run_memory(scale: Scale, workers: usize) -> Vec<(usize, f64, f64)> {
             Config::bdopt(n, f),
             DelayModel::synchronous(),
             1,
-        );
+        )
+        .with_stack(stack);
         specs.extend(point_specs(
             &format!("memory/N={n}"),
             &params,
@@ -229,7 +243,7 @@ pub fn run_memory(scale: Scale, workers: usize) -> Vec<(usize, f64, f64)> {
     }
     let outcomes = run_sweep(&specs, workers);
 
-    println!("# Sec. 7.3 — memory consumption proxy (16 B payload, synchronous)");
+    println!("# Sec. 7.3 — stack={stack}, memory consumption proxy (16 B payload, synchronous)");
     println!(
         "{:<4} {:>6} {:>4} {:>22} {:>22}",
         "N", "k", "f", "peak stored paths", "peak state bytes"
@@ -246,6 +260,7 @@ pub fn run_memory(scale: Scale, workers: usize) -> Vec<(usize, f64, f64)> {
     rows
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sweep(
     scale: Scale,
     asynchronous: bool,
@@ -254,13 +269,15 @@ fn sweep(
     payload: usize,
     configs: &[(String, Config)],
     workers: usize,
+    stack: StackSpec,
 ) -> Vec<SeriesPoint> {
     let runs = scale.runs();
     let mut specs: Vec<ExperimentSpec> = Vec::new();
     let mut groups: Vec<(String, usize)> = Vec::new();
     for k in sweep_connectivities(scale, n, f) {
         for (label, config) in configs {
-            let params = experiment(n, k, f, payload, *config, delay(asynchronous), 1);
+            let params =
+                experiment(n, k, f, payload, *config, delay(asynchronous), 1).with_stack(stack);
             specs.extend(point_specs(label, &params, graph_seed_base(n, k), runs));
             groups.push((label.clone(), k));
         }
@@ -312,7 +329,7 @@ mod tests {
 
     #[test]
     fn quick_fig5_bdw_reduces_bandwidth() {
-        let points = run_fig5(Scale::Quick, false, 2);
+        let points = run_fig5(Scale::Quick, false, 2, StackSpec::Bd);
         assert!(!points.is_empty());
         for k in points
             .iter()
@@ -336,8 +353,8 @@ mod tests {
 
     #[test]
     fn quick_fig5_is_worker_count_invariant() {
-        let one = run_fig5(Scale::Quick, false, 1);
-        let four = run_fig5(Scale::Quick, false, 4);
+        let one = run_fig5(Scale::Quick, false, 1, StackSpec::Bd);
+        let four = run_fig5(Scale::Quick, false, 4, StackSpec::Bd);
         assert_eq!(one.len(), four.len());
         for (a, b) in one.iter().zip(&four) {
             assert_eq!(a.label, b.label);
@@ -350,7 +367,7 @@ mod tests {
 
     #[test]
     fn quick_memory_grows_with_system_size() {
-        let rows = run_memory(Scale::Quick, 2);
+        let rows = run_memory(Scale::Quick, 2, StackSpec::Bd);
         assert!(rows.len() >= 2);
         assert!(rows[0].2 <= rows[1].2, "state bytes grow with N");
     }

@@ -29,6 +29,7 @@ pub mod figures;
 pub mod table1;
 
 use brb_core::config::Config;
+use brb_core::stack::StackSpec;
 use brb_graph::Graph;
 use brb_sim::{
     run_experiment_on_graph, DelayModel, ExperimentParams, ExperimentSpec, SweepOutcome,
@@ -66,6 +67,37 @@ impl Scale {
 /// Whether the asynchronous delay model was requested on the command line.
 pub fn async_from_args(args: &[String]) -> bool {
     args.iter().any(|a| a == "--async")
+}
+
+/// Parses the `--stack NAME` / `--stack=NAME` command-line option (defaults to the
+/// paper's Bracha–Dolev stack).
+///
+/// Every harness threads the chosen [`StackSpec`] into its sweep specs, so table/figure
+/// baselines can be regenerated per stack. Note that the MD/MBD ablation axes only move
+/// the needle for the stacks that read those flags (`bd`, `dolev`); for the other stacks
+/// the harnesses still sweep `(N, k, f, payload)` but the configuration rows coincide.
+///
+/// # Panics
+///
+/// Panics with the list of known stacks if the name does not parse, or if `--stack` is
+/// given without a value (a silent fallback to `bd` would mislabel a whole sweep).
+pub fn stack_from_args(args: &[String]) -> StackSpec {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--stack" {
+            Some(
+                iter.next()
+                    .unwrap_or_else(|| panic!("--stack requires a value"))
+                    .clone(),
+            )
+        } else {
+            arg.strip_prefix("--stack=").map(str::to_string)
+        };
+        if let Some(name) = value {
+            return name.parse::<StackSpec>().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+    StackSpec::Bd
 }
 
 /// Parses the `--workers N` / `--workers=N` command-line option.
@@ -204,7 +236,8 @@ pub fn averaged_on_graphs(params: &ExperimentParams, graphs: &[Graph]) -> Averag
     }
 }
 
-/// Builds the experiment parameters shared by all harnesses.
+/// Builds the experiment parameters shared by all harnesses (on the default Bd stack;
+/// callers override [`ExperimentParams::stack`] via `with_stack`).
 pub fn experiment(
     n: usize,
     k: usize,
@@ -221,6 +254,7 @@ pub fn experiment(
         crashed: 0,
         payload_size: payload,
         config,
+        stack: StackSpec::Bd,
         delay,
         seed,
     }
@@ -243,6 +277,25 @@ mod tests {
         assert!(Scale::Paper.runs() >= 2);
         assert!(async_from_args(&["--async".to_string()]));
         assert!(!async_from_args(&[]));
+    }
+
+    #[test]
+    fn stack_parsing() {
+        assert_eq!(stack_from_args(&[]), StackSpec::Bd);
+        assert_eq!(
+            stack_from_args(&["--stack".to_string(), "bracha-cpa".to_string()]),
+            StackSpec::BrachaCpa
+        );
+        assert_eq!(
+            stack_from_args(&["--stack=routed-dolev".to_string()]),
+            StackSpec::RoutedDolev
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown stack")]
+    fn stack_parsing_rejects_unknown_names() {
+        stack_from_args(&["--stack=quantum".to_string()]);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! point up.
 
 use brb_core::config::Config;
+use brb_core::stack::StackSpec;
 use brb_sim::{run_sweep, DelayModel, ExperimentSpec};
 
 use crate::{averaged_of_outcomes, experiment, point_specs, variation_pct, Scale};
@@ -70,6 +71,7 @@ pub fn compute_table1(
     asynchronous: bool,
     payloads: &[usize],
     workers: usize,
+    stack: StackSpec,
 ) -> Vec<Table1Row> {
     let delay = if asynchronous {
         DelayModel::asynchronous()
@@ -94,8 +96,8 @@ pub fn compute_table1(
                     )
                 };
                 let graph_base = 1_000 + k as u64;
-                let base = experiment(n, k, f, payload, base_cfg, delay, 1);
-                let modified = experiment(n, k, f, payload, mod_cfg, delay, 1);
+                let base = experiment(n, k, f, payload, base_cfg, delay, 1).with_stack(stack);
+                let modified = experiment(n, k, f, payload, mod_cfg, delay, 1).with_stack(stack);
                 let label = format!("table1/mbd={mbd}/payload={payload}/n={n}/k={k}");
                 specs.extend(point_specs(
                     &format!("{label}/base"),
@@ -140,11 +142,16 @@ pub fn compute_table1(
 }
 
 /// Runs the Table 1 harness and prints the table to stdout.
-pub fn run_table1(scale: Scale, asynchronous: bool, workers: usize) -> Vec<Table1Row> {
+pub fn run_table1(
+    scale: Scale,
+    asynchronous: bool,
+    workers: usize,
+    stack: StackSpec,
+) -> Vec<Table1Row> {
     let payloads = [16usize, 1024];
-    let rows = compute_table1(scale, asynchronous, &payloads, workers);
+    let rows = compute_table1(scale, asynchronous, &payloads, workers, stack);
     println!(
-        "# Table 1 — impact of each modification ({} communications, {:?} scale)",
+        "# Table 1 — stack={stack}, impact of each modification ({} communications, {:?} scale)",
         if asynchronous {
             "asynchronous"
         } else {
@@ -179,7 +186,7 @@ mod tests {
 
     #[test]
     fn quick_table1_has_expected_shape_and_mbd1_reduces_bytes() {
-        let rows = compute_table1(Scale::Quick, false, &[1024], 4);
+        let rows = compute_table1(Scale::Quick, false, &[1024], 4, StackSpec::Bd);
         assert_eq!(rows.len(), 12);
         let mbd1 = rows.iter().find(|r| r.mbd == 1).unwrap();
         let (_, bytes_max) = mbd1.bytes_range();
@@ -196,8 +203,8 @@ mod tests {
 
     #[test]
     fn quick_table1_is_worker_count_invariant() {
-        let one = compute_table1(Scale::Quick, false, &[16], 1);
-        let four = compute_table1(Scale::Quick, false, &[16], 4);
+        let one = compute_table1(Scale::Quick, false, &[16], 1, StackSpec::Bd);
+        let four = compute_table1(Scale::Quick, false, &[16], 4, StackSpec::Bd);
         assert_eq!(one.len(), four.len());
         for (a, b) in one.iter().zip(&four) {
             assert_eq!(a.mbd, b.mbd);

@@ -21,7 +21,7 @@ use std::collections::{HashMap, HashSet};
 
 use crate::config::Config;
 use crate::pathset::PathSet;
-use crate::protocol::Protocol;
+use crate::protocol::{ActionBuf, Protocol};
 use crate::quorum;
 use crate::types::{Action, BroadcastId, Content, Delivery, LocalPayloadId, Payload, ProcessId};
 use crate::wire::{FieldPresence, MessageKind, PayloadRef, WireMessage};
@@ -686,16 +686,10 @@ impl BdProcess {
             fields,
         }
     }
-}
 
-impl Protocol for BdProcess {
-    type Message = WireMessage;
-
-    fn process_id(&self) -> ProcessId {
-        self.id
-    }
-
-    fn broadcast(&mut self, payload: Payload) -> Vec<Action<WireMessage>> {
+    /// Shared body of [`Protocol::broadcast`] / [`Protocol::broadcast_into`]: initiates a
+    /// broadcast, pushing the resulting actions onto `actions`.
+    fn broadcast_inner(&mut self, payload: Payload, actions: &mut Vec<Action<WireMessage>>) {
         let id = BroadcastId::new(self.id, self.next_seq);
         self.next_seq += 1;
         let content = Content::new(id, payload);
@@ -704,7 +698,6 @@ impl Protocol for BdProcess {
             .remove(&content)
             .unwrap_or_else(|| ContentState::new(content.clone()));
         let mut planned = Vec::new();
-        let mut actions = Vec::new();
         // The source's own SEND instance is trivially Dolev-delivered.
         state.instances.insert(
             DolevKey {
@@ -716,9 +709,22 @@ impl Protocol for BdProcess {
         self.plan_own(&state, Phase::Send, &mut planned);
         // Being the source, the Send is validated: this creates our Echo (and possibly
         // more, e.g. for tiny systems).
-        self.bracha_transitions(&mut state, &mut planned, &mut actions);
+        self.bracha_transitions(&mut state, &mut planned, actions);
         self.contents.insert(content.clone(), state);
-        self.emit_planned(&content, planned, &mut actions);
+        self.emit_planned(&content, planned, actions);
+    }
+}
+
+impl Protocol for BdProcess {
+    type Message = WireMessage;
+
+    fn process_id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn broadcast(&mut self, payload: Payload) -> Vec<Action<WireMessage>> {
+        let mut actions = Vec::new();
+        self.broadcast_inner(payload, &mut actions);
         actions
     }
 
@@ -730,6 +736,19 @@ impl Protocol for BdProcess {
         let mut actions = Vec::new();
         self.handle_wire(from, message, &mut actions);
         actions
+    }
+
+    fn broadcast_into(&mut self, payload: Payload, out: &mut ActionBuf<WireMessage>) {
+        self.broadcast_inner(payload, out.as_mut_vec());
+    }
+
+    fn handle_message_into(
+        &mut self,
+        from: ProcessId,
+        message: WireMessage,
+        out: &mut ActionBuf<WireMessage>,
+    ) {
+        self.handle_wire(from, message, out.as_mut_vec());
     }
 
     fn deliveries(&self) -> &[Delivery] {

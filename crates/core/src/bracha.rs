@@ -13,7 +13,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
-use crate::protocol::Protocol;
+use crate::protocol::{ActionBuf, Protocol};
 use crate::quorum;
 use crate::types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
 use crate::wire::{FIELD_BID, FIELD_MTYPE, FIELD_PAYLOAD_SIZE, FIELD_PROCESS_ID};
@@ -183,6 +183,20 @@ impl BrachaProcess {
             actions.push(Action::Deliver(delivery));
         }
     }
+
+    /// Shared body of [`Protocol::broadcast`] / [`Protocol::broadcast_into`].
+    fn broadcast_inner(&mut self, payload: Payload, actions: &mut Vec<Action<BrachaMessage>>) {
+        let id = BroadcastId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        self.send_to_all(
+            BrachaMessage {
+                kind: BrachaKind::Send,
+                id,
+                payload,
+            },
+            actions,
+        );
+    }
 }
 
 impl Protocol for BrachaProcess {
@@ -193,17 +207,8 @@ impl Protocol for BrachaProcess {
     }
 
     fn broadcast(&mut self, payload: Payload) -> Vec<Action<BrachaMessage>> {
-        let id = BroadcastId::new(self.id, self.next_seq);
-        self.next_seq += 1;
         let mut actions = Vec::new();
-        self.send_to_all(
-            BrachaMessage {
-                kind: BrachaKind::Send,
-                id,
-                payload,
-            },
-            &mut actions,
-        );
+        self.broadcast_inner(payload, &mut actions);
         actions
     }
 
@@ -217,6 +222,19 @@ impl Protocol for BrachaProcess {
         actions
     }
 
+    fn broadcast_into(&mut self, payload: Payload, out: &mut ActionBuf<BrachaMessage>) {
+        self.broadcast_inner(payload, out.as_mut_vec());
+    }
+
+    fn handle_message_into(
+        &mut self,
+        from: ProcessId,
+        message: BrachaMessage,
+        out: &mut ActionBuf<BrachaMessage>,
+    ) {
+        self.handle_internal(from, message, out.as_mut_vec());
+    }
+
     fn deliveries(&self) -> &[Delivery] {
         &self.deliveries
     }
@@ -226,10 +244,20 @@ impl Protocol for BrachaProcess {
     }
 
     fn state_bytes(&self) -> usize {
+        // Per tracked content: the buffered payload bytes (the [`Content`] key owns a
+        // copy until quiescence), the quorum membership sets, and the three booleans
+        // (Sec. 7.3 memory-proxy accounting, kept comparable with the other stacks).
         self.states
-            .values()
-            .map(|s| 8 * (s.echos.len() + s.readys.len()) + 3)
+            .iter()
+            .map(|(content, s)| content.payload.len() + 8 * (s.echos.len() + s.readys.len()) + 3)
             .sum()
+    }
+
+    fn stored_paths(&self) -> usize {
+        // Bracha assumes direct authenticated links and never records transmission
+        // paths; reported explicitly (rather than via the trait default) so that the
+        // Sec. 7.3 memory tables show a deliberate zero, not a missing metric.
+        0
     }
 }
 

@@ -22,7 +22,7 @@ use std::collections::{HashMap, HashSet};
 use crate::bracha::{BrachaKind, BrachaMessage};
 use crate::cpa::CpaProcess;
 use crate::dolev_routed::RoutedDolev;
-use crate::protocol::Protocol;
+use crate::protocol::{ActionBuf, Protocol};
 use crate::quorum;
 use crate::rc::{RcDelivery, RcTransport};
 use crate::types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
@@ -238,6 +238,20 @@ impl<T: RcTransport> Protocol for BrachaOverRc<T> {
         actions
     }
 
+    fn handle_message_into(
+        &mut self,
+        from: ProcessId,
+        message: T::Message,
+        out: &mut ActionBuf<T::Message>,
+    ) {
+        let rc_deliveries = self.transport.on_message(from, message, out.as_mut_vec());
+        let pending: Vec<(ProcessId, BrachaMessage)> = rc_deliveries
+            .into_iter()
+            .filter_map(|d: RcDelivery| decode_bracha(&d.payload).map(|m| (d.origin, m)))
+            .collect();
+        self.drain(pending, out.as_mut_vec());
+    }
+
     fn deliveries(&self) -> &[Delivery] {
         &self.deliveries
     }
@@ -247,10 +261,12 @@ impl<T: RcTransport> Protocol for BrachaOverRc<T> {
     }
 
     fn state_bytes(&self) -> usize {
+        // The Bracha layer buffers one payload copy per tracked content (the `Content`
+        // key) next to its quorum sets; the substrate reports its own state on top.
         let bracha: usize = self
             .states
-            .values()
-            .map(|s| 8 * (s.echos.len() + s.readys.len()) + 3)
+            .iter()
+            .map(|(content, s)| content.payload.len() + 8 * (s.echos.len() + s.readys.len()) + 3)
             .sum();
         bracha + self.transport.state_bytes()
     }
@@ -264,6 +280,12 @@ impl<T: RcTransport> Protocol for BrachaOverRc<T> {
 /// `kind (1 B) | source (4 B) | bid (4 B) | payloadSize (4 B) | payload`, mirroring the
 /// Table 3 field sizes so that wire accounting stays comparable across stacks.
 pub fn encode_bracha(message: &BrachaMessage) -> Payload {
+    Payload::new(encode_bracha_frame(message))
+}
+
+/// Byte-level form of [`encode_bracha`], shared with the `BrachaMessage` wire codec in
+/// [`crate::stack`] so neither path pays a second copy.
+pub(crate) fn encode_bracha_frame(message: &BrachaMessage) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(13 + message.payload.len());
     bytes.push(match message.kind {
         BrachaKind::Send => 0u8,
@@ -274,13 +296,17 @@ pub fn encode_bracha(message: &BrachaMessage) -> Payload {
     bytes.extend_from_slice(&message.id.seq.to_be_bytes());
     bytes.extend_from_slice(&(message.payload.len() as u32).to_be_bytes());
     bytes.extend_from_slice(message.payload.as_bytes());
-    Payload::new(bytes)
+    bytes
 }
 
 /// Decodes an RC payload produced by [`encode_bracha`]. Returns `None` on any malformed
 /// input (a Byzantine origin may RC-broadcast arbitrary bytes).
 pub fn decode_bracha(payload: &Payload) -> Option<BrachaMessage> {
-    let bytes = payload.as_bytes();
+    decode_bracha_frame(payload.as_bytes())
+}
+
+/// Byte-level form of [`decode_bracha`], shared with the `BrachaMessage` wire codec.
+pub(crate) fn decode_bracha_frame(bytes: &[u8]) -> Option<BrachaMessage> {
     if bytes.len() < 13 {
         return None;
     }

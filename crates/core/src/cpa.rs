@@ -21,7 +21,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 
-use crate::protocol::Protocol;
+use crate::protocol::{ActionBuf, Protocol};
 use crate::types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
 use crate::wire::{FIELD_BID, FIELD_MTYPE, FIELD_PAYLOAD_SIZE, FIELD_PROCESS_ID};
 
@@ -107,6 +107,37 @@ impl CpaProcess {
             }
         }
     }
+
+    /// Shared body of [`Protocol::broadcast`] / [`Protocol::broadcast_into`].
+    fn broadcast_inner(&mut self, payload: Payload, actions: &mut Vec<Action<CpaMessage>>) {
+        let id = BroadcastId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        let content = Content::new(id, payload);
+        self.deliver_and_relay(&content, actions);
+    }
+
+    /// Shared body of [`Protocol::handle_message`] / [`Protocol::handle_message_into`].
+    fn handle_message_inner(
+        &mut self,
+        from: ProcessId,
+        message: CpaMessage,
+        actions: &mut Vec<Action<CpaMessage>>,
+    ) {
+        let content = message.content;
+        let state = self.states.entry(content.clone()).or_default();
+        if state.delivered {
+            return;
+        }
+        if from == content.id.source {
+            // Direct reception over the authenticated link: certified.
+            self.deliver_and_relay(&content, actions);
+            return;
+        }
+        state.witnesses.insert(from);
+        if state.witnesses.len() > self.t_local {
+            self.deliver_and_relay(&content, actions);
+        }
+    }
 }
 
 impl Protocol for CpaProcess {
@@ -117,31 +148,28 @@ impl Protocol for CpaProcess {
     }
 
     fn broadcast(&mut self, payload: Payload) -> Vec<Action<CpaMessage>> {
-        let id = BroadcastId::new(self.id, self.next_seq);
-        self.next_seq += 1;
-        let content = Content::new(id, payload);
         let mut actions = Vec::new();
-        self.deliver_and_relay(&content, &mut actions);
+        self.broadcast_inner(payload, &mut actions);
         actions
     }
 
     fn handle_message(&mut self, from: ProcessId, message: CpaMessage) -> Vec<Action<CpaMessage>> {
         let mut actions = Vec::new();
-        let content = message.content;
-        let state = self.states.entry(content.clone()).or_default();
-        if state.delivered {
-            return actions;
-        }
-        if from == content.id.source {
-            // Direct reception over the authenticated link: certified.
-            self.deliver_and_relay(&content, &mut actions);
-            return actions;
-        }
-        state.witnesses.insert(from);
-        if state.witnesses.len() > self.t_local {
-            self.deliver_and_relay(&content, &mut actions);
-        }
+        self.handle_message_inner(from, message, &mut actions);
         actions
+    }
+
+    fn broadcast_into(&mut self, payload: Payload, out: &mut ActionBuf<CpaMessage>) {
+        self.broadcast_inner(payload, out.as_mut_vec());
+    }
+
+    fn handle_message_into(
+        &mut self,
+        from: ProcessId,
+        message: CpaMessage,
+        out: &mut ActionBuf<CpaMessage>,
+    ) {
+        self.handle_message_inner(from, message, out.as_mut_vec());
     }
 
     fn deliveries(&self) -> &[Delivery] {
@@ -153,10 +181,20 @@ impl Protocol for CpaProcess {
     }
 
     fn state_bytes(&self) -> usize {
+        // Per tracked content: the buffered payload bytes (held by the `Content` key),
+        // the witness set, and the two booleans — the CPA analogue of the Sec. 7.3
+        // memory proxy.
         self.states
-            .values()
-            .map(|s| 8 * s.witnesses.len() + 2)
+            .iter()
+            .map(|(content, s)| content.payload.len() + 8 * s.witnesses.len() + 2)
             .sum()
+    }
+
+    fn stored_paths(&self) -> usize {
+        // CPA never stores multi-hop paths; its per-content witness records play the
+        // same memory role (each witness certifies one length-one transmission path from
+        // a neighbor), so they are what the Sec. 7.3 path counter reports.
+        self.states.values().map(|s| s.witnesses.len()).sum()
     }
 }
 

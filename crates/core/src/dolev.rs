@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::MdFlags;
 use crate::disjoint::DisjointPathTracker;
 use crate::pathset::PathSet;
-use crate::protocol::Protocol;
+use crate::protocol::{ActionBuf, Protocol};
 use crate::types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
 use crate::wire::{FIELD_BID, FIELD_MTYPE, FIELD_PATH_LEN, FIELD_PAYLOAD_SIZE, FIELD_PROCESS_ID};
 
@@ -130,20 +130,12 @@ impl DolevProcess {
         deliveries.push(delivery.clone());
         actions.push(Action::Deliver(delivery));
     }
-}
 
-impl Protocol for DolevProcess {
-    type Message = DolevMessage;
-
-    fn process_id(&self) -> ProcessId {
-        self.id
-    }
-
-    fn broadcast(&mut self, payload: Payload) -> Vec<Action<DolevMessage>> {
+    /// Shared body of [`Protocol::broadcast`] / [`Protocol::broadcast_into`].
+    fn broadcast_inner(&mut self, payload: Payload, actions: &mut Vec<Action<DolevMessage>>) {
         let id = BroadcastId::new(self.id, self.next_seq);
         self.next_seq += 1;
         let content = Content::new(id, payload);
-        let mut actions = Vec::new();
         for &q in &self.neighbors {
             actions.push(Action::send(
                 q,
@@ -158,17 +150,17 @@ impl Protocol for DolevProcess {
             .instances
             .entry(content.clone())
             .or_insert_with(InstanceState::new);
-        Self::deliver(&content, state, &mut self.deliveries, &mut actions);
+        Self::deliver(&content, state, &mut self.deliveries, actions);
         state.relayed_empty = true;
-        actions
     }
 
-    fn handle_message(
+    /// Shared body of [`Protocol::handle_message`] / [`Protocol::handle_message_into`].
+    fn handle_message_inner(
         &mut self,
         from: ProcessId,
         message: DolevMessage,
-    ) -> Vec<Action<DolevMessage>> {
-        let mut actions = Vec::new();
+        actions: &mut Vec<Action<DolevMessage>>,
+    ) {
         let content = message.content.clone();
         let source = content.id.source;
         let state = self
@@ -189,7 +181,7 @@ impl Protocol for DolevProcess {
                 .iter()
                 .any(|p| state.neighbors_delivered.contains(p))
         {
-            return actions;
+            return;
         }
 
         // Intermediate nodes of the claimed route: traversed labels plus the relaying
@@ -210,7 +202,7 @@ impl Protocol for DolevProcess {
             let threshold_met = state.tracker.reaches(self.f + 1);
             let md1_delivery = self.md.md1 && direct;
             if threshold_met || md1_delivery {
-                Self::deliver(&content, state, &mut self.deliveries, &mut actions);
+                Self::deliver(&content, state, &mut self.deliveries, actions);
                 if self.md.md2 {
                     state.tracker.clear_paths();
                 }
@@ -239,16 +231,16 @@ impl Protocol for DolevProcess {
                         },
                     ));
                 }
-                return actions;
+                return;
             }
             if self.md.md5 && state.relayed_empty {
                 // MD.5: stop relaying once delivered and the empty path has been forwarded.
-                return actions;
+                return;
             }
             if self.md.md2 && state.relayed_empty {
                 // Already announced delivery with an empty path; nothing more to add even
                 // without MD.5 (the empty path subsumes any further path we could relay).
-                return actions;
+                return;
             }
         }
 
@@ -271,7 +263,43 @@ impl Protocol for DolevProcess {
                 },
             ));
         }
+    }
+}
+
+impl Protocol for DolevProcess {
+    type Message = DolevMessage;
+
+    fn process_id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn broadcast(&mut self, payload: Payload) -> Vec<Action<DolevMessage>> {
+        let mut actions = Vec::new();
+        self.broadcast_inner(payload, &mut actions);
         actions
+    }
+
+    fn handle_message(
+        &mut self,
+        from: ProcessId,
+        message: DolevMessage,
+    ) -> Vec<Action<DolevMessage>> {
+        let mut actions = Vec::new();
+        self.handle_message_inner(from, message, &mut actions);
+        actions
+    }
+
+    fn broadcast_into(&mut self, payload: Payload, out: &mut ActionBuf<DolevMessage>) {
+        self.broadcast_inner(payload, out.as_mut_vec());
+    }
+
+    fn handle_message_into(
+        &mut self,
+        from: ProcessId,
+        message: DolevMessage,
+        out: &mut ActionBuf<DolevMessage>,
+    ) {
+        self.handle_message_inner(from, message, out.as_mut_vec());
     }
 
     fn deliveries(&self) -> &[Delivery] {

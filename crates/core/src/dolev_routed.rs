@@ -22,11 +22,12 @@
 //! (so it can be driven directly by the simulator and the threaded runtime).
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use brb_graph::paths::k_disjoint_routes;
 use brb_graph::Graph;
 
-use crate::protocol::Protocol;
+use crate::protocol::{ActionBuf, Protocol};
 use crate::rc::{RcDelivery, RcTransport};
 use crate::types::{Action, BroadcastId, Delivery, Payload, ProcessId};
 use crate::wire::{FIELD_BID, FIELD_MTYPE, FIELD_PATH_LEN, FIELD_PAYLOAD_SIZE, FIELD_PROCESS_ID};
@@ -82,7 +83,9 @@ struct RouteInstance {
 pub struct RoutedDolev {
     id: ProcessId,
     f: usize,
-    graph: Graph,
+    /// The globally known topology, reference-counted so that instantiating one process
+    /// per node shares a single copy of the adjacency structure.
+    graph: Arc<Graph>,
     /// Routes from `origin` to `destination`, computed lazily and cached. Every process
     /// computes the same routes for a given pair because the route-selection algorithm is
     /// deterministic on the shared topology.
@@ -93,12 +96,14 @@ pub struct RoutedDolev {
 }
 
 impl RoutedDolev {
-    /// Creates a routed-Dolev process from the globally known topology.
+    /// Creates a routed-Dolev process from the globally known topology (accepts a plain
+    /// [`Graph`] or an `Arc<Graph>` shared across the system's processes).
     ///
     /// # Panics
     ///
     /// Panics if `id` is not a node of `graph`.
-    pub fn new(id: ProcessId, f: usize, graph: Graph) -> Self {
+    pub fn new(id: ProcessId, f: usize, graph: impl Into<Arc<Graph>>) -> Self {
+        let graph = graph.into();
         assert!(id < graph.node_count(), "process id {id} out of range");
         Self {
             id,
@@ -316,6 +321,31 @@ impl Protocol for RoutedDolev {
             })
         }));
         actions
+    }
+
+    fn broadcast_into(&mut self, payload: Payload, out: &mut ActionBuf<RoutedDolevMessage>) {
+        let deliveries = self.originate(payload, out.as_mut_vec());
+        for d in deliveries {
+            out.deliver(Delivery {
+                id: BroadcastId::new(d.origin, d.seq),
+                payload: d.payload,
+            });
+        }
+    }
+
+    fn handle_message_into(
+        &mut self,
+        from: ProcessId,
+        message: RoutedDolevMessage,
+        out: &mut ActionBuf<RoutedDolevMessage>,
+    ) {
+        let deliveries = self.on_message(from, message, out.as_mut_vec());
+        for d in deliveries {
+            out.deliver(Delivery {
+                id: BroadcastId::new(d.origin, d.seq),
+                payload: d.payload,
+            });
+        }
     }
 
     fn deliveries(&self) -> &[Delivery] {

@@ -28,6 +28,12 @@
 //! discrete-event simulator (`brb-sim`) used by the experiment harnesses and inside the
 //! thread-per-process runtime (`brb-runtime`).
 //!
+//! The [`stack`] module erases the per-stack message types behind the object-safe
+//! [`stack::DynEngine`] interface (encoded wire bytes in and out): a [`stack::StackSpec`]
+//! names any of the stacks above and builds a boxed engine from
+//! `(Config, Graph, ProcessId)`, which is how the deployment backends (`brb-runtime`,
+//! `brb-net`) and the experiment sweeps run every stack through one code path.
+//!
 //! # Quick example
 //!
 //! ```
@@ -70,6 +76,7 @@ pub mod pathset;
 pub mod protocol;
 pub mod quorum;
 pub mod rc;
+pub mod stack;
 pub mod types;
 pub mod wire;
 
@@ -77,7 +84,8 @@ pub use bd::BdProcess;
 pub use bracha_rc::{BrachaCpa, BrachaOverRc, BrachaRoutedDolev};
 pub use config::{Config, MbdFlags, MdFlags};
 pub use dolev_routed::RoutedDolev;
-pub use protocol::Protocol;
+pub use protocol::{ActionBuf, Protocol};
 pub use rc::{RcDelivery, RcTransport};
+pub use stack::{DynEngine, DynStack, EncodedFrame, StackSpec, WireAction, WireActionBuf};
 pub use types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
 pub use wire::{MessageKind, WireMessage};

@@ -1,8 +1,120 @@
 //! The [`Protocol`] trait: the event-driven interface every broadcast protocol in this
 //! crate exposes, and that both the discrete-event simulator (`brb-sim`) and the threaded
 //! runtime (`brb-runtime`) drive.
+//!
+//! Two event APIs coexist on the trait:
+//!
+//! * the original `Vec`-returning methods ([`Protocol::broadcast`],
+//!   [`Protocol::handle_message`]), convenient for tests and one-off drivers;
+//! * the sink-based methods ([`Protocol::broadcast_into`],
+//!   [`Protocol::handle_message_into`]), which write into a caller-owned, reusable
+//!   [`ActionBuf`] so that hot loops (the simulator's dispatch path, the deployments'
+//!   node loops) process millions of events without one `Vec` allocation per event.
+//!
+//! The sink methods default to shims over the `Vec` methods, so existing protocols work
+//! unchanged; the protocols on the experiment hot paths ([`crate::bd::BdProcess`],
+//! [`crate::dolev::DolevProcess`], [`crate::bracha::BrachaProcess`], …) override them
+//! natively and implement the `Vec` methods as thin wrappers instead.
 
 use crate::types::{Action, Delivery, Payload, ProcessId};
+
+/// A reusable sink for the [`Action`]s produced by one protocol event.
+///
+/// Drivers keep one `ActionBuf` alive across events: the protocol pushes the actions of
+/// the current event into it, the driver drains them, and the allocation is recycled for
+/// the next event. This removes the per-event `Vec` allocation of the original
+/// [`Protocol::handle_message`] API from the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionBuf<M> {
+    actions: Vec<Action<M>>,
+}
+
+impl<M> ActionBuf<M> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self {
+            actions: Vec::new(),
+        }
+    }
+
+    /// Creates an empty buffer with room for `capacity` actions.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            actions: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one action.
+    pub fn push(&mut self, action: Action<M>) {
+        self.actions.push(action);
+    }
+
+    /// Appends a send action.
+    pub fn send(&mut self, to: ProcessId, message: M) {
+        self.actions.push(Action::send(to, message));
+    }
+
+    /// Appends a delivery action.
+    pub fn deliver(&mut self, delivery: Delivery) {
+        self.actions.push(Action::Deliver(delivery));
+    }
+
+    /// Appends every action of `iter`.
+    pub fn extend(&mut self, iter: impl IntoIterator<Item = Action<M>>) {
+        self.actions.extend(iter);
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Removes every buffered action, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+
+    /// Drains the buffered actions in push order, keeping the allocation.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Action<M>> {
+        self.actions.drain(..)
+    }
+
+    /// The buffered actions, in push order.
+    pub fn as_slice(&self) -> &[Action<M>] {
+        &self.actions
+    }
+
+    /// Mutable access to the underlying vector, for protocol internals that already
+    /// thread a `&mut Vec<Action<M>>` through their layers.
+    pub fn as_mut_vec(&mut self) -> &mut Vec<Action<M>> {
+        &mut self.actions
+    }
+
+    /// Consumes the buffer and returns the actions.
+    pub fn into_vec(self) -> Vec<Action<M>> {
+        self.actions
+    }
+}
+
+impl<M> Default for ActionBuf<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> IntoIterator for ActionBuf<M> {
+    type Item = Action<M>;
+    type IntoIter = std::vec::IntoIter<Action<M>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.actions.into_iter()
+    }
+}
 
 /// An event-driven broadcast protocol instance running at one process.
 ///
@@ -31,6 +143,29 @@ pub trait Protocol {
         from: ProcessId,
         message: Self::Message,
     ) -> Vec<Action<Self::Message>>;
+
+    /// Sink-based variant of [`Protocol::broadcast`]: pushes the resulting actions into
+    /// `out` instead of allocating a fresh `Vec`.
+    ///
+    /// The default implementation shims over [`Protocol::broadcast`]; protocols on hot
+    /// paths override it natively.
+    fn broadcast_into(&mut self, payload: Payload, out: &mut ActionBuf<Self::Message>) {
+        out.extend(self.broadcast(payload));
+    }
+
+    /// Sink-based variant of [`Protocol::handle_message`]: pushes the resulting actions
+    /// into `out` instead of allocating a fresh `Vec`.
+    ///
+    /// The default implementation shims over [`Protocol::handle_message`]; protocols on
+    /// hot paths override it natively.
+    fn handle_message_into(
+        &mut self,
+        from: ProcessId,
+        message: Self::Message,
+        out: &mut ActionBuf<Self::Message>,
+    ) {
+        out.extend(self.handle_message(from, message));
+    }
 
     /// All payloads delivered so far, in delivery order.
     fn deliveries(&self) -> &[Delivery];
@@ -106,5 +241,41 @@ mod tests {
         assert_eq!(actions.len(), 1);
         assert_eq!(p.deliveries().len(), 1);
         assert_eq!(Loopback::message_size(&Payload::from("abc")), 3);
+    }
+
+    #[test]
+    fn default_sink_methods_shim_over_the_vec_methods() {
+        let mut p = Loopback {
+            id: 3,
+            deliveries: vec![],
+        };
+        let mut buf: ActionBuf<Payload> = ActionBuf::with_capacity(4);
+        p.broadcast_into(Payload::from("a"), &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert!(buf.as_slice()[0].as_delivery().is_some());
+        p.handle_message_into(0, Payload::from("b"), &mut buf);
+        assert_eq!(buf.len(), 1, "loopback ignores incoming messages");
+        let drained: Vec<_> = buf.drain().collect();
+        assert_eq!(drained.len(), 1);
+        assert!(buf.is_empty());
+        // The allocation survives draining; pushing again reuses it.
+        buf.send(1, Payload::from("m"));
+        buf.deliver(Delivery {
+            id: BroadcastId::new(3, 0),
+            payload: Payload::from("x"),
+        });
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn action_buf_conversions() {
+        let mut buf: ActionBuf<u8> = ActionBuf::default();
+        buf.extend([Action::send(1, 9), Action::send(2, 7)]);
+        assert_eq!(buf.as_mut_vec().len(), 2);
+        let collected: Vec<_> = buf.clone().into_iter().collect();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(buf.into_vec().len(), 2);
     }
 }

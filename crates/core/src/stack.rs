@@ -1,0 +1,1054 @@
+//! One stack API for every backend: object-safe engines over encoded wire bytes.
+//!
+//! The paper's central practical claim (Sec. 7.1) is that the *same* protocol engine runs
+//! unchanged under a discrete-event simulation and under a real socket deployment. The
+//! [`crate::protocol::Protocol`] trait delivers that for one stack at a time, but it is
+//! not object-safe (its message type is associated, and `message_size` has no receiver),
+//! so every driver had to be hard-wired to one concrete engine. This module closes that
+//! gap with three pieces:
+//!
+//! * [`WireCodec`] — a binary encoding for each protocol's link-level message type,
+//!   extending the framing that [`crate::wire::WireMessage`] already provided for the
+//!   Bracha–Dolev combination to every stack in the crate;
+//! * [`DynEngine`] — an **object-safe** engine interface that speaks encoded wire bytes
+//!   in and out (plus deliveries and the Sec. 7.3 memory proxies), with a blanket
+//!   implementation for every [`Protocol`] whose message type has a [`WireCodec`];
+//! * [`StackSpec`] — a serializable name for each protocol stack of the crate, with a
+//!   builder that constructs a boxed [`DynEngine`] from `(Config, Graph, ProcessId)`.
+//!
+//! Drivers that want to stay on the typed fast path (the simulator's hot loop) can wrap a
+//! boxed engine in [`DynStack`], which implements [`Protocol`] over [`EncodedFrame`]
+//! messages — so `brb_sim::Simulation<DynStack>` runs any stack, while byte-oriented
+//! drivers (`brb-runtime`, `brb-net`) drive [`DynEngine`] directly and never decode a
+//! frame themselves.
+//!
+//! Outputs are collected through the allocation-free sink [`WireActionBuf`], mirroring
+//! [`crate::protocol::ActionBuf`] at the encoded-bytes level.
+//!
+//! # Example: the same broadcast through any stack
+//!
+//! ```
+//! use brb_core::config::Config;
+//! use brb_core::stack::{StackSpec, WireAction, WireActionBuf};
+//! use brb_core::types::Payload;
+//! use brb_graph::generate;
+//!
+//! let graph = generate::figure1_example();
+//! let config = Config::bdopt_mbd1(10, 1);
+//! for stack in [StackSpec::Bd, StackSpec::Dolev, StackSpec::BrachaRoutedDolev] {
+//!     let mut engines: Vec<_> = (0..10).map(|i| stack.build(&config, &graph, i)).collect();
+//!     let mut out = WireActionBuf::new();
+//!     engines[0].broadcast_wire(Payload::from("hello"), &mut out);
+//!     let mut queue: Vec<(usize, WireAction)> = out.drain().map(|a| (0, a)).collect();
+//!     while let Some((from, action)) = queue.pop() {
+//!         if let WireAction::Send { to, frame, .. } = action {
+//!             engines[to].handle_frame(from, &frame, &mut out);
+//!             queue.extend(out.drain().map(|a| (to, a)));
+//!         }
+//!     }
+//!     assert!(engines.iter().all(|e| e.deliveries().len() == 1), "{stack}");
+//! }
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::bd::BdProcess;
+use crate::bracha::BrachaMessage;
+use crate::bracha::BrachaProcess;
+use crate::bracha_rc::{decode_bracha_frame, encode_bracha_frame, BrachaOverRc};
+use crate::config::Config;
+use crate::cpa::{CpaMessage, CpaProcess};
+use crate::dolev::{DolevMessage, DolevProcess};
+use crate::dolev_routed::{RoutedDolev, RoutedDolevMessage};
+use crate::protocol::{ActionBuf, Protocol};
+use crate::types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
+use crate::wire::WireMessage;
+use brb_graph::Graph;
+
+// ---------------------------------------------------------------------------
+// Wire codecs
+// ---------------------------------------------------------------------------
+
+/// A binary framing for a protocol's link-level message type.
+///
+/// Every field is encoded big-endian, in the field order of the paper's Table 3, so the
+/// encodings double as documentation of each protocol's wire format. Decoding must reject
+/// any malformed frame by returning `None` (a Byzantine peer controls the bytes).
+///
+/// Note that the encoded length may differ from [`Protocol::message_size`]: the Table 3
+/// accounting elides fields a real framing needs for unambiguous decoding (presence
+/// masks, explicit lengths). Drivers account traffic with `message_size`, not with
+/// `encode_wire().len()`.
+pub trait WireCodec: Sized {
+    /// Encodes the message into a self-contained binary frame.
+    fn encode_wire(&self) -> Bytes;
+
+    /// Decodes a frame produced by [`WireCodec::encode_wire`]; `None` if malformed.
+    fn decode_wire(frame: &[u8]) -> Option<Self>;
+}
+
+impl WireCodec for WireMessage {
+    fn encode_wire(&self) -> Bytes {
+        self.encode()
+    }
+
+    fn decode_wire(frame: &[u8]) -> Option<Self> {
+        WireMessage::decode(frame)
+    }
+}
+
+impl WireCodec for BrachaMessage {
+    fn encode_wire(&self) -> Bytes {
+        // Reuses the RC-payload framing of `bracha_rc`: kind, source, bid, size, payload.
+        Bytes::from(encode_bracha_frame(self))
+    }
+
+    fn decode_wire(frame: &[u8]) -> Option<Self> {
+        decode_bracha_frame(frame)
+    }
+}
+
+impl WireCodec for CpaMessage {
+    fn encode_wire(&self) -> Bytes {
+        let payload = &self.content.payload;
+        let mut buf = BytesMut::with_capacity(12 + payload.len());
+        buf.put_u32(self.content.id.source as u32);
+        buf.put_u32(self.content.id.seq);
+        buf.put_u32(payload.len() as u32);
+        buf.put_slice(payload.as_bytes());
+        buf.freeze()
+    }
+
+    fn decode_wire(mut frame: &[u8]) -> Option<Self> {
+        if frame.remaining() < 12 {
+            return None;
+        }
+        let source = frame.get_u32() as ProcessId;
+        let seq = frame.get_u32();
+        let len = frame.get_u32() as usize;
+        if frame.remaining() != len {
+            return None;
+        }
+        Some(CpaMessage {
+            content: Content::new(
+                BroadcastId::new(source, seq),
+                Payload::new(frame.chunk().to_vec()),
+            ),
+        })
+    }
+}
+
+impl WireCodec for DolevMessage {
+    fn encode_wire(&self) -> Bytes {
+        let payload = &self.content.payload;
+        let mut buf = BytesMut::with_capacity(14 + payload.len() + 4 * self.path.len());
+        buf.put_u32(self.content.id.source as u32);
+        buf.put_u32(self.content.id.seq);
+        buf.put_u32(payload.len() as u32);
+        buf.put_slice(payload.as_bytes());
+        buf.put_u16(self.path.len() as u16);
+        for &p in &self.path {
+            buf.put_u32(p as u32);
+        }
+        buf.freeze()
+    }
+
+    fn decode_wire(mut frame: &[u8]) -> Option<Self> {
+        if frame.remaining() < 12 {
+            return None;
+        }
+        let source = frame.get_u32() as ProcessId;
+        let seq = frame.get_u32();
+        let len = frame.get_u32() as usize;
+        if frame.remaining() < len {
+            return None;
+        }
+        let payload = Payload::new(frame.chunk()[..len].to_vec());
+        frame.advance(len);
+        if frame.remaining() < 2 {
+            return None;
+        }
+        let path_len = frame.get_u16() as usize;
+        if frame.remaining() != 4 * path_len {
+            return None;
+        }
+        let mut path = Vec::with_capacity(path_len);
+        for _ in 0..path_len {
+            path.push(frame.get_u32() as ProcessId);
+        }
+        Some(DolevMessage {
+            content: Content::new(BroadcastId::new(source, seq), payload),
+            path,
+        })
+    }
+}
+
+impl WireCodec for RoutedDolevMessage {
+    fn encode_wire(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.payload.len() + 4 * self.route.len());
+        buf.put_u32(self.origin as u32);
+        buf.put_u32(self.seq);
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(self.payload.as_bytes());
+        buf.put_u16(self.route.len() as u16);
+        buf.put_u16(self.position as u16);
+        for &p in &self.route {
+            buf.put_u32(p as u32);
+        }
+        buf.freeze()
+    }
+
+    fn decode_wire(mut frame: &[u8]) -> Option<Self> {
+        if frame.remaining() < 12 {
+            return None;
+        }
+        let origin = frame.get_u32() as ProcessId;
+        let seq = frame.get_u32();
+        let len = frame.get_u32() as usize;
+        if frame.remaining() < len {
+            return None;
+        }
+        let payload = Payload::new(frame.chunk()[..len].to_vec());
+        frame.advance(len);
+        if frame.remaining() < 4 {
+            return None;
+        }
+        let route_len = frame.get_u16() as usize;
+        let position = frame.get_u16() as usize;
+        if frame.remaining() != 4 * route_len || position >= route_len {
+            return None;
+        }
+        let mut route = Vec::with_capacity(route_len);
+        for _ in 0..route_len {
+            route.push(frame.get_u32() as ProcessId);
+        }
+        Some(RoutedDolevMessage {
+            origin,
+            seq,
+            payload,
+            route,
+            position,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The object-safe engine interface
+// ---------------------------------------------------------------------------
+
+/// An action produced by a [`DynEngine`]: a pre-encoded frame to put on a link, or a
+/// delivery to the local application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireAction {
+    /// Transmit `frame` to direct neighbor `to`.
+    Send {
+        /// Destination (must be a direct neighbor).
+        to: ProcessId,
+        /// The encoded message, ready for the link.
+        frame: Bytes,
+        /// Size of the message under the paper's Table 3 accounting (what the experiment
+        /// harnesses report; the encoded frame itself may be a few bytes longer).
+        wire_size: usize,
+    },
+    /// Deliver a broadcast to the local application.
+    Deliver(Delivery),
+}
+
+/// Reusable sink for [`WireAction`]s, the encoded-bytes counterpart of
+/// [`crate::protocol::ActionBuf`]. Drivers keep one alive across events; together with
+/// the persistent typed sink inside the engines built by [`StackSpec::build`], the
+/// steady-state event path reuses its buffers instead of allocating output vectors per
+/// event (the frames themselves are freshly encoded, as they must be).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireActionBuf {
+    actions: Vec<WireAction>,
+}
+
+impl WireActionBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one action.
+    pub fn push(&mut self, action: WireAction) {
+        self.actions.push(action);
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Removes every buffered action, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+
+    /// Drains the buffered actions in push order, keeping the allocation.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, WireAction> {
+        self.actions.drain(..)
+    }
+
+    /// The buffered actions, in push order.
+    pub fn as_slice(&self) -> &[WireAction] {
+        &self.actions
+    }
+}
+
+/// An object-safe broadcast engine speaking encoded wire bytes.
+///
+/// This is the interface the deployment backends (`brb-runtime`, `brb-net`) drive: they
+/// move opaque frames between mailboxes and sockets and never need to know which protocol
+/// stack produced them. Every [`Protocol`] whose message type implements [`WireCodec`]
+/// gets this interface for free through the blanket implementation below, which is what
+/// makes [`StackSpec::build`] able to box any stack of the crate.
+pub trait DynEngine: Send {
+    /// Identifier of the process running this engine.
+    fn process_id(&self) -> ProcessId;
+
+    /// Initiates the broadcast of `payload`, pushing the resulting actions into `out`.
+    fn broadcast_wire(&mut self, payload: Payload, out: &mut WireActionBuf);
+
+    /// Handles an encoded frame received from direct neighbor `from` over the
+    /// authenticated link, pushing the resulting actions into `out`.
+    ///
+    /// Malformed frames are silently dropped (the sender is necessarily faulty).
+    fn handle_frame(&mut self, from: ProcessId, frame: &[u8], out: &mut WireActionBuf);
+
+    /// All payloads delivered so far, in delivery order.
+    fn deliveries(&self) -> &[Delivery];
+
+    /// Approximate number of bytes of protocol state held (Sec. 7.3 memory proxy).
+    fn state_bytes(&self) -> usize;
+
+    /// Number of transmission paths currently stored for disjoint-path verification.
+    fn stored_paths(&self) -> usize;
+}
+
+impl<P> DynEngine for P
+where
+    P: Protocol + Send,
+    P::Message: WireCodec,
+{
+    fn process_id(&self) -> ProcessId {
+        Protocol::process_id(self)
+    }
+
+    fn broadcast_wire(&mut self, payload: Payload, out: &mut WireActionBuf) {
+        let mut buf = ActionBuf::new();
+        self.broadcast_into(payload, &mut buf);
+        for action in buf.drain() {
+            out.push(encode_action::<P>(action));
+        }
+    }
+
+    fn handle_frame(&mut self, from: ProcessId, frame: &[u8], out: &mut WireActionBuf) {
+        let Some(message) = P::Message::decode_wire(frame) else {
+            return;
+        };
+        let mut buf = ActionBuf::new();
+        self.handle_message_into(from, message, &mut buf);
+        for action in buf.drain() {
+            out.push(encode_action::<P>(action));
+        }
+    }
+
+    fn deliveries(&self) -> &[Delivery] {
+        Protocol::deliveries(self)
+    }
+
+    fn state_bytes(&self) -> usize {
+        Protocol::state_bytes(self)
+    }
+
+    fn stored_paths(&self) -> usize {
+        Protocol::stored_paths(self)
+    }
+}
+
+/// Encodes one typed action into its wire form.
+fn encode_action<P>(action: Action<P::Message>) -> WireAction
+where
+    P: Protocol,
+    P::Message: WireCodec,
+{
+    match action {
+        Action::Send { to, message } => WireAction::Send {
+            to,
+            wire_size: P::message_size(&message),
+            frame: message.encode_wire(),
+        },
+        Action::Deliver(delivery) => WireAction::Deliver(delivery),
+    }
+}
+
+/// Pairs a typed protocol with a **persistent** typed action sink: the engines built by
+/// [`StackSpec::build`] are wrapped in this adapter, so their steady-state event path
+/// reuses one buffer across events (the bare blanket `DynEngine` impl above must create a
+/// fresh buffer per call, since it has nowhere to keep one).
+struct SinkEngine<P: Protocol> {
+    inner: P,
+    scratch: ActionBuf<P::Message>,
+}
+
+impl<P: Protocol> SinkEngine<P> {
+    fn new(inner: P) -> Self {
+        Self {
+            inner,
+            scratch: ActionBuf::new(),
+        }
+    }
+}
+
+impl<P> DynEngine for SinkEngine<P>
+where
+    P: Protocol + Send,
+    P::Message: WireCodec + Send,
+{
+    fn process_id(&self) -> ProcessId {
+        Protocol::process_id(&self.inner)
+    }
+
+    fn broadcast_wire(&mut self, payload: Payload, out: &mut WireActionBuf) {
+        self.scratch.clear();
+        self.inner.broadcast_into(payload, &mut self.scratch);
+        for action in self.scratch.drain() {
+            out.push(encode_action::<P>(action));
+        }
+    }
+
+    fn handle_frame(&mut self, from: ProcessId, frame: &[u8], out: &mut WireActionBuf) {
+        let Some(message) = P::Message::decode_wire(frame) else {
+            return;
+        };
+        self.scratch.clear();
+        self.inner
+            .handle_message_into(from, message, &mut self.scratch);
+        for action in self.scratch.drain() {
+            out.push(encode_action::<P>(action));
+        }
+    }
+
+    fn deliveries(&self) -> &[Delivery] {
+        Protocol::deliveries(&self.inner)
+    }
+
+    fn state_bytes(&self) -> usize {
+        Protocol::state_bytes(&self.inner)
+    }
+
+    fn stored_paths(&self) -> usize {
+        Protocol::stored_paths(&self.inner)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stack specification
+// ---------------------------------------------------------------------------
+
+/// A serializable name for each protocol stack of this crate.
+///
+/// A `StackSpec` is what experiment sweeps, CSV outputs and command-line flags use to
+/// identify a stack; [`StackSpec::build`] turns it into a running boxed engine. The CPA
+/// variants reuse [`Config::f`] as the `t`-locally-bounded threshold (the two fault
+/// models parameterize their protocols with one integer each, and sharing the field keeps
+/// `(Config, Graph, ProcessId)` sufficient to build every stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum StackSpec {
+    /// The paper's Bracha–Dolev combination with the MD/MBD modifications of the
+    /// [`Config`] ([`BdProcess`]).
+    #[default]
+    Bd,
+    /// Plain Bracha over the routed (known-topology) Dolev variant.
+    BrachaRoutedDolev,
+    /// Plain Bracha over CPA, for the `t`-locally bounded fault model (`t = f`).
+    BrachaCpa,
+    /// Dolev's flooding reliable-communication protocol alone (honest-dealer broadcast),
+    /// with the MD.1–5 flags of the [`Config`].
+    Dolev,
+    /// Dolev's known-topology (predefined routes) variant alone.
+    RoutedDolev,
+    /// Bracha's double-echo broadcast alone — requires a **fully connected** topology.
+    Bracha,
+    /// The Certified Propagation Algorithm alone (`t = f`).
+    Cpa,
+}
+
+impl StackSpec {
+    /// Every stack, in the order used by reports and sweeps.
+    pub const ALL: [StackSpec; 7] = [
+        StackSpec::Bd,
+        StackSpec::BrachaRoutedDolev,
+        StackSpec::BrachaCpa,
+        StackSpec::Dolev,
+        StackSpec::RoutedDolev,
+        StackSpec::Bracha,
+        StackSpec::Cpa,
+    ];
+
+    /// Canonical kebab-case name, used by CSV columns and `--stack` flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            StackSpec::Bd => "bd",
+            StackSpec::BrachaRoutedDolev => "bracha-routed-dolev",
+            StackSpec::BrachaCpa => "bracha-cpa",
+            StackSpec::Dolev => "dolev",
+            StackSpec::RoutedDolev => "routed-dolev",
+            StackSpec::Bracha => "bracha",
+            StackSpec::Cpa => "cpa",
+        }
+    }
+
+    /// Whether the stack provides full BRB (tolerates a Byzantine source). The remaining
+    /// stacks are reliable-communication substrates: they only guarantee delivery for an
+    /// honest dealer.
+    pub fn is_brb(self) -> bool {
+        matches!(
+            self,
+            StackSpec::Bd | StackSpec::BrachaRoutedDolev | StackSpec::BrachaCpa | StackSpec::Bracha
+        )
+    }
+
+    /// Whether the stack's system model requires a fully connected topology (only
+    /// Bracha's original protocol does; every other stack exists precisely to avoid that
+    /// assumption).
+    pub fn requires_full_connectivity(self) -> bool {
+        matches!(self, StackSpec::Bracha)
+    }
+
+    /// Constructs a boxed engine for process `id` of a system described by `config` on
+    /// the communication graph `graph`.
+    ///
+    /// The routed-Dolev-based stacks need the whole topology; this entry point deep-copies
+    /// it once per engine. Hosts instantiating many processes of those stacks should
+    /// create one `Arc<Graph>` and call [`StackSpec::build_shared`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid for the stack (e.g. `f >= n/3` for the
+    /// Bracha-based stacks, `id` outside the graph).
+    pub fn build(self, config: &Config, graph: &Graph, id: ProcessId) -> Box<dyn DynEngine> {
+        match self {
+            StackSpec::BrachaRoutedDolev | StackSpec::RoutedDolev => {
+                self.build_shared(config, &Arc::new(graph.clone()), id)
+            }
+            other => other.build_neighborhood(config, graph, id),
+        }
+    }
+
+    /// Like [`StackSpec::build`], but topology-aware stacks share the given `Arc<Graph>`
+    /// instead of deep-copying the adjacency per process — the form the deployments and
+    /// the experiment runner use when instantiating a whole system.
+    pub fn build_shared(
+        self,
+        config: &Config,
+        graph: &Arc<Graph>,
+        id: ProcessId,
+    ) -> Box<dyn DynEngine> {
+        match self {
+            StackSpec::BrachaRoutedDolev => Box::new(SinkEngine::new(BrachaOverRc::new(
+                config.n,
+                config.f,
+                RoutedDolev::new(id, config.f, Arc::clone(graph)),
+            ))),
+            StackSpec::RoutedDolev => Box::new(SinkEngine::new(RoutedDolev::new(
+                id,
+                config.f,
+                Arc::clone(graph),
+            ))),
+            other => other.build_neighborhood(config, graph, id),
+        }
+    }
+
+    /// Builds the stacks that only need the process's direct neighborhood.
+    fn build_neighborhood(
+        self,
+        config: &Config,
+        graph: &Graph,
+        id: ProcessId,
+    ) -> Box<dyn DynEngine> {
+        match self {
+            StackSpec::Bd => Box::new(SinkEngine::new(BdProcess::new(
+                id,
+                *config,
+                graph.neighbors_vec(id),
+            ))),
+            StackSpec::BrachaCpa => Box::new(SinkEngine::new(BrachaOverRc::new(
+                config.n,
+                config.f,
+                CpaProcess::new(id, config.f, graph.neighbors_vec(id)),
+            ))),
+            StackSpec::Dolev => Box::new(SinkEngine::new(DolevProcess::new(
+                id,
+                config.f,
+                graph.neighbors_vec(id),
+                config.md,
+            ))),
+            StackSpec::Bracha => {
+                Box::new(SinkEngine::new(BrachaProcess::new(id, config.n, config.f)))
+            }
+            StackSpec::Cpa => Box::new(SinkEngine::new(CpaProcess::new(
+                id,
+                config.f,
+                graph.neighbors_vec(id),
+            ))),
+            StackSpec::BrachaRoutedDolev | StackSpec::RoutedDolev => {
+                unreachable!("routed stacks are built by build/build_shared")
+            }
+        }
+    }
+
+    /// Convenience: builds the engine and wraps it in a [`DynStack`], ready to be driven
+    /// by any [`Protocol`]-based host such as `brb_sim::Simulation`.
+    pub fn build_protocol(self, config: &Config, graph: &Graph, id: ProcessId) -> DynStack {
+        DynStack::new(self.build(config, graph, id))
+    }
+
+    /// [`StackSpec::build_protocol`] over a shared topology (see
+    /// [`StackSpec::build_shared`]).
+    pub fn build_protocol_shared(
+        self,
+        config: &Config,
+        graph: &Arc<Graph>,
+        id: ProcessId,
+    ) -> DynStack {
+        DynStack::new(self.build_shared(config, graph, id))
+    }
+}
+
+impl fmt::Display for StackSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown stack name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownStack(pub String);
+
+impl fmt::Display for UnknownStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown stack {:?}; expected one of: {}",
+            self.0,
+            StackSpec::ALL.map(StackSpec::name).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownStack {}
+
+impl FromStr for StackSpec {
+    type Err = UnknownStack;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized: String = s
+            .trim()
+            .chars()
+            .map(|c| match c {
+                '_' | ' ' => '-',
+                c => c.to_ascii_lowercase(),
+            })
+            .collect();
+        StackSpec::ALL
+            .into_iter()
+            .find(|spec| spec.name() == normalized)
+            .ok_or_else(|| UnknownStack(s.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol adapter over a boxed engine
+// ---------------------------------------------------------------------------
+
+/// An encoded link-level frame together with its Table 3 size, the message type of
+/// [`DynStack`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedFrame {
+    /// The encoded message bytes.
+    pub bytes: Bytes,
+    /// Size under the paper's Table 3 accounting (reported by
+    /// [`Protocol::message_size`]).
+    pub wire_size: usize,
+}
+
+/// Adapter implementing [`Protocol`] over a boxed [`DynEngine`], with [`EncodedFrame`]
+/// messages.
+///
+/// This is the bridge in the opposite direction of the blanket [`DynEngine`] impl: it
+/// lets hosts written against the typed [`Protocol`] interface (most importantly
+/// `brb_sim::Simulation`) drive *any* stack chosen at runtime. Messages cross the adapter
+/// in encoded form, so a simulation over `DynStack` also exercises the exact codec path
+/// of the socket deployments.
+pub struct DynStack {
+    engine: Box<dyn DynEngine>,
+    scratch: WireActionBuf,
+}
+
+impl DynStack {
+    /// Wraps a boxed engine.
+    pub fn new(engine: Box<dyn DynEngine>) -> Self {
+        Self {
+            engine,
+            scratch: WireActionBuf::new(),
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &dyn DynEngine {
+        self.engine.as_ref()
+    }
+
+    fn forward(&mut self, out: &mut ActionBuf<EncodedFrame>) {
+        for action in self.scratch.drain() {
+            out.push(match action {
+                WireAction::Send {
+                    to,
+                    frame,
+                    wire_size,
+                } => Action::send(
+                    to,
+                    EncodedFrame {
+                        bytes: frame,
+                        wire_size,
+                    },
+                ),
+                WireAction::Deliver(delivery) => Action::Deliver(delivery),
+            });
+        }
+    }
+}
+
+impl fmt::Debug for DynStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynStack")
+            .field("process_id", &self.engine.process_id())
+            .finish()
+    }
+}
+
+impl Protocol for DynStack {
+    type Message = EncodedFrame;
+
+    fn process_id(&self) -> ProcessId {
+        self.engine.process_id()
+    }
+
+    fn broadcast(&mut self, payload: Payload) -> Vec<Action<EncodedFrame>> {
+        let mut out = ActionBuf::new();
+        self.broadcast_into(payload, &mut out);
+        out.into_vec()
+    }
+
+    fn handle_message(
+        &mut self,
+        from: ProcessId,
+        message: EncodedFrame,
+    ) -> Vec<Action<EncodedFrame>> {
+        let mut out = ActionBuf::new();
+        self.handle_message_into(from, message, &mut out);
+        out.into_vec()
+    }
+
+    fn broadcast_into(&mut self, payload: Payload, out: &mut ActionBuf<EncodedFrame>) {
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.engine.broadcast_wire(payload, &mut scratch);
+        self.scratch = scratch;
+        self.forward(out);
+    }
+
+    fn handle_message_into(
+        &mut self,
+        from: ProcessId,
+        message: EncodedFrame,
+        out: &mut ActionBuf<EncodedFrame>,
+    ) {
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.engine.handle_frame(from, &message.bytes, &mut scratch);
+        self.scratch = scratch;
+        self.forward(out);
+    }
+
+    fn deliveries(&self) -> &[Delivery] {
+        self.engine.deliveries()
+    }
+
+    fn message_size(message: &EncodedFrame) -> usize {
+        message.wire_size
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.engine.state_bytes()
+    }
+
+    fn stored_paths(&self) -> usize {
+        self.engine.stored_paths()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bracha::BrachaKind;
+    use brb_graph::generate;
+
+    fn stack_config(stack: StackSpec, n: usize) -> Config {
+        // Fault-free test runs; CPA percolation on sparse graphs needs t = 0, every other
+        // stack is exercised with a positive threshold.
+        match stack {
+            StackSpec::Cpa | StackSpec::BrachaCpa => Config::plain(n, 0),
+            StackSpec::Bracha => Config::plain(n, (n - 1) / 3),
+            _ => Config::bdopt_mbd1(n, 1),
+        }
+    }
+
+    fn stack_graph(stack: StackSpec) -> Graph {
+        if stack.requires_full_connectivity() {
+            generate::complete(10)
+        } else {
+            generate::figure1_example()
+        }
+    }
+
+    /// Floods encoded frames between boxed engines until quiescence.
+    fn run_boxed(stack: StackSpec, source: ProcessId) -> Vec<Box<dyn DynEngine>> {
+        let graph = stack_graph(stack);
+        let config = stack_config(stack, graph.node_count());
+        let mut engines: Vec<Box<dyn DynEngine>> = (0..graph.node_count())
+            .map(|i| stack.build(&config, &graph, i))
+            .collect();
+        let mut out = WireActionBuf::new();
+        engines[source].broadcast_wire(Payload::from("any stack"), &mut out);
+        let mut queue: Vec<(ProcessId, WireAction)> = out.drain().map(|a| (source, a)).collect();
+        let mut steps = 0usize;
+        while let Some((from, action)) = queue.pop() {
+            steps += 1;
+            assert!(steps < 2_000_000, "{stack} did not quiesce");
+            if let WireAction::Send { to, frame, .. } = action {
+                engines[to].handle_frame(from, &frame, &mut out);
+                queue.extend(out.drain().map(|a| (to, a)));
+            }
+        }
+        engines
+    }
+
+    #[test]
+    fn every_stack_delivers_through_the_boxed_interface() {
+        for stack in StackSpec::ALL {
+            let engines = run_boxed(stack, 0);
+            for engine in &engines {
+                assert_eq!(
+                    engine.deliveries().len(),
+                    1,
+                    "{stack}: process {} did not deliver",
+                    engine.process_id()
+                );
+                assert_eq!(engine.deliveries()[0].id, BroadcastId::new(0, 0));
+                assert_eq!(engine.deliveries()[0].payload, Payload::from("any stack"));
+            }
+        }
+    }
+
+    #[test]
+    fn every_stack_delivers_through_the_dyn_protocol_adapter() {
+        for stack in StackSpec::ALL {
+            let graph = stack_graph(stack);
+            let config = stack_config(stack, graph.node_count());
+            let mut processes: Vec<DynStack> = (0..graph.node_count())
+                .map(|i| stack.build_protocol(&config, &graph, i))
+                .collect();
+            let mut queue: Vec<(ProcessId, Action<EncodedFrame>)> = processes[0]
+                .broadcast(Payload::from("adapter"))
+                .into_iter()
+                .map(|a| (0, a))
+                .collect();
+            while let Some((from, action)) = queue.pop() {
+                if let Action::Send { to, message } = action {
+                    assert!(message.wire_size > 0);
+                    for a in processes[to].handle_message(from, message) {
+                        queue.push((to, a));
+                    }
+                }
+            }
+            for p in &processes {
+                assert_eq!(
+                    Protocol::deliveries(p).len(),
+                    1,
+                    "{stack}: process {} did not deliver via DynStack",
+                    Protocol::process_id(p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_engines_report_memory_proxies() {
+        // After a full Bd run some process holds paths and state.
+        let engines = run_boxed(StackSpec::Bd, 0);
+        assert!(engines.iter().any(|e| e.state_bytes() > 0));
+        // The routed stack counts its predefined-route votes.
+        let engines = run_boxed(StackSpec::BrachaRoutedDolev, 0);
+        assert!(engines.iter().any(|e| e.state_bytes() > 0));
+        assert!(engines.iter().any(|e| e.stored_paths() > 0));
+        // Bracha buffers payloads per content even though it stores no paths.
+        let engines = run_boxed(StackSpec::Bracha, 0);
+        assert!(engines.iter().any(|e| e.state_bytes() > 0));
+        assert!(engines.iter().all(|e| e.stored_paths() == 0));
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let dolev = DolevMessage {
+            content: Content::new(BroadcastId::new(3, 7), Payload::from("dolev")),
+            path: vec![1, 2, 9],
+        };
+        assert_eq!(
+            DolevMessage::decode_wire(&dolev.encode_wire()),
+            Some(dolev.clone())
+        );
+
+        let cpa = CpaMessage {
+            content: Content::new(BroadcastId::new(4, 1), Payload::filled(0xA, 16)),
+        };
+        assert_eq!(CpaMessage::decode_wire(&cpa.encode_wire()), Some(cpa));
+
+        let routed = RoutedDolevMessage {
+            origin: 2,
+            seq: 5,
+            payload: Payload::from("routed"),
+            route: vec![2, 4, 6],
+            position: 1,
+        };
+        assert_eq!(
+            RoutedDolevMessage::decode_wire(&routed.encode_wire()),
+            Some(routed)
+        );
+
+        let bracha = BrachaMessage {
+            kind: BrachaKind::Ready,
+            id: BroadcastId::new(1, 2),
+            payload: Payload::from("bracha"),
+        };
+        assert_eq!(
+            BrachaMessage::decode_wire(&bracha.encode_wire()),
+            Some(bracha)
+        );
+
+        // Empty-path / empty-payload edges survive the roundtrip.
+        let empty = DolevMessage {
+            content: Content::new(BroadcastId::new(0, 0), Payload::new(Vec::new())),
+            path: vec![],
+        };
+        assert_eq!(DolevMessage::decode_wire(&empty.encode_wire()), Some(empty));
+    }
+
+    #[test]
+    fn codecs_reject_malformed_frames() {
+        let dolev = DolevMessage {
+            content: Content::new(BroadcastId::new(3, 7), Payload::from("dolev")),
+            path: vec![1, 2],
+        }
+        .encode_wire();
+        for cut in [0, 5, 11, dolev.len() - 1] {
+            assert!(DolevMessage::decode_wire(&dolev[..cut]).is_none(), "{cut}");
+        }
+        // Trailing garbage is rejected too (the frame length is part of the contract).
+        let mut padded = dolev.to_vec();
+        padded.push(0);
+        assert!(DolevMessage::decode_wire(&padded).is_none());
+
+        let routed = RoutedDolevMessage {
+            origin: 2,
+            seq: 5,
+            payload: Payload::from("r"),
+            route: vec![2, 4],
+            position: 1,
+        }
+        .encode_wire();
+        assert!(RoutedDolevMessage::decode_wire(&routed[..7]).is_none());
+        // An out-of-range position is rejected at decode time.
+        let mut bad = routed.to_vec();
+        let pos_at = 4 + 4 + 4 + 1 + 2; // origin, seq, len, payload "r", route_len
+        bad[pos_at] = 0;
+        bad[pos_at + 1] = 9;
+        assert!(RoutedDolevMessage::decode_wire(&bad).is_none());
+
+        assert!(CpaMessage::decode_wire(&[1, 2, 3]).is_none());
+        assert!(BrachaMessage::decode_wire(&[9; 4]).is_none());
+
+        // A malformed frame fed to an engine is dropped without output.
+        let graph = generate::figure1_example();
+        let mut engine = StackSpec::Dolev.build(&Config::bdopt(10, 1), &graph, 1);
+        let mut out = WireActionBuf::new();
+        engine.handle_frame(0, &[0xFF, 0x01], &mut out);
+        assert!(out.is_empty());
+        assert!(engine.deliveries().is_empty());
+    }
+
+    #[test]
+    fn stack_names_parse_and_display() {
+        for stack in StackSpec::ALL {
+            assert_eq!(stack.name().parse::<StackSpec>().unwrap(), stack);
+            assert_eq!(stack.to_string(), stack.name());
+        }
+        assert_eq!(
+            "Bracha_Routed_Dolev".parse::<StackSpec>().unwrap(),
+            StackSpec::BrachaRoutedDolev
+        );
+        assert_eq!("BD".parse::<StackSpec>().unwrap(), StackSpec::Bd);
+        let err = "nope".parse::<StackSpec>().unwrap_err();
+        assert!(err.to_string().contains("nope"));
+        assert_eq!(StackSpec::default(), StackSpec::Bd);
+    }
+
+    #[test]
+    fn stack_classification() {
+        assert!(StackSpec::Bd.is_brb());
+        assert!(StackSpec::Bracha.is_brb());
+        assert!(!StackSpec::Dolev.is_brb());
+        assert!(!StackSpec::Cpa.is_brb());
+        assert!(StackSpec::Bracha.requires_full_connectivity());
+        assert!(StackSpec::ALL
+            .iter()
+            .filter(|s| s.requires_full_connectivity())
+            .eq([&StackSpec::Bracha]));
+    }
+
+    #[test]
+    fn wire_size_uses_table3_accounting_not_frame_length() {
+        // The WireMessage framing adds a presence mask and always-encoded identifiers, so
+        // the frame is longer than the Table 3 size; the DynEngine path must report the
+        // latter.
+        let graph = generate::figure1_example();
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut engine = StackSpec::Bd.build(&config, &graph, 0);
+        let mut out = WireActionBuf::new();
+        engine.broadcast_wire(Payload::filled(1, 64), &mut out);
+        let mut saw_send = false;
+        for action in out.as_slice() {
+            if let WireAction::Send {
+                frame, wire_size, ..
+            } = action
+            {
+                saw_send = true;
+                let decoded = WireMessage::decode(frame).expect("frames decode");
+                assert_eq!(*wire_size, decoded.wire_size());
+            }
+        }
+        assert!(saw_send);
+    }
+}

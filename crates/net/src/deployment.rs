@@ -1,25 +1,24 @@
-//! TCP deployment of the Bracha–Dolev engine: one protocol thread per process, real
-//! loopback sockets as authenticated links.
+//! TCP deployment of any [`StackSpec`]-selected engine: one protocol thread per process,
+//! real loopback sockets as authenticated links.
 //!
 //! This is the closest in-repository analogue of the paper's testbed (Sec. 7.1): the paper
 //! runs one node per Docker container on a single desktop and connects them with TCP
 //! sockets; we run one node per thread in a single OS process and connect them with TCP
-//! sockets over the loopback interface. The protocol engine, wire format, and byte
+//! sockets over the loopback interface. The node threads drive boxed
+//! [`brb_core::stack::DynEngine`]s, so the protocol engines, wire formats, and byte
 //! accounting are identical to the ones used by the discrete-event simulator (`brb-sim`)
-//! and the channel-based runtime (`brb-runtime`), so the three back ends are directly
-//! comparable; the reports reuse `brb-runtime`'s [`NodeReport`] / [`DeploymentReport`]
-//! types for that reason.
+//! and the channel-based runtime (`brb-runtime`), making the three back ends directly
+//! comparable for every stack; the reports reuse `brb-runtime`'s [`NodeReport`] /
+//! [`DeploymentReport`] types for that reason.
 
 use std::collections::HashMap;
 use std::net::TcpStream;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use brb_core::bd::BdProcess;
 use brb_core::config::Config;
-use brb_core::protocol::Protocol;
-use brb_core::types::{Action, Delivery, Payload, ProcessId};
-use brb_core::wire::WireMessage;
+use brb_core::stack::{DynEngine, StackSpec, WireAction, WireActionBuf};
+use brb_core::types::{Delivery, Payload, ProcessId};
 use brb_graph::Graph;
 use brb_runtime::{DeploymentReport, NodeReport};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -70,7 +69,8 @@ pub struct TcpDeployment {
 
 impl TcpDeployment {
     /// Binds the endpoints, establishes the TCP mesh of `graph`, and spawns one protocol
-    /// thread per process. `crashed` processes get endpoints and links (so their neighbors
+    /// thread per process, each running the `stack` engine built from the given
+    /// configuration. `crashed` processes get endpoints and links (so their neighbors
     /// see an established connection, as for a process that crashes right after start-up)
     /// but no protocol thread.
     ///
@@ -80,10 +80,13 @@ impl TcpDeployment {
     pub fn start(
         graph: &Graph,
         config: Config,
+        stack: StackSpec,
         options: TcpOptions,
         crashed: &[ProcessId],
     ) -> std::io::Result<Self> {
         let n = graph.node_count();
+        // Topology-aware stacks (routed Dolev) share one copy of the graph.
+        let shared_graph = std::sync::Arc::new(graph.clone());
         let endpoints = bind_endpoints(n)?;
         let links = connect_mesh(graph, &endpoints)?;
         let (delivery_tx, delivery_rx) = unbounded();
@@ -108,7 +111,8 @@ impl TcpDeployment {
                 spawn_link_reader(peer, stream, mailbox_tx.clone());
             }
             let node = TcpNode {
-                engine: BdProcess::new(id, config, graph.neighbors_vec(id)),
+                engine: stack.build_shared(&config, &shared_graph, id),
+                actions: WireActionBuf::new(),
                 writers: node_links.writers,
                 mailbox: mailbox_rx,
                 commands: cmd_rx,
@@ -181,9 +185,11 @@ impl TcpDeployment {
     }
 }
 
-/// One protocol thread of the TCP deployment.
+/// One protocol thread of the TCP deployment: a boxed engine, its socket write halves,
+/// and a reusable action sink.
 struct TcpNode {
-    engine: BdProcess,
+    engine: Box<dyn DynEngine>,
+    actions: WireActionBuf,
     writers: HashMap<ProcessId, TcpStream>,
     mailbox: Receiver<(ProcessId, Vec<u8>)>,
     commands: Receiver<Command>,
@@ -202,8 +208,8 @@ impl TcpNode {
             crossbeam::channel::select! {
                 recv(self.commands) -> cmd => match cmd {
                     Ok(Command::Broadcast(payload)) => {
-                        let actions = self.engine.broadcast(payload);
-                        self.dispatch(actions, &mut messages_sent, &mut bytes_sent, &mut rng);
+                        self.engine.broadcast_wire(payload, &mut self.actions);
+                        self.dispatch(&mut messages_sent, &mut bytes_sent, &mut rng);
                     }
                     Ok(Command::Shutdown) | Err(_) => {
                         shutting_down = true;
@@ -211,10 +217,10 @@ impl TcpNode {
                 },
                 recv(self.mailbox) -> frame => match frame {
                     Ok((from, bytes)) => {
-                        if let Some(message) = WireMessage::decode(&bytes) {
-                            let actions = self.engine.handle_message(from, message);
-                            self.dispatch(actions, &mut messages_sent, &mut bytes_sent, &mut rng);
-                        }
+                        // Malformed frames are dropped inside the engine; the node loop
+                        // never interprets the bytes itself.
+                        self.engine.handle_frame(from, &bytes, &mut self.actions);
+                        self.dispatch(&mut messages_sent, &mut bytes_sent, &mut rng);
                     }
                     Err(_) => shutting_down = true,
                 },
@@ -236,16 +242,16 @@ impl TcpNode {
         }
     }
 
-    fn dispatch(
-        &mut self,
-        actions: Vec<Action<WireMessage>>,
-        messages_sent: &mut usize,
-        bytes_sent: &mut usize,
-        rng: &mut StdRng,
-    ) {
-        for action in actions {
+    /// Executes the actions buffered by the last engine event: pre-encoded frames go to
+    /// the sockets, deliveries to the shared channel.
+    fn dispatch(&mut self, messages_sent: &mut usize, bytes_sent: &mut usize, rng: &mut StdRng) {
+        for action in self.actions.drain() {
             match action {
-                Action::Send { to, message } => {
+                WireAction::Send {
+                    to,
+                    frame,
+                    wire_size,
+                } => {
                     if let Some((mean, jitter)) = self.options.delay {
                         let jitter_micros = if jitter.as_micros() > 0 {
                             rng.gen_range(0..=jitter.as_micros() as u64)
@@ -256,11 +262,11 @@ impl TcpNode {
                     }
                     if let Some(stream) = self.writers.get_mut(&to) {
                         *messages_sent += 1;
-                        *bytes_sent += message.wire_size();
-                        let _ = send_frame(stream, &message.encode());
+                        *bytes_sent += wire_size;
+                        let _ = send_frame(stream, &frame);
                     }
                 }
-                Action::Deliver(delivery) => {
+                WireAction::Deliver(delivery) => {
                     let _ = self.deliveries.send((self.engine.process_id(), delivery));
                 }
             }
@@ -268,9 +274,9 @@ impl TcpNode {
     }
 }
 
-/// Convenience wrapper: runs one broadcast over TCP on `graph` with the given
-/// configuration and returns the deployment report once every correct process delivered
-/// (or the timeout expired).
+/// Convenience wrapper: runs one broadcast of the given stack over TCP on `graph` and
+/// returns the deployment report once every correct process delivered (or the timeout
+/// expired).
 ///
 /// # Errors
 ///
@@ -278,12 +284,13 @@ impl TcpNode {
 pub fn run_tcp_broadcast(
     graph: &Graph,
     config: Config,
+    stack: StackSpec,
     payload: Payload,
     source: ProcessId,
     crashed: &[ProcessId],
     timeout: Duration,
 ) -> std::io::Result<DeploymentReport> {
-    let deployment = TcpDeployment::start(graph, config, TcpOptions::default(), crashed)?;
+    let deployment = TcpDeployment::start(graph, config, stack, TcpOptions::default(), crashed)?;
     deployment.broadcast(source, payload);
     let expected = graph.node_count() - crashed.len();
     deployment.await_deliveries(expected, timeout);
@@ -302,6 +309,7 @@ mod tests {
         let report = run_tcp_broadcast(
             &graph,
             config,
+            StackSpec::Bd,
             Payload::from("tcp hello"),
             0,
             &[],
@@ -328,6 +336,7 @@ mod tests {
         let report = run_tcp_broadcast(
             &graph,
             config,
+            StackSpec::Bd,
             Payload::filled(7, 256),
             0,
             &crashed,
@@ -343,7 +352,9 @@ mod tests {
     fn deployment_reports_process_count_and_handles_shutdown_without_broadcast() {
         let graph = generate::ring(4);
         let config = Config::plain(4, 0);
-        let deployment = TcpDeployment::start(&graph, config, TcpOptions::default(), &[]).unwrap();
+        let deployment =
+            TcpDeployment::start(&graph, config, StackSpec::Bd, TcpOptions::default(), &[])
+                .unwrap();
         assert_eq!(deployment.process_count(), 4);
         // No broadcast: awaiting deliveries times out at zero.
         assert_eq!(
@@ -352,5 +363,25 @@ mod tests {
         );
         let report = deployment.shutdown();
         assert_eq!(report.total_messages(), 0);
+    }
+
+    #[test]
+    fn tcp_broadcast_runs_non_bd_stacks() {
+        // Dolev's flooding protocol over real sockets: every node must RC-deliver the
+        // broadcast of process 0 despite TCP-level interleavings.
+        let graph = generate::figure1_example();
+        let config = Config::bdopt(10, 1);
+        let report = run_tcp_broadcast(
+            &graph,
+            config,
+            StackSpec::Dolev,
+            Payload::from("dolev over tcp"),
+            0,
+            &[],
+            Duration::from_secs(20),
+        )
+        .expect("deployment starts");
+        let everyone: Vec<ProcessId> = (0..10).collect();
+        assert!(report.all_delivered(&everyone, 1));
     }
 }

@@ -4,10 +4,16 @@
 //! Networks* (ICDCS 2021) runs its C++ implementation with one node per Docker container
 //! on a single desktop, connected by TCP sockets that act as the authenticated channels of
 //! the system model (Sec. 7.1). This crate is the corresponding deployment back end of the
-//! Rust reproduction: one protocol thread per process inside a single OS process, one real
-//! TCP connection over the loopback interface per edge of the communication graph, and the
-//! same [`brb_core::bd::BdProcess`] engine, wire format, and byte accounting used by the
-//! discrete-event simulator (`brb-sim`) and the channel runtime (`brb-runtime`).
+//! Rust reproduction: one protocol thread per process inside a single OS process, and one
+//! real TCP connection over the loopback interface per edge of the communication graph.
+//!
+//! The deployment is **stack-generic**: [`TcpDeployment::start`] takes a
+//! [`brb_core::stack::StackSpec`] and drives the resulting boxed
+//! [`brb_core::stack::DynEngine`] over encoded wire frames, so every protocol stack of
+//! `brb-core` — the paper's Bracha–Dolev combination, the Bracha-over-RC stacks, and the
+//! bare reliable-communication substrates — runs over real sockets with the same engines,
+//! wire formats, and byte accounting used by the discrete-event simulator (`brb-sim`) and
+//! the channel runtime (`brb-runtime`).
 //!
 //! * [`frame`] — length-prefixed framing and the connection handshake;
 //! * [`endpoint`] — listener/connection establishment and per-link reader threads;
@@ -18,7 +24,7 @@
 //!
 //! ```no_run
 //! use std::time::Duration;
-//! use brb_core::{config::Config, types::Payload};
+//! use brb_core::{config::Config, stack::StackSpec, types::Payload};
 //! use brb_graph::generate;
 //! use brb_net::run_tcp_broadcast;
 //!
@@ -27,6 +33,7 @@
 //! let report = run_tcp_broadcast(
 //!     &graph,
 //!     Config::bdopt_mbd1(10, 1),
+//!     StackSpec::Bd,
 //!     Payload::from("over real sockets"),
 //!     0,
 //!     &[],

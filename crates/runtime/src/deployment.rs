@@ -1,13 +1,16 @@
-//! Thread-per-process deployment driving [`brb_core::bd::BdProcess`] engines.
+//! Thread-per-process deployment driving any [`StackSpec`]-selected protocol engine.
+//!
+//! Node threads hold a boxed [`DynEngine`] and move **encoded wire frames** between the
+//! crossbeam links: the deployment never decodes a frame itself, so the same loop runs
+//! the Bracha–Dolev combination, the Bracha-over-RC stacks, or any reliable-communication
+//! substrate of `brb-core`.
 
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use brb_core::bd::BdProcess;
 use brb_core::config::Config;
-use brb_core::protocol::Protocol;
-use brb_core::types::{Action, Delivery, Payload, ProcessId};
-use brb_core::wire::WireMessage;
+use brb_core::stack::{DynEngine, StackSpec, WireAction, WireActionBuf};
+use brb_core::types::{Delivery, Payload, ProcessId};
 use brb_graph::Graph;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -95,16 +98,20 @@ pub struct Deployment {
 }
 
 impl Deployment {
-    /// Spawns one thread per process of `graph`, each running a [`BdProcess`] with the
-    /// given configuration. `crashed` processes are not spawned at all (their links are
-    /// dead, which is indistinguishable from a silent Byzantine process for the others).
+    /// Spawns one thread per process of `graph`, each running the `stack` engine built
+    /// from the given configuration. `crashed` processes are not spawned at all (their
+    /// links are dead, which is indistinguishable from a silent Byzantine process for the
+    /// others).
     pub fn start(
         graph: &Graph,
         config: Config,
+        stack: StackSpec,
         options: RuntimeOptions,
         crashed: &[ProcessId],
     ) -> Self {
         let n = graph.node_count();
+        // Topology-aware stacks (routed Dolev) share one copy of the graph.
+        let shared_graph = std::sync::Arc::new(graph.clone());
         let (mailboxes, senders) = build_links(n, &graph.edges());
         let (delivery_tx, delivery_rx) = unbounded();
         let mut commands = Vec::with_capacity(n);
@@ -120,9 +127,10 @@ impl Deployment {
             }
             let mailbox = mailboxes[id].take().expect("mailbox taken once");
             let links = senders[id].take().expect("links taken once");
-            let engine = BdProcess::new(id, config, graph.neighbors_vec(id));
+            let engine = stack.build_shared(&config, &shared_graph, id);
             let node = Node {
                 engine,
+                actions: WireActionBuf::new(),
                 mailbox,
                 links,
                 commands: cmd_rx,
@@ -191,9 +199,11 @@ impl Deployment {
     }
 }
 
-/// One node thread: the protocol engine plus its links.
+/// One node thread: the boxed protocol engine plus its links and its reusable action
+/// sink.
 struct Node {
-    engine: BdProcess,
+    engine: Box<dyn DynEngine>,
+    actions: WireActionBuf,
     mailbox: Mailbox,
     links: Vec<AuthenticatedSender>,
     commands: Receiver<Command>,
@@ -212,8 +222,8 @@ impl Node {
             crossbeam::channel::select! {
                 recv(self.commands) -> cmd => match cmd {
                     Ok(Command::Broadcast(payload)) => {
-                        let actions = self.engine.broadcast(payload);
-                        self.dispatch(actions, &mut messages_sent, &mut bytes_sent, &mut rng);
+                        self.engine.broadcast_wire(payload, &mut self.actions);
+                        self.dispatch(&mut messages_sent, &mut bytes_sent, &mut rng);
                     }
                     Ok(Command::Shutdown) | Err(_) => {
                         shutting_down = true;
@@ -221,10 +231,8 @@ impl Node {
                 },
                 recv(self.mailbox.receiver()) -> frame => match frame {
                     Ok(frame) => {
-                        if let Some(message) = WireMessage::decode(&frame.bytes) {
-                            let actions = self.engine.handle_message(frame.from, message);
-                            self.dispatch(actions, &mut messages_sent, &mut bytes_sent, &mut rng);
-                        }
+                        self.engine.handle_frame(frame.from, &frame.bytes, &mut self.actions);
+                        self.dispatch(&mut messages_sent, &mut bytes_sent, &mut rng);
                     }
                     Err(_) => shutting_down = true,
                 },
@@ -246,16 +254,17 @@ impl Node {
         }
     }
 
-    fn dispatch(
-        &self,
-        actions: Vec<Action<WireMessage>>,
-        messages_sent: &mut usize,
-        bytes_sent: &mut usize,
-        rng: &mut StdRng,
-    ) {
-        for action in actions {
+    /// Executes the actions buffered by the last engine event: pre-encoded frames go to
+    /// the links, deliveries to the shared channel. The buffer is drained in place, so
+    /// the steady-state loop reuses its action buffers instead of allocating per event.
+    fn dispatch(&mut self, messages_sent: &mut usize, bytes_sent: &mut usize, rng: &mut StdRng) {
+        for action in self.actions.drain() {
             match action {
-                Action::Send { to, message } => {
+                WireAction::Send {
+                    to,
+                    frame,
+                    wire_size,
+                } => {
                     if let Some((mean, jitter)) = self.options.delay {
                         // Coarse wall-clock delay emulation; precise delay distributions
                         // are the simulator's job (`brb-sim`), the runtime demonstrates
@@ -269,11 +278,11 @@ impl Node {
                     }
                     if let Some(link) = self.links.iter().find(|l| l.peer() == to) {
                         *messages_sent += 1;
-                        *bytes_sent += message.wire_size();
-                        let _ = link.send(message.encode());
+                        *bytes_sent += wire_size;
+                        let _ = link.send(frame);
                     }
                 }
-                Action::Deliver(delivery) => {
+                WireAction::Deliver(delivery) => {
                     let _ = self.deliveries.send((self.engine.process_id(), delivery));
                 }
             }
@@ -281,18 +290,18 @@ impl Node {
     }
 }
 
-/// Convenience wrapper: runs one broadcast on `graph` with the given configuration and
-/// returns the deployment report once every correct process delivered (or the timeout
-/// expired).
+/// Convenience wrapper: runs one broadcast of the given stack on `graph` and returns the
+/// deployment report once every correct process delivered (or the timeout expired).
 pub fn run_threaded_broadcast(
     graph: &Graph,
     config: Config,
+    stack: StackSpec,
     payload: Payload,
     source: ProcessId,
     crashed: &[ProcessId],
     timeout: Duration,
 ) -> DeploymentReport {
-    let deployment = Deployment::start(graph, config, RuntimeOptions::default(), crashed);
+    let deployment = Deployment::start(graph, config, stack, RuntimeOptions::default(), crashed);
     deployment.broadcast(source, payload);
     let expected = graph.node_count() - crashed.len();
     deployment.await_deliveries(expected, timeout);
@@ -334,6 +343,7 @@ mod tests {
         let report = run_threaded_broadcast(
             &graph,
             config,
+            StackSpec::Bd,
             Payload::from("threaded hello"),
             0,
             &[],
@@ -359,6 +369,7 @@ mod tests {
         let report = run_threaded_broadcast(
             &graph,
             config,
+            StackSpec::Bd,
             Payload::filled(5, 128),
             2,
             &crashed,
@@ -367,6 +378,26 @@ mod tests {
         let correct: Vec<ProcessId> = (0..13).filter(|p| !crashed.contains(p)).collect();
         assert!(report.all_delivered(&correct, 1));
         assert!(report.nodes[7].deliveries.is_empty());
+    }
+
+    #[test]
+    fn threaded_broadcast_runs_non_bd_stacks() {
+        // The routed-Dolev-based BRB stack has never run under real concurrency before
+        // the stack API: one broadcast must deliver at every node.
+        let graph = generate::figure1_example();
+        let config = Config::plain(10, 1);
+        let report = run_threaded_broadcast(
+            &graph,
+            config,
+            StackSpec::BrachaRoutedDolev,
+            Payload::from("routed over threads"),
+            0,
+            &[],
+            Duration::from_secs(10),
+        );
+        let everyone: Vec<ProcessId> = (0..10).collect();
+        assert!(report.all_delivered(&everyone, 1));
+        assert!(report.total_bytes() > 0);
     }
 
     #[test]

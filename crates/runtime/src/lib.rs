@@ -3,13 +3,16 @@
 //! The paper evaluates a real C++ deployment in which every process runs in its own Docker
 //! container and communicates over TCP sockets acting as authenticated channels. This
 //! crate provides the equivalent *concurrent* deployment for the Rust reproduction: every
-//! process runs the same [`brb_core::bd::BdProcess`] engine as the simulator, but in its
-//! own OS thread, exchanging **binary-encoded** wire messages over crossbeam channels that
-//! play the role of authenticated point-to-point links.
+//! process runs in its own OS thread, exchanging **binary-encoded** wire messages over
+//! crossbeam channels that play the role of authenticated point-to-point links.
 //!
-//! The deployment is used by the integration tests and the examples to demonstrate that
-//! the protocol engine is runtime-agnostic: the exact same state machine runs under the
-//! deterministic simulator and under real concurrency with arbitrary interleavings.
+//! The deployment is **stack-generic**: [`Deployment::start`] takes a
+//! [`brb_core::stack::StackSpec`] and drives the resulting boxed
+//! [`brb_core::stack::DynEngine`], so the paper's Bracha–Dolev combination, the
+//! Bracha-over-RC stacks (routed Dolev, CPA) and the bare reliable-communication
+//! substrates all run under real concurrency through the same node loop — the exact same
+//! engines the deterministic simulator (`brb-sim`) drives, which is what lets the
+//! integration tests compare the backends event for event.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -17,7 +17,8 @@ pub struct Frame {
     /// Identity of the sending process, set by the link (not forgeable by the sender's
     /// protocol layer).
     pub from: ProcessId,
-    /// Encoded [`brb_core::wire::WireMessage`].
+    /// Encoded wire message of whichever stack the deployment runs (a
+    /// [`brb_core::stack::WireCodec`] frame; the link treats it as opaque bytes).
     pub bytes: Bytes,
 }
 

@@ -1,15 +1,22 @@
 //! High-level experiment runner used by the benchmark harnesses.
 //!
-//! One *experiment* reproduces one data point of the paper's evaluation: a `(N, k, f)`
-//! random regular topology, a protocol configuration (a set of MD/MBD modifications), a
-//! payload size, a delay model and a number of Byzantine (crashed) processes. The runner
-//! generates the topology, builds one [`BdProcess`] per node, lets one source broadcast
-//! once, runs the discrete-event simulation to quiescence and reports the metrics the
-//! paper plots: latency, network consumption, message count and memory proxies.
+//! One *experiment* reproduces one data point of the paper's evaluation: a protocol
+//! stack ([`StackSpec`]), a `(N, k, f)` random regular topology, a protocol
+//! configuration (a set of MD/MBD modifications), a payload size, a delay model and a
+//! number of Byzantine (crashed) processes. The runner generates the topology, builds
+//! one protocol instance per node, lets one source broadcast once, runs the
+//! discrete-event simulation to quiescence and reports the metrics the paper plots:
+//! latency, network consumption, message count and memory proxies.
+//!
+//! The default stack is the paper's Bracha–Dolev combination ([`BdProcess`]), which runs
+//! on the typed fast path; every other [`StackSpec`] runs through the
+//! [`brb_core::stack::DynStack`] adapter, which moves encoded wire frames through the
+//! simulator — the exact bytes the socket deployments put on their links.
 
 use brb_core::bd::BdProcess;
 use brb_core::config::Config;
 use brb_core::protocol::Protocol;
+use brb_core::stack::StackSpec;
 use brb_core::types::{BroadcastId, Payload, ProcessId};
 use brb_graph::{generate, Graph, NeighborIndex};
 use rand::rngs::StdRng;
@@ -36,6 +43,8 @@ pub struct ExperimentParams {
     pub payload_size: usize,
     /// Protocol configuration (which MD/MBD modifications are enabled).
     pub config: Config,
+    /// Protocol stack the experiment runs ([`StackSpec::Bd`] reproduces the paper).
+    pub stack: StackSpec,
     /// Link delay model.
     pub delay: DelayModel,
     /// Random seed (topology generation, delays and behaviours).
@@ -44,7 +53,7 @@ pub struct ExperimentParams {
 
 impl ExperimentParams {
     /// A convenient starting point matching the paper's default synchronous setting
-    /// (1024 B payload, 50 ms constant delays, no crash, seed 1).
+    /// (Bracha–Dolev stack, 1024 B payload, 50 ms constant delays, no crash, seed 1).
     pub fn new(n: usize, connectivity: usize, f: usize, config: Config) -> Self {
         Self {
             n,
@@ -53,9 +62,16 @@ impl ExperimentParams {
             crashed: 0,
             payload_size: 1024,
             config,
+            stack: StackSpec::Bd,
             delay: DelayModel::synchronous(),
             seed: 1,
         }
+    }
+
+    /// Returns a copy of the parameters with the protocol stack replaced.
+    pub fn with_stack(mut self, stack: StackSpec) -> Self {
+        self.stack = stack;
+        self
     }
 }
 
@@ -138,12 +154,34 @@ pub fn run_experiment_recorded(params: &ExperimentParams, graph: &Graph) -> Expe
         params.crashed <= params.f,
         "cannot crash more than f processes"
     );
-    // Flatten the adjacency once per run; every process then copies its own (sorted)
-    // neighbor slice instead of walking the graph's per-node tree sets.
-    let index = NeighborIndex::new(graph);
-    let processes: Vec<BdProcess> = (0..params.n)
-        .map(|i| BdProcess::new(i, params.config, index.neighbors(i).to_vec()))
-        .collect();
+    match params.stack {
+        // The paper's stack keeps its typed fast path: no frame encoding, no boxing.
+        StackSpec::Bd => {
+            // Flatten the adjacency once per run; every process then copies its own
+            // (sorted) neighbor slice instead of walking the graph's per-node tree sets.
+            let index = NeighborIndex::new(graph);
+            let processes: Vec<BdProcess> = (0..params.n)
+                .map(|i| BdProcess::new(i, params.config, index.neighbors(i).to_vec()))
+                .collect();
+            record_run(params, processes)
+        }
+        // Every other stack goes through the boxed engine + wire codec, the same code
+        // path the socket deployments drive. Topology-aware stacks share one graph copy.
+        stack => {
+            let shared = std::sync::Arc::new(graph.clone());
+            let processes: Vec<_> = (0..params.n)
+                .map(|i| stack.build_protocol_shared(&params.config, &shared, i))
+                .collect();
+            record_run(params, processes)
+        }
+    }
+}
+
+/// Simulates one broadcast over prebuilt protocol instances and collects the metrics.
+fn record_run<P: Protocol>(params: &ExperimentParams, processes: Vec<P>) -> ExperimentRecord
+where
+    P::Message: Eq,
+{
     let mut sim = Simulation::new(processes, params.delay, params.seed);
     // Crash the `crashed` highest-numbered processes (never the source, process 0).
     for offset in 0..params.crashed {
@@ -164,7 +202,7 @@ pub fn run_experiment_recorded(params: &ExperimentParams, graph: &Graph) -> Expe
     let peak_stored_paths = sim
         .processes()
         .iter()
-        .map(BdProcess::stored_paths)
+        .map(|p| Protocol::stored_paths(p))
         .max()
         .unwrap_or(0)
         .max(sim.metrics().peak_stored_paths);
@@ -214,6 +252,7 @@ mod tests {
             crashed: 0,
             payload_size: 64,
             config,
+            stack: StackSpec::Bd,
             delay: DelayModel::synchronous(),
             seed: 11,
         }
@@ -297,5 +336,48 @@ mod tests {
         p.delay = DelayModel::asynchronous();
         let r = run_experiment(&p);
         assert!(r.complete());
+    }
+
+    #[test]
+    fn alternative_stacks_run_through_the_experiment_runner() {
+        // Every non-default stack goes through the DynStack (encoded frames) path; the
+        // ones whose assumptions hold on a 5-regular random graph with f = 2 must still
+        // deliver everywhere. (Bracha sees the simulator as a complete network — the
+        // simulator imposes no topology — which matches its system model.)
+        for stack in [
+            StackSpec::BrachaRoutedDolev,
+            StackSpec::Dolev,
+            StackSpec::RoutedDolev,
+            StackSpec::Bracha,
+        ] {
+            let p = params(Config::bdopt_mbd1(16, 2)).with_stack(stack);
+            let r = run_experiment(&p);
+            assert!(r.complete(), "{stack} must deliver everywhere");
+            assert!(r.bytes > 0, "{stack} reports Table 3 bytes");
+            assert!(r.latency_ms.unwrap() > 0.0, "{stack} reports latency");
+        }
+    }
+
+    #[test]
+    fn stack_choice_changes_the_traffic_profile() {
+        let graph = experiment_graph(16, 5, 3);
+        let bd = run_experiment_on_graph(&params(Config::bdopt_mbd1(16, 2)), &graph);
+        let routed = run_experiment_on_graph(
+            &params(Config::bdopt_mbd1(16, 2)).with_stack(StackSpec::BrachaRoutedDolev),
+            &graph,
+        );
+        assert!(bd.complete() && routed.complete());
+        assert_ne!(
+            bd.messages, routed.messages,
+            "different stacks produce different message counts"
+        );
+    }
+
+    #[test]
+    fn rc_only_stacks_report_their_memory_proxies() {
+        let p = params(Config::bdopt(16, 2)).with_stack(StackSpec::Dolev);
+        let r = run_experiment(&p);
+        assert!(r.complete());
+        assert!(r.peak_state_bytes > 0, "Dolev tracks per-content state");
     }
 }

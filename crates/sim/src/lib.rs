@@ -23,22 +23,29 @@
 //!
 //! ```
 //! use brb_core::config::Config;
-//! use brb_sim::delay::DelayModel;
 //! use brb_sim::experiment::{run_experiment, ExperimentParams};
 //!
-//! let params = ExperimentParams {
-//!     n: 16,
-//!     connectivity: 5,
-//!     f: 2,
-//!     crashed: 1,
-//!     payload_size: 1024,
-//!     config: Config::bdopt_mbd1(16, 2),
-//!     delay: DelayModel::synchronous(),
-//!     seed: 42,
-//! };
+//! let mut params = ExperimentParams::new(16, 5, 2, Config::bdopt_mbd1(16, 2));
+//! params.crashed = 1;
+//! params.seed = 42;
 //! let result = run_experiment(&params);
 //! assert!(result.complete());
 //! println!("latency = {:?} ms, bytes = {}", result.latency_ms, result.bytes);
+//! ```
+//!
+//! # Example: any stack in the simulator
+//!
+//! [`experiment::ExperimentParams::stack`] selects the protocol stack; the default is
+//! the paper's Bracha–Dolev combination, and every other [`brb_core::stack::StackSpec`]
+//! runs through the boxed engine + wire codec path of `brb_core::stack`:
+//!
+//! ```
+//! use brb_core::{config::Config, stack::StackSpec};
+//! use brb_sim::experiment::{run_experiment, ExperimentParams};
+//!
+//! let params = ExperimentParams::new(16, 5, 2, Config::bdopt_mbd1(16, 2))
+//!     .with_stack(StackSpec::BrachaRoutedDolev);
+//! assert!(run_experiment(&params).complete());
 //! ```
 //!
 //! # Example: a parallel sweep

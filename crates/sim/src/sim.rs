@@ -28,7 +28,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::mem::{discriminant, Discriminant};
 use std::sync::Arc;
 
-use brb_core::protocol::Protocol;
+use brb_core::protocol::{ActionBuf, Protocol};
 use brb_core::types::{Action, Payload, ProcessId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -76,6 +76,10 @@ where
     /// Reusable batch buffer: [`Simulation::step_batch`] drains same-time events into this
     /// vector, whose allocation is recycled across batches (the event pool).
     batch: Vec<Event<P::Message>>,
+    /// Reusable action sink: every protocol event writes its actions into this buffer via
+    /// [`Protocol::handle_message_into`] / [`Protocol::broadcast_into`], so the hot
+    /// dispatch path performs no per-event `Vec` allocation.
+    actions: ActionBuf<P::Message>,
     now: SimTime,
     next_seq: u64,
     delay: DelayModel,
@@ -102,6 +106,7 @@ where
             sent_per_process: vec![0; n],
             queue: BinaryHeap::new(),
             batch: Vec::new(),
+            actions: ActionBuf::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             delay,
@@ -172,8 +177,11 @@ where
         if !self.behaviors[source].receives() {
             return;
         }
-        let actions = self.processes[source].broadcast(payload);
-        self.schedule_actions(source, actions);
+        let mut actions = std::mem::take(&mut self.actions);
+        actions.clear();
+        self.processes[source].broadcast_into(payload, &mut actions);
+        self.schedule_actions(source, &mut actions);
+        self.actions = actions;
     }
 
     /// Drains and processes **all** events scheduled at the earliest pending timestamp in
@@ -251,7 +259,8 @@ where
         processed
     }
 
-    /// Delivers one event to its destination process and schedules the resulting actions.
+    /// Delivers one event to its destination process and schedules the resulting actions
+    /// through the reusable action sink (no per-event allocation).
     fn dispatch(&mut self, event: Event<P::Message>) {
         if !self.behaviors[event.to].receives() {
             return;
@@ -259,13 +268,16 @@ where
         // Recover the message without copying when this is the last scheduled copy; only
         // fan-out destinations that actually receive pay for a deep clone.
         let message = Arc::try_unwrap(event.message).unwrap_or_else(|shared| (*shared).clone());
-        let actions = self.processes[event.to].handle_message(event.from, message);
-        self.schedule_actions(event.to, actions);
+        let mut actions = std::mem::take(&mut self.actions);
+        actions.clear();
+        self.processes[event.to].handle_message_into(event.from, message, &mut actions);
+        self.schedule_actions(event.to, &mut actions);
+        self.actions = actions;
         self.update_memory_peaks(event.to);
     }
 
-    fn schedule_actions(&mut self, from: ProcessId, actions: Vec<Action<P::Message>>) {
-        for action in actions {
+    fn schedule_actions(&mut self, from: ProcessId, actions: &mut ActionBuf<P::Message>) {
+        for action in actions.drain() {
             match action {
                 Action::Send { to, message } => {
                     let behavior = self.behaviors[from].clone();

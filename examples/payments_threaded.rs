@@ -12,6 +12,7 @@
 use std::time::Duration;
 
 use brb_core::config::Config;
+use brb_core::stack::StackSpec;
 use brb_core::types::{Payload, ProcessId};
 use brb_graph::generate;
 use brb_runtime::{Deployment, RuntimeOptions};
@@ -30,7 +31,13 @@ fn main() {
         "Starting {n} replicas ({} crashed) on a {k}-connected random topology...",
         crashed.len()
     );
-    let deployment = Deployment::start(&graph, config, RuntimeOptions::default(), &crashed);
+    let deployment = Deployment::start(
+        &graph,
+        config,
+        StackSpec::Bd,
+        RuntimeOptions::default(),
+        &crashed,
+    );
 
     let payments = [
         (1usize, "alice->bob:25"),

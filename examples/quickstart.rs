@@ -8,6 +8,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use brb_core::config::Config;
+use brb_core::stack::StackSpec;
 use brb_graph::{connectivity, generate};
 use brb_sim::{run_experiment_on_graph, DelayModel, ExperimentParams};
 use rand::rngs::StdRng;
@@ -44,6 +45,7 @@ fn main() {
             crashed: 0,
             payload_size: 1024,
             config,
+            stack: StackSpec::Bd,
             delay: DelayModel::synchronous(),
             seed: 7,
         };

@@ -11,6 +11,7 @@
 use std::time::{Duration, Instant};
 
 use brb_core::config::Config;
+use brb_core::stack::StackSpec;
 use brb_core::types::Payload;
 use brb_graph::{connectivity, generate};
 use brb_net::{run_tcp_broadcast, TcpDeployment, TcpOptions};
@@ -31,6 +32,7 @@ fn main() -> std::io::Result<()> {
     let report = run_tcp_broadcast(
         &graph,
         Config::bandwidth_preset(n, f),
+        StackSpec::Bd,
         Payload::filled(0xAB, 1024),
         0,
         &crashed,
@@ -61,7 +63,13 @@ fn main() -> std::io::Result<()> {
         delay: Some((Duration::from_millis(5), Duration::from_millis(2))),
         ..TcpOptions::default()
     };
-    let deployment = TcpDeployment::start(&graph, Config::latency_preset(n, f), options, &[])?;
+    let deployment = TcpDeployment::start(
+        &graph,
+        Config::latency_preset(n, f),
+        StackSpec::Bd,
+        options,
+        &[],
+    )?;
     for source in [0usize, 4, 9] {
         let start = Instant::now();
         deployment.broadcast(source, Payload::filled(source as u8, 256));

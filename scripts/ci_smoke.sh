@@ -4,6 +4,10 @@
 # This is the end-to-end guard for the parallel sweep engine's worker-count invariance
 # (the unit/integration-level guards live in tests/determinism.rs).
 #
+# It then sweeps a second protocol stack (--stack bracha-routed-dolev, exercising the
+# brb_core::stack boxed-engine path through the same harnesses) and checks the two
+# stacks' CSVs tag their rows with the right stack name and actually differ.
+#
 # Usage: scripts/ci_smoke.sh [output-dir]
 set -euo pipefail
 
@@ -29,3 +33,28 @@ if [ "$rows" -lt 10 ]; then
 fi
 
 echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows)"
+
+# Second stack: the same harnesses, parameters and topologies, but running the plain
+# Bracha-over-routed-Dolev stack through the boxed DynEngine path.
+timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
+    --quick --workers 4 --stack bracha-routed-dolev \
+    --csv "$out/sweep_brd.csv" > "$out/stdout_brd.txt"
+
+if ! grep -q ",bd," "$out/sweep_w1.csv"; then
+    echo "FAIL: default sweep CSV does not tag its rows with the bd stack" >&2
+    exit 1
+fi
+if ! grep -q ",bracha-routed-dolev," "$out/sweep_brd.csv"; then
+    echo "FAIL: second sweep CSV does not tag its rows with bracha-routed-dolev" >&2
+    exit 1
+fi
+if diff -q "$out/sweep_w1.csv" "$out/sweep_brd.csv" > /dev/null; then
+    echo "FAIL: the two stacks produced identical CSVs — the --stack flag is inert" >&2
+    exit 1
+fi
+if [ "$(wc -l < "$out/sweep_brd.csv")" != "$rows" ]; then
+    echo "FAIL: the two stacks swept a different number of data points" >&2
+    exit 1
+fi
+
+echo "OK: bd and bracha-routed-dolev sweeps ran the same $rows-row matrix with per-stack results"

@@ -23,6 +23,7 @@ use std::path::PathBuf;
 
 use brb_core::bracha::BrachaProcess;
 use brb_core::config::Config;
+use brb_core::stack::StackSpec;
 use brb_core::types::Payload;
 use brb_core::BdProcess;
 use brb_graph::{generate, NeighborIndex};
@@ -108,6 +109,7 @@ fn determinism_bd_with_crashes_matches_golden() {
         crashed: 2,
         payload_size: 64,
         config: Config::bandwidth_preset(16, 2),
+        stack: StackSpec::Bd,
         delay: DelayModel::synchronous(),
         seed: 11,
     };

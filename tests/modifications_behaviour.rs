@@ -3,6 +3,7 @@
 //! trends of the paper hold qualitatively on small topologies.
 
 use brb_core::config::Config;
+use brb_core::stack::StackSpec;
 use brb_core::types::{BroadcastId, Payload};
 use brb_core::BdProcess;
 use brb_graph::generate;
@@ -28,6 +29,7 @@ fn run(
         crashed: 0,
         payload_size,
         config,
+        stack: StackSpec::Bd,
         delay,
         seed: 13,
     };

@@ -4,6 +4,7 @@
 use std::time::Duration;
 
 use brb_core::config::Config;
+use brb_core::stack::StackSpec;
 use brb_core::types::{BroadcastId, Payload};
 use brb_core::BdProcess;
 use brb_graph::generate;
@@ -38,6 +39,7 @@ fn simulator_and_threaded_runtime_agree_on_delivery() {
     let report = run_threaded_broadcast(
         &graph,
         config,
+        StackSpec::Bd,
         payload.clone(),
         3,
         &[],
@@ -63,6 +65,7 @@ fn threaded_runtime_tolerates_crashes_like_the_simulator() {
     let report = run_threaded_broadcast(
         &graph,
         config,
+        StackSpec::Bd,
         payload.clone(),
         0,
         &crashed,

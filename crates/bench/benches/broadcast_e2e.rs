@@ -35,6 +35,7 @@ fn bench_full_broadcast(c: &mut Criterion) {
                 stack: StackSpec::Bd,
                 delay: DelayModel::synchronous(),
                 seed: 5,
+                workload: None,
             };
             b.iter(|| {
                 let r = run_experiment_on_graph(&params, &graph);
@@ -64,6 +65,7 @@ fn bench_broadcast_n100(c: &mut Criterion) {
         stack: StackSpec::Bd,
         delay: DelayModel::synchronous(),
         seed: 7,
+        workload: None,
     };
     group.bench_function("bdw_preset", |b| {
         b.iter(|| {
@@ -91,6 +93,7 @@ fn bench_sweep_workers(c: &mut Criterion) {
                 stack: StackSpec::Bd,
                 delay: DelayModel::synchronous(),
                 seed: 1 + run,
+                workload: None,
             };
             ExperimentSpec::new(format!("bench/run={run}"), 5_000 + run, params)
         })

@@ -1,0 +1,84 @@
+//! Criterion benchmark of the simulator under sustained multi-broadcast load: 64
+//! concurrent broadcasts firehosed through a 30-process Bracha–Dolev system, open loop
+//! and closed loop.
+//!
+//! This is the macro-benchmark of the workload engine's hot path — scheduled-injection
+//! events interleaving with deliveries of dozens of in-flight broadcasts — and the
+//! number to watch when touching the simulator's event queue or the per-broadcast
+//! metrics maps.
+
+use brb_core::bd::BdProcess;
+use brb_core::config::Config;
+use brb_graph::NeighborIndex;
+use brb_sim::experiment::experiment_graph;
+use brb_sim::workload::{run_workload, workload_stats};
+use brb_sim::{DelayModel, Simulation};
+use brb_workload::{LoopMode, WorkloadSpec};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const N: usize = 30;
+const K: usize = 7;
+const F: usize = 3;
+const BROADCASTS: u32 = 64;
+
+fn simulation(seed: u64) -> Simulation<BdProcess> {
+    let graph = experiment_graph(N, K, 4242);
+    let index = NeighborIndex::new(&graph);
+    let config = Config::bdopt_mbd1(N, F);
+    let processes: Vec<BdProcess> = (0..N)
+        .map(|i| BdProcess::new(i, config, index.neighbors(i).to_vec()))
+        .collect();
+    Simulation::new(processes, DelayModel::synchronous(), seed)
+}
+
+/// 64 broadcasts arriving 5 ms apart — with ~150 ms completion per broadcast, roughly
+/// 30 are concurrently in flight at steady state.
+fn bench_open_loop(c: &mut Criterion) {
+    let spec = WorkloadSpec::constant_rate(5_000, BROADCASTS).with_payload_bytes(256);
+    let schedule = spec.schedule(N, 1);
+    c.bench_function("workload_open_loop_n30_64bc", |b| {
+        b.iter_with_setup(
+            || simulation(1),
+            |mut sim| {
+                run_workload(&mut sim, &schedule, LoopMode::Open);
+                let correct = sim.correct_processes();
+                let stats = workload_stats(sim.metrics(), &correct);
+                assert_eq!(stats.completed, BROADCASTS as usize);
+                black_box(stats.throughput_per_sec())
+            },
+        )
+    });
+}
+
+/// The same 64 broadcasts arriving all at once, gated by a width-16 window: stresses the
+/// admission loop and the per-batch completion scan.
+fn bench_closed_loop(c: &mut Criterion) {
+    let spec = WorkloadSpec::constant_rate(0, BROADCASTS)
+        .with_payload_bytes(256)
+        .closed_loop(16);
+    let schedule = spec.schedule(N, 1);
+    c.bench_function("workload_closed_loop_n30_64bc_w16", |b| {
+        b.iter_with_setup(
+            || simulation(1),
+            |mut sim| {
+                run_workload(&mut sim, &schedule, spec.mode);
+                let correct = sim.correct_processes();
+                let stats = workload_stats(sim.metrics(), &correct);
+                assert_eq!(stats.completed, BROADCASTS as usize);
+                black_box(stats.p99_ms())
+            },
+        )
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_open_loop(c);
+    bench_closed_loop(c);
+}
+
+criterion_group! {
+    name = workload_benches;
+    config = Criterion::default().sample_size(50);
+    targets = benches
+}
+criterion_main!(workload_benches);

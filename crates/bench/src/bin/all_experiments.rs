@@ -2,7 +2,11 @@
 //! results — the one-stop reproduction of the paper's evaluation section.
 //!
 //! Usage: `cargo run --release -p brb-bench --bin all_experiments [-- --quick] [-- --async]
-//! [-- --workers N] [-- --stack NAME] [-- --csv PATH]`
+//! [-- --workers N] [-- --stack NAME] [-- --csv PATH] [-- --workload]`
+//!
+//! `--workload` additionally runs the multi-broadcast workload sweep (arrival process ×
+//! source selection; see `brb_bench::workload`), emitting per-point throughput and
+//! `p50`/`p90`/`p99` latency columns in the `workload` CSV section.
 //!
 //! `--stack NAME` selects the protocol stack every harness sweeps (default `bd`, the
 //! paper's Bracha–Dolev combination; see `brb_core::stack::StackSpec` for the other
@@ -16,7 +20,10 @@
 
 use std::fmt::Write as _;
 
-use brb_bench::{async_from_args, figures, stack_from_args, table1, workers_from_args, Scale};
+use brb_bench::{
+    async_from_args, figures, stack_from_args, table1, workers_from_args, workload,
+    workload_from_args, Scale,
+};
 
 /// Fixed-format float rendering used for every CSV cell, so the file is a pure function
 /// of the computed values.
@@ -114,6 +121,22 @@ fn main() {
             cell(paths),
             cell(state)
         );
+    }
+    if workload_from_args(&args) {
+        println!("==============================================================");
+        for p in workload::run_workload_sweep(scale, asynchronous, workers, stack) {
+            let _ = writeln!(
+                csv,
+                "workload,{stack},{},{},{},{},{},{},{}",
+                p.label,
+                p.interval_micros,
+                cell(p.stats.throughput_per_sec()),
+                cell(p.stats.p50_ms()),
+                cell(p.stats.p90_ms()),
+                cell(p.stats.p99_ms()),
+                p.stats.completed
+            );
+        }
     }
 
     if let Some(path) = csv_path {

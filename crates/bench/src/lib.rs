@@ -27,6 +27,7 @@
 
 pub mod figures;
 pub mod table1;
+pub mod workload;
 
 use brb_core::config::Config;
 use brb_core::stack::StackSpec;
@@ -67,6 +68,12 @@ impl Scale {
 /// Whether the asynchronous delay model was requested on the command line.
 pub fn async_from_args(args: &[String]) -> bool {
     args.iter().any(|a| a == "--async")
+}
+
+/// Whether the multi-broadcast workload sweep was requested on the command line
+/// (`--workload`; see [`workload::run_workload_sweep`]).
+pub fn workload_from_args(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--workload")
 }
 
 /// Parses the `--stack NAME` / `--stack=NAME` command-line option (defaults to the
@@ -257,6 +264,7 @@ pub fn experiment(
         stack: StackSpec::Bd,
         delay,
         seed,
+        workload: None,
     }
 }
 

@@ -1,0 +1,192 @@
+//! The sustained-throughput experiment axis: workload sweeps over arrival processes and
+//! source-selection policies.
+//!
+//! The paper's evaluation measures one broadcast at a time; this harness measures the
+//! regime the ROADMAP targets — many concurrent broadcasts from many sources — by
+//! running [`WorkloadSpec`]s through the same parallel sweep engine as every other
+//! harness. Each point reports completed-broadcast throughput and `p50`/`p90`/`p99`
+//! delivery-latency percentiles, aggregated across seeds by merging the per-run
+//! latency histograms (an exact, associative merge, so the CSV is byte-identical for
+//! any worker count).
+
+use brb_core::stack::StackSpec;
+use brb_sim::{run_sweep, DelayModel, ExperimentSpec};
+use brb_workload::{LoopMode, SourceSelection, WorkloadSpec, WorkloadStats};
+
+use crate::{experiment, Scale};
+
+/// One point of the workload sweep: a labelled spec with its per-seed stats merged.
+#[derive(Debug, Clone)]
+pub struct WorkloadPoint {
+    /// Human-readable point label (e.g. `"poisson/zipf"`).
+    pub label: String,
+    /// Mean inter-arrival gap of the point's arrival process, in microseconds (the
+    /// sweep's x-axis).
+    pub interval_micros: u64,
+    /// Stats merged over the point's seeds.
+    pub stats: WorkloadStats,
+}
+
+/// Topology seed base of the workload sweep (disjoint from the figure harnesses).
+fn graph_seed_base(n: usize, k: usize) -> u64 {
+    17_000 + (n * k) as u64
+}
+
+/// The workload grid: every arrival-process shape crossed with every source-selection
+/// policy, at one `(n, k, f)` operating point, plus a closed-loop variant.
+pub fn run_workload_sweep(
+    scale: Scale,
+    asynchronous: bool,
+    workers: usize,
+    stack: StackSpec,
+) -> Vec<WorkloadPoint> {
+    let (n, k, f, broadcasts) = match scale {
+        Scale::Quick => (16, 5, 2, 24u32),
+        Scale::Paper => (30, 7, 3, 120u32),
+    };
+    let interval: u64 = 20_000; // mean gap 20 ms: several broadcasts overlap in flight
+    let runs = scale.runs();
+    let delay = if asynchronous {
+        DelayModel::asynchronous()
+    } else {
+        DelayModel::synchronous()
+    };
+
+    let arrivals: Vec<(&str, WorkloadSpec)> = vec![
+        (
+            "constant",
+            WorkloadSpec::constant_rate(interval, broadcasts),
+        ),
+        ("poisson", WorkloadSpec::poisson(interval, broadcasts)),
+        (
+            "bursty",
+            WorkloadSpec::bursty(8, 1_000, 8 * interval, broadcasts),
+        ),
+    ];
+    let source_policies: Vec<(&str, SourceSelection)> = vec![
+        ("round-robin", SourceSelection::RoundRobin),
+        ("zipf", SourceSelection::Zipf { exponent: 1.2 }),
+        ("single", SourceSelection::Single { source: 0 }),
+    ];
+
+    let mut specs: Vec<ExperimentSpec> = Vec::new();
+    let mut labels: Vec<(String, u64)> = Vec::new();
+    let push_point = |specs: &mut Vec<ExperimentSpec>,
+                      labels: &mut Vec<(String, u64)>,
+                      label: String,
+                      point_interval: u64,
+                      workload: WorkloadSpec| {
+        let config = brb_core::config::Config::bdopt_mbd1(n, f);
+        let params = experiment(n, k, f, 64, config, delay, 1)
+            .with_stack(stack)
+            .with_workload(workload);
+        for run in 0..runs {
+            let mut p = params.clone();
+            p.seed = 1 + run as u64;
+            specs.push(ExperimentSpec::new(
+                label.clone(),
+                graph_seed_base(n, k) + run as u64,
+                p,
+            ));
+        }
+        labels.push((label, point_interval));
+    };
+    for (arrival_name, base) in &arrivals {
+        for (source_name, sources) in &source_policies {
+            push_point(
+                &mut specs,
+                &mut labels,
+                format!("{arrival_name}/{source_name}"),
+                interval,
+                base.with_sources(*sources),
+            );
+        }
+    }
+    // One closed-loop operating point: saturation arrivals (zero inter-arrival gap)
+    // gated by a window.
+    push_point(
+        &mut specs,
+        &mut labels,
+        "closed-loop/w8".to_string(),
+        0,
+        WorkloadSpec::constant_rate(0, broadcasts).with_mode(LoopMode::Closed { window: 8 }),
+    );
+
+    let outcomes = run_sweep(&specs, workers);
+    let points: Vec<WorkloadPoint> = outcomes
+        .chunks(runs)
+        .zip(labels)
+        .map(|(chunk, (label, interval_micros))| {
+            let mut stats = WorkloadStats::default();
+            for outcome in chunk {
+                let per_run = outcome
+                    .record
+                    .result
+                    .workload
+                    .as_ref()
+                    .expect("workload sweeps always fill workload stats");
+                stats.merge(per_run);
+            }
+            WorkloadPoint {
+                label,
+                interval_micros,
+                stats,
+            }
+        })
+        .collect();
+    print_points(
+        &format!(
+            "Workload sweep — stack={stack}, N={n}, k={k}, f={f}, {broadcasts} broadcasts/point"
+        ),
+        &points,
+    );
+    points
+}
+
+fn print_points(title: &str, points: &[WorkloadPoint]) {
+    println!("# {title}");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10} {:>10} {:>10} {:>11}",
+        "workload", "completed", "thr (bc/s)", "p50 (ms)", "p90 (ms)", "p99 (ms)", "injected"
+    );
+    for p in points {
+        println!(
+            "{:<22} {:>12} {:>12.2} {:>10.1} {:>10.1} {:>10.1} {:>11}",
+            p.label,
+            p.stats.completed,
+            p.stats.throughput_per_sec(),
+            p.stats.p50_ms(),
+            p.stats.p90_ms(),
+            p.stats.p99_ms(),
+            p.stats.injected,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workload_sweep_completes_every_point() {
+        let points = run_workload_sweep(Scale::Quick, false, 2, StackSpec::Bd);
+        assert_eq!(points.len(), 10, "3 arrivals x 3 sources + closed loop");
+        for p in &points {
+            assert!(p.stats.all_completed(), "{}: {:?}", p.label, p.stats);
+            assert!(p.stats.throughput_per_sec() > 0.0, "{}", p.label);
+            assert!(p.stats.p50_ms() > 0.0, "{}", p.label);
+            assert!(p.stats.p99_ms() >= p.stats.p50_ms(), "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn workload_sweep_is_worker_count_invariant() {
+        let a = run_workload_sweep(Scale::Quick, false, 1, StackSpec::Bd);
+        let b = run_workload_sweep(Scale::Quick, false, 4, StackSpec::Bd);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.stats, y.stats, "{} differs across worker counts", x.label);
+        }
+    }
+}

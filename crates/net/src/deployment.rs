@@ -158,6 +158,30 @@ impl TcpDeployment {
         seen
     }
 
+    /// Replays a workload schedule against the running TCP deployment through the
+    /// generator driver shared with the channel runtime
+    /// (`brb_runtime::workload::drive_workload`): a generator thread fires the
+    /// injections (honoring the closed-loop window), this thread tracks per-broadcast
+    /// completion over the delivery stream.
+    pub fn run_workload(
+        &self,
+        schedule: &[brb_workload::Injection],
+        mode: brb_workload::LoopMode,
+        pacing: brb_runtime::Pacing,
+        correct: &[ProcessId],
+        timeout: Duration,
+    ) -> brb_runtime::WorkloadRun {
+        brb_runtime::drive_workload(
+            |source, payload| self.broadcast(source, payload),
+            &self.deliveries,
+            schedule,
+            mode,
+            pacing,
+            correct,
+            timeout,
+        )
+    }
+
     /// Shuts every node down, closes the sockets, and collects the per-node reports.
     pub fn shutdown(self) -> DeploymentReport {
         for tx in &self.commands {
@@ -297,10 +321,64 @@ pub fn run_tcp_broadcast(
     Ok(deployment.shutdown())
 }
 
+/// Convenience wrapper: expands `spec` into its seeded schedule, firehoses the TCP
+/// deployment with it (unpaced), and returns the deployment report together with what
+/// the driver observed.
+///
+/// # Errors
+///
+/// Returns any socket error raised while setting the deployment up.
+pub fn run_tcp_workload(
+    graph: &Graph,
+    config: Config,
+    stack: StackSpec,
+    spec: &brb_workload::WorkloadSpec,
+    seed: u64,
+    crashed: &[ProcessId],
+    timeout: Duration,
+) -> std::io::Result<(DeploymentReport, brb_runtime::WorkloadRun)> {
+    let n = graph.node_count();
+    let deployment = TcpDeployment::start(graph, config, stack, TcpOptions::default(), crashed)?;
+    let schedule = spec.schedule(n, seed);
+    let correct: Vec<ProcessId> = (0..n).filter(|p| !crashed.contains(p)).collect();
+    let run = deployment.run_workload(
+        &schedule,
+        spec.mode,
+        brb_runtime::Pacing::Unpaced,
+        &correct,
+        timeout,
+    );
+    Ok((deployment.shutdown(), run))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use brb_graph::generate;
+
+    #[test]
+    fn tcp_workload_firehoses_the_socket_deployment() {
+        let graph = generate::figure1_example();
+        let config = Config::bdopt_mbd1(10, 1);
+        let spec = brb_workload::WorkloadSpec::constant_rate(1_000, 16)
+            .with_payload_bytes(32)
+            .closed_loop(8);
+        let (report, run) = run_tcp_workload(
+            &graph,
+            config,
+            StackSpec::Bd,
+            &spec,
+            11,
+            &[],
+            Duration::from_secs(30),
+        )
+        .expect("deployment starts");
+        assert_eq!(run.injected, 16);
+        assert!(run.all_completed(), "{run:?}");
+        let everyone: Vec<ProcessId> = (0..10).collect();
+        assert!(report.all_delivered(&everyone, 16));
+        assert!(report.total_bytes() > 0);
+    }
 
     #[test]
     fn tcp_broadcast_delivers_everywhere() {

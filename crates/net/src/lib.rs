@@ -51,5 +51,5 @@ pub mod deployment;
 pub mod endpoint;
 pub mod frame;
 
-pub use deployment::{run_tcp_broadcast, TcpDeployment, TcpOptions};
+pub use deployment::{run_tcp_broadcast, run_tcp_workload, TcpDeployment, TcpOptions};
 pub use endpoint::{bind_endpoints, connect_mesh, Endpoint, NodeLinks};

@@ -176,6 +176,29 @@ impl Deployment {
         seen
     }
 
+    /// Replays a workload schedule against the running deployment through the shared
+    /// generator driver (see [`crate::workload::drive_workload`]): a generator thread
+    /// fires the injections (honoring the closed-loop window), this thread tracks
+    /// per-broadcast completion over the delivery stream.
+    pub fn run_workload(
+        &self,
+        schedule: &[brb_workload::Injection],
+        mode: brb_workload::LoopMode,
+        pacing: crate::workload::Pacing,
+        correct: &[ProcessId],
+        timeout: Duration,
+    ) -> crate::workload::WorkloadRun {
+        crate::workload::drive_workload(
+            |source, payload| self.broadcast(source, payload),
+            &self.deliveries,
+            schedule,
+            mode,
+            pacing,
+            correct,
+            timeout,
+        )
+    }
+
     /// Shuts every node down and collects the per-node reports.
     pub fn shutdown(self) -> DeploymentReport {
         for tx in &self.commands {
@@ -308,6 +331,33 @@ pub fn run_threaded_broadcast(
     deployment.shutdown()
 }
 
+/// Convenience wrapper: expands `spec` into its seeded schedule, firehoses the threaded
+/// deployment with it (unpaced: only the injection order and the loop window matter at
+/// wall-clock scale), and returns the deployment report together with what the driver
+/// observed.
+pub fn run_threaded_workload(
+    graph: &Graph,
+    config: Config,
+    stack: StackSpec,
+    spec: &brb_workload::WorkloadSpec,
+    seed: u64,
+    crashed: &[ProcessId],
+    timeout: Duration,
+) -> (DeploymentReport, crate::workload::WorkloadRun) {
+    let n = graph.node_count();
+    let deployment = Deployment::start(graph, config, stack, RuntimeOptions::default(), crashed);
+    let schedule = spec.schedule(n, seed);
+    let correct: Vec<ProcessId> = (0..n).filter(|p| !crashed.contains(p)).collect();
+    let run = deployment.run_workload(
+        &schedule,
+        spec.mode,
+        crate::workload::Pacing::Unpaced,
+        &correct,
+        timeout,
+    );
+    (deployment.shutdown(), run)
+}
+
 /// Shared collector used by examples that want to observe deliveries as they happen.
 #[derive(Debug, Default)]
 pub struct DeliveryLog {
@@ -398,6 +448,48 @@ mod tests {
         let everyone: Vec<ProcessId> = (0..10).collect();
         assert!(report.all_delivered(&everyone, 1));
         assert!(report.total_bytes() > 0);
+    }
+
+    #[test]
+    fn threaded_workload_firehoses_every_source() {
+        let graph = generate::figure1_example();
+        let config = Config::bdopt_mbd1(10, 1);
+        let spec = brb_workload::WorkloadSpec::constant_rate(1_000, 20).with_payload_bytes(48);
+        let (report, run) = run_threaded_workload(&graph, config, StackSpec::Bd, &spec, 7, &[], {
+            Duration::from_secs(30)
+        });
+        assert_eq!(run.injected, 20);
+        assert_eq!(run.effective, 20);
+        assert!(run.all_completed(), "{run:?}");
+        let everyone: Vec<ProcessId> = (0..10).collect();
+        // Every process delivers all 20 broadcasts.
+        assert!(report.all_delivered(&everyone, 20));
+    }
+
+    #[test]
+    fn threaded_closed_loop_workload_with_a_crashed_source_completes() {
+        let graph = generate::figure1_example();
+        let config = Config::bdopt_mbd1(10, 1);
+        // Window 3, one crashed process among the round-robin sources: its injections
+        // are no-ops and must not clog the window.
+        let spec = brb_workload::WorkloadSpec::constant_rate(0, 10).closed_loop(3);
+        let crashed = [6usize];
+        let (report, run) = run_threaded_workload(
+            &graph,
+            config,
+            StackSpec::Bd,
+            &spec,
+            3,
+            &crashed,
+            Duration::from_secs(30),
+        );
+        assert_eq!(run.injected, 10);
+        assert_eq!(run.effective, 9, "source 6's injection cannot complete");
+        assert!(run.all_completed(), "{run:?}");
+        let correct: Vec<ProcessId> = (0..10).filter(|p| !crashed.contains(p)).collect();
+        // Nine effective broadcasts, each delivered by every correct process.
+        assert!(report.all_delivered(&correct, 9));
+        assert!(report.nodes[6].deliveries.is_empty());
     }
 
     #[test]

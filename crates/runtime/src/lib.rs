@@ -19,5 +19,7 @@
 
 pub mod deployment;
 pub mod link;
+pub mod workload;
 
 pub use deployment::{Deployment, DeploymentReport, NodeReport, RuntimeOptions};
+pub use workload::{drive_workload, Pacing, WorkloadRun};

@@ -19,6 +19,7 @@ use brb_core::protocol::Protocol;
 use brb_core::stack::StackSpec;
 use brb_core::types::{BroadcastId, Payload, ProcessId};
 use brb_graph::{generate, Graph, NeighborIndex};
+use brb_workload::{WorkloadSpec, WorkloadStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -27,6 +28,7 @@ use crate::behavior::Behavior;
 use crate::delay::DelayModel;
 use crate::metrics::RunMetrics;
 use crate::sim::Simulation;
+use crate::workload::{run_workload, workload_stats};
 
 /// Parameters of one experiment (one data point of a figure or table).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,8 +49,14 @@ pub struct ExperimentParams {
     pub stack: StackSpec,
     /// Link delay model.
     pub delay: DelayModel,
-    /// Random seed (topology generation, delays and behaviours).
+    /// Random seed (topology generation, delays, behaviours and the workload schedule).
     pub seed: u64,
+    /// Multi-broadcast traffic to inject instead of the paper's single broadcast.
+    /// `None` reproduces the paper: process 0 broadcasts once at time 0. `Some(spec)`
+    /// expands the spec into a seeded schedule and drives it through the simulation
+    /// (open or closed loop), filling [`ExperimentResult::workload`].
+    #[serde(default)]
+    pub workload: Option<WorkloadSpec>,
 }
 
 impl ExperimentParams {
@@ -65,6 +73,7 @@ impl ExperimentParams {
             stack: StackSpec::Bd,
             delay: DelayModel::synchronous(),
             seed: 1,
+            workload: None,
         }
     }
 
@@ -73,13 +82,21 @@ impl ExperimentParams {
         self.stack = stack;
         self
     }
+
+    /// Returns a copy of the parameters with a multi-broadcast workload installed.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = Some(workload);
+        self
+    }
 }
 
 /// Result of one experiment run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
-    /// Broadcast latency in milliseconds (time until all correct processes delivered), or
-    /// `None` if some correct process never delivered.
+    /// Time in milliseconds from the first injection until **all correct processes
+    /// delivered every injected broadcast** (for the paper's single-broadcast runs this
+    /// is the broadcast latency), or `None` if some correct process missed some
+    /// broadcast.
     pub latency_ms: Option<f64>,
     /// Total network consumption in bytes.
     pub bytes: usize,
@@ -93,6 +110,10 @@ pub struct ExperimentResult {
     pub peak_state_bytes: usize,
     /// Peak number of stored transmission paths over all processes.
     pub peak_stored_paths: usize,
+    /// Multi-broadcast measurements (throughput, latency percentiles) when the
+    /// experiment ran a [`WorkloadSpec`]; `None` for the paper's single-broadcast runs.
+    #[serde(default)]
+    pub workload: Option<WorkloadStats>,
 }
 
 impl ExperimentResult {
@@ -177,7 +198,9 @@ pub fn run_experiment_recorded(params: &ExperimentParams, graph: &Graph) -> Expe
     }
 }
 
-/// Simulates one broadcast over prebuilt protocol instances and collects the metrics.
+/// Simulates the experiment's traffic — the paper's single broadcast from process 0, or
+/// the full multi-broadcast workload when [`ExperimentParams::workload`] is set — over
+/// prebuilt protocol instances and collects the metrics.
 fn record_run<P: Protocol>(params: &ExperimentParams, processes: Vec<P>) -> ExperimentRecord
 where
     P::Message: Eq,
@@ -188,17 +211,42 @@ where
         let victim = params.n - 1 - offset;
         sim.set_behavior(victim, Behavior::Crash);
     }
-    let source: ProcessId = 0;
-    sim.broadcast(source, Payload::filled(0xAB, params.payload_size));
-    sim.run_to_quiescence();
+    match &params.workload {
+        None => {
+            let source: ProcessId = 0;
+            sim.broadcast(source, Payload::filled(0xAB, params.payload_size));
+            sim.run_to_quiescence();
+        }
+        Some(spec) => {
+            // The schedule is a pure function of (spec, n, seed): sweep workers and
+            // other backends expanding the same triple inject the same traffic.
+            let schedule = spec.schedule(params.n, params.seed);
+            run_workload(&mut sim, &schedule, spec.mode);
+        }
+    }
 
     let correct = sim.correct_processes();
-    let id = BroadcastId::new(source, 0);
-    let latency_ms = sim
-        .metrics()
-        .latency(id, &correct)
-        .map(|t| t.as_millis_f64());
-    let delivered = sim.metrics().delivered_count(id, &correct);
+    let stats = workload_stats(sim.metrics(), &correct);
+    // A process counts as `delivered` when it delivered *every* injected broadcast; the
+    // makespan is only reported when every correct process did. For single-broadcast
+    // runs both definitions coincide with the paper's. A run that injected nothing
+    // (e.g. a workload whose only source crashed) delivered nothing — report 0, not a
+    // vacuous full count.
+    let injected_ids: Vec<BroadcastId> = sim.metrics().injection_times.keys().copied().collect();
+    let delivered = if injected_ids.is_empty() {
+        0
+    } else {
+        correct
+            .iter()
+            .filter(|&&p| {
+                injected_ids
+                    .iter()
+                    .all(|id| sim.metrics().delivery_times.contains_key(&(p, *id)))
+            })
+            .count()
+    };
+    let latency_ms =
+        (stats.injected > 0 && stats.completed == stats.injected).then_some(stats.duration_ms);
     let peak_stored_paths = sim
         .processes()
         .iter()
@@ -221,6 +269,7 @@ where
         correct: correct.len(),
         peak_state_bytes,
         peak_stored_paths,
+        workload: params.workload.is_some().then_some(stats),
     };
     ExperimentRecord {
         result,
@@ -255,6 +304,7 @@ mod tests {
             stack: StackSpec::Bd,
             delay: DelayModel::synchronous(),
             seed: 11,
+            workload: None,
         }
     }
 
@@ -371,6 +421,38 @@ mod tests {
             bd.messages, routed.messages,
             "different stacks produce different message counts"
         );
+    }
+
+    #[test]
+    fn workload_experiments_fill_workload_stats() {
+        let mut p = params(Config::bdopt_mbd1(16, 2));
+        p.workload = Some(brb_workload::WorkloadSpec::constant_rate(10_000, 8));
+        let r = run_experiment(&p);
+        assert!(r.complete(), "all 8 broadcasts reach all 16 processes");
+        let stats = r.workload.expect("workload runs fill stats");
+        assert_eq!(stats.injected, 8);
+        assert!(stats.all_completed());
+        assert!(r.latency_ms.unwrap() > 0.0, "makespan is reported");
+        assert!(stats.throughput_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn workload_with_only_crashed_sources_reports_zero_delivered() {
+        // Every injection targets the crash victim (the highest id), so nothing is ever
+        // broadcast: the result must report 0 delivered, not a vacuous full count.
+        let mut p = params(Config::bdopt_mbd1(16, 2));
+        p.crashed = 1;
+        p.workload = Some(
+            brb_workload::WorkloadSpec::constant_rate(1_000, 4)
+                .with_sources(brb_workload::SourceSelection::Single { source: 15 }),
+        );
+        let r = run_experiment(&p);
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.correct, 15);
+        assert!(!r.complete());
+        assert_eq!(r.latency_ms, None);
+        let stats = r.workload.expect("workload runs fill stats");
+        assert_eq!(stats.injected, 0, "crashed-source injections are no-ops");
     }
 
     #[test]

@@ -85,6 +85,7 @@ pub mod metrics;
 pub mod sim;
 pub mod sweep;
 pub mod time;
+pub mod workload;
 
 pub use behavior::Behavior;
 pub use delay::DelayModel;
@@ -97,3 +98,4 @@ pub use metrics::RunMetrics;
 pub use sim::Simulation;
 pub use sweep::{run_sweep, summarize, ExperimentSpec, SweepOutcome, SweepSummary};
 pub use time::SimTime;
+pub use workload::{run_workload, workload_stats};

@@ -32,6 +32,12 @@ pub struct RunMetrics {
     pub messages_per_kind: BTreeMap<String, usize>,
     /// Delivery time of each broadcast at each process, ordered by `(process, id)`.
     pub delivery_times: BTreeMap<(ProcessId, BroadcastId), SimTime>,
+    /// Injection time of each broadcast: when its (non-crashed) source was asked to
+    /// broadcast. Single-broadcast runs have exactly one entry at time 0; workload runs
+    /// have one entry per effective injection. Per-broadcast delivery latency is the
+    /// delivery time minus this time ([`RunMetrics::broadcast_latency`]).
+    #[serde(default)]
+    pub injection_times: BTreeMap<BroadcastId, SimTime>,
     /// Peak number of transmission paths stored by any single process.
     pub peak_stored_paths: usize,
     /// Peak protocol-state bytes held by any single process.
@@ -59,6 +65,16 @@ impl RunMetrics {
         self.delivery_times.entry((process, id)).or_insert(at);
     }
 
+    /// Records a broadcast injection (the first time wins, like deliveries).
+    pub fn record_injection(&mut self, id: BroadcastId, at: SimTime) {
+        self.injection_times.entry(id).or_insert(at);
+    }
+
+    /// Number of broadcasts injected.
+    pub fn injected_count(&self) -> usize {
+        self.injection_times.len()
+    }
+
     /// Latency of broadcast `id`: the time at which the **last** process among `correct`
     /// delivered it, or `None` if some correct process never delivered.
     pub fn latency(&self, id: BroadcastId, correct: &[ProcessId]) -> Option<SimTime> {
@@ -70,6 +86,14 @@ impl RunMetrics {
             }
         }
         Some(worst)
+    }
+
+    /// Per-broadcast delivery latency: the time from the injection of `id` until the
+    /// **last** process among `correct` delivered it, or `None` if `id` was never
+    /// injected or some correct process never delivered it.
+    pub fn broadcast_latency(&self, id: BroadcastId, correct: &[ProcessId]) -> Option<SimTime> {
+        let injected = *self.injection_times.get(&id)?;
+        Some(self.latency(id, correct)?.saturating_sub(injected))
     }
 
     /// Number of correct processes (from `correct`) that delivered broadcast `id`.
@@ -100,6 +124,15 @@ impl RunMetrics {
         let _ = writeln!(out, "peak_state_bytes={}", self.peak_state_bytes);
         for (kind, count) in &self.messages_per_kind {
             let _ = writeln!(out, "kind {kind}={count}");
+        }
+        for (&id, &at) in &self.injection_times {
+            let _ = writeln!(
+                out,
+                "injection ({}, {}) at_us={}",
+                id.source,
+                id.seq,
+                at.as_micros()
+            );
         }
         for (&(process, id), &at) in &self.delivery_times {
             let _ = writeln!(
@@ -165,6 +198,45 @@ mod tests {
         let mut c = a.clone();
         c.record_send("Echo", 1);
         assert_ne!(a.canonical_text(), c.canonical_text());
+    }
+
+    #[test]
+    fn broadcast_latency_subtracts_the_injection_time() {
+        let mut m = RunMetrics::default();
+        let id = BroadcastId::new(2, 3);
+        m.record_injection(id, SimTime::from_millis(40));
+        m.record_delivery(0, id, SimTime::from_millis(90));
+        m.record_delivery(1, id, SimTime::from_millis(140));
+        assert_eq!(
+            m.broadcast_latency(id, &[0, 1]),
+            Some(SimTime::from_millis(100))
+        );
+        assert_eq!(
+            m.broadcast_latency(id, &[0, 1, 5]),
+            None,
+            "5 never delivered"
+        );
+        assert_eq!(
+            m.broadcast_latency(BroadcastId::new(9, 9), &[0]),
+            None,
+            "never injected"
+        );
+        assert_eq!(m.injected_count(), 1);
+    }
+
+    #[test]
+    fn injections_render_in_canonical_text() {
+        let mut m = RunMetrics::default();
+        m.record_injection(BroadcastId::new(1, 0), SimTime::from_micros(250));
+        m.record_injection(BroadcastId::new(0, 2), SimTime::from_micros(125));
+        // First injection time wins, like deliveries.
+        m.record_injection(BroadcastId::new(1, 0), SimTime::from_micros(999));
+        let text = m.canonical_text();
+        assert!(text.contains("injection (1, 0) at_us=250"));
+        assert!(text.contains("injection (0, 2) at_us=125"));
+        let p0 = text.find("injection (0, 2)").unwrap();
+        let p1 = text.find("injection (1, 0)").unwrap();
+        assert!(p0 < p1, "injections are sorted by broadcast id");
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::mem::{discriminant, Discriminant};
 use std::sync::Arc;
 
 use brb_core::protocol::{ActionBuf, Protocol};
-use brb_core::types::{Action, Payload, ProcessId};
+use brb_core::types::{Action, BroadcastId, Payload, ProcessId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -64,6 +64,30 @@ impl<M: Eq> PartialOrd for Event<M> {
     }
 }
 
+/// A broadcast scheduled to enter the system at a future virtual time (the workload
+/// engine's injection events). Ordered by `(at, seq)`: same-time injections run in
+/// scheduling order, and *before* any message event of the same timestamp — the
+/// application acts at the start of the instant, the network after.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScheduledInjection {
+    at: SimTime,
+    seq: u64,
+    source: ProcessId,
+    payload: Payload,
+}
+
+impl Ord for ScheduledInjection {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for ScheduledInjection {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Discrete-event simulation of a set of processes running protocol `P`.
 pub struct Simulation<P: Protocol>
 where
@@ -72,7 +96,15 @@ where
     processes: Vec<P>,
     behaviors: Vec<Behavior>,
     sent_per_process: Vec<usize>,
+    /// Broadcasts each source has injected through this simulation, mirroring the
+    /// engines' own per-source sequence numbering so the metrics can attribute
+    /// injections to [`BroadcastId`]s without decoding messages.
+    injected_per_source: Vec<u32>,
     queue: BinaryHeap<Reverse<Event<P::Message>>>,
+    /// Scheduled broadcast injections (the workload engine's mid-run arrivals), drained
+    /// by [`Simulation::step_batch`] ahead of same-time message events.
+    injections: BinaryHeap<Reverse<ScheduledInjection>>,
+    next_injection_seq: u64,
     /// Reusable batch buffer: [`Simulation::step_batch`] drains same-time events into this
     /// vector, whose allocation is recycled across batches (the event pool).
     batch: Vec<Event<P::Message>>,
@@ -91,6 +123,16 @@ where
     /// Safety bound on processed events (guards against configuration mistakes that would
     /// otherwise loop forever, e.g. the unoptimized protocol on large dense graphs).
     max_events: usize,
+    /// Sampling stride of the Sec. 7.3 memory proxies: a process's `state_bytes` /
+    /// `stored_paths` are re-measured every `memory_sampling`-th event it is involved
+    /// in. 1 (the default) samples after every event — exact peaks, the single-broadcast
+    /// golden behaviour. Walking a process's whole state per event is `O(in-flight
+    /// broadcasts)`, which under sustained multi-broadcast load dominates the run
+    /// (~7x end to end at 20-60 in-flight), so the workload driver raises the stride;
+    /// peaks stay deterministic, they are just sampled on a coarser (per-process) grid.
+    memory_sampling: usize,
+    /// Per-process event counters driving the sampling grid.
+    events_per_process: Vec<usize>,
 }
 
 impl<P: Protocol> Simulation<P>
@@ -104,7 +146,10 @@ where
             processes,
             behaviors: vec![Behavior::Correct; n],
             sent_per_process: vec![0; n],
+            injected_per_source: vec![0; n],
             queue: BinaryHeap::new(),
+            injections: BinaryHeap::new(),
+            next_injection_seq: 0,
             batch: Vec::new(),
             actions: ActionBuf::new(),
             now: SimTime::ZERO,
@@ -114,6 +159,8 @@ where
             metrics: RunMetrics::default(),
             kind_labels: HashMap::new(),
             max_events: 50_000_000,
+            memory_sampling: 1,
+            events_per_process: vec![0; n],
         }
     }
 
@@ -122,9 +169,22 @@ where
         self.behaviors[process] = behavior;
     }
 
+    /// The behaviour of one process.
+    pub fn behavior(&self, process: ProcessId) -> &Behavior {
+        &self.behaviors[process]
+    }
+
     /// Overrides the event-count safety bound.
     pub fn set_max_events(&mut self, max_events: usize) {
         self.max_events = max_events;
+    }
+
+    /// Overrides the sampling stride of the memory-proxy peaks (see the field docs):
+    /// `1` re-measures a process after every event (exact peaks), `k` after every `k`-th
+    /// event the process is involved in. Peaks remain fully deterministic for any
+    /// stride.
+    pub fn set_memory_sampling(&mut self, every_n_events: usize) {
+        self.memory_sampling = every_n_events.max(1);
     }
 
     /// Identifiers of the processes with [`Behavior::Correct`].
@@ -169,14 +229,25 @@ where
         self.queue.len()
     }
 
+    /// Number of scheduled broadcast injections not yet executed.
+    pub fn pending_injections(&self) -> usize {
+        self.injections.len()
+    }
+
     /// Makes process `source` broadcast `payload` at the current virtual time.
     ///
     /// The resulting messages are scheduled but not yet processed; call
-    /// [`Simulation::run_to_quiescence`] to process them.
+    /// [`Simulation::run_to_quiescence`] to process them. A crashed source ignores the
+    /// request (and no injection is recorded).
     pub fn broadcast(&mut self, source: ProcessId, payload: Payload) {
         if !self.behaviors[source].receives() {
             return;
         }
+        // The engines number their own broadcasts sequentially per source; mirror that
+        // count so the injection can be attributed to its BroadcastId in the metrics.
+        let id = BroadcastId::new(source, self.injected_per_source[source]);
+        self.injected_per_source[source] += 1;
+        self.metrics.record_injection(id, self.now);
         let mut actions = std::mem::take(&mut self.actions);
         actions.clear();
         self.processes[source].broadcast_into(payload, &mut actions);
@@ -184,22 +255,47 @@ where
         self.actions = actions;
     }
 
+    /// Schedules process `source` to broadcast `payload` at virtual time `at` (clamped
+    /// to the current time if already past): the workload engine's way of letting
+    /// broadcasts enter mid-run, interleaved with deliveries of earlier broadcasts.
+    ///
+    /// Injections due at the same timestamp as message events run *first* (see
+    /// [`Simulation::step_batch`]); injections sharing a timestamp run in scheduling
+    /// order.
+    pub fn schedule_broadcast(&mut self, at: SimTime, source: ProcessId, payload: Payload) {
+        let injection = ScheduledInjection {
+            at: at.max(self.now),
+            seq: self.next_injection_seq,
+            source,
+            payload,
+        };
+        self.next_injection_seq += 1;
+        self.injections.push(Reverse(injection));
+    }
+
     /// Drains and processes **all** events scheduled at the earliest pending timestamp in
     /// one pass, advancing the clock to that timestamp.
     ///
     /// The batch is the set of events due at that timestamp when the call starts; events
     /// the batch itself schedules are queued for later calls (with a zero-delay model they
-    /// run at the same virtual time, in a subsequent batch). Within a batch, events are
-    /// processed in `(from, to, seq)` order. Returns the number of events processed, or 0
-    /// if the queue is empty.
+    /// run at the same virtual time, in a subsequent batch). Scheduled broadcast
+    /// injections due at the timestamp run first (in scheduling order), then message
+    /// events in `(from, to, seq)` order. Returns the number of injections plus events
+    /// processed, or 0 if nothing is pending.
     ///
     /// # Panics
     ///
     /// Panics if the event bound is exceeded, which indicates a diverging configuration.
     pub fn step_batch(&mut self) -> usize {
-        let batch_at = match self.queue.peek() {
-            Some(Reverse(event)) => event.at,
-            None => return 0,
+        let next_event = self.queue.peek().map(|Reverse(event)| event.at);
+        let next_injection = self
+            .injections
+            .peek()
+            .map(|Reverse(injection)| injection.at);
+        let batch_at = match (next_event, next_injection) {
+            (None, None) => return 0,
+            (Some(at), None) | (None, Some(at)) => at,
+            (Some(event_at), Some(injection_at)) => event_at.min(injection_at),
         };
         // Move the pooled buffer out so the queue and the processes can be borrowed
         // mutably while iterating it; its capacity is given back at the end.
@@ -212,7 +308,18 @@ where
             batch.push(self.queue.pop().expect("peeked event exists").0);
         }
         self.now = batch_at;
-        let processed = batch.len();
+        // Application first: injections due now broadcast before the network's
+        // same-time message events are delivered.
+        let mut injected = 0usize;
+        while let Some(Reverse(injection)) = self.injections.peek() {
+            if injection.at != batch_at {
+                break;
+            }
+            let injection = self.injections.pop().expect("peeked injection exists").0;
+            self.broadcast(injection.source, injection.payload);
+            injected += 1;
+        }
+        let processed = injected + batch.len();
         self.metrics.events_processed += processed;
         assert!(
             self.metrics.events_processed <= self.max_events,
@@ -244,13 +351,16 @@ where
         }
     }
 
-    /// Runs until either quiescence or the given virtual deadline; events scheduled after
-    /// the deadline remain queued. Returns the number of events processed.
+    /// Runs until either quiescence or the given virtual deadline; events and injections
+    /// scheduled after the deadline remain queued. Returns the number of events
+    /// processed.
     pub fn run_until(&mut self, deadline: SimTime) -> usize {
         let mut processed = 0usize;
         loop {
-            let due = matches!(self.queue.peek(), Some(Reverse(e)) if e.at <= deadline);
-            if !due {
+            let event_due = matches!(self.queue.peek(), Some(Reverse(e)) if e.at <= deadline);
+            let injection_due =
+                matches!(self.injections.peek(), Some(Reverse(i)) if i.at <= deadline);
+            if !event_due && !injection_due {
                 break;
             }
             processed += self.step_batch();
@@ -316,6 +426,10 @@ where
     }
 
     fn update_memory_peaks(&mut self, process: ProcessId) {
+        self.events_per_process[process] += 1;
+        if !self.events_per_process[process].is_multiple_of(self.memory_sampling) {
+            return;
+        }
         let state = self.processes[process].state_bytes();
         if state > self.metrics.peak_state_bytes {
             self.metrics.peak_state_bytes = state;
@@ -565,5 +679,106 @@ mod tests {
         let mut sim = Simulation::new(processes, DelayModel::synchronous(), 1);
         assert_eq!(sim.step_batch(), 0);
         assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn scheduled_injections_enter_mid_run_and_deliver() {
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        // Two broadcasts from different sources, the second entering while the first is
+        // still propagating (the first completes around 100-150 ms).
+        sim.schedule_broadcast(SimTime::ZERO, 0, Payload::filled(1, 16));
+        sim.schedule_broadcast(SimTime::from_millis(60), 3, Payload::filled(2, 16));
+        assert_eq!(sim.pending_injections(), 2);
+        assert_eq!(
+            sim.pending_events(),
+            0,
+            "nothing sent before the clock moves"
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.pending_injections(), 0);
+        let correct = sim.correct_processes();
+        for (id, injected_at) in [
+            (BroadcastId::new(0, 0), SimTime::ZERO),
+            (BroadcastId::new(3, 0), SimTime::from_millis(60)),
+        ] {
+            assert_eq!(sim.metrics().delivered_count(id, &correct), 10, "{id}");
+            assert_eq!(sim.metrics().injection_times[&id], injected_at);
+            assert!(sim.metrics().broadcast_latency(id, &correct).unwrap() > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn injections_run_before_same_time_message_events() {
+        let n = 7;
+        let processes: Vec<BrachaProcess> = (0..n).map(|i| BrachaProcess::new(i, n, 2)).collect();
+        let mut sim = Simulation::new(processes, DelayModel::synchronous(), 11);
+        sim.broadcast(2, Payload::from("first"));
+        // 12 message events due at 50 ms; a second broadcast injected at the same time.
+        sim.schedule_broadcast(SimTime::from_millis(50), 4, Payload::from("second"));
+        let processed = sim.step_batch();
+        assert_eq!(processed, 13, "one injection + twelve message events");
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+        // The injection happened at 50 ms, as the metrics record.
+        assert_eq!(
+            sim.metrics().injection_times[&BroadcastId::new(4, 0)],
+            SimTime::from_millis(50)
+        );
+        sim.run_to_quiescence();
+        let correct = sim.correct_processes();
+        assert_eq!(
+            sim.metrics()
+                .delivered_count(BroadcastId::new(2, 0), &correct),
+            n
+        );
+        assert_eq!(
+            sim.metrics()
+                .delivered_count(BroadcastId::new(4, 0), &correct),
+            n
+        );
+    }
+
+    #[test]
+    fn past_injection_times_are_clamped_to_now() {
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        sim.broadcast(0, Payload::filled(1, 16));
+        sim.run_until(SimTime::from_millis(75));
+        // Scheduling in the past injects at the current instant instead.
+        sim.schedule_broadcast(SimTime::from_millis(10), 5, Payload::filled(9, 16));
+        sim.run_to_quiescence();
+        assert_eq!(
+            sim.metrics().injection_times[&BroadcastId::new(5, 0)],
+            SimTime::from_millis(75)
+        );
+    }
+
+    #[test]
+    fn run_until_respects_pending_injections() {
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        sim.schedule_broadcast(SimTime::from_millis(100), 0, Payload::filled(1, 16));
+        assert_eq!(sim.run_until(SimTime::from_millis(50)), 0);
+        assert_eq!(sim.pending_injections(), 1);
+        assert!(
+            sim.run_until(SimTime::from_millis(100)) > 0,
+            "injection fires"
+        );
+        assert_eq!(sim.pending_injections(), 0);
+    }
+
+    #[test]
+    fn crashed_source_injection_is_a_recorded_no_op() {
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        sim.set_behavior(4, Behavior::Crash);
+        sim.schedule_broadcast(SimTime::ZERO, 4, Payload::filled(1, 16));
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics().messages_sent, 0);
+        assert_eq!(
+            sim.metrics().injected_count(),
+            0,
+            "no-op injections leave no trace"
+        );
     }
 }

@@ -10,6 +10,10 @@
 //!   parallel sweep engine to aggregate partial results;
 //! * [`FiveNumber`] — the box-plot row used in Figs. 7–10 (2.5th percentile, first
 //!   quartile, median, third quartile, 97.5th percentile);
+//! * [`LogHistogram`] — a mergeable log-bucketed histogram with `p50`/`p90`/`p99`
+//!   quantiles, used by the workload engine to aggregate per-broadcast delivery
+//!   latencies across sweep workers (its merge is associative and exact, so parallel
+//!   aggregation is bit-identical to serial);
 //! * [`relative_variation`] — the `(new - baseline) / baseline` percentage used throughout
 //!   Table 1 and Figs. 6–10.
 
@@ -176,6 +180,145 @@ impl Accumulator {
             max: self.max(),
             std_dev: self.std_dev(),
         }
+    }
+}
+
+/// Number of sub-buckets per power of two in a [`LogHistogram`]: 16, bounding the
+/// relative quantization error at `1/16` (6.25%) while keeping the whole `u64` range in
+/// under a thousand buckets.
+const HISTOGRAM_SUB_BUCKET_BITS: u32 = 4;
+
+/// A mergeable histogram over `u64` observations with log-linear buckets.
+///
+/// Values below 16 get exact unit buckets; above, each power of two is split into 16
+/// linear sub-buckets, so any recorded value is attributed to a bucket whose bounds are
+/// within 6.25% of it. This is the latency-distribution container of the workload
+/// engine: per-run histograms of microsecond delivery latencies are merged across sweep
+/// points (and sweep workers) and queried for `p50`/`p90`/`p99`.
+///
+/// Merging adds bucket counts element-wise, which makes it **exact, associative and
+/// commutative** — the property the parallel sweep aggregation relies on: folding any
+/// partition of the observations in any grouping yields byte-identical histograms.
+/// (`tests/histogram_properties.rs` pins this with a proptest suite.)
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// `counts[i]` is the number of observations in bucket `i`; trailing zero buckets are
+    /// never stored, so equal distributions compare equal structurally.
+    counts: Vec<u64>,
+    /// Total number of observations (the sum of `counts`).
+    total: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of a value.
+    fn bucket_index(value: u64) -> usize {
+        let sub_buckets = 1u64 << HISTOGRAM_SUB_BUCKET_BITS; // 16
+        if value < sub_buckets {
+            return value as usize;
+        }
+        let exponent = 63 - u64::from(value.leading_zeros());
+        let shift = exponent - u64::from(HISTOGRAM_SUB_BUCKET_BITS);
+        let sub = (value >> shift) - sub_buckets;
+        ((exponent - u64::from(HISTOGRAM_SUB_BUCKET_BITS) + 1) * sub_buckets + sub) as usize
+    }
+
+    /// Inclusive lower bound of bucket `index` (the smallest value mapped to it).
+    fn bucket_low(index: usize) -> u64 {
+        let sub_buckets = 1usize << HISTOGRAM_SUB_BUCKET_BITS;
+        if index < sub_buckets {
+            return index as u64;
+        }
+        let block = index / sub_buckets; // >= 1
+        let sub = (index % sub_buckets) as u64;
+        (sub_buckets as u64 + sub) << (block - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `count` identical observations.
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let index = Self::bucket_index(value);
+        if self.counts.len() <= index {
+            self.counts.resize(index + 1, 0);
+        }
+        self.counts[index] += count;
+        self.total += count;
+    }
+
+    /// Merges another histogram in by element-wise bucket addition (exact, associative,
+    /// commutative).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the lower bound of the bucket holding the
+    /// `ceil(q * count)`-th smallest observation (so `quantile(0.5)` of a single
+    /// observation returns that observation's bucket). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= target {
+                return Some(Self::bucket_low(index));
+            }
+        }
+        // Unreachable while `total` equals the sum of `counts`; be defensive anyway.
+        Some(Self::bucket_low(self.counts.len().saturating_sub(1)))
+    }
+
+    /// Median (50th percentile) bucket bound.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile bucket bound.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile bucket bound.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Largest non-empty bucket's lower bound (an upper-tail witness). `None` when empty.
+    pub fn max_bucket_low(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(Self::bucket_low)
     }
 }
 
@@ -436,6 +579,129 @@ mod tests {
         let mut c = Accumulator::new();
         c.merge(&a);
         assert_eq!(c, a, "merging into an empty accumulator copies");
+    }
+
+    #[test]
+    fn histogram_buckets_are_exact_below_sixteen() {
+        let mut h = LogHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        for v in 0..16u64 {
+            assert_eq!(LogHistogram::bucket_index(v), v as usize);
+            assert_eq!(LogHistogram::bucket_low(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_are_contiguous_and_monotonic() {
+        // Every value maps to the bucket whose [low, next_low) range contains it.
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            50_000,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let index = LogHistogram::bucket_index(v);
+            let low = LogHistogram::bucket_low(index);
+            assert!(low <= v, "low {low} > value {v}");
+            if index + 1 < LogHistogram::bucket_index(u64::MAX) {
+                let next = LogHistogram::bucket_low(index + 1);
+                assert!(v < next, "value {v} >= next bucket low {next}");
+            }
+            // Relative quantization error is bounded by 1/16.
+            assert!(
+                (v - low) as f64 <= v as f64 / 16.0 + 1.0,
+                "bucket low {low} too far below {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_on_a_known_sample() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        // Exact below 16; bucketed (<= 6.25% low) above.
+        let p50 = h.p50().unwrap();
+        assert!((47..=50).contains(&p50), "p50 {p50}");
+        let p90 = h.p90().unwrap();
+        assert!((85..=90).contains(&p90), "p90 {p90}");
+        let p99 = h.p99().unwrap();
+        assert!((93..=99).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(0.0).unwrap(), 1);
+        let p100 = h.quantile(1.0).unwrap();
+        assert!((93..=100).contains(&p100), "p100 {p100}");
+    }
+
+    #[test]
+    fn histogram_single_observation_is_its_own_quantile() {
+        let mut h = LogHistogram::new();
+        h.record(7);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(7));
+        }
+        assert_eq!(h.max_bucket_low(), Some(7));
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_pass() {
+        let values: Vec<u64> = (0..500).map(|i| i * i % 90_000).collect();
+        let mut whole = LogHistogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut merged = LogHistogram::new();
+        for chunk in values.chunks(13) {
+            let mut part = LogHistogram::new();
+            for &v in chunk {
+                part.record(v);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(whole, merged, "merge must be exact");
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut h = LogHistogram::new();
+        h.record_n(42, 3);
+        let snapshot = h.clone();
+        h.merge(&LogHistogram::new());
+        assert_eq!(h, snapshot);
+        let mut empty = LogHistogram::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.max_bucket_low(), None);
+    }
+
+    #[test]
+    fn histogram_record_n_zero_is_a_no_op() {
+        let mut h = LogHistogram::new();
+        h.record_n(5, 0);
+        assert!(h.is_empty());
+        assert_eq!(h, LogHistogram::new(), "no trailing zero buckets appear");
     }
 
     #[test]

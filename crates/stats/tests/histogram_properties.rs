@@ -1,0 +1,104 @@
+//! Property-based tests of the mergeable log-bucketed histogram
+//! (`brb_stats::LogHistogram`).
+//!
+//! The parallel sweep engine aggregates per-run latency histograms in chunks whose
+//! boundaries depend on how specs were sharded, so correctness of the aggregation rests
+//! on three algebraic properties of `merge`, pinned here:
+//!
+//! * **merge-equality** — recording a sample in one pass and merging histograms of any
+//!   partition of the same sample produce *equal* histograms (structural `Eq`, not an
+//!   approximation);
+//! * **associativity** — `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`;
+//! * **commutativity** — `a ⊕ b == b ⊕ a`;
+//!
+//! plus the quantization contract: every quantile is the lower bound of a bucket within
+//! 1/16 relative error of an actual observation.
+
+use brb_stats::LogHistogram;
+use proptest::prelude::*;
+
+fn of_values(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Values spanning several orders of magnitude, like microsecond latencies do.
+fn sample_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..=10_000_000_000, 0..200)
+}
+
+proptest! {
+    // Fully pinned runner configuration (see tests/README.md at the repository root):
+    // committed case count, base seed and failure-persistence file make this suite
+    // generate the same inputs on every machine.
+    #![proptest_config(ProptestConfig::with_cases(64)
+        .with_rng_seed(0x1066_0007_0A7C_4157)
+        .with_failure_persistence(FileFailurePersistence::SourceParallel("proptest-regressions")))]
+
+    /// Splitting a sample at any point and merging the two halves equals one-pass
+    /// recording, structurally.
+    #[test]
+    fn merge_of_any_split_equals_single_pass((values, cut) in (sample_strategy(), any::<u64>())) {
+        let cut = if values.is_empty() { 0 } else { (cut as usize) % (values.len() + 1) };
+        let mut left = of_values(&values[..cut]);
+        let right = of_values(&values[cut..]);
+        left.merge(&right);
+        prop_assert_eq!(left, of_values(&values));
+    }
+
+    /// Merging is associative and commutative, so any worker-count sharding of a sweep
+    /// folds to the same histogram.
+    #[test]
+    fn merge_is_associative_and_commutative((a, b, c) in (sample_strategy(), sample_strategy(), sample_strategy())) {
+        let (ha, hb, hc) = (of_values(&a), of_values(&b), of_values(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right, "merge must be associative");
+        // b ⊕ a == a ⊕ b
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        prop_assert_eq!(ab, ba, "merge must be commutative");
+    }
+
+    /// Counts are preserved exactly by record and merge.
+    #[test]
+    fn counts_are_exact((a, b) in (sample_strategy(), sample_strategy())) {
+        let mut h = of_values(&a);
+        prop_assert_eq!(h.count(), a.len() as u64);
+        h.merge(&of_values(&b));
+        prop_assert_eq!(h.count(), (a.len() + b.len()) as u64);
+    }
+
+    /// Every reported quantile is the bucket lower bound of the nearest-rank
+    /// (`ceil(q·n)`-th smallest) observation: never above it, and within the 1/16
+    /// relative quantization bound below it.
+    #[test]
+    fn quantiles_are_quantized_nearest_rank_observations(values in proptest::collection::vec(0u64..=10_000_000_000, 1..200)) {
+        let h = of_values(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0f64, 0.5, 0.9, 0.99, 1.0] {
+            let got = h.quantile(q).unwrap();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1];
+            prop_assert!(got <= exact, "quantile({}) = {} above its observation {}", q, got, exact);
+            prop_assert!(
+                (exact - got) as f64 <= exact as f64 / 16.0 + 1.0,
+                "quantile({}) = {} more than 1/16 below its observation {}",
+                q, got, exact
+            );
+        }
+    }
+}

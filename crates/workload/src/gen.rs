@@ -1,0 +1,420 @@
+//! Deterministic expansion of a [`WorkloadSpec`] into an injection schedule.
+
+use brb_core::types::{BroadcastId, Payload, ProcessId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp, Zipf};
+
+use crate::spec::{Arrival, Bound, PayloadSizes, SourceSelection, WorkloadSpec};
+
+/// One scheduled broadcast: at virtual time `at_micros`, process `source` broadcasts
+/// `payload`.
+///
+/// `at_micros` is the broadcast's *arrival* time. Open-loop drivers inject exactly
+/// there; closed-loop drivers inject at `max(arrival, time the in-flight window frees)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    /// Arrival time in virtual microseconds (wall-clock drivers scale it as they wish).
+    pub at_micros: u64,
+    /// Process that initiates the broadcast.
+    pub source: ProcessId,
+    /// Payload to broadcast. The fill pattern encodes the injection index, so payloads
+    /// of different injections are distinguishable in delivery logs.
+    pub payload: Payload,
+}
+
+/// Turns a spec and a seed into a deterministic stream of [`Injection`]s.
+///
+/// The generator owns one seeded `StdRng` and draws, per injection and in a fixed order,
+/// the arrival gap (Poisson only), the source (Zipf only) and the payload size (uniform
+/// only) — so the schedule is a pure function of `(spec, n, seed)` on every platform,
+/// which is what lets the three backends and any sweep worker inject identical traffic.
+#[derive(Debug, Clone)]
+pub struct TrafficGenerator {
+    spec: WorkloadSpec,
+    n: usize,
+    rng: StdRng,
+    /// Index of the next injection (also the per-injection payload tag).
+    index: u32,
+    /// Arrival time of the next injection, in microseconds.
+    clock_micros: u64,
+    /// Precomputed Zipf table when the source selection is skewed (its cumulative table
+    /// is `O(n)` to build, so it is built once, not per sample).
+    zipf: Option<Zipf>,
+    /// Whether the stream has ended (the iterator is fused).
+    done: bool,
+}
+
+impl TrafficGenerator {
+    /// Creates the generator for an `n`-process system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is inconsistent: `n == 0`, a fixed source outside `0..n`, a
+    /// zero-size burst, an invalid Zipf exponent, inverted uniform payload bounds, or a
+    /// closed-loop window of 0.
+    pub fn new(spec: WorkloadSpec, n: usize, seed: u64) -> Self {
+        assert!(n > 0, "workload needs at least one process");
+        let mut zipf = None;
+        match spec.sources {
+            SourceSelection::Single { source } => {
+                assert!(source < n, "fixed source {source} outside 0..{n}");
+            }
+            SourceSelection::Zipf { exponent } => {
+                assert!(
+                    exponent.is_finite() && exponent >= 0.0,
+                    "Zipf exponent must be finite and non-negative"
+                );
+                zipf = Some(Zipf::new(n as u64, exponent).expect("parameters just validated"));
+            }
+            SourceSelection::RoundRobin => {}
+        }
+        if let PayloadSizes::Uniform {
+            min_bytes,
+            max_bytes,
+        } = spec.payloads
+        {
+            assert!(
+                min_bytes <= max_bytes,
+                "uniform payload bounds inverted: {min_bytes} > {max_bytes}"
+            );
+        }
+        if let Arrival::Bursty { burst, .. } = spec.arrival {
+            assert!(burst >= 1, "bursts must contain at least one broadcast");
+        }
+        if let crate::spec::LoopMode::Closed { window } = spec.mode {
+            assert!(window >= 1, "closed-loop window must be at least 1");
+        }
+        Self {
+            spec,
+            n,
+            rng: StdRng::seed_from_u64(seed),
+            index: 0,
+            clock_micros: 0,
+            zipf,
+            done: false,
+        }
+    }
+
+    /// The process count the schedule is generated for.
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Arrival time of injection `index`, advancing the clock past it.
+    fn arrival(&mut self, index: u32) -> u64 {
+        match self.spec.arrival {
+            Arrival::Constant { interval_micros } => u64::from(index) * interval_micros,
+            Arrival::Poisson {
+                mean_interval_micros,
+            } => {
+                if index == 0 {
+                    return 0;
+                }
+                // Exponential gap with the configured mean; a zero mean degenerates to
+                // back-to-back arrivals.
+                let gap = if mean_interval_micros == 0 {
+                    0
+                } else {
+                    let exp = Exp::new(1.0 / mean_interval_micros as f64)
+                        .expect("mean > 0 gives a valid rate");
+                    exp.sample(&mut self.rng).round() as u64
+                };
+                self.clock_micros + gap
+            }
+            Arrival::Bursty {
+                burst,
+                spacing_micros,
+                period_micros,
+            } => {
+                let b = u64::from(index / burst);
+                let j = u64::from(index % burst);
+                b * period_micros + j * spacing_micros
+            }
+        }
+    }
+
+    fn source(&mut self, index: u32) -> ProcessId {
+        match self.spec.sources {
+            SourceSelection::Single { source } => source,
+            SourceSelection::RoundRobin => index as usize % self.n,
+            SourceSelection::Zipf { .. } => {
+                let zipf = self.zipf.as_ref().expect("built in new()");
+                zipf.sample(&mut self.rng) as usize - 1
+            }
+        }
+    }
+
+    fn payload(&mut self, index: u32) -> Payload {
+        let bytes = match self.spec.payloads {
+            PayloadSizes::Fixed { bytes } => bytes,
+            PayloadSizes::Uniform {
+                min_bytes,
+                max_bytes,
+            } => self.rng.gen_range(min_bytes..=max_bytes),
+        };
+        // The fill byte tags the injection, so different broadcasts carry different
+        // payload contents (useful when reading delivery logs; ids disambiguate anyway).
+        Payload::filled((index % 251) as u8, bytes)
+    }
+}
+
+impl Iterator for TrafficGenerator {
+    type Item = Injection;
+
+    fn next(&mut self) -> Option<Injection> {
+        // The iterator is fused: once the bound is hit, later calls never resume the
+        // stream (a Poisson arrival would otherwise re-draw its rejected gap and could
+        // land back under a duration horizon, breaking determinism for any consumer
+        // that polls past the end).
+        if self.done {
+            return None;
+        }
+        loop {
+            let index = self.index;
+            let exhausted = match self.spec.bound {
+                Bound::Count { broadcasts } => index >= broadcasts,
+                Bound::Duration { .. } => index >= Bound::DURATION_CAP,
+            };
+            if exhausted {
+                self.done = true;
+                return None;
+            }
+            // Fixed per-injection draw order: arrival gap, then source, then payload
+            // size (skipped arrivals draw nothing beyond their gap).
+            let at_micros = self.arrival(index);
+            if let Bound::Duration { micros } = self.spec.bound {
+                if at_micros > micros {
+                    match self.spec.arrival {
+                        // Monotone arrival processes can never come back under the
+                        // horizon: the stream ends here.
+                        Arrival::Constant { .. } | Arrival::Poisson { .. } => {
+                            self.done = true;
+                            return None;
+                        }
+                        // Bursty arrivals are non-monotone across bursts (the next
+                        // burst restarts at b * period): skip this out-of-horizon
+                        // injection, and only end the stream once whole bursts start
+                        // past the horizon.
+                        Arrival::Bursty {
+                            burst,
+                            period_micros,
+                            ..
+                        } => {
+                            let burst_start = u64::from(index / burst) * period_micros;
+                            if period_micros > 0 && burst_start > micros {
+                                self.done = true;
+                                return None;
+                            }
+                            self.index = index + 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            let source = self.source(index);
+            let payload = self.payload(index);
+            self.index = index + 1;
+            self.clock_micros = at_micros;
+            return Some(Injection {
+                at_micros,
+                source,
+                payload,
+            });
+        }
+    }
+}
+
+/// The broadcast identifiers the schedule's injections will be assigned, in schedule
+/// order: every engine in `brb-core` numbers its own broadcasts sequentially from 0, so
+/// injection `i` of source `s` gets `BroadcastId::new(s, k)` where `k` counts the
+/// previous injections of `s` in the schedule.
+///
+/// Drivers use this to map completions back to injections (closed-loop window
+/// accounting) and tests use it to check per-broadcast BRB invariants.
+pub fn predicted_ids(schedule: &[Injection]) -> Vec<BroadcastId> {
+    let mut per_source: std::collections::HashMap<ProcessId, u32> =
+        std::collections::HashMap::new();
+    schedule
+        .iter()
+        .map(|injection| {
+            let seq = per_source.entry(injection.source).or_insert(0);
+            let id = BroadcastId::new(injection.source, *seq);
+            *seq += 1;
+            id
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LoopMode;
+
+    #[test]
+    fn constant_rate_round_robin_is_fully_deterministic() {
+        let spec = WorkloadSpec::constant_rate(2_500, 8).with_payload_bytes(32);
+        let schedule = spec.schedule(3, 9);
+        assert_eq!(schedule.len(), 8);
+        for (i, injection) in schedule.iter().enumerate() {
+            assert_eq!(injection.at_micros, i as u64 * 2_500);
+            assert_eq!(injection.source, i % 3);
+            assert_eq!(injection.payload.len(), 32);
+        }
+        assert_eq!(schedule, spec.schedule(3, 9), "same seed, same schedule");
+        // The seed only matters for randomized dimensions; constant/round-robin/fixed
+        // ignores it entirely.
+        assert_eq!(schedule, spec.schedule(3, 10));
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotone_and_seeded() {
+        let spec = WorkloadSpec::poisson(5_000, 50);
+        let a = spec.schedule(4, 1);
+        let b = spec.schedule(4, 1);
+        let c = spec.schedule(4, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds draw different gaps");
+        assert_eq!(a[0].at_micros, 0, "first Poisson arrival is at the origin");
+        for w in a.windows(2) {
+            assert!(w[0].at_micros <= w[1].at_micros, "arrivals must be ordered");
+        }
+        let mean_gap = a.last().unwrap().at_micros as f64 / (a.len() - 1) as f64;
+        assert!(
+            (1_000.0..25_000.0).contains(&mean_gap),
+            "mean gap {mean_gap} wildly off the configured 5000"
+        );
+    }
+
+    #[test]
+    fn bursty_schedule_groups_and_spaces() {
+        let spec = WorkloadSpec::bursty(4, 10, 100_000, 12);
+        let schedule = spec.schedule(2, 3);
+        assert_eq!(schedule.len(), 12);
+        // Burst 0: t = 0, 10, 20, 30; burst 1 starts at 100 000.
+        assert_eq!(schedule[0].at_micros, 0);
+        assert_eq!(schedule[3].at_micros, 30);
+        assert_eq!(schedule[4].at_micros, 100_000);
+        assert_eq!(schedule[11].at_micros, 200_030);
+    }
+
+    #[test]
+    fn zipf_sources_skew_towards_low_ids() {
+        let spec = WorkloadSpec::constant_rate(1, 400)
+            .with_sources(SourceSelection::Zipf { exponent: 1.3 });
+        let schedule = spec.schedule(8, 17);
+        let mut counts = [0usize; 8];
+        for injection in &schedule {
+            counts[injection.source] += 1;
+        }
+        assert!(counts[0] > counts[4], "rank 1 must dominate: {counts:?}");
+        assert!(counts[0] > schedule.len() / 4);
+        assert_eq!(
+            spec.schedule(8, 17),
+            schedule,
+            "seeded Zipf is deterministic"
+        );
+    }
+
+    #[test]
+    fn uniform_payload_sizes_stay_in_bounds() {
+        let spec = WorkloadSpec::constant_rate(1, 64).with_payloads(PayloadSizes::Uniform {
+            min_bytes: 16,
+            max_bytes: 128,
+        });
+        let schedule = spec.schedule(4, 5);
+        assert!(schedule
+            .iter()
+            .all(|i| (16..=128).contains(&i.payload.len())));
+        let distinct: std::collections::BTreeSet<usize> =
+            schedule.iter().map(|i| i.payload.len()).collect();
+        assert!(distinct.len() > 4, "sizes should vary: {distinct:?}");
+    }
+
+    #[test]
+    fn duration_bound_stops_at_the_horizon() {
+        let spec =
+            WorkloadSpec::constant_rate(10_000, 0).with_bound(Bound::Duration { micros: 45_000 });
+        let schedule = spec.schedule(2, 1);
+        // Arrivals at 0, 10 000, 20 000, 30 000, 40 000 fit; 50 000 does not.
+        assert_eq!(schedule.len(), 5);
+        assert!(schedule.iter().all(|i| i.at_micros <= 45_000));
+    }
+
+    #[test]
+    fn duration_bound_keeps_in_horizon_injections_of_later_bursts() {
+        // Bursts overlap: burst 0 is at {0, 120 000}, burst 1 at {100 000, 220 000},
+        // burst 2 would start at 200 000. With a 110 000 µs horizon the in-horizon
+        // arrivals are 0 (index 0) and 100 000 (index 2) — the out-of-horizon index 1
+        // must be skipped, not end the stream.
+        let spec = WorkloadSpec::bursty(2, 120_000, 100_000, 10)
+            .with_bound(Bound::Duration { micros: 110_000 });
+        let schedule = spec.schedule(4, 1);
+        assert_eq!(
+            schedule.iter().map(|i| i.at_micros).collect::<Vec<_>>(),
+            vec![0, 100_000]
+        );
+        // Skipped arrivals keep their schedule index: index 2 is source 2 mod 4.
+        assert_eq!(schedule[1].source, 2);
+    }
+
+    #[test]
+    fn generator_is_fused_after_a_duration_bound() {
+        let spec =
+            WorkloadSpec::poisson(10_000, 1_000).with_bound(Bound::Duration { micros: 30_000 });
+        let mut generator = TrafficGenerator::new(spec, 4, 9);
+        let emitted: Vec<Injection> = generator.by_ref().collect();
+        assert!(!emitted.is_empty());
+        assert!(emitted.iter().all(|i| i.at_micros <= 30_000));
+        // Polling past the end must never resume the stream, whatever the RNG would
+        // have drawn next.
+        for _ in 0..32 {
+            assert_eq!(generator.next(), None, "iterator must be fused");
+        }
+    }
+
+    #[test]
+    fn predicted_ids_number_broadcasts_per_source() {
+        let spec = WorkloadSpec::constant_rate(1_000, 6);
+        let schedule = spec.schedule(3, 1); // sources 0,1,2,0,1,2
+        let ids = predicted_ids(&schedule);
+        assert_eq!(ids[0], BroadcastId::new(0, 0));
+        assert_eq!(ids[1], BroadcastId::new(1, 0));
+        assert_eq!(ids[3], BroadcastId::new(0, 1));
+        assert_eq!(ids[5], BroadcastId::new(2, 1));
+    }
+
+    #[test]
+    fn payload_fill_tags_injections() {
+        let spec = WorkloadSpec::constant_rate(1, 3).with_payload_bytes(4);
+        let schedule = spec.schedule(1, 1);
+        assert_ne!(schedule[0].payload, schedule[1].payload);
+        assert_eq!(schedule[2].payload.as_bytes(), &[2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn fixed_source_must_exist() {
+        TrafficGenerator::new(
+            WorkloadSpec::constant_rate(1, 1).with_sources(SourceSelection::Single { source: 9 }),
+            4,
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_is_rejected() {
+        TrafficGenerator::new(
+            WorkloadSpec::constant_rate(1, 1).with_mode(LoopMode::Closed { window: 0 }),
+            4,
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_are_rejected() {
+        TrafficGenerator::new(WorkloadSpec::constant_rate(1, 1), 0, 1);
+    }
+}

@@ -48,6 +48,7 @@ fn main() {
             stack: StackSpec::Bd,
             delay: DelayModel::synchronous(),
             seed: 7,
+            workload: None,
         };
         let result = run_experiment_on_graph(&params, &graph);
         println!(

@@ -8,6 +8,10 @@
 # brb_core::stack boxed-engine path through the same harnesses) and checks the two
 # stacks' CSVs tag their rows with the right stack name and actually differ.
 #
+# The 1-vs-4-worker runs include the quick-scale multi-broadcast workload sweep
+# (--workload), so the byte-equality check also covers the workload engine's
+# throughput + latency-percentile rows (merged latency histograms across workers).
+#
 # Usage: scripts/ci_smoke.sh [output-dir]
 set -euo pipefail
 
@@ -17,9 +21,9 @@ mkdir -p "$out"
 # Time-box each run: the quick preset finishes in well under a minute on CI hardware,
 # so ten minutes signals a hang rather than a slow machine.
 timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
-    --quick --workers 1 --csv "$out/sweep_w1.csv" > "$out/stdout_w1.txt"
+    --quick --workload --workers 1 --csv "$out/sweep_w1.csv" > "$out/stdout_w1.txt"
 timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
-    --quick --workers 4 --csv "$out/sweep_w4.csv" > "$out/stdout_w4.txt"
+    --quick --workload --workers 4 --csv "$out/sweep_w4.csv" > "$out/stdout_w4.txt"
 
 if ! diff -u "$out/sweep_w1.csv" "$out/sweep_w4.csv"; then
     echo "FAIL: sweep output differs between 1 and 4 workers" >&2
@@ -32,7 +36,13 @@ if [ "$rows" -lt 10 ]; then
     exit 1
 fi
 
-echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows)"
+workload_rows=$(grep -c "^workload," "$out/sweep_w1.csv" || true)
+if [ "$workload_rows" -lt 10 ]; then
+    echo "FAIL: expected >= 10 workload rows, found $workload_rows — did --workload run?" >&2
+    exit 1
+fi
+
+echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows, $workload_rows workload rows)"
 
 # Second stack: the same harnesses, parameters and topologies, but running the plain
 # Bracha-over-routed-Dolev stack through the boxed DynEngine path.
@@ -52,9 +62,11 @@ if diff -q "$out/sweep_w1.csv" "$out/sweep_brd.csv" > /dev/null; then
     echo "FAIL: the two stacks produced identical CSVs — the --stack flag is inert" >&2
     exit 1
 fi
-if [ "$(wc -l < "$out/sweep_brd.csv")" != "$rows" ]; then
+# The second stack runs without --workload; compare only the shared (non-workload) rows.
+base_rows=$((rows - workload_rows))
+if [ "$(wc -l < "$out/sweep_brd.csv")" != "$base_rows" ]; then
     echo "FAIL: the two stacks swept a different number of data points" >&2
     exit 1
 fi
 
-echo "OK: bd and bracha-routed-dolev sweeps ran the same $rows-row matrix with per-stack results"
+echo "OK: bd and bracha-routed-dolev sweeps ran the same $base_rows-row matrix with per-stack results"

@@ -2,7 +2,8 @@
 //!
 //! See the individual crates for details:
 //! [`brb_core`] (protocols), [`brb_graph`] (topologies), [`brb_sim`] (discrete-event
-//! simulator), [`brb_runtime`] (threaded deployment) and [`brb_stats`] (statistics).
+//! simulator), [`brb_runtime`] (threaded deployment), [`brb_stats`] (statistics) and
+//! [`brb_workload`] (multi-broadcast traffic generation).
 #![forbid(unsafe_code)]
 
 pub use brb_core as core;
@@ -10,3 +11,4 @@ pub use brb_graph as graph;
 pub use brb_runtime as runtime;
 pub use brb_sim as sim;
 pub use brb_stats as stats;
+pub use brb_workload as workload;

@@ -28,10 +28,12 @@ use brb_core::types::Payload;
 use brb_core::BdProcess;
 use brb_graph::{generate, NeighborIndex};
 use brb_sim::experiment::experiment_graph;
+use brb_sim::workload::run_workload;
 use brb_sim::{
     run_experiment_recorded, run_sweep, Behavior, DelayModel, ExperimentParams, ExperimentSpec,
     Simulation,
 };
+use brb_workload::{SourceSelection, WorkloadSpec};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -112,6 +114,7 @@ fn determinism_bd_with_crashes_matches_golden() {
         stack: StackSpec::Bd,
         delay: DelayModel::synchronous(),
         seed: 11,
+        workload: None,
     };
     let graph = experiment_graph(16, 5, 33);
     let record = run_experiment_recorded(&params, &graph);
@@ -188,6 +191,97 @@ fn determinism_sweep_1_2_8_workers_byte_identical_and_golden() {
         );
     }
     check_golden("sweep_matrix", &rendered);
+}
+
+/// A multi-broadcast workload run: 64 broadcasts arriving back to back (Poisson, mean
+/// 2 ms, an order of magnitude under the ~150 ms completion time), so dozens are
+/// concurrently in flight. The full canonical metrics — per-broadcast injections,
+/// deliveries, byte accounting, event count — are pinned as a golden snapshot.
+fn workload_fig1_run() -> String {
+    let graph = generate::figure1_example();
+    let index = NeighborIndex::new(&graph);
+    let config = Config::bdopt_mbd1(10, 1);
+    let processes: Vec<BdProcess> = (0..graph.node_count())
+        .map(|i| BdProcess::new(i, config, index.neighbors(i).to_vec()))
+        .collect();
+    let mut sim = Simulation::new(processes, DelayModel::asynchronous(), 5);
+    let spec = WorkloadSpec::poisson(2_000, 64)
+        .with_sources(SourceSelection::Zipf { exponent: 1.1 })
+        .with_payload_bytes(128);
+    let schedule = spec.schedule(10, 77);
+    run_workload(&mut sim, &schedule, spec.mode);
+    // The workload truly overlaps: at least 64 broadcasts were injected and every one
+    // was delivered by all 10 processes.
+    assert_eq!(sim.metrics().injected_count(), 64);
+    let correct = sim.correct_processes();
+    for &id in sim.metrics().injection_times.keys() {
+        assert_eq!(sim.metrics().delivered_count(id, &correct), 10, "{id}");
+    }
+    sim.metrics().canonical_text()
+}
+
+#[test]
+fn determinism_workload_64_concurrent_broadcasts_matches_golden() {
+    check_golden("workload_fig1_64bc", &workload_fig1_run());
+}
+
+/// The workload sweep matrix: arrival × source-selection shapes at quick scale, two
+/// seeds each, including a closed-loop point.
+fn workload_sweep_matrix() -> Vec<ExperimentSpec> {
+    let (n, k, f) = (16usize, 5usize, 2usize);
+    let shapes: Vec<(&str, WorkloadSpec)> = vec![
+        ("constant", WorkloadSpec::constant_rate(10_000, 20)),
+        (
+            "poisson-zipf",
+            WorkloadSpec::poisson(10_000, 20).with_sources(SourceSelection::Zipf { exponent: 1.2 }),
+        ),
+        ("bursty", WorkloadSpec::bursty(5, 500, 40_000, 20)),
+        ("closed", WorkloadSpec::constant_rate(0, 20).closed_loop(4)),
+    ];
+    let mut specs = Vec::new();
+    for (tag, workload) in shapes {
+        for run in 0..2u64 {
+            let mut params = ExperimentParams::new(n, k, f, Config::bdopt_mbd1(n, f));
+            params.payload_size = 64;
+            params.seed = 31 + run;
+            params.workload = Some(workload);
+            specs.push(ExperimentSpec::new(
+                format!("workload/{tag}/run={run}"),
+                6_000 + run,
+                params,
+            ));
+        }
+    }
+    specs
+}
+
+#[test]
+fn determinism_workload_sweep_1_2_8_workers_byte_identical_and_golden() {
+    let specs = workload_sweep_matrix();
+    let serial = run_sweep(&specs, 1);
+    let rendered = render_outcomes(&serial);
+    for workers in [2usize, 8] {
+        let parallel = run_sweep(&specs, workers);
+        assert_eq!(
+            rendered,
+            render_outcomes(&parallel),
+            "workload sweep metrics differ between 1 and {workers} workers"
+        );
+        assert_eq!(
+            serial, parallel,
+            "full workload outcomes (including latency histograms) differ with {workers} workers"
+        );
+    }
+    for outcome in &serial {
+        let stats = outcome
+            .record
+            .result
+            .workload
+            .as_ref()
+            .expect("workload runs fill workload stats");
+        assert!(stats.all_completed(), "{}: {stats:?}", outcome.label);
+    }
+    check_golden("workload_sweep_matrix", &rendered);
 }
 
 #[test]

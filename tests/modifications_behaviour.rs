@@ -32,6 +32,7 @@ fn run(
         stack: StackSpec::Bd,
         delay,
         seed: 13,
+        workload: None,
     };
     run_experiment_on_graph(&params, graph)
 }

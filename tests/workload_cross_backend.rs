@@ -1,0 +1,192 @@
+//! Cross-backend workload conformance: the same seeded [`WorkloadSpec`] firehoses the
+//! discrete-event simulator, the thread-per-process channel runtime and the TCP socket
+//! deployment — through the same `StackSpec`-built engines and the same generated
+//! injection schedule — and the three backends must agree.
+//!
+//! "Agree" means: for every process, the *set* of `(broadcast id, payload)` deliveries
+//! is identical across the backends (the delivery *order* legitimately differs under
+//! real concurrency), and each backend's logs satisfy all four BRB properties for every
+//! one of the concurrently injected broadcasts.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use brb_core::config::Config;
+use brb_core::stack::{DynStack, StackSpec};
+use brb_core::types::{BroadcastId, Delivery, Payload, ProcessId};
+use brb_core::Protocol;
+use brb_graph::generate;
+use brb_net::run_tcp_workload;
+use brb_runtime::deployment::run_threaded_workload;
+use brb_sim::invariants::{check_brb, BroadcastRecord};
+use brb_sim::workload::run_workload;
+use brb_sim::{DelayModel, Simulation};
+use brb_workload::{predicted_ids, WorkloadSpec};
+
+/// Normalizes a delivery log into the set the backends must agree on.
+fn delivery_set(log: &[Delivery]) -> BTreeSet<(BroadcastId, Payload)> {
+    log.iter().map(|d| (d.id, d.payload.clone())).collect()
+}
+
+/// Runs the workload schedule of `spec` under the simulator (through the encoded-frame
+/// `DynStack` path, the same codec path the deployments drive) and returns per-process
+/// delivery logs.
+fn simulate_workload(stack: StackSpec, spec: &WorkloadSpec, seed: u64) -> Vec<Vec<Delivery>> {
+    let graph = generate::figure1_example();
+    let config = Config::bdopt_mbd1(10, 1);
+    let processes: Vec<DynStack> = (0..graph.node_count())
+        .map(|i| stack.build_protocol(&config, &graph, i))
+        .collect();
+    let mut sim = Simulation::new(processes, DelayModel::synchronous(), 1);
+    let schedule = spec.schedule(graph.node_count(), seed);
+    run_workload(&mut sim, &schedule, spec.mode);
+    sim.processes()
+        .iter()
+        .map(|p| p.deliveries().to_vec())
+        .collect()
+}
+
+#[test]
+fn same_workload_spec_agrees_across_all_three_backends() {
+    let n = 10;
+    let seed = 2026;
+    // 24 broadcasts arriving 4 ms apart (well under the per-broadcast completion time,
+    // so many are in flight at once), round-robin over all ten sources.
+    let spec = WorkloadSpec::constant_rate(4_000, 24).with_payload_bytes(96);
+    let schedule = spec.schedule(n, seed);
+    let ids = predicted_ids(&schedule);
+    let everyone: Vec<ProcessId> = (0..n).collect();
+    let broadcasts: Vec<BroadcastRecord> = schedule
+        .iter()
+        .zip(&ids)
+        .map(|(injection, &id)| {
+            BroadcastRecord::new(injection.source, id, injection.payload.clone())
+        })
+        .collect();
+
+    for stack in [StackSpec::Bd, StackSpec::BrachaRoutedDolev] {
+        let graph = generate::figure1_example();
+        let config = Config::bdopt_mbd1(n, 1);
+
+        // 1. Discrete-event simulator.
+        let sim_logs = simulate_workload(stack, &spec, seed);
+
+        // 2. Channel runtime, driven by the generator thread.
+        let (threaded, threaded_run) = run_threaded_workload(
+            &graph,
+            config,
+            stack,
+            &spec,
+            seed,
+            &[],
+            Duration::from_secs(60),
+        );
+        assert!(threaded_run.all_completed(), "{stack}: {threaded_run:?}");
+
+        // 3. TCP sockets over loopback, same driver.
+        let (tcp, tcp_run) = run_tcp_workload(
+            &graph,
+            config,
+            stack,
+            &spec,
+            seed,
+            &[],
+            Duration::from_secs(60),
+        )
+        .expect("TCP deployment starts");
+        assert!(tcp_run.all_completed(), "{stack}: {tcp_run:?}");
+
+        // Identical per-process delivery sets, backend by backend.
+        for (p, sim_log) in sim_logs.iter().enumerate() {
+            let sim_set = delivery_set(sim_log);
+            assert_eq!(
+                sim_set.len(),
+                24,
+                "{stack}: process {p} must deliver all 24 broadcasts in the simulator"
+            );
+            assert_eq!(
+                sim_set,
+                delivery_set(&threaded.nodes[p].deliveries),
+                "{stack}: sim and channel runtime disagree at process {p}"
+            );
+            assert_eq!(
+                sim_set,
+                delivery_set(&tcp.nodes[p].deliveries),
+                "{stack}: sim and TCP disagree at process {p}"
+            );
+        }
+
+        // All four BRB properties hold per broadcast on every backend's logs.
+        for (backend, logs) in [
+            ("sim", sim_logs.clone()),
+            (
+                "runtime",
+                threaded
+                    .nodes
+                    .iter()
+                    .map(|n| n.deliveries.clone())
+                    .collect(),
+            ),
+            (
+                "tcp",
+                tcp.nodes.iter().map(|n| n.deliveries.clone()).collect(),
+            ),
+        ] {
+            let slices: Vec<&[Delivery]> = logs.iter().map(|l| l.as_slice()).collect();
+            check_brb(&slices, &everyone, &broadcasts)
+                .unwrap_or_else(|v| panic!("{stack} on {backend}: {v}"));
+        }
+    }
+}
+
+#[test]
+fn closed_loop_workload_agrees_across_backends_with_a_crash() {
+    // Closed loop (window 6) with a crashed process among the round-robin sources: the
+    // backends implement the window differently (virtual-time admission vs a live
+    // generator thread watching completions), but the delivered sets must still agree.
+    let n = 10;
+    let seed = 77;
+    let crashed = vec![7usize];
+    let spec = WorkloadSpec::constant_rate(0, 20)
+        .with_payload_bytes(48)
+        .closed_loop(6);
+    let graph = generate::figure1_example();
+    let config = Config::bdopt_mbd1(n, 1);
+    let correct: Vec<ProcessId> = (0..n).filter(|p| !crashed.contains(p)).collect();
+
+    // Simulator run with the crash.
+    let processes: Vec<DynStack> = (0..n)
+        .map(|i| StackSpec::Bd.build_protocol(&config, &graph, i))
+        .collect();
+    let mut sim = Simulation::new(processes, DelayModel::synchronous(), 1);
+    sim.set_behavior(7, brb_sim::Behavior::Crash);
+    let schedule = spec.schedule(n, seed);
+    run_workload(&mut sim, &schedule, spec.mode);
+    let sim_logs: Vec<Vec<Delivery>> = sim
+        .processes()
+        .iter()
+        .map(|p| p.deliveries().to_vec())
+        .collect();
+
+    let (threaded, run) = run_threaded_workload(
+        &graph,
+        config,
+        StackSpec::Bd,
+        &spec,
+        seed,
+        &crashed,
+        Duration::from_secs(60),
+    );
+    assert!(run.all_completed(), "{run:?}");
+    assert_eq!(run.effective, 18, "two of the 20 injections hit the crash");
+
+    for &p in &correct {
+        assert_eq!(
+            delivery_set(&sim_logs[p]),
+            delivery_set(&threaded.nodes[p].deliveries),
+            "sim and runtime disagree at process {p}"
+        );
+        assert_eq!(delivery_set(&sim_logs[p]).len(), 18);
+    }
+    assert!(threaded.nodes[7].deliveries.is_empty());
+}

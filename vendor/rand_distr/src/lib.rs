@@ -1,13 +1,22 @@
 //! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr) crate.
 //!
-//! Provides the [`Normal`] distribution (Box–Muller transform) and re-exports the
-//! [`Distribution`] trait from the vendored `rand`, which is all this workspace uses.
+//! Provides the [`Normal`] distribution (Box–Muller transform), the [`Exp`] exponential
+//! distribution (inversion method, used by the Poisson arrival process of the workload
+//! generator) and the [`Zipf`] distribution (precomputed-CDF inversion, used for skewed
+//! source selection), and re-exports the [`Distribution`] trait from the vendored
+//! `rand` — exactly the API subset this workspace uses.
 
 #![forbid(unsafe_code)]
 
 use rand::RngCore;
 
 pub use rand::distributions::Distribution;
+
+/// One uniform deviate in `[0, 1)` with 53 bits of precision, the shared primitive of the
+/// inversion-based samplers below.
+fn uniform_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
 
 /// Error returned by [`Normal::new`] for invalid parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +82,132 @@ impl Distribution<f64> for Normal {
     }
 }
 
+/// Error returned by [`Exp::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpError {
+    /// `lambda` was not finite and strictly positive.
+    LambdaTooSmall,
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpError::LambdaTooSmall => write!(f, "lambda must be finite and > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// The exponential distribution `Exp(lambda)` with rate `lambda` (mean `1 / lambda`).
+///
+/// Sampled by inversion: `-ln(1 - u) / lambda` with `u` uniform in `[0, 1)`, so one
+/// `next_u64` call per sample — the stream is a pure function of the RNG seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError::LambdaTooSmall`] unless `lambda` is finite and strictly
+    /// positive.
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ExpError::LambdaTooSmall);
+        }
+        Ok(Self { lambda })
+    }
+
+    /// The rate parameter `lambda`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u in [0, 1) makes 1 - u in (0, 1], so the logarithm is always finite.
+        let u = uniform_unit(rng);
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Error returned by [`Zipf::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// The number of elements was zero.
+    NTooSmall,
+    /// The exponent was negative or not finite.
+    STooSmall,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NTooSmall => write!(f, "number of elements must be >= 1"),
+            ZipfError::STooSmall => write!(f, "exponent must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf distribution over `{1, 2, …, n}` with exponent `s`: rank `k` has probability
+/// proportional to `1 / k^s` (`s = 0` is uniform).
+///
+/// Sampled by inversion on a precomputed cumulative table — `O(n)` memory, one
+/// `next_u64` plus a binary search per sample. The workloads that use it select among at
+/// most a few thousand processes, where the table is both exact and fast; the
+/// rejection-based sampler of the real `rand_distr` only wins for astronomically large
+/// `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` elements with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZipfError::NTooSmall`] if `n == 0`, [`ZipfError::STooSmall`] unless `s`
+    /// is finite and non-negative.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::STooSmall);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        Ok(Self { cdf })
+    }
+
+    /// Number of elements `n`.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let total = *self.cdf.last().expect("n >= 1");
+        let target = uniform_unit(rng) * total;
+        // First rank whose cumulative weight exceeds the target.
+        let index = self.cdf.partition_point(|&c| c <= target);
+        (index.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +244,89 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(normal.sample(&mut rng), 5.0);
         }
+    }
+
+    #[test]
+    fn exp_rejects_invalid_parameters() {
+        assert_eq!(Exp::new(0.0), Err(ExpError::LambdaTooSmall));
+        assert_eq!(Exp::new(-1.0), Err(ExpError::LambdaTooSmall));
+        assert_eq!(Exp::new(f64::NAN), Err(ExpError::LambdaTooSmall));
+        assert_eq!(Exp::new(f64::INFINITY), Err(ExpError::LambdaTooSmall));
+        assert_eq!(Exp::new(2.0).unwrap().lambda(), 2.0);
+    }
+
+    #[test]
+    fn exp_sample_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let exp = Exp::new(1.0 / 50.0).unwrap(); // mean 50
+        let samples: Vec<f64> = (0..8000).map(|_| exp.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| s >= 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 50.0).abs() < 2.5, "sample mean {mean}");
+    }
+
+    /// Pins the exact deterministic stream under the vendored xoshiro256** `StdRng`: the
+    /// workload generator's golden snapshots depend on these bits never changing.
+    #[test]
+    fn exp_stream_is_pinned_under_std_rng() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let exp = Exp::new(0.5).unwrap();
+        let samples: Vec<f64> = (0..4).map(|_| exp.sample(&mut rng)).collect();
+        let expected = [
+            0.17517866116683514,
+            0.9527847901575448,
+            2.279139903707755,
+            5.172362921973685,
+        ];
+        assert_eq!(samples, expected);
+    }
+
+    #[test]
+    fn zipf_rejects_invalid_parameters() {
+        assert_eq!(Zipf::new(0, 1.0), Err(ZipfError::NTooSmall));
+        assert_eq!(Zipf::new(5, -0.1), Err(ZipfError::STooSmall));
+        assert_eq!(Zipf::new(5, f64::NAN), Err(ZipfError::STooSmall));
+        assert_eq!(Zipf::new(5, 1.0).unwrap().n(), 5);
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range_and_skew_low() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let zipf = Zipf::new(10, 1.2).unwrap();
+        let mut counts = [0usize; 10];
+        for _ in 0..4000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1.0..=10.0).contains(&k));
+            assert_eq!(k, k.trunc(), "Zipf returns integral ranks");
+            counts[k as usize - 1] += 1;
+        }
+        assert!(
+            counts[0] > counts[4] && counts[4] > counts[9],
+            "rank frequencies must decrease: {counts:?}"
+        );
+        // Rank 1 carries ~34% of the mass for n = 10, s = 1.2.
+        assert!(counts[0] > 1000, "rank-1 count {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_with_zero_exponent_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let zipf = Zipf::new(4, 0.0).unwrap();
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng) as usize - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "uniform-ish counts: {counts:?}");
+        }
+    }
+
+    /// Pins the exact deterministic rank stream under the vendored `StdRng`.
+    #[test]
+    fn zipf_stream_is_pinned_under_std_rng() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let zipf = Zipf::new(8, 1.0).unwrap();
+        let ranks: Vec<f64> = (0..8).map(|_| zipf.sample(&mut rng)).collect();
+        assert_eq!(ranks, vec![1.0, 2.0, 4.0, 7.0, 8.0, 5.0, 4.0, 6.0]);
     }
 }

@@ -36,6 +36,7 @@ fn bench_full_broadcast(c: &mut Criterion) {
                 delay: DelayModel::synchronous(),
                 seed: 5,
                 workload: None,
+                behaviors: Vec::new(),
             };
             b.iter(|| {
                 let r = run_experiment_on_graph(&params, &graph);
@@ -66,6 +67,7 @@ fn bench_broadcast_n100(c: &mut Criterion) {
         delay: DelayModel::synchronous(),
         seed: 7,
         workload: None,
+        behaviors: Vec::new(),
     };
     group.bench_function("bdw_preset", |b| {
         b.iter(|| {
@@ -94,6 +96,7 @@ fn bench_sweep_workers(c: &mut Criterion) {
                 delay: DelayModel::synchronous(),
                 seed: 1 + run,
                 workload: None,
+                behaviors: Vec::new(),
             };
             ExperimentSpec::new(format!("bench/run={run}"), 5_000 + run, params)
         })

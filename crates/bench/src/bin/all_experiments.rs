@@ -2,11 +2,17 @@
 //! results — the one-stop reproduction of the paper's evaluation section.
 //!
 //! Usage: `cargo run --release -p brb-bench --bin all_experiments [-- --quick] [-- --async]
-//! [-- --workers N] [-- --stack NAME] [-- --csv PATH] [-- --workload]`
+//! [-- --workers N] [-- --stack NAME] [-- --csv PATH] [-- --workload] [-- --behaviors]`
 //!
 //! `--workload` additionally runs the multi-broadcast workload sweep (arrival process ×
 //! source selection; see `brb_bench::workload`), emitting per-point throughput and
 //! `p50`/`p90`/`p99` latency columns in the `workload` CSV section.
+//!
+//! `--behaviors` additionally runs the Byzantine behavior matrix (every
+//! `brb_sim::Behavior` scenario on the simulator, the channel runtime and the TCP
+//! deployment; see `brb_bench::behaviors`), emitting rows tagged in the `behavior` CSV
+//! column — the live-backend rows report the deterministic delivery counts, the
+//! simulator rows additionally their exact message/byte totals.
 //!
 //! `--stack NAME` selects the protocol stack every harness sweeps (default `bd`, the
 //! paper's Bracha–Dolev combination; see `brb_core::stack::StackSpec` for the other
@@ -21,8 +27,8 @@
 use std::fmt::Write as _;
 
 use brb_bench::{
-    async_from_args, figures, stack_from_args, table1, workers_from_args, workload,
-    workload_from_args, Scale,
+    async_from_args, behaviors, behaviors_from_args, figures, stack_from_args, table1,
+    workers_from_args, workload, workload_from_args, Scale,
 };
 
 /// Fixed-format float rendering used for every CSV cell, so the file is a pure function
@@ -50,7 +56,7 @@ fn main() {
                 .find_map(|a| a.strip_prefix("--csv=").map(str::to_string))
         });
 
-    let mut csv = String::from("section,stack,label,x,v1,v2,v3,v4,v5\n");
+    let mut csv = String::from("section,stack,behavior,label,x,v1,v2,v3,v4,v5\n");
 
     println!("==============================================================");
     for row in table1::run_table1(scale, asynchronous, workers, stack) {
@@ -58,7 +64,7 @@ fn main() {
         let (bmin, bmax) = row.bytes_range();
         let _ = writeln!(
             csv,
-            "table1,{stack},MBD.{},{},{},{},{},{},",
+            "table1,{stack},,MBD.{},{},{},{},{},{},",
             row.mbd,
             row.payload,
             cell(lmin),
@@ -71,7 +77,7 @@ fn main() {
     for p in figures::run_fig4(scale, asynchronous, workers, stack) {
         let _ = writeln!(
             csv,
-            "fig4,{stack},{},{},{},{},{},,",
+            "fig4,{stack},,{},{},{},{},{},,",
             p.label,
             p.k,
             cell(p.result.latency_ms),
@@ -83,7 +89,7 @@ fn main() {
     for p in figures::run_fig5(scale, asynchronous, workers, stack) {
         let _ = writeln!(
             csv,
-            "fig5,{stack},{},{},{},{},{},,",
+            "fig5,{stack},,{},{},{},{},{},,",
             p.label,
             p.k,
             cell(p.result.latency_ms),
@@ -96,7 +102,7 @@ fn main() {
     {
         let _ = writeln!(
             csv,
-            "fig6,{stack},\"{label}\",{k},{},{},,,",
+            "fig6,{stack},,\"{label}\",{k},{},{},,,",
             cell(bytes_var),
             cell(latency_var)
         );
@@ -105,7 +111,7 @@ fn main() {
     for (mbd, bytes, latency) in figures::run_fig7_to_10(scale, asynchronous, workers, stack) {
         let _ = writeln!(
             csv,
-            "fig7_to_10,{stack},MBD.{mbd},,{},{},{},{},{}",
+            "fig7_to_10,{stack},,MBD.{mbd},,{},{},{},{},{}",
             cell(bytes.p2_5),
             cell(bytes.median),
             cell(bytes.p97_5),
@@ -117,7 +123,7 @@ fn main() {
     for (n, paths, state) in figures::run_memory(scale, workers, stack) {
         let _ = writeln!(
             csv,
-            "memory,{stack},N={n},,{},{},,,",
+            "memory,{stack},,N={n},,{},{},,,",
             cell(paths),
             cell(state)
         );
@@ -127,7 +133,7 @@ fn main() {
         for p in workload::run_workload_sweep(scale, asynchronous, workers, stack) {
             let _ = writeln!(
                 csv,
-                "workload,{stack},{},{},{},{},{},{},{}",
+                "workload,{stack},,{},{},{},{},{},{},{}",
                 p.label,
                 p.interval_micros,
                 cell(p.stats.throughput_per_sec()),
@@ -135,6 +141,24 @@ fn main() {
                 cell(p.stats.p90_ms()),
                 cell(p.stats.p99_ms()),
                 p.stats.completed
+            );
+        }
+    }
+
+    if behaviors_from_args(&args) {
+        println!("==============================================================");
+        let fmt_opt = |v: Option<usize>| v.map_or(String::new(), |v| v.to_string());
+        for p in behaviors::run_behavior_matrix(scale, asynchronous, workers, stack) {
+            let _ = writeln!(
+                csv,
+                "behavior,{stack},{},{},{},{},{},{},{},",
+                p.scenario,
+                p.backend,
+                p.n,
+                p.delivered,
+                p.correct,
+                fmt_opt(p.messages),
+                fmt_opt(p.bytes),
             );
         }
     }

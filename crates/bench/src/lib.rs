@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod behaviors;
 pub mod figures;
 pub mod table1;
 pub mod workload;
@@ -74,6 +75,12 @@ pub fn async_from_args(args: &[String]) -> bool {
 /// (`--workload`; see [`workload::run_workload_sweep`]).
 pub fn workload_from_args(args: &[String]) -> bool {
     args.iter().any(|a| a == "--workload")
+}
+
+/// Whether the Byzantine behavior matrix was requested on the command line
+/// (`--behaviors`; see [`behaviors::run_behavior_matrix`]).
+pub fn behaviors_from_args(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--behaviors")
 }
 
 /// Parses the `--stack NAME` / `--stack=NAME` command-line option (defaults to the
@@ -265,6 +272,7 @@ pub fn experiment(
         delay,
         seed,
         workload: None,
+        behaviors: Vec::new(),
     }
 }
 

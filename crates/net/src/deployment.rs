@@ -4,12 +4,13 @@
 //! This is the closest in-repository analogue of the paper's testbed (Sec. 7.1): the paper
 //! runs one node per Docker container on a single desktop and connects them with TCP
 //! sockets; we run one node per thread in a single OS process and connect them with TCP
-//! sockets over the loopback interface. The node threads drive boxed
-//! [`brb_core::stack::DynEngine`]s, so the protocol engines, wire formats, and byte
-//! accounting are identical to the ones used by the discrete-event simulator (`brb-sim`)
-//! and the channel-based runtime (`brb-runtime`), making the three back ends directly
-//! comparable for every stack; the reports reuse `brb-runtime`'s [`NodeReport`] /
-//! [`DeploymentReport`] types for that reason.
+//! sockets over the loopback interface. The node threads are the shared
+//! [`brb_transport::NodeDriver`] — the exact event loop the channel runtime spawns — over
+//! a [`TcpTransport`] (socket write halves + the reader threads' mailbox), so the
+//! protocol engines, wire formats, byte accounting, fault decorators and delay models are
+//! identical across the discrete-event simulator (`brb-sim`), the channel runtime
+//! (`brb-runtime`) and this backend; the reports reuse the shared
+//! [`NodeReport`] / [`DeploymentReport`] types for that reason.
 
 use std::collections::HashMap;
 use std::net::TcpStream;
@@ -17,43 +18,58 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use brb_core::config::Config;
-use brb_core::stack::{DynEngine, StackSpec, WireAction, WireActionBuf};
+use brb_core::stack::StackSpec;
 use brb_core::types::{Delivery, Payload, ProcessId};
 use brb_graph::Graph;
-use brb_runtime::{DeploymentReport, NodeReport};
+use brb_transport::{
+    Command, DeploymentReport, DriverOptions, Frame, NodeDriver, NodeReport, Transport,
+};
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::endpoint::{bind_endpoints, connect_mesh, send_frame, spawn_link_reader};
 
-/// Options of a TCP deployment.
-#[derive(Debug, Clone)]
-pub struct TcpOptions {
-    /// Optional artificial per-message transmission delay (`mean ± uniform(jitter)`),
-    /// emulating the paper's 50 ms / 50 ± 50 ms regimes at wall-clock scale. `None`
-    /// transmits immediately, the usual setting for tests.
-    pub delay: Option<(Duration, Duration)>,
-    /// How long a node waits without traffic before it checks for shutdown.
-    pub idle_shutdown: Duration,
-    /// Seed for the per-node delay jitter.
-    pub seed: u64,
+/// Deprecated name of [`DriverOptions`], kept for one release: the TCP deployment and
+/// the channel runtime used to carry separately maintained options structs whose
+/// defaults could silently drift apart; both are now the same documented type.
+#[deprecated(since = "0.1.0", note = "use brb_transport::DriverOptions instead")]
+pub type TcpOptions = DriverOptions;
+
+/// The loopback-socket transport of one process: TCP write halves keyed by neighbor,
+/// plus the mailbox its per-link reader threads feed ([`spawn_link_reader`]).
+pub struct TcpTransport {
+    writers: HashMap<ProcessId, TcpStream>,
+    mailbox: Receiver<Frame>,
 }
 
-impl Default for TcpOptions {
-    fn default() -> Self {
-        Self {
-            delay: None,
-            idle_shutdown: Duration::from_millis(300),
-            seed: 1,
-        }
+impl TcpTransport {
+    /// Wraps one process's established write halves and its reader-thread mailbox.
+    pub fn new(writers: HashMap<ProcessId, TcpStream>, mailbox: Receiver<Frame>) -> Self {
+        Self { writers, mailbox }
     }
 }
 
-/// Commands sent from the deployment driver to a node thread.
-enum Command {
-    Broadcast(Payload),
-    Shutdown,
+impl Transport for TcpTransport {
+    fn inbound(&self) -> &Receiver<Frame> {
+        &self.mailbox
+    }
+
+    fn peers(&self) -> Vec<ProcessId> {
+        let mut peers: Vec<ProcessId> = self.writers.keys().copied().collect();
+        peers.sort_unstable();
+        peers
+    }
+
+    fn send(&mut self, to: ProcessId, frame: &Bytes, _wire_size: usize) -> usize {
+        if let Some(stream) = self.writers.get_mut(&to) {
+            // A failed write means the peer crashed or shut down, which the protocols
+            // tolerate; the frame still counts as transmitted.
+            let _ = send_frame(stream, frame);
+            1
+        } else {
+            0
+        }
+    }
 }
 
 /// A running TCP deployment.
@@ -68,11 +84,12 @@ pub struct TcpDeployment {
 }
 
 impl TcpDeployment {
-    /// Binds the endpoints, establishes the TCP mesh of `graph`, and spawns one protocol
-    /// thread per process, each running the `stack` engine built from the given
+    /// Binds the endpoints, establishes the TCP mesh of `graph`, and spawns one shared
+    /// [`NodeDriver`] per process, each running the `stack` engine built from the given
     /// configuration. `crashed` processes get endpoints and links (so their neighbors
     /// see an established connection, as for a process that crashes right after start-up)
-    /// but no protocol thread.
+    /// but no protocol thread; for a crash that keeps the protocol thread alive, assign
+    /// [`brb_sim::Behavior::Crash`] through [`DriverOptions::behaviors`] instead.
     ///
     /// # Errors
     ///
@@ -81,7 +98,7 @@ impl TcpDeployment {
         graph: &Graph,
         config: Config,
         stack: StackSpec,
-        options: TcpOptions,
+        options: DriverOptions,
         crashed: &[ProcessId],
     ) -> std::io::Result<Self> {
         let n = graph.node_count();
@@ -110,16 +127,14 @@ impl TcpDeployment {
             for (peer, stream) in node_links.readers {
                 spawn_link_reader(peer, stream, mailbox_tx.clone());
             }
-            let node = TcpNode {
-                engine: stack.build_shared(&config, &shared_graph, id),
-                actions: WireActionBuf::new(),
-                writers: node_links.writers,
-                mailbox: mailbox_rx,
-                commands: cmd_rx,
-                deliveries: delivery_tx.clone(),
-                options: options.clone(),
-            };
-            handles.push(std::thread::spawn(move || node.run()));
+            let driver = NodeDriver::new(
+                stack.build_shared(&config, &shared_graph, id),
+                Box::new(TcpTransport::new(node_links.writers, mailbox_rx)),
+                cmd_rx,
+                delivery_tx.clone(),
+                &options,
+            );
+            handles.push(std::thread::spawn(move || driver.run()));
         }
         Ok(Self {
             handles,
@@ -209,95 +224,6 @@ impl TcpDeployment {
     }
 }
 
-/// One protocol thread of the TCP deployment: a boxed engine, its socket write halves,
-/// and a reusable action sink.
-struct TcpNode {
-    engine: Box<dyn DynEngine>,
-    actions: WireActionBuf,
-    writers: HashMap<ProcessId, TcpStream>,
-    mailbox: Receiver<(ProcessId, Vec<u8>)>,
-    commands: Receiver<Command>,
-    deliveries: Sender<(ProcessId, Delivery)>,
-    options: TcpOptions,
-}
-
-impl TcpNode {
-    fn run(mut self) -> NodeReport {
-        let id = self.engine.process_id();
-        let mut messages_sent = 0usize;
-        let mut bytes_sent = 0usize;
-        let mut rng = StdRng::seed_from_u64(self.options.seed.wrapping_add(id as u64));
-        let mut shutting_down = false;
-        loop {
-            crossbeam::channel::select! {
-                recv(self.commands) -> cmd => match cmd {
-                    Ok(Command::Broadcast(payload)) => {
-                        self.engine.broadcast_wire(payload, &mut self.actions);
-                        self.dispatch(&mut messages_sent, &mut bytes_sent, &mut rng);
-                    }
-                    Ok(Command::Shutdown) | Err(_) => {
-                        shutting_down = true;
-                    }
-                },
-                recv(self.mailbox) -> frame => match frame {
-                    Ok((from, bytes)) => {
-                        // Malformed frames are dropped inside the engine; the node loop
-                        // never interprets the bytes itself.
-                        self.engine.handle_frame(from, &bytes, &mut self.actions);
-                        self.dispatch(&mut messages_sent, &mut bytes_sent, &mut rng);
-                    }
-                    Err(_) => shutting_down = true,
-                },
-                default(self.options.idle_shutdown) => {
-                    if shutting_down {
-                        break;
-                    }
-                }
-            }
-            if shutting_down && self.mailbox.is_empty() {
-                break;
-            }
-        }
-        NodeReport {
-            id,
-            deliveries: self.engine.deliveries().to_vec(),
-            messages_sent,
-            bytes_sent,
-        }
-    }
-
-    /// Executes the actions buffered by the last engine event: pre-encoded frames go to
-    /// the sockets, deliveries to the shared channel.
-    fn dispatch(&mut self, messages_sent: &mut usize, bytes_sent: &mut usize, rng: &mut StdRng) {
-        for action in self.actions.drain() {
-            match action {
-                WireAction::Send {
-                    to,
-                    frame,
-                    wire_size,
-                } => {
-                    if let Some((mean, jitter)) = self.options.delay {
-                        let jitter_micros = if jitter.as_micros() > 0 {
-                            rng.gen_range(0..=jitter.as_micros() as u64)
-                        } else {
-                            0
-                        };
-                        std::thread::sleep(mean + Duration::from_micros(jitter_micros));
-                    }
-                    if let Some(stream) = self.writers.get_mut(&to) {
-                        *messages_sent += 1;
-                        *bytes_sent += wire_size;
-                        let _ = send_frame(stream, &frame);
-                    }
-                }
-                WireAction::Deliver(delivery) => {
-                    let _ = self.deliveries.send((self.engine.process_id(), delivery));
-                }
-            }
-        }
-    }
-}
-
 /// Convenience wrapper: runs one broadcast of the given stack over TCP on `graph` and
 /// returns the deployment report once every correct process delivered (or the timeout
 /// expired).
@@ -314,7 +240,7 @@ pub fn run_tcp_broadcast(
     crashed: &[ProcessId],
     timeout: Duration,
 ) -> std::io::Result<DeploymentReport> {
-    let deployment = TcpDeployment::start(graph, config, stack, TcpOptions::default(), crashed)?;
+    let deployment = TcpDeployment::start(graph, config, stack, DriverOptions::default(), crashed)?;
     deployment.broadcast(source, payload);
     let expected = graph.node_count() - crashed.len();
     deployment.await_deliveries(expected, timeout);
@@ -338,7 +264,7 @@ pub fn run_tcp_workload(
     timeout: Duration,
 ) -> std::io::Result<(DeploymentReport, brb_runtime::WorkloadRun)> {
     let n = graph.node_count();
-    let deployment = TcpDeployment::start(graph, config, stack, TcpOptions::default(), crashed)?;
+    let deployment = TcpDeployment::start(graph, config, stack, DriverOptions::default(), crashed)?;
     let schedule = spec.schedule(n, seed);
     let correct: Vec<ProcessId> = (0..n).filter(|p| !crashed.contains(p)).collect();
     let run = deployment.run_workload(
@@ -355,6 +281,7 @@ pub fn run_tcp_workload(
 mod tests {
     use super::*;
     use brb_graph::generate;
+    use brb_sim::Behavior;
 
     #[test]
     fn tcp_workload_firehoses_the_socket_deployment() {
@@ -431,7 +358,7 @@ mod tests {
         let graph = generate::ring(4);
         let config = Config::plain(4, 0);
         let deployment =
-            TcpDeployment::start(&graph, config, StackSpec::Bd, TcpOptions::default(), &[])
+            TcpDeployment::start(&graph, config, StackSpec::Bd, DriverOptions::default(), &[])
                 .unwrap();
         assert_eq!(deployment.process_count(), 4);
         // No broadcast: awaiting deliveries times out at zero.
@@ -461,5 +388,22 @@ mod tests {
         .expect("deployment starts");
         let everyone: Vec<ProcessId> = (0..10).collect();
         assert!(report.all_delivered(&everyone, 1));
+    }
+
+    #[test]
+    fn behavior_decorators_run_over_real_sockets() {
+        // A SilentTowards adversary on real TCP links: process 3 drops every frame
+        // addressed to its victims, who still deliver through their other neighbors.
+        let graph = generate::figure1_example();
+        let config = Config::bdopt_mbd1(10, 1);
+        let options =
+            DriverOptions::default().with_behaviors(vec![(3, Behavior::SilentTowards(vec![2, 6]))]);
+        let deployment = TcpDeployment::start(&graph, config, StackSpec::Bd, options, &[])
+            .expect("deployment starts");
+        deployment.broadcast(0, Payload::from("targeted over tcp"));
+        deployment.await_deliveries(10, Duration::from_secs(20));
+        let report = deployment.shutdown();
+        let correct: Vec<ProcessId> = (0..10).filter(|&p| p != 3).collect();
+        assert!(report.all_delivered(&correct, 1));
     }
 }

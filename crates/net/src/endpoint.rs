@@ -16,6 +16,8 @@ use std::time::Duration;
 
 use brb_core::types::ProcessId;
 use brb_graph::Graph;
+use brb_transport::Frame;
+use bytes::Bytes;
 use crossbeam::channel::Sender;
 
 use crate::frame::{read_frame, read_handshake, write_frame, write_handshake};
@@ -140,19 +142,24 @@ pub fn connect_mesh(graph: &Graph, endpoints: &[Endpoint]) -> io::Result<Vec<Nod
 }
 
 /// Spawns a reader thread for one inbound link: every decoded frame is forwarded to the
-/// node's mailbox tagged with the authenticated peer identity. The thread exits when the
-/// peer closes or the stream is shut down.
+/// node's mailbox as an authenticated [`Frame`] tagged with the peer identity (the
+/// common inbound currency of every [`brb_transport::Transport`]). The thread exits when
+/// the peer closes or the stream is shut down.
 pub fn spawn_link_reader(
     peer: ProcessId,
     stream: TcpStream,
-    mailbox: Sender<(ProcessId, Vec<u8>)>,
+    mailbox: Sender<Frame>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         let mut reader = BufReader::new(stream);
         loop {
             match read_frame(&mut reader) {
                 Ok(bytes) => {
-                    if mailbox.send((peer, bytes)).is_err() {
+                    let frame = Frame {
+                        from: peer,
+                        bytes: Bytes::from(bytes),
+                    };
+                    if mailbox.send(frame).is_err() {
                         return;
                     }
                 }
@@ -218,8 +225,12 @@ mod tests {
         ));
 
         let mut received: Vec<(ProcessId, Vec<u8>)> = vec![
-            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
-            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            rx.recv_timeout(Duration::from_secs(5))
+                .map(|f| (f.from, f.bytes.to_vec()))
+                .unwrap(),
+            rx.recv_timeout(Duration::from_secs(5))
+                .map(|f| (f.from, f.bytes.to_vec()))
+                .unwrap(),
         ];
         received.sort();
         assert_eq!(received[0], (0, b"from zero".to_vec()));

@@ -7,13 +7,13 @@
 //! Rust reproduction: one protocol thread per process inside a single OS process, and one
 //! real TCP connection over the loopback interface per edge of the communication graph.
 //!
-//! The deployment is **stack-generic**: [`TcpDeployment::start`] takes a
-//! [`brb_core::stack::StackSpec`] and drives the resulting boxed
-//! [`brb_core::stack::DynEngine`] over encoded wire frames, so every protocol stack of
-//! `brb-core` — the paper's Bracha–Dolev combination, the Bracha-over-RC stacks, and the
-//! bare reliable-communication substrates — runs over real sockets with the same engines,
-//! wire formats, and byte accounting used by the discrete-event simulator (`brb-sim`) and
-//! the channel runtime (`brb-runtime`).
+//! The deployment is **stack-generic** and **transport-generic**: [`TcpDeployment::start`]
+//! takes a [`brb_core::stack::StackSpec`] and spawns one shared
+//! [`brb_transport::NodeDriver`] per process over a [`deployment::TcpTransport`] — the
+//! exact event loop the channel runtime (`brb-runtime`) spawns over crossbeam links — so
+//! every protocol stack of `brb-core` runs over real sockets with the same engines, wire
+//! formats, byte accounting, Byzantine fault decorators and wall-clock delay models used
+//! by the other backends (configure them through [`brb_transport::DriverOptions`]).
 //!
 //! * [`frame`] — length-prefixed framing and the connection handshake;
 //! * [`endpoint`] — listener/connection establishment and per-link reader threads;
@@ -51,5 +51,8 @@ pub mod deployment;
 pub mod endpoint;
 pub mod frame;
 
-pub use deployment::{run_tcp_broadcast, run_tcp_workload, TcpDeployment, TcpOptions};
+pub use brb_transport::DriverOptions;
+#[allow(deprecated)]
+pub use deployment::TcpOptions;
+pub use deployment::{run_tcp_broadcast, run_tcp_workload, TcpDeployment, TcpTransport};
 pub use endpoint::{bind_endpoints, connect_mesh, Endpoint, NodeLinks};

@@ -1,93 +1,31 @@
 //! Thread-per-process deployment driving any [`StackSpec`]-selected protocol engine.
 //!
-//! Node threads hold a boxed [`DynEngine`] and move **encoded wire frames** between the
-//! crossbeam links: the deployment never decodes a frame itself, so the same loop runs
-//! the Bracha–Dolev combination, the Bracha-over-RC stacks, or any reliable-communication
-//! substrate of `brb-core`.
+//! Node threads run the shared [`brb_transport::NodeDriver`] over
+//! [`brb_transport::ChannelTransport`]s (crossbeam-channel authenticated links): the
+//! deployment itself is a thin constructor — wire the links, build the engines, spawn
+//! one driver per process — and never touches a frame. Fault injection and the paper's
+//! delay regimes come from [`DriverOptions`]: per-process [`brb_sim::Behavior`]s and a
+//! wall-clock-scaled [`brb_sim::DelayModel`] are applied as transport decorators, the
+//! same scenario vocabulary the discrete-event simulator uses.
 
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use brb_core::config::Config;
-use brb_core::stack::{DynEngine, StackSpec, WireAction, WireActionBuf};
+use brb_core::stack::StackSpec;
 use brb_core::types::{Delivery, Payload, ProcessId};
 use brb_graph::Graph;
+use brb_transport::{build_links, ChannelTransport, Command, DriverOptions, NodeDriver};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use crate::link::{build_links, AuthenticatedSender, Mailbox};
+pub use brb_transport::{DeploymentReport, NodeReport};
 
-/// Options of a threaded deployment.
-#[derive(Debug, Clone)]
-pub struct RuntimeOptions {
-    /// Optional artificial per-message transmission delay. `None` transmits immediately
-    /// (the usual setting for tests); `Some((mean, jitter))` sleeps for
-    /// `mean ± uniform(jitter)` before handing the message to the link, emulating the
-    /// paper's 50 ms / 50 ± 50 ms regimes at wall-clock scale.
-    pub delay: Option<(Duration, Duration)>,
-    /// How long a node waits without any traffic before it considers the broadcast
-    /// quiesced and shuts down.
-    pub idle_shutdown: Duration,
-    /// Seed for the per-node delay jitter.
-    pub seed: u64,
-}
-
-impl Default for RuntimeOptions {
-    fn default() -> Self {
-        Self {
-            delay: None,
-            idle_shutdown: Duration::from_millis(300),
-            seed: 1,
-        }
-    }
-}
-
-/// Commands sent from the deployment driver to a node thread.
-enum Command {
-    Broadcast(Payload),
-    Shutdown,
-}
-
-/// Final report of one node thread.
-#[derive(Debug, Clone)]
-pub struct NodeReport {
-    /// Identifier of the process.
-    pub id: ProcessId,
-    /// Payloads delivered by the process, in delivery order.
-    pub deliveries: Vec<Delivery>,
-    /// Number of messages the process put on its links.
-    pub messages_sent: usize,
-    /// Total bytes the process put on its links (Table 3 accounting).
-    pub bytes_sent: usize,
-}
-
-/// Aggregated report of a whole deployment run.
-#[derive(Debug, Clone)]
-pub struct DeploymentReport {
-    /// Per-node reports, indexed by process identifier.
-    pub nodes: Vec<NodeReport>,
-}
-
-impl DeploymentReport {
-    /// Total number of messages transmitted.
-    pub fn total_messages(&self) -> usize {
-        self.nodes.iter().map(|n| n.messages_sent).sum()
-    }
-
-    /// Total bytes transmitted.
-    pub fn total_bytes(&self) -> usize {
-        self.nodes.iter().map(|n| n.bytes_sent).sum()
-    }
-
-    /// Whether every listed process delivered exactly `expected` payloads.
-    pub fn all_delivered(&self, processes: &[ProcessId], expected: usize) -> bool {
-        processes
-            .iter()
-            .all(|&p| self.nodes[p].deliveries.len() == expected)
-    }
-}
+/// Deprecated name of [`DriverOptions`], kept for one release: the channel runtime and
+/// the TCP deployment used to carry separately maintained options structs whose defaults
+/// could silently drift apart; both are now the same documented type.
+#[deprecated(since = "0.1.0", note = "use brb_transport::DriverOptions instead")]
+pub type RuntimeOptions = DriverOptions;
 
 /// A running thread-per-process deployment.
 pub struct Deployment {
@@ -98,15 +36,17 @@ pub struct Deployment {
 }
 
 impl Deployment {
-    /// Spawns one thread per process of `graph`, each running the `stack` engine built
-    /// from the given configuration. `crashed` processes are not spawned at all (their
-    /// links are dead, which is indistinguishable from a silent Byzantine process for the
-    /// others).
+    /// Spawns one thread per process of `graph`, each running the shared
+    /// [`NodeDriver`] over the `stack` engine built from the given configuration.
+    /// `crashed` processes are not spawned at all (their links are dead, which is
+    /// indistinguishable from a silent Byzantine process for the others); for a crash
+    /// that keeps the links up, assign [`brb_sim::Behavior::Crash`] through
+    /// [`DriverOptions::behaviors`] instead.
     pub fn start(
         graph: &Graph,
         config: Config,
         stack: StackSpec,
-        options: RuntimeOptions,
+        options: DriverOptions,
         crashed: &[ProcessId],
     ) -> Self {
         let n = graph.node_count();
@@ -116,28 +56,20 @@ impl Deployment {
         let (delivery_tx, delivery_rx) = unbounded();
         let mut commands = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
-        let mut mailboxes: Vec<Option<Mailbox>> = mailboxes.into_iter().map(Some).collect();
-        let mut senders: Vec<Option<Vec<AuthenticatedSender>>> =
-            senders.into_iter().map(Some).collect();
-        for id in 0..n {
+        for (id, (mailbox, links)) in mailboxes.into_iter().zip(senders).enumerate() {
             let (cmd_tx, cmd_rx) = unbounded();
             commands.push(cmd_tx);
             if crashed.contains(&id) {
                 continue;
             }
-            let mailbox = mailboxes[id].take().expect("mailbox taken once");
-            let links = senders[id].take().expect("links taken once");
-            let engine = stack.build_shared(&config, &shared_graph, id);
-            let node = Node {
-                engine,
-                actions: WireActionBuf::new(),
-                mailbox,
-                links,
-                commands: cmd_rx,
-                deliveries: delivery_tx.clone(),
-                options: options.clone(),
-            };
-            handles.push(std::thread::spawn(move || node.run()));
+            let driver = NodeDriver::new(
+                stack.build_shared(&config, &shared_graph, id),
+                Box::new(ChannelTransport::new(mailbox, links)),
+                cmd_rx,
+                delivery_tx.clone(),
+                &options,
+            );
+            handles.push(std::thread::spawn(move || driver.run()));
         }
         Self {
             handles,
@@ -222,97 +154,6 @@ impl Deployment {
     }
 }
 
-/// One node thread: the boxed protocol engine plus its links and its reusable action
-/// sink.
-struct Node {
-    engine: Box<dyn DynEngine>,
-    actions: WireActionBuf,
-    mailbox: Mailbox,
-    links: Vec<AuthenticatedSender>,
-    commands: Receiver<Command>,
-    deliveries: Sender<(ProcessId, Delivery)>,
-    options: RuntimeOptions,
-}
-
-impl Node {
-    fn run(mut self) -> NodeReport {
-        let id = self.engine.process_id();
-        let mut messages_sent = 0usize;
-        let mut bytes_sent = 0usize;
-        let mut rng = StdRng::seed_from_u64(self.options.seed.wrapping_add(id as u64));
-        let mut shutting_down = false;
-        loop {
-            crossbeam::channel::select! {
-                recv(self.commands) -> cmd => match cmd {
-                    Ok(Command::Broadcast(payload)) => {
-                        self.engine.broadcast_wire(payload, &mut self.actions);
-                        self.dispatch(&mut messages_sent, &mut bytes_sent, &mut rng);
-                    }
-                    Ok(Command::Shutdown) | Err(_) => {
-                        shutting_down = true;
-                    }
-                },
-                recv(self.mailbox.receiver()) -> frame => match frame {
-                    Ok(frame) => {
-                        self.engine.handle_frame(frame.from, &frame.bytes, &mut self.actions);
-                        self.dispatch(&mut messages_sent, &mut bytes_sent, &mut rng);
-                    }
-                    Err(_) => shutting_down = true,
-                },
-                default(self.options.idle_shutdown) => {
-                    if shutting_down {
-                        break;
-                    }
-                }
-            }
-            if shutting_down && self.mailbox.receiver().is_empty() {
-                break;
-            }
-        }
-        NodeReport {
-            id,
-            deliveries: self.engine.deliveries().to_vec(),
-            messages_sent,
-            bytes_sent,
-        }
-    }
-
-    /// Executes the actions buffered by the last engine event: pre-encoded frames go to
-    /// the links, deliveries to the shared channel. The buffer is drained in place, so
-    /// the steady-state loop reuses its action buffers instead of allocating per event.
-    fn dispatch(&mut self, messages_sent: &mut usize, bytes_sent: &mut usize, rng: &mut StdRng) {
-        for action in self.actions.drain() {
-            match action {
-                WireAction::Send {
-                    to,
-                    frame,
-                    wire_size,
-                } => {
-                    if let Some((mean, jitter)) = self.options.delay {
-                        // Coarse wall-clock delay emulation; precise delay distributions
-                        // are the simulator's job (`brb-sim`), the runtime demonstrates
-                        // liveness under real concurrency.
-                        let jitter_micros = if jitter.as_micros() > 0 {
-                            rng.gen_range(0..=jitter.as_micros() as u64)
-                        } else {
-                            0
-                        };
-                        std::thread::sleep(mean + Duration::from_micros(jitter_micros));
-                    }
-                    if let Some(link) = self.links.iter().find(|l| l.peer() == to) {
-                        *messages_sent += 1;
-                        *bytes_sent += wire_size;
-                        let _ = link.send(frame);
-                    }
-                }
-                WireAction::Deliver(delivery) => {
-                    let _ = self.deliveries.send((self.engine.process_id(), delivery));
-                }
-            }
-        }
-    }
-}
-
 /// Convenience wrapper: runs one broadcast of the given stack on `graph` and returns the
 /// deployment report once every correct process delivered (or the timeout expired).
 pub fn run_threaded_broadcast(
@@ -324,7 +165,7 @@ pub fn run_threaded_broadcast(
     crashed: &[ProcessId],
     timeout: Duration,
 ) -> DeploymentReport {
-    let deployment = Deployment::start(graph, config, stack, RuntimeOptions::default(), crashed);
+    let deployment = Deployment::start(graph, config, stack, DriverOptions::default(), crashed);
     deployment.broadcast(source, payload);
     let expected = graph.node_count() - crashed.len();
     deployment.await_deliveries(expected, timeout);
@@ -345,7 +186,7 @@ pub fn run_threaded_workload(
     timeout: Duration,
 ) -> (DeploymentReport, crate::workload::WorkloadRun) {
     let n = graph.node_count();
-    let deployment = Deployment::start(graph, config, stack, RuntimeOptions::default(), crashed);
+    let deployment = Deployment::start(graph, config, stack, DriverOptions::default(), crashed);
     let schedule = spec.schedule(n, seed);
     let correct: Vec<ProcessId> = (0..n).filter(|p| !crashed.contains(p)).collect();
     let run = deployment.run_workload(
@@ -385,6 +226,8 @@ impl DeliveryLog {
 mod tests {
     use super::*;
     use brb_graph::generate;
+    use brb_sim::Behavior;
+    use brb_transport::LinkDelay;
 
     #[test]
     fn threaded_broadcast_delivers_everywhere() {
@@ -451,6 +294,59 @@ mod tests {
     }
 
     #[test]
+    fn behavior_decorators_inject_faults_into_the_live_deployment() {
+        // One process replays every frame, another drops everything towards two victims:
+        // the sim's scenario vocabulary, running on the live channel backend through the
+        // FaultyLink decorators. Every correct process still delivers (f = 1 per the
+        // quorum margins; the two Byzantine nodes also deliver since their inbound links
+        // are intact).
+        let graph = generate::figure1_example();
+        let config = Config::bdopt_mbd1(10, 1);
+        let options = DriverOptions::default()
+            .with_behaviors(vec![(4, Behavior::Replayer), (7, Behavior::Crash)]);
+        let deployment = Deployment::start(&graph, config, StackSpec::Bd, options, &[]);
+        deployment.broadcast(0, Payload::from("faulted"));
+        deployment.await_deliveries(9, Duration::from_secs(10));
+        let report = deployment.shutdown();
+        let correct: Vec<ProcessId> = (0..10).filter(|&p| p != 4 && p != 7).collect();
+        assert!(report.all_delivered(&correct, 1));
+        assert!(
+            report.nodes[7].deliveries.is_empty(),
+            "behavior-crashed node delivers nothing"
+        );
+        assert_eq!(report.nodes[7].messages_sent, 0);
+        assert!(
+            report.nodes[4].messages_sent > 0,
+            "the replayer transmits (twice per frame)"
+        );
+    }
+
+    #[test]
+    fn scaled_delay_model_runs_on_the_live_deployment() {
+        // The paper's 50 ms synchronous regime compressed 100x: frames take ~0.5 ms per
+        // hop, so the broadcast completes but measurably slower than the undelayed run.
+        let graph = generate::figure1_example();
+        let config = Config::bdopt_mbd1(10, 1);
+        let options = DriverOptions::default().with_link_delay(LinkDelay::Scaled {
+            model: brb_sim::DelayModel::synchronous(),
+            scale: 0.01,
+        });
+        let deployment = Deployment::start(&graph, config, StackSpec::Bd, options, &[]);
+        let start = std::time::Instant::now();
+        deployment.broadcast(0, Payload::from("paced"));
+        let seen = deployment.await_deliveries(10, Duration::from_secs(30));
+        let elapsed = start.elapsed();
+        let report = deployment.shutdown();
+        assert_eq!(seen, 10);
+        let everyone: Vec<ProcessId> = (0..10).collect();
+        assert!(report.all_delivered(&everyone, 1));
+        assert!(
+            elapsed >= Duration::from_millis(1),
+            "two 0.5 ms hops minimum, got {elapsed:?}"
+        );
+    }
+
+    #[test]
     fn threaded_workload_firehoses_every_source() {
         let graph = generate::figure1_example();
         let config = Config::bdopt_mbd1(10, 1);
@@ -461,6 +357,11 @@ mod tests {
         assert_eq!(run.injected, 20);
         assert_eq!(run.effective, 20);
         assert!(run.all_completed(), "{run:?}");
+        assert_eq!(
+            run.broadcast_latencies.len(),
+            20,
+            "every completed broadcast reports a wall-clock latency"
+        );
         let everyone: Vec<ProcessId> = (0..10).collect();
         // Every process delivers all 20 broadcasts.
         assert!(report.all_delivered(&everyone, 20));
@@ -504,29 +405,5 @@ mod tests {
             },
         );
         assert_eq!(log.snapshot().len(), 1);
-    }
-
-    #[test]
-    fn report_accessors() {
-        let report = DeploymentReport {
-            nodes: vec![
-                NodeReport {
-                    id: 0,
-                    deliveries: vec![],
-                    messages_sent: 2,
-                    bytes_sent: 10,
-                },
-                NodeReport {
-                    id: 1,
-                    deliveries: vec![],
-                    messages_sent: 3,
-                    bytes_sent: 20,
-                },
-            ],
-        };
-        assert_eq!(report.total_messages(), 5);
-        assert_eq!(report.total_bytes(), 30);
-        assert!(!report.all_delivered(&[0, 1], 1));
-        assert!(report.all_delivered(&[0, 1], 0));
     }
 }

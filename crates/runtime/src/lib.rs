@@ -6,20 +6,26 @@
 //! process runs in its own OS thread, exchanging **binary-encoded** wire messages over
 //! crossbeam channels that play the role of authenticated point-to-point links.
 //!
-//! The deployment is **stack-generic**: [`Deployment::start`] takes a
-//! [`brb_core::stack::StackSpec`] and drives the resulting boxed
-//! [`brb_core::stack::DynEngine`], so the paper's Bracha–Dolev combination, the
-//! Bracha-over-RC stacks (routed Dolev, CPA) and the bare reliable-communication
-//! substrates all run under real concurrency through the same node loop — the exact same
-//! engines the deterministic simulator (`brb-sim`) drives, which is what lets the
-//! integration tests compare the backends event for event.
+//! The deployment is **stack-generic** and **transport-generic**: [`Deployment::start`]
+//! takes a [`brb_core::stack::StackSpec`] and spawns one shared
+//! [`brb_transport::NodeDriver`] per process over a
+//! [`brb_transport::ChannelTransport`] — the exact same event loop the TCP deployment
+//! (`brb-net`) runs over real sockets, and the exact same engines the deterministic
+//! simulator (`brb-sim`) drives, which is what lets the integration tests compare the
+//! backends event for event. Byzantine fault injection and the paper's delay regimes are
+//! configured through [`brb_transport::DriverOptions`] (per-process
+//! [`brb_sim::Behavior`]s, wall-clock-scaled [`brb_sim::DelayModel`]s) and applied as
+//! transport decorators; see `brb_transport::policy`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod deployment;
-pub mod link;
 pub mod workload;
 
-pub use deployment::{Deployment, DeploymentReport, NodeReport, RuntimeOptions};
+pub use brb_transport::link;
+pub use brb_transport::DriverOptions;
+#[allow(deprecated)]
+pub use deployment::RuntimeOptions;
+pub use deployment::{Deployment, DeploymentReport, NodeReport};
 pub use workload::{drive_workload, Pacing, WorkloadRun};

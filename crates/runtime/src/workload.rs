@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use brb_core::types::{BroadcastId, Delivery, Payload, ProcessId};
 use brb_workload::{predicted_ids, Injection, LoopMode};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
+use parking_lot::Mutex;
 
 /// How the generator thread maps the schedule's virtual arrival times to wall-clock
 /// injection times.
@@ -34,8 +35,10 @@ pub enum Pacing {
     Scaled(f64),
 }
 
-/// What the driver observed: injection, completion and delivery counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What the driver observed: injection, completion and delivery counts, plus the
+/// per-broadcast wall-clock latencies the paced deployment study compares against the
+/// simulator's virtual-time predictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkloadRun {
     /// Injections fired into the deployment (including no-op injections at crashed
     /// sources).
@@ -46,6 +49,9 @@ pub struct WorkloadRun {
     pub completed: usize,
     /// Total delivery events observed.
     pub deliveries_seen: usize,
+    /// Wall-clock time from a broadcast's injection until its delivery by every correct
+    /// process, in microseconds, one entry per completed broadcast in completion order.
+    pub broadcast_latencies: Vec<(BroadcastId, u64)>,
 }
 
 impl WorkloadRun {
@@ -87,14 +93,18 @@ where
     let injected = AtomicUsize::new(0);
     let deadline = Instant::now() + timeout;
     let start = Instant::now();
+    // Injection wall-clock instants, recorded by the generator as it fires and read by
+    // the completion tracker to compute per-broadcast latencies.
+    let injection_instants: Mutex<HashMap<BroadcastId, Instant>> = Mutex::new(HashMap::new());
 
     let mut deliveries_seen = 0usize;
+    let mut broadcast_latencies: Vec<(BroadcastId, u64)> = Vec::new();
     std::thread::scope(|scope| {
         // The generator driver thread: walks the schedule, paces, and honors the
         // closed-loop window by watching the shared completion counter.
         scope.spawn(|| {
             let mut effective_in_flight = 0usize;
-            for injection in schedule {
+            for (injection, &id) in schedule.iter().zip(&ids) {
                 if let Pacing::Scaled(scale) = pacing {
                     let due = start + Duration::from_micros(injection.at_micros).mul_f64(scale);
                     while Instant::now() < due {
@@ -113,6 +123,7 @@ where
                         std::thread::sleep(Duration::from_micros(200));
                     }
                 }
+                injection_instants.lock().insert(id, Instant::now());
                 inject(injection.source, injection.payload.clone());
                 injected.fetch_add(1, Ordering::Release);
                 if counts {
@@ -141,6 +152,10 @@ where
                     if *count == correct.len() && effective_ids.contains(&delivery.id) {
                         done += 1;
                         completed.fetch_add(1, Ordering::Release);
+                        if let Some(injected_at) = injection_instants.lock().get(&delivery.id) {
+                            let micros = injected_at.elapsed().as_micros() as u64;
+                            broadcast_latencies.push((delivery.id, micros));
+                        }
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => continue,
@@ -154,5 +169,6 @@ where
         effective,
         completed: completed.load(Ordering::Acquire),
         deliveries_seen,
+        broadcast_latencies,
     }
 }

@@ -57,6 +57,13 @@ pub struct ExperimentParams {
     /// (open or closed loop), filling [`ExperimentResult::workload`].
     #[serde(default)]
     pub workload: Option<WorkloadSpec>,
+    /// Byzantine behaviour assignments, `(process, behavior)`, applied on top of the
+    /// `crashed` count (and overriding it where they collide). The empty default
+    /// reproduces the paper's all-correct-but-crashed runs; the live deployments accept
+    /// the same assignments through `brb_transport::DriverOptions::behaviors`, so one
+    /// scenario description drives every backend.
+    #[serde(default)]
+    pub behaviors: Vec<(ProcessId, Behavior)>,
 }
 
 impl ExperimentParams {
@@ -74,6 +81,7 @@ impl ExperimentParams {
             delay: DelayModel::synchronous(),
             seed: 1,
             workload: None,
+            behaviors: Vec::new(),
         }
     }
 
@@ -86,6 +94,12 @@ impl ExperimentParams {
     /// Returns a copy of the parameters with a multi-broadcast workload installed.
     pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
         self.workload = Some(workload);
+        self
+    }
+
+    /// Returns a copy of the parameters with the given Byzantine behaviour assignments.
+    pub fn with_behaviors(mut self, behaviors: Vec<(ProcessId, Behavior)>) -> Self {
+        self.behaviors = behaviors;
         self
     }
 }
@@ -211,6 +225,10 @@ where
         let victim = params.n - 1 - offset;
         sim.set_behavior(victim, Behavior::Crash);
     }
+    // Explicit behaviour assignments come last, so they can refine the crash set.
+    for (process, behavior) in &params.behaviors {
+        sim.set_behavior(*process, behavior.clone());
+    }
     match &params.workload {
         None => {
             let source: ProcessId = 0;
@@ -305,6 +323,7 @@ mod tests {
             delay: DelayModel::synchronous(),
             seed: 11,
             workload: None,
+            behaviors: Vec::new(),
         }
     }
 
@@ -378,6 +397,19 @@ mod tests {
         let mut p = params(Config::bdopt_mbd1(16, 2));
         p.crashed = 3;
         run_experiment(&p);
+    }
+
+    #[test]
+    fn behavior_assignments_apply_to_the_simulation() {
+        let mut p = params(Config::bdopt_mbd1(16, 2));
+        p.behaviors = vec![
+            (3, Behavior::Lossy(0.3)),
+            (9, Behavior::SilentTowards(vec![1])),
+        ];
+        let r = run_experiment(&p);
+        assert_eq!(r.correct, 14, "byzantine processes leave the correct set");
+        assert!(r.complete(), "correct processes deliver despite the faults");
+        assert!(r.bytes > 0);
     }
 
     #[test]

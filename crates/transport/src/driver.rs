@@ -1,0 +1,454 @@
+//! The transport-generic node event loop shared by every live deployment.
+//!
+//! `brb-runtime` and `brb-net` used to each carry their own near-identical node loop
+//! (command handling, idle shutdown, jitter sleeps, `WireActionBuf` dispatch). The
+//! [`NodeDriver`] is that loop, written once against the [`Transport`] abstraction: a
+//! deployment builds one driver per process — a boxed [`DynEngine`], a decorated
+//! transport, a command channel and the shared delivery channel — spawns `run()` on a
+//! thread, and collects the [`NodeReport`]s at shutdown. The deployments themselves are
+//! thereby reduced to *constructors* (wire the links, build the engines, spawn drivers).
+
+use std::time::Duration;
+
+use brb_core::stack::{DynEngine, WireAction, WireActionBuf};
+use brb_core::types::{Delivery, Payload, ProcessId};
+use brb_sim::Behavior;
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::policy::{LinkDelay, LinkPolicy};
+use crate::transport::Transport;
+
+/// Commands a deployment sends to one of its node drivers.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Initiate the broadcast of the given payload.
+    Broadcast(Payload),
+    /// Finish processing pending traffic, then exit and report.
+    Shutdown,
+}
+
+/// Options of a live deployment, shared by the channel runtime and the TCP backend.
+///
+/// This replaces the former `RuntimeOptions` / `TcpOptions` pair, whose separately
+/// maintained `Default` impls had already started to drift apart in spirit (deprecated
+/// aliases remain for one release). On top of the old knobs it carries the
+/// [`LinkPolicy`] vocabulary: per-process Byzantine [`Behavior`]s and a wall-clock-scaled
+/// [`brb_sim::DelayModel`], so the simulator's scenario configurations run identically on
+/// the live backends.
+#[derive(Debug, Clone)]
+pub struct DriverOptions {
+    /// Legacy artificial per-frame transmission delay: `Some((mean, jitter))` delays
+    /// each outbound frame by `mean + uniform(0..=jitter)`, `None` transmits
+    /// immediately. The field is kept so code written against the old options structs
+    /// compiles unchanged, but the delay is now applied through the non-blocking
+    /// [`crate::policy::DelayedLink`] delay line: frames overlap in flight instead of
+    /// serializing the node loop with sleeps, so wall-clock latencies come out lower
+    /// than under the old implementation (and closer to the simulator's, which is the
+    /// point). Prefer [`DriverOptions::link_delay`], which expresses the same regime as
+    /// [`LinkDelay::MeanJitter`] and the paper's distributions as [`LinkDelay::Scaled`].
+    /// When set, it takes precedence over `link_delay`.
+    pub delay: Option<(Duration, Duration)>,
+    /// How long a node waits without any traffic before it considers the broadcast
+    /// quiesced and checks for shutdown. [`DriverOptions::default`] uses 300 ms.
+    pub idle_shutdown: Duration,
+    /// Base seed of the per-node RNG streams (delay jitter, behavior drop decisions);
+    /// process `i` derives its streams from `seed + i`.
+    pub seed: u64,
+    /// Byzantine behavior assignments, `(process, behavior)`. Unlisted processes are
+    /// [`Behavior::Correct`]; later entries override earlier ones. [`Behavior::Crash`]
+    /// spawns the node but makes it deaf and mute, indistinguishable from a process that
+    /// crashed at start-up.
+    pub behaviors: Vec<(ProcessId, Behavior)>,
+    /// Per-frame transmission delay applied on every node's outbound links.
+    pub link_delay: LinkDelay,
+}
+
+impl Default for DriverOptions {
+    /// The defaults the two deleted options structs both used (no delay, 300 ms idle
+    /// shutdown, seed 1), now stated once, plus all-correct behaviors and no link delay.
+    fn default() -> Self {
+        Self {
+            delay: None,
+            idle_shutdown: Duration::from_millis(300),
+            seed: 1,
+            behaviors: Vec::new(),
+            link_delay: LinkDelay::None,
+        }
+    }
+}
+
+impl DriverOptions {
+    /// The defaults every deployment shares: no delay, 300 ms idle shutdown, seed 1,
+    /// all-correct behaviors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with the given behavior assignments installed.
+    pub fn with_behaviors(mut self, behaviors: Vec<(ProcessId, Behavior)>) -> Self {
+        self.behaviors = behaviors;
+        self
+    }
+
+    /// Returns a copy with the given link delay installed.
+    pub fn with_link_delay(mut self, link_delay: LinkDelay) -> Self {
+        self.link_delay = link_delay;
+        self
+    }
+
+    /// The behavior assigned to `process` (the last matching entry wins).
+    pub fn behavior_of(&self, process: ProcessId) -> Behavior {
+        self.behaviors
+            .iter()
+            .rev()
+            .find(|(p, _)| *p == process)
+            .map(|(_, b)| b.clone())
+            .unwrap_or_default()
+    }
+
+    /// The [`LinkPolicy`] this options set resolves to for `process`: its assigned
+    /// behavior plus the deployment-wide link delay (the legacy
+    /// [`DriverOptions::delay`] field, when set, wins over
+    /// [`DriverOptions::link_delay`]).
+    pub fn policy_of(&self, process: ProcessId) -> LinkPolicy {
+        let delay = match self.delay {
+            Some((mean, jitter)) => LinkDelay::MeanJitter { mean, jitter },
+            None => self.link_delay.clone(),
+        };
+        LinkPolicy {
+            behavior: self.behavior_of(process),
+            delay,
+        }
+    }
+
+    /// Decorates `base` with the fault/delay policy resolved for `process`
+    /// (see [`LinkPolicy::decorate`]).
+    pub fn decorate(&self, process: ProcessId, base: Box<dyn Transport>) -> Box<dyn Transport> {
+        self.policy_of(process)
+            .decorate(base, self.seed.wrapping_add(process as u64))
+    }
+}
+
+/// Final report of one node driver.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Identifier of the process.
+    pub id: ProcessId,
+    /// Payloads delivered by the process, in delivery order.
+    pub deliveries: Vec<Delivery>,
+    /// Number of frames the process put on its links (amplified copies each count).
+    pub messages_sent: usize,
+    /// Total bytes the process put on its links (Table 3 accounting).
+    pub bytes_sent: usize,
+}
+
+/// Aggregated report of a whole deployment run.
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    /// Per-node reports, indexed by process identifier.
+    pub nodes: Vec<NodeReport>,
+}
+
+impl DeploymentReport {
+    /// Total number of messages transmitted.
+    pub fn total_messages(&self) -> usize {
+        self.nodes.iter().map(|n| n.messages_sent).sum()
+    }
+
+    /// Total bytes transmitted.
+    pub fn total_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Whether every listed process delivered exactly `expected` payloads.
+    pub fn all_delivered(&self, processes: &[ProcessId], expected: usize) -> bool {
+        processes
+            .iter()
+            .all(|&p| self.nodes[p].deliveries.len() == expected)
+    }
+}
+
+/// What the driver loop woke up on in one iteration.
+enum Wake {
+    Command(Option<Command>),
+    Frame(Option<crate::link::Frame>),
+    Idle,
+}
+
+/// One node of a live deployment: a boxed protocol engine, its (decorated) transport, a
+/// reusable action sink, and the command/delivery channels back to the deployment.
+///
+/// The driver's event loop is byte-for-byte the behavior the two per-backend loops used
+/// to implement: wake on a command or an inbound frame, feed the engine, dispatch the
+/// resulting [`WireAction`]s (frames to the transport, deliveries to the shared
+/// channel), and shut down once the shutdown command arrived and the inbound stream
+/// drained — with the idle timeout bounding how long quiescence detection waits.
+pub struct NodeDriver {
+    engine: Box<dyn DynEngine>,
+    actions: WireActionBuf,
+    transport: Box<dyn Transport>,
+    commands: Receiver<Command>,
+    deliveries: Sender<(ProcessId, Delivery)>,
+    idle_shutdown: Duration,
+    /// Whether the node processes inbound traffic and broadcast commands at all
+    /// (`false` only for [`Behavior::Crash`], whose outbound side the decorator already
+    /// silences).
+    receives: bool,
+}
+
+impl NodeDriver {
+    /// Builds the driver for `process`: decorates `transport` with the fault/delay
+    /// policy `options` resolves for this process and wires the channels.
+    pub fn new(
+        engine: Box<dyn DynEngine>,
+        transport: Box<dyn Transport>,
+        commands: Receiver<Command>,
+        deliveries: Sender<(ProcessId, Delivery)>,
+        options: &DriverOptions,
+    ) -> Self {
+        let id = engine.process_id();
+        let policy = options.policy_of(id);
+        let receives = policy.behavior.receives();
+        Self {
+            engine,
+            actions: WireActionBuf::new(),
+            transport: options.decorate(id, transport),
+            commands,
+            deliveries,
+            idle_shutdown: options.idle_shutdown,
+            receives,
+        }
+    }
+
+    /// Runs the node to completion (shutdown command or channel disconnection) and
+    /// reports what it delivered and transmitted. Deployments call this on a dedicated
+    /// thread, one per process.
+    pub fn run(mut self) -> NodeReport {
+        let id = self.engine.process_id();
+        let mut messages_sent = 0usize;
+        let mut bytes_sent = 0usize;
+        let mut shutting_down = false;
+        loop {
+            let wake = crossbeam::channel::select! {
+                recv(self.commands) -> cmd => Wake::Command(cmd.ok()),
+                recv(self.transport.inbound()) -> frame => Wake::Frame(frame.ok()),
+                default(self.idle_shutdown) => Wake::Idle,
+            };
+            match wake {
+                Wake::Command(Some(Command::Broadcast(payload))) => {
+                    if self.receives {
+                        self.engine.broadcast_wire(payload, &mut self.actions);
+                        self.dispatch(&mut messages_sent, &mut bytes_sent);
+                    }
+                }
+                Wake::Command(Some(Command::Shutdown)) | Wake::Command(None) => {
+                    shutting_down = true;
+                }
+                Wake::Frame(Some(frame)) => {
+                    // Malformed frames are dropped inside the engine; the driver never
+                    // interprets the bytes itself.
+                    if self.receives {
+                        self.engine
+                            .handle_frame(frame.from, &frame.bytes, &mut self.actions);
+                        self.dispatch(&mut messages_sent, &mut bytes_sent);
+                    }
+                }
+                Wake::Frame(None) => shutting_down = true,
+                Wake::Idle => {
+                    if shutting_down {
+                        break;
+                    }
+                }
+            }
+            if shutting_down && self.transport.inbound().is_empty() {
+                break;
+            }
+        }
+        NodeReport {
+            id,
+            deliveries: self.engine.deliveries().to_vec(),
+            messages_sent,
+            bytes_sent,
+        }
+    }
+
+    /// Executes the actions buffered by the last engine event: pre-encoded frames go to
+    /// the transport (which applies the link policy and reports how many copies it put
+    /// on the wire), deliveries to the shared channel. The buffer is drained in place,
+    /// so the steady-state loop reuses its action buffers instead of allocating per
+    /// event.
+    fn dispatch(&mut self, messages_sent: &mut usize, bytes_sent: &mut usize) {
+        for action in self.actions.drain() {
+            match action {
+                WireAction::Send {
+                    to,
+                    frame,
+                    wire_size,
+                } => {
+                    let copies = self.transport.send(to, &frame, wire_size);
+                    *messages_sent += copies;
+                    *bytes_sent += wire_size * copies;
+                }
+                WireAction::Deliver(delivery) => {
+                    let _ = self.deliveries.send((self.engine.process_id(), delivery));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::build_links;
+    use crate::transport::ChannelTransport;
+    use brb_core::config::Config;
+    use brb_core::stack::StackSpec;
+    use brb_graph::generate;
+    use crossbeam::channel::unbounded;
+
+    type MiniDeployment = (
+        Vec<Sender<Command>>,
+        Receiver<(ProcessId, Delivery)>,
+        Vec<std::thread::JoinHandle<NodeReport>>,
+    );
+
+    /// Spawns one driver per process of `graph` over channel links and returns the
+    /// command senders, the delivery receiver and the join handles — a miniature
+    /// deployment, built from nothing but this crate's public API.
+    fn spawn_drivers(
+        graph: &brb_graph::Graph,
+        config: Config,
+        options: &DriverOptions,
+    ) -> MiniDeployment {
+        let n = graph.node_count();
+        let (mailboxes, senders) = build_links(n, &graph.edges());
+        let (delivery_tx, delivery_rx) = unbounded();
+        let mut commands = Vec::new();
+        let mut handles = Vec::new();
+        for (id, (mailbox, links)) in mailboxes.into_iter().zip(senders).enumerate() {
+            let (cmd_tx, cmd_rx) = unbounded();
+            commands.push(cmd_tx);
+            let driver = NodeDriver::new(
+                StackSpec::Bd.build(&config, graph, id),
+                Box::new(ChannelTransport::new(mailbox, links)),
+                cmd_rx,
+                delivery_tx.clone(),
+                options,
+            );
+            handles.push(std::thread::spawn(move || driver.run()));
+        }
+        (commands, delivery_rx, handles)
+    }
+
+    fn shutdown(
+        commands: &[Sender<Command>],
+        handles: Vec<std::thread::JoinHandle<NodeReport>>,
+    ) -> Vec<NodeReport> {
+        for tx in commands {
+            let _ = tx.send(Command::Shutdown);
+        }
+        let mut reports: Vec<NodeReport> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        reports.sort_by_key(|r| r.id);
+        reports
+    }
+
+    #[test]
+    fn drivers_complete_a_broadcast_over_channel_links() {
+        let graph = generate::figure1_example();
+        let config = Config::bdopt_mbd1(10, 1);
+        let options = DriverOptions {
+            idle_shutdown: Duration::from_millis(100),
+            ..DriverOptions::default()
+        };
+        let (commands, deliveries, handles) = spawn_drivers(&graph, config, &options);
+        commands[0]
+            .send(Command::Broadcast(Payload::from("driver hello")))
+            .unwrap();
+        for _ in 0..10 {
+            deliveries.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        let reports = shutdown(&commands, handles);
+        assert!(reports.iter().all(|r| r.deliveries.len() == 1));
+        assert!(reports.iter().map(|r| r.messages_sent).sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn crash_behavior_makes_a_node_deaf_and_mute() {
+        let graph = generate::figure1_example();
+        let config = Config::bdopt_mbd1(10, 1);
+        let options = DriverOptions {
+            idle_shutdown: Duration::from_millis(100),
+            ..DriverOptions::default()
+        }
+        .with_behaviors(vec![(5, Behavior::Crash)]);
+        let (commands, deliveries, handles) = spawn_drivers(&graph, config, &options);
+        commands[0]
+            .send(Command::Broadcast(Payload::from("despite the crash")))
+            .unwrap();
+        for _ in 0..9 {
+            deliveries.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        let reports = shutdown(&commands, handles);
+        assert_eq!(
+            reports[5].deliveries.len(),
+            0,
+            "crashed node delivers nothing"
+        );
+        assert_eq!(reports[5].messages_sent, 0, "crashed node sends nothing");
+        for r in reports.iter().filter(|r| r.id != 5) {
+            assert_eq!(r.deliveries.len(), 1, "process {} must deliver", r.id);
+        }
+    }
+
+    #[test]
+    fn behavior_of_resolves_the_last_assignment() {
+        let options = DriverOptions::default()
+            .with_behaviors(vec![(2, Behavior::Crash), (2, Behavior::Replayer)]);
+        assert_eq!(options.behavior_of(2), Behavior::Replayer);
+        assert_eq!(options.behavior_of(0), Behavior::Correct);
+    }
+
+    #[test]
+    fn legacy_delay_field_wins_over_link_delay() {
+        let options = DriverOptions {
+            delay: Some((Duration::from_millis(1), Duration::ZERO)),
+            ..DriverOptions::default()
+        }
+        .with_link_delay(LinkDelay::Scaled {
+            model: brb_sim::DelayModel::synchronous(),
+            scale: 1.0,
+        });
+        assert_eq!(
+            options.policy_of(0).delay,
+            LinkDelay::MeanJitter {
+                mean: Duration::from_millis(1),
+                jitter: Duration::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = DeploymentReport {
+            nodes: vec![
+                NodeReport {
+                    id: 0,
+                    deliveries: vec![],
+                    messages_sent: 2,
+                    bytes_sent: 10,
+                },
+                NodeReport {
+                    id: 1,
+                    deliveries: vec![],
+                    messages_sent: 3,
+                    bytes_sent: 20,
+                },
+            ],
+        };
+        assert_eq!(report.total_messages(), 5);
+        assert_eq!(report.total_bytes(), 30);
+        assert!(!report.all_delivered(&[0, 1], 1));
+        assert!(report.all_delivered(&[0, 1], 0));
+    }
+}

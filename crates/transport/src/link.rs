@@ -1,10 +1,14 @@
 //! Authenticated links backed by crossbeam channels.
 //!
 //! An authenticated link guarantees that the identity of the sender cannot be forged
-//! (Sec. 3 of the paper). In this in-process deployment that guarantee is structural:
+//! (Sec. 3 of the paper). In the in-process deployments that guarantee is structural:
 //! each process holds one dedicated sender handle per outgoing link, and the frame put on
 //! the channel is tagged with the sending process identifier by the link itself, not by
 //! the (possibly Byzantine) protocol layer.
+//!
+//! This module used to live in `brb-runtime`; it moved here when the node loops of the
+//! channel and TCP deployments were unified into the shared [`crate::NodeDriver`], because
+//! the [`Frame`] type is the common inbound currency of every [`crate::Transport`].
 
 use brb_core::types::ProcessId;
 use bytes::Bytes;

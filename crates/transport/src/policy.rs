@@ -1,0 +1,384 @@
+//! Composable link decorators: the simulator's scenario vocabulary on live transports.
+//!
+//! The discrete-event simulator (`brb-sim`) has always been able to run the paper's
+//! evaluation scenarios — Byzantine [`Behavior`]s on chosen processes (Sec. 3's drop /
+//! duplicate / amplify adversaries) and the Sec. 7.1 delay regimes ([`DelayModel`]) —
+//! but the live backends could only run all-correct nodes under a crude `mean ± jitter`
+//! sleep. This module closes that gap with two [`Transport`] decorators:
+//!
+//! * [`FaultyLink`] applies a [`Behavior`] at the frame level: for every outbound frame
+//!   it asks [`Behavior::outbound_copies`] — the *same* decision procedure the simulator
+//!   uses — how many copies to put on the wire (0 drops, 2 replays, `n` floods);
+//! * [`DelayedLink`] applies a per-frame transmission delay through a background *delay
+//!   line*: either the legacy `mean ± uniform(jitter)` regime of the old node loops, or
+//!   a [`DelayModel`] sampled per copy and scaled to wall-clock time —
+//!   `Scaled { model, scale }` with `scale = 1.0` replays the paper's 50 ms / 50 ± 50 ms
+//!   regimes in real time, without blocking the sending node (delays act on the links in
+//!   parallel, as in the simulator).
+//!
+//! Decorators wrap any [`Transport`], so every future live-backend scenario is a
+//! one-line wrap instead of a forked node loop. [`crate::DriverOptions::decorate`]
+//! composes them in the canonical order (behavior outermost, so dropped frames incur no
+//! delay and amplified copies are delayed independently, matching the simulator).
+
+use std::time::{Duration, Instant};
+
+use brb_core::types::ProcessId;
+use brb_sim::{Behavior, DelayModel};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::link::Frame;
+use crate::transport::Transport;
+
+/// Per-frame transmission delay applied by a [`DelayedLink`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum LinkDelay {
+    /// Transmit immediately (the usual setting for tests).
+    #[default]
+    None,
+    /// The legacy regime of the old per-backend node loops: sleep for
+    /// `mean + uniform(0..=jitter)` before each outbound frame.
+    MeanJitter {
+        /// Mean transmission delay.
+        mean: Duration,
+        /// Upper bound of the uniform jitter added to the mean.
+        jitter: Duration,
+    },
+    /// Sample a [`DelayModel`] per transmitted copy and sleep for the sampled virtual
+    /// duration multiplied by `scale` — `1.0` replays the paper's regimes in real time,
+    /// smaller factors compress them so CI-sized runs stay fast while keeping the
+    /// *shape* of the delay distribution.
+    Scaled {
+        /// The simulator delay model to sample.
+        model: DelayModel,
+        /// Wall-clock scale factor applied to each sampled delay.
+        scale: f64,
+    },
+}
+
+impl LinkDelay {
+    /// Whether this delay ever sleeps.
+    pub fn is_none(&self) -> bool {
+        matches!(self, LinkDelay::None)
+    }
+}
+
+/// The frame-level fault and delay policy of one process's links: which [`Behavior`] its
+/// outbound frames are subjected to and which [`LinkDelay`] paces them.
+///
+/// This is the unit [`crate::DriverOptions`] resolves per process and
+/// [`LinkPolicy::decorate`] turns into a decorated [`Transport`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinkPolicy {
+    /// Byzantine behavior applied at the frame level ([`Behavior::Correct`] is a no-op
+    /// and adds no decorator).
+    pub behavior: Behavior,
+    /// Transmission delay applied per frame ([`LinkDelay::None`] adds no decorator).
+    pub delay: LinkDelay,
+}
+
+impl LinkPolicy {
+    /// Wraps `base` in the decorators this policy calls for, innermost first: the delay
+    /// line (each transmitted copy samples its own delay), then the behavior (dropped
+    /// frames never enter the line), mirroring the simulator's per-copy delay sampling.
+    ///
+    /// `seed` derives the decorators' RNG streams; give each process a distinct seed
+    /// (the driver uses `options.seed + process id`) so jitter and drop decisions are
+    /// uncorrelated across processes but reproducible per deployment.
+    pub fn decorate(&self, base: Box<dyn Transport>, seed: u64) -> Box<dyn Transport> {
+        let mut transport = base;
+        if !self.delay.is_none() {
+            transport = Box::new(DelayedLink::new(transport, self.delay.clone(), seed));
+        }
+        if self.behavior.is_byzantine() {
+            // A distinct stream from the jitter RNG, so enabling a delay model does not
+            // shift which frames a Lossy behavior drops.
+            transport = Box::new(FaultyLink::new(
+                transport,
+                self.behavior.clone(),
+                seed ^ 0x5EED_B44A_D001_CAFE,
+            ));
+        }
+        transport
+    }
+}
+
+/// Frame-level [`Behavior`] injection: decides per outbound frame how many copies reach
+/// the inner transport, with the same [`Behavior::outbound_copies`] procedure the
+/// simulator applies per message.
+pub struct FaultyLink<T> {
+    inner: T,
+    behavior: Behavior,
+    /// Outbound frames this process has attempted so far (the `already_sent` counter of
+    /// [`Behavior::outbound_copies`], driving [`Behavior::FailsAfter`]).
+    attempted: usize,
+    rng: StdRng,
+}
+
+impl<T: Transport> FaultyLink<T> {
+    /// Wraps `inner` with the given behavior; `seed` fixes the drop/copy decisions.
+    pub fn new(inner: T, behavior: Behavior, seed: u64) -> Self {
+        Self {
+            inner,
+            behavior,
+            attempted: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<T: Transport> Transport for FaultyLink<T> {
+    fn inbound(&self) -> &Receiver<Frame> {
+        self.inner.inbound()
+    }
+
+    fn peers(&self) -> Vec<ProcessId> {
+        self.inner.peers()
+    }
+
+    fn send(&mut self, to: ProcessId, frame: &Bytes, wire_size: usize) -> usize {
+        let copies = self
+            .behavior
+            .outbound_copies(to, self.attempted, &mut self.rng);
+        self.attempted += 1;
+        let mut transmitted = 0;
+        for _ in 0..copies {
+            transmitted += self.inner.send(to, frame, wire_size);
+        }
+        transmitted
+    }
+}
+
+/// Per-frame transmission delay: a *delay line*. Each outbound frame is stamped with a
+/// deadline sampled from the [`LinkDelay`] and handed to a background forwarder thread
+/// that owns the inner transport and transmits the frame once its deadline passes.
+///
+/// Delaying this way keeps the node's event loop free — like the simulator, where a
+/// message in flight does not stop its sender from processing the next event — so a
+/// wall-clock [`LinkDelay::Scaled`] regime measures *network* delay, not an artificial
+/// serialization of the node's outbound frames. The forwarder drains its queue in FIFO
+/// order, so with jittered models a frame sampled short can wait behind an earlier frame
+/// sampled long (the line never reorders, unlike the simulator); with constant models
+/// the behavior is exact. Frames still queued when the node shuts down are transmitted
+/// before the forwarder exits, unless the whole deployment is being torn down.
+pub struct DelayedLink {
+    /// Clone of the inner transport's inbound stream (the inner transport itself moves
+    /// into the forwarder thread).
+    inbound: Receiver<Frame>,
+    /// Snapshot of the inner transport's peer set, so `send` can report the copy count
+    /// exactly (the forwarder's own return value arrives too late to count).
+    peers: Vec<ProcessId>,
+    line: Sender<(Instant, ProcessId, Bytes, usize)>,
+    delay: LinkDelay,
+    rng: StdRng,
+}
+
+impl DelayedLink {
+    /// Wraps `inner` with the given delay; `seed` fixes the jitter stream (the old node
+    /// loops seeded it with `options.seed + process id`, and so does the driver).
+    pub fn new<T: Transport + 'static>(mut inner: T, delay: LinkDelay, seed: u64) -> Self {
+        let inbound = inner.inbound().clone();
+        let peers = inner.peers();
+        let (line, queue) = unbounded::<(Instant, ProcessId, Bytes, usize)>();
+        std::thread::spawn(move || {
+            while let Ok((due, to, frame, wire_size)) = queue.recv() {
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                inner.send(to, &frame, wire_size);
+            }
+        });
+        Self {
+            inbound,
+            peers,
+            line,
+            delay,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples one transmission delay.
+    fn sample(&mut self) -> Duration {
+        match &self.delay {
+            LinkDelay::None => Duration::ZERO,
+            LinkDelay::MeanJitter { mean, jitter } => {
+                let jitter_micros = if jitter.as_micros() > 0 {
+                    self.rng.gen_range(0..=jitter.as_micros() as u64)
+                } else {
+                    0
+                };
+                *mean + Duration::from_micros(jitter_micros)
+            }
+            LinkDelay::Scaled { model, scale } => {
+                let sampled = model.sample(&mut self.rng);
+                Duration::from_micros(sampled.as_micros()).mul_f64(*scale)
+            }
+        }
+    }
+}
+
+impl Transport for DelayedLink {
+    fn inbound(&self) -> &Receiver<Frame> {
+        &self.inbound
+    }
+
+    fn peers(&self) -> Vec<ProcessId> {
+        self.peers.clone()
+    }
+
+    fn send(&mut self, to: ProcessId, frame: &Bytes, wire_size: usize) -> usize {
+        // Frames to non-neighbors are dropped (and not counted) here rather than in the
+        // forwarder, whose return value would arrive too late for the accounting — so a
+        // delayed transport reports the same copy counts as an undelayed one.
+        if !self.peers.contains(&to) {
+            return 0;
+        }
+        let due = Instant::now() + self.sample();
+        if self.line.send((due, to, frame.clone(), wire_size)).is_ok() {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::build_links;
+    use crate::transport::ChannelTransport;
+
+    fn pair() -> (ChannelTransport, ChannelTransport) {
+        let (mut mailboxes, mut senders) = build_links(2, &[(0, 1)]);
+        let t1 = ChannelTransport::new(mailboxes.pop().unwrap(), senders.pop().unwrap());
+        let t0 = ChannelTransport::new(mailboxes.pop().unwrap(), senders.pop().unwrap());
+        (t0, t1)
+    }
+
+    #[test]
+    fn faulty_link_with_crash_sends_nothing() {
+        let (t0, t1) = pair();
+        let mut faulty = FaultyLink::new(t0, Behavior::Crash, 1);
+        assert_eq!(faulty.send(1, &Bytes::from_static(b"x"), 1), 0);
+        assert!(t1.inbound().is_empty());
+    }
+
+    #[test]
+    fn faulty_link_with_replayer_duplicates_frames() {
+        let (t0, t1) = pair();
+        let mut faulty = FaultyLink::new(t0, Behavior::Replayer, 1);
+        assert_eq!(faulty.send(1, &Bytes::from_static(b"x"), 1), 2);
+        assert_eq!(t1.inbound().len(), 2);
+    }
+
+    #[test]
+    fn faulty_link_fails_after_the_configured_count() {
+        let (t0, t1) = pair();
+        let mut faulty = FaultyLink::new(t0, Behavior::FailsAfter(2), 1);
+        assert_eq!(faulty.send(1, &Bytes::from_static(b"a"), 1), 1);
+        assert_eq!(faulty.send(1, &Bytes::from_static(b"b"), 1), 1);
+        assert_eq!(faulty.send(1, &Bytes::from_static(b"c"), 1), 0);
+        assert_eq!(t1.inbound().len(), 2);
+    }
+
+    #[test]
+    fn silent_towards_drops_only_the_victims() {
+        let (mut mailboxes, mut senders) = build_links(3, &[(0, 1), (0, 2)]);
+        let mailbox2 = mailboxes.pop().unwrap();
+        let mailbox1 = mailboxes.pop().unwrap();
+        let t0 = ChannelTransport::new(mailboxes.pop().unwrap(), senders.swap_remove(0));
+        let mut faulty = FaultyLink::new(t0, Behavior::SilentTowards(vec![1]), 1);
+        assert_eq!(faulty.send(1, &Bytes::from_static(b"x"), 1), 0);
+        assert_eq!(faulty.send(2, &Bytes::from_static(b"y"), 1), 1);
+        assert!(mailbox1.receiver().is_empty());
+        assert_eq!(mailbox2.receiver().len(), 1);
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_the_requested_fraction() {
+        let (t0, t1) = pair();
+        let mut faulty = FaultyLink::new(t0, Behavior::Lossy(0.5), 7);
+        let sent: usize = (0..1000)
+            .map(|_| faulty.send(1, &Bytes::from_static(b"x"), 1))
+            .sum();
+        assert!((300..700).contains(&sent), "sent {sent} of 1000");
+        assert_eq!(t1.inbound().len(), sent);
+    }
+
+    #[test]
+    fn scaled_delay_model_delays_frames_without_blocking_the_sender() {
+        let (t0, t1) = pair();
+        // 100 ms constant virtual delay at scale 0.2 => 20 ms wall-clock per frame.
+        let delay = LinkDelay::Scaled {
+            model: DelayModel::Constant { micros: 100_000 },
+            scale: 0.2,
+        };
+        let mut delayed = DelayedLink::new(t0, delay, 3);
+        let start = Instant::now();
+        for _ in 0..3 {
+            assert_eq!(delayed.send(1, &Bytes::from_static(b"x"), 1), 1);
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(20),
+            "the delay line must not block the sender"
+        );
+        for _ in 0..3 {
+            t1.inbound().recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(20),
+            "frames arrive no earlier than their sampled delay"
+        );
+    }
+
+    #[test]
+    fn delay_line_does_not_count_frames_to_non_neighbors() {
+        let (t0, t1) = pair();
+        let delay = LinkDelay::Scaled {
+            model: DelayModel::Constant { micros: 100 },
+            scale: 1.0,
+        };
+        let mut delayed = DelayedLink::new(t0, delay, 3);
+        assert_eq!(delayed.peers(), vec![1]);
+        // Same accounting as the undelayed transport: a non-neighbor send is 0 copies.
+        assert_eq!(delayed.send(9, &Bytes::from_static(b"nobody"), 6), 0);
+        assert_eq!(delayed.send(1, &Bytes::from_static(b"neighbor"), 8), 1);
+        assert_eq!(
+            t1.inbound()
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .from,
+            0
+        );
+        assert!(t1.inbound().is_empty());
+    }
+
+    #[test]
+    fn policy_composition_drops_before_delaying() {
+        let (t0, _t1) = pair();
+        let policy = LinkPolicy {
+            behavior: Behavior::Crash,
+            delay: LinkDelay::Scaled {
+                model: DelayModel::Constant { micros: 500_000 },
+                scale: 1.0,
+            },
+        };
+        let mut decorated = policy.decorate(Box::new(t0), 9);
+        // A dropped frame must not pay the 500 ms delay: the behavior sits outside.
+        let start = std::time::Instant::now();
+        assert_eq!(decorated.send(1, &Bytes::from_static(b"x"), 1), 0);
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn correct_policy_adds_no_decorators_but_still_routes() {
+        let (t0, t1) = pair();
+        let mut decorated = LinkPolicy::default().decorate(Box::new(t0), 4);
+        assert_eq!(decorated.send(1, &Bytes::from_static(b"plain"), 5), 1);
+        assert_eq!(t1.inbound().recv().unwrap().from, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! The [`Transport`] abstraction: send/receive encoded frames over authenticated links.
+//!
+//! A transport is what a [`crate::NodeDriver`] plugs its protocol engine into. The
+//! inbound side is uniform across every backend of this workspace — a crossbeam
+//! [`Receiver`] of authenticated [`Frame`]s (the channel deployment's mailbox feeds it
+//! directly, the TCP deployment's per-socket reader threads feed it from the wire) — so
+//! the trait only abstracts the *outbound* side, which is where the backends genuinely
+//! differ and where the [`crate::policy`] decorators interpose faults and delays.
+
+use brb_core::types::ProcessId;
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+
+use crate::link::{AuthenticatedSender, Frame, Mailbox};
+
+/// An authenticated point-to-point transport between one process and its neighbors.
+///
+/// `send` returns the number of frames actually put on the wire for this request:
+/// `1` for a plain transport with a link to `to`, `0` when no such link exists (the
+/// engine addressed a non-neighbor, which the deployments tolerate silently, exactly as
+/// the old per-backend node loops did), and any other count when a
+/// [`crate::policy`] decorator drops or amplifies the frame. Drivers multiply
+/// `wire_size` by the returned count for the paper's Table 3 byte accounting.
+pub trait Transport: Send {
+    /// The multiplexed inbound frame stream (every neighbor's traffic, tagged with the
+    /// authenticated sender identity by trusted infrastructure).
+    fn inbound(&self) -> &Receiver<Frame>;
+
+    /// The neighbors this transport holds an outbound link to, in ascending order.
+    /// Static for the lifetime of a deployment; decorators forward to the transport
+    /// they wrap (asynchronous ones snapshot it at construction), so the accounting of
+    /// [`Transport::send`] stays exact through any decorator stack.
+    fn peers(&self) -> Vec<ProcessId>;
+
+    /// Transmits one encoded frame to direct neighbor `to`; returns how many copies were
+    /// put on the wire. `wire_size` is the Table 3 size of the frame (decorators may use
+    /// it; plain transports ignore it).
+    fn send(&mut self, to: ProcessId, frame: &Bytes, wire_size: usize) -> usize;
+}
+
+impl Transport for Box<dyn Transport> {
+    fn inbound(&self) -> &Receiver<Frame> {
+        (**self).inbound()
+    }
+
+    fn peers(&self) -> Vec<ProcessId> {
+        (**self).peers()
+    }
+
+    fn send(&mut self, to: ProcessId, frame: &Bytes, wire_size: usize) -> usize {
+        (**self).send(to, frame, wire_size)
+    }
+}
+
+/// The in-process transport: crossbeam-channel authenticated links
+/// (see [`crate::link::build_links`]). This is the backend `brb-runtime` deploys on.
+pub struct ChannelTransport {
+    mailbox: Mailbox,
+    links: Vec<AuthenticatedSender>,
+}
+
+impl ChannelTransport {
+    /// Wraps one process's mailbox and outgoing links.
+    pub fn new(mailbox: Mailbox, links: Vec<AuthenticatedSender>) -> Self {
+        Self { mailbox, links }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn inbound(&self) -> &Receiver<Frame> {
+        self.mailbox.receiver()
+    }
+
+    fn peers(&self) -> Vec<ProcessId> {
+        // build_links sorts each process's senders by peer.
+        self.links.iter().map(|l| l.peer()).collect()
+    }
+
+    fn send(&mut self, to: ProcessId, frame: &Bytes, _wire_size: usize) -> usize {
+        if let Some(link) = self.links.iter().find(|l| l.peer() == to) {
+            // A failed send means the peer has shut down, which the protocols tolerate;
+            // the frame still counts as transmitted (it left this process).
+            let _ = link.send(frame.clone());
+            1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::build_links;
+
+    #[test]
+    fn channel_transport_routes_by_peer() {
+        let (mut mailboxes, mut senders) = build_links(3, &[(0, 1), (0, 2)]);
+        let mailbox2 = mailboxes.pop().unwrap();
+        let mut t0 = ChannelTransport::new(mailboxes.swap_remove(0), senders.swap_remove(0));
+        assert_eq!(t0.send(2, &Bytes::from_static(b"to two"), 6), 1);
+        assert_eq!(t0.send(9, &Bytes::from_static(b"nobody"), 6), 0);
+        let frame = mailbox2.receiver().recv().unwrap();
+        assert_eq!(frame.from, 0);
+        assert_eq!(&frame.bytes[..], b"to two");
+        assert!(t0.inbound().is_empty());
+    }
+}

@@ -15,7 +15,7 @@ use brb_core::config::Config;
 use brb_core::stack::StackSpec;
 use brb_core::types::{Payload, ProcessId};
 use brb_graph::generate;
-use brb_runtime::{Deployment, RuntimeOptions};
+use brb_runtime::{Deployment, DriverOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,7 +35,7 @@ fn main() {
         &graph,
         config,
         StackSpec::Bd,
-        RuntimeOptions::default(),
+        DriverOptions::default(),
         &crashed,
     );
 

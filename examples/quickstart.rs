@@ -49,6 +49,7 @@ fn main() {
             delay: DelayModel::synchronous(),
             seed: 7,
             workload: None,
+            behaviors: Vec::new(),
         };
         let result = run_experiment_on_graph(&params, &graph);
         println!(

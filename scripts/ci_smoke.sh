@@ -10,7 +10,11 @@
 #
 # The 1-vs-4-worker runs include the quick-scale multi-broadcast workload sweep
 # (--workload), so the byte-equality check also covers the workload engine's
-# throughput + latency-percentile rows (merged latency histograms across workers).
+# throughput + latency-percentile rows (merged latency histograms across workers),
+# and the Byzantine behavior matrix (--behaviors), so it also covers the lossy /
+# silent-towards / flooder scenario rows measured on the simulator, the channel
+# runtime and the TCP deployment (sim rows go through the sweep engine and must be
+# worker-invariant; live-backend rows report the deterministic delivery counts).
 #
 # Usage: scripts/ci_smoke.sh [output-dir]
 set -euo pipefail
@@ -21,9 +25,9 @@ mkdir -p "$out"
 # Time-box each run: the quick preset finishes in well under a minute on CI hardware,
 # so ten minutes signals a hang rather than a slow machine.
 timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
-    --quick --workload --workers 1 --csv "$out/sweep_w1.csv" > "$out/stdout_w1.txt"
+    --quick --workload --behaviors --workers 1 --csv "$out/sweep_w1.csv" > "$out/stdout_w1.txt"
 timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
-    --quick --workload --workers 4 --csv "$out/sweep_w4.csv" > "$out/stdout_w4.txt"
+    --quick --workload --behaviors --workers 4 --csv "$out/sweep_w4.csv" > "$out/stdout_w4.txt"
 
 if ! diff -u "$out/sweep_w1.csv" "$out/sweep_w4.csv"; then
     echo "FAIL: sweep output differs between 1 and 4 workers" >&2
@@ -42,7 +46,19 @@ if [ "$workload_rows" -lt 10 ]; then
     exit 1
 fi
 
-echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows, $workload_rows workload rows)"
+behavior_rows=$(grep -c "^behavior," "$out/sweep_w1.csv" || true)
+if [ "$behavior_rows" -lt 21 ]; then
+    echo "FAIL: expected >= 21 behavior rows (7 scenarios x 3 backends), found $behavior_rows — did --behaviors run?" >&2
+    exit 1
+fi
+for backend in sim runtime tcp; do
+    if ! grep -q "^behavior,.*,lossy-0.2,$backend," "$out/sweep_w1.csv"; then
+        echo "FAIL: no lossy-0.2 behavior row for backend $backend" >&2
+        exit 1
+    fi
+done
+
+echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows, $workload_rows workload rows, $behavior_rows behavior rows incl. the lossy runs)"
 
 # Second stack: the same harnesses, parameters and topologies, but running the plain
 # Bracha-over-routed-Dolev stack through the boxed DynEngine path.
@@ -62,8 +78,8 @@ if diff -q "$out/sweep_w1.csv" "$out/sweep_brd.csv" > /dev/null; then
     echo "FAIL: the two stacks produced identical CSVs — the --stack flag is inert" >&2
     exit 1
 fi
-# The second stack runs without --workload; compare only the shared (non-workload) rows.
-base_rows=$((rows - workload_rows))
+# The second stack runs without --workload/--behaviors; compare only the shared rows.
+base_rows=$((rows - workload_rows - behavior_rows))
 if [ "$(wc -l < "$out/sweep_brd.csv")" != "$base_rows" ]; then
     echo "FAIL: the two stacks swept a different number of data points" >&2
     exit 1

@@ -2,8 +2,9 @@
 //!
 //! See the individual crates for details:
 //! [`brb_core`] (protocols), [`brb_graph`] (topologies), [`brb_sim`] (discrete-event
-//! simulator), [`brb_runtime`] (threaded deployment), [`brb_stats`] (statistics) and
-//! [`brb_workload`] (multi-broadcast traffic generation).
+//! simulator), [`brb_transport`] (the shared live-deployment node driver and its
+//! fault/delay link decorators), [`brb_runtime`] (threaded deployment), [`brb_stats`]
+//! (statistics) and [`brb_workload`] (multi-broadcast traffic generation).
 #![forbid(unsafe_code)]
 
 pub use brb_core as core;
@@ -11,4 +12,5 @@ pub use brb_graph as graph;
 pub use brb_runtime as runtime;
 pub use brb_sim as sim;
 pub use brb_stats as stats;
+pub use brb_transport as transport;
 pub use brb_workload as workload;

@@ -115,6 +115,7 @@ fn determinism_bd_with_crashes_matches_golden() {
         delay: DelayModel::synchronous(),
         seed: 11,
         workload: None,
+        behaviors: Vec::new(),
     };
     let graph = experiment_graph(16, 5, 33);
     let record = run_experiment_recorded(&params, &graph);

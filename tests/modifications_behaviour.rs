@@ -33,6 +33,7 @@ fn run(
         delay,
         seed: 13,
         workload: None,
+        behaviors: Vec::new(),
     };
     run_experiment_on_graph(&params, graph)
 }

@@ -16,11 +16,12 @@ use brb_core::stack::{DynStack, StackSpec};
 use brb_core::types::{BroadcastId, Delivery, Payload, ProcessId};
 use brb_core::Protocol;
 use brb_graph::generate;
-use brb_net::run_tcp_workload;
+use brb_net::{run_tcp_workload, TcpDeployment};
 use brb_runtime::deployment::run_threaded_workload;
+use brb_runtime::{Deployment, DriverOptions, Pacing};
 use brb_sim::invariants::{check_brb, BroadcastRecord};
 use brb_sim::workload::run_workload;
-use brb_sim::{DelayModel, Simulation};
+use brb_sim::{Behavior, DelayModel, Simulation};
 use brb_workload::{predicted_ids, WorkloadSpec};
 
 /// Normalizes a delivery log into the set the backends must agree on.
@@ -136,6 +137,129 @@ fn same_workload_spec_agrees_across_all_three_backends() {
             check_brb(&slices, &everyone, &broadcasts)
                 .unwrap_or_else(|v| panic!("{stack} on {backend}: {v}"));
         }
+    }
+}
+
+#[test]
+fn adversarial_workload_agrees_across_all_three_backends() {
+    // The adversarial cross-backend conformance the all-correct tests cannot give: the
+    // same seeded spec under a Lossy(0.2) + SilentTowards Byzantine mix, on the
+    // simulator (via `Simulation::set_behavior`), the channel runtime and the TCP
+    // deployment (via the `FaultyLink` transport decorators that
+    // `DriverOptions::behaviors` installs). The lossy drops fall on *different* frames
+    // per backend (independent RNG streams, real interleavings), but BRB tolerates any
+    // behavior of at most f processes — so every correct process must deliver the exact
+    // same set of broadcasts everywhere, and all four BRB invariants must hold on each
+    // backend's logs.
+    let (n, k, f) = (14, 5, 2);
+    let seed = 4242;
+    use rand::SeedableRng;
+    let mut topo_rng = rand::rngs::StdRng::seed_from_u64(58);
+    let graph = generate::random_regular_connected(n, k, 2 * f + 1, &mut topo_rng).unwrap();
+    let config = Config::bdopt_mbd1(n, f);
+    // Processes 12 and 13 are Byzantine; the 12 round-robin broadcasts come from the
+    // correct sources 0..11, so every one of them is guaranteed to complete.
+    let behaviors: Vec<(ProcessId, Behavior)> = vec![
+        (12, Behavior::Lossy(0.2)),
+        (13, Behavior::SilentTowards(vec![1, 5])),
+    ];
+    let correct: Vec<ProcessId> = (0..12).collect();
+    let spec = WorkloadSpec::constant_rate(4_000, 12).with_payload_bytes(64);
+    let schedule = spec.schedule(n, seed);
+    let ids = predicted_ids(&schedule);
+    assert!(schedule.iter().all(|injection| injection.source < 12));
+    let broadcasts: Vec<BroadcastRecord> = schedule
+        .iter()
+        .zip(&ids)
+        .map(|(injection, &id)| {
+            BroadcastRecord::new(injection.source, id, injection.payload.clone())
+        })
+        .collect();
+
+    // 1. Discrete-event simulator, through the encoded-frame DynStack path.
+    let processes: Vec<DynStack> = (0..n)
+        .map(|i| StackSpec::Bd.build_protocol(&config, &graph, i))
+        .collect();
+    let mut sim = Simulation::new(processes, DelayModel::synchronous(), 1);
+    for (process, behavior) in &behaviors {
+        sim.set_behavior(*process, behavior.clone());
+    }
+    run_workload(&mut sim, &schedule, spec.mode);
+    let sim_logs: Vec<Vec<Delivery>> = sim
+        .processes()
+        .iter()
+        .map(|p| p.deliveries().to_vec())
+        .collect();
+
+    // 2. Channel runtime with the behaviors as transport decorators.
+    let options = DriverOptions::default().with_behaviors(behaviors.clone());
+    let deployment = Deployment::start(&graph, config, StackSpec::Bd, options.clone(), &[]);
+    let threaded_run = deployment.run_workload(
+        &schedule,
+        spec.mode,
+        Pacing::Unpaced,
+        &correct,
+        Duration::from_secs(60),
+    );
+    let threaded = deployment.shutdown();
+    assert!(threaded_run.all_completed(), "{threaded_run:?}");
+
+    // 3. TCP sockets over loopback, same decorators on real links.
+    let deployment =
+        TcpDeployment::start(&graph, config, StackSpec::Bd, options, &[]).expect("TCP starts");
+    let tcp_run = deployment.run_workload(
+        &schedule,
+        spec.mode,
+        Pacing::Unpaced,
+        &correct,
+        Duration::from_secs(60),
+    );
+    let tcp = deployment.shutdown();
+    assert!(tcp_run.all_completed(), "{tcp_run:?}");
+
+    // Identical per-process delivery sets on every backend, and complete ones: the
+    // Byzantine pair cannot starve anyone of the f+1 disjoint paths / 2f+1 READYs.
+    for &p in &correct {
+        let sim_set = delivery_set(&sim_logs[p]);
+        assert_eq!(
+            sim_set.len(),
+            12,
+            "process {p} must deliver all 12 broadcasts in the simulator"
+        );
+        assert_eq!(
+            sim_set,
+            delivery_set(&threaded.nodes[p].deliveries),
+            "sim and channel runtime disagree at process {p}"
+        );
+        assert_eq!(
+            sim_set,
+            delivery_set(&tcp.nodes[p].deliveries),
+            "sim and TCP disagree at process {p}"
+        );
+    }
+
+    // All four BRB properties hold per broadcast on every backend's logs.
+    for (backend, logs) in [
+        ("sim", sim_logs.clone()),
+        (
+            "runtime",
+            threaded
+                .nodes
+                .iter()
+                .map(|node| node.deliveries.clone())
+                .collect(),
+        ),
+        (
+            "tcp",
+            tcp.nodes
+                .iter()
+                .map(|node| node.deliveries.clone())
+                .collect(),
+        ),
+    ] {
+        let slices: Vec<&[Delivery]> = logs.iter().map(|l| l.as_slice()).collect();
+        check_brb(&slices, &correct, &broadcasts)
+            .unwrap_or_else(|v| panic!("adversarial workload on {backend}: {v}"));
     }
 }
 

@@ -5,8 +5,9 @@
 //! [-- --workers N] [-- --stack NAME] [-- --csv PATH] [-- --workload] [-- --behaviors]`
 //!
 //! `--workload` additionally runs the multi-broadcast workload sweep (arrival process ×
-//! source selection; see `brb_bench::workload`), emitting per-point throughput and
-//! `p50`/`p90`/`p99` latency columns in the `workload` CSV section.
+//! source selection; see `brb_bench::workload`), emitting per-point throughput,
+//! `p50`/`p90`/`p99` latency, and instance-GC (`gc_retired`, `retained_bytes`) columns
+//! in the `workload` CSV section.
 //!
 //! `--behaviors` additionally runs the Byzantine behavior matrix (every
 //! `brb_sim::Behavior` scenario on the simulator, the channel runtime and the TCP
@@ -56,7 +57,7 @@ fn main() {
                 .find_map(|a| a.strip_prefix("--csv=").map(str::to_string))
         });
 
-    let mut csv = String::from("section,stack,behavior,label,x,v1,v2,v3,v4,v5\n");
+    let mut csv = String::from("section,stack,behavior,label,x,v1,v2,v3,v4,v5,v6,v7\n");
 
     println!("==============================================================");
     for row in table1::run_table1(scale, asynchronous, workers, stack) {
@@ -64,7 +65,7 @@ fn main() {
         let (bmin, bmax) = row.bytes_range();
         let _ = writeln!(
             csv,
-            "table1,{stack},,MBD.{},{},{},{},{},{},",
+            "table1,{stack},,MBD.{},{},{},{},{},{},,,",
             row.mbd,
             row.payload,
             cell(lmin),
@@ -77,7 +78,7 @@ fn main() {
     for p in figures::run_fig4(scale, asynchronous, workers, stack) {
         let _ = writeln!(
             csv,
-            "fig4,{stack},,{},{},{},{},{},,",
+            "fig4,{stack},,{},{},{},{},{},,,,",
             p.label,
             p.k,
             cell(p.result.latency_ms),
@@ -89,7 +90,7 @@ fn main() {
     for p in figures::run_fig5(scale, asynchronous, workers, stack) {
         let _ = writeln!(
             csv,
-            "fig5,{stack},,{},{},{},{},{},,",
+            "fig5,{stack},,{},{},{},{},{},,,,",
             p.label,
             p.k,
             cell(p.result.latency_ms),
@@ -102,7 +103,7 @@ fn main() {
     {
         let _ = writeln!(
             csv,
-            "fig6,{stack},,\"{label}\",{k},{},{},,,",
+            "fig6,{stack},,\"{label}\",{k},{},{},,,,,",
             cell(bytes_var),
             cell(latency_var)
         );
@@ -111,7 +112,7 @@ fn main() {
     for (mbd, bytes, latency) in figures::run_fig7_to_10(scale, asynchronous, workers, stack) {
         let _ = writeln!(
             csv,
-            "fig7_to_10,{stack},,MBD.{mbd},,{},{},{},{},{}",
+            "fig7_to_10,{stack},,MBD.{mbd},,{},{},{},{},{},,",
             cell(bytes.p2_5),
             cell(bytes.median),
             cell(bytes.p97_5),
@@ -123,7 +124,7 @@ fn main() {
     for (n, paths, state) in figures::run_memory(scale, workers, stack) {
         let _ = writeln!(
             csv,
-            "memory,{stack},,N={n},,{},{},,,",
+            "memory,{stack},,N={n},,{},{},,,,,",
             cell(paths),
             cell(state)
         );
@@ -133,14 +134,16 @@ fn main() {
         for p in workload::run_workload_sweep(scale, asynchronous, workers, stack) {
             let _ = writeln!(
                 csv,
-                "workload,{stack},,{},{},{},{},{},{},{}",
+                "workload,{stack},,{},{},{},{},{},{},{},{},{}",
                 p.label,
                 p.interval_micros,
                 cell(p.stats.throughput_per_sec()),
                 cell(p.stats.p50_ms()),
                 cell(p.stats.p90_ms()),
                 cell(p.stats.p99_ms()),
-                p.stats.completed
+                p.stats.completed,
+                p.stats.gc_retired,
+                p.stats.retained_bytes
             );
         }
     }
@@ -151,7 +154,7 @@ fn main() {
         for p in behaviors::run_behavior_matrix(scale, asynchronous, workers, stack) {
             let _ = writeln!(
                 csv,
-                "behavior,{stack},{},{},{},{},{},{},{},",
+                "behavior,{stack},{},{},{},{},{},{},{},,,",
                 p.scenario,
                 p.backend,
                 p.n,

@@ -1,0 +1,134 @@
+//! Machine-readable quiescence + bounded-memory benchmark for CI.
+//!
+//! Emits `BENCH_quiescence.json` with two sections:
+//!
+//! * `quiescence` — the mean wall-clock time of the same scenario the criterion bench
+//!   `engine_quiescence_n100_k12` measures (one broadcast on an N=100, k=12 random
+//!   regular graph, run to quiescence), so CI can track the hot-path cost of the
+//!   per-event GC bookkeeping as a single number;
+//! * `memory_curve` — the first/last summed `state_bytes` across a long sequence of
+//!   broadcasts with instance GC off and on. The GC-off endpoints grow linearly with
+//!   the broadcast count; the GC-on endpoints must stay flat.
+//!
+//! The flatness invariant is asserted here (exit code 1 on regression), so the smoke
+//! script only has to check the file exists and carries the expected fields. The JSON
+//! is hand-rolled: the workspace deliberately has no JSON dependency.
+//!
+//! Usage: `cargo run --release -p brb-bench --bin bench_quiescence [-- --out PATH]`
+
+use std::time::Instant;
+
+use brb_core::config::Config;
+use brb_core::gc::GcPolicy;
+use brb_core::stack::{DynStack, StackSpec};
+use brb_core::types::Payload;
+use brb_core::{BdProcess, Protocol};
+use brb_graph::NeighborIndex;
+use brb_sim::experiment::experiment_graph;
+use brb_sim::{DelayModel, Simulation};
+
+/// Iterations of the quiescence scenario averaged into `mean_ms` (each runs ~seconds).
+const QUIESCENCE_ITERS: u32 = 3;
+/// Sequential broadcasts traced for the memory curve.
+const CURVE_BROADCASTS: usize = 40;
+/// Event-count retention window for the GC-on curve.
+const CURVE_WINDOW: u64 = 200;
+
+/// Times the `engine_quiescence_n100_k12` scenario: mean milliseconds to quiesce one
+/// 1 KiB broadcast on the N=100, k=12, f=5 bandwidth-preset system.
+fn quiescence_mean_ms() -> (f64, usize) {
+    let (n, k, f) = (100usize, 12usize, 5usize);
+    let graph = experiment_graph(n, k, 424_242);
+    let index = NeighborIndex::new(&graph);
+    let config = Config::bandwidth_preset(n, f);
+    let mut total_ms = 0.0;
+    let mut events = 0;
+    for _ in 0..QUIESCENCE_ITERS {
+        let processes: Vec<BdProcess> = (0..n)
+            .map(|i| BdProcess::new(i, config, index.neighbors(i).to_vec()))
+            .collect();
+        let mut sim = Simulation::new(processes, DelayModel::synchronous(), 7);
+        sim.broadcast(0, Payload::filled(0xAB, 1024));
+        let start = Instant::now();
+        events = sim.run_to_quiescence();
+        total_ms += start.elapsed().as_secs_f64() * 1_000.0;
+    }
+    (total_ms / f64::from(QUIESCENCE_ITERS), events)
+}
+
+/// Runs `CURVE_BROADCASTS` sequential broadcasts on an N=20 system and returns the
+/// summed `state_bytes` after the first and after the last, plus total retirements.
+fn memory_curve(gc: Option<GcPolicy>) -> (usize, usize, u64) {
+    let (n, k, f) = (20usize, 6usize, 1usize);
+    let graph = experiment_graph(n, k, 777);
+    let mut config = Config::bdopt_mbd1(n, f);
+    if let Some(policy) = gc {
+        config = config.with_gc(policy);
+    }
+    let processes: Vec<DynStack> = (0..n)
+        .map(|i| StackSpec::Bd.build_protocol(&config, &graph, i))
+        .collect();
+    let mut sim = Simulation::new(processes, DelayModel::synchronous(), 7);
+    let (mut first, mut last) = (0usize, 0usize);
+    for round in 0..CURVE_BROADCASTS {
+        sim.broadcast(round % n, Payload::filled(round as u8, 64));
+        sim.run_to_quiescence();
+        let bytes: usize = sim.processes().iter().map(|p| p.state_bytes()).sum();
+        if round == 0 {
+            first = bytes;
+        }
+        last = bytes;
+    }
+    let retired: u64 = sim.processes().iter().map(|p| p.gc_retired()).sum();
+    (first, last, retired)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
+        })
+        .unwrap_or_else(|| "BENCH_quiescence.json".to_string());
+
+    let (mean_ms, events) = quiescence_mean_ms();
+    let (off_first, off_last, off_retired) = memory_curve(None);
+    let (on_first, on_last, on_retired) = memory_curve(Some(GcPolicy::after_events(CURVE_WINDOW)));
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine_quiescence_n100_k12\",\n  \"quiescence\": {{\n    \
+         \"mean_ms\": {mean_ms:.3},\n    \"iters\": {QUIESCENCE_ITERS},\n    \
+         \"events\": {events}\n  }},\n  \"memory_curve\": {{\n    \
+         \"broadcasts\": {CURVE_BROADCASTS},\n    \"window_events\": {CURVE_WINDOW},\n    \
+         \"gc_off\": {{ \"first_bytes\": {off_first}, \"last_bytes\": {off_last}, \
+         \"gc_retired\": {off_retired} }},\n    \
+         \"gc_on\": {{ \"first_bytes\": {on_first}, \"last_bytes\": {on_last}, \
+         \"gc_retired\": {on_retired} }}\n  }}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("JSON output path must be writable");
+    print!("{json}");
+    println!("# written to {out_path}");
+
+    // The boundedness invariant CI relies on: GC off grows with the broadcast count,
+    // GC on stays flat (the last endpoint may not exceed the first by more than the
+    // in-flight window's worth of instances — in practice it equals it).
+    assert_eq!(off_retired, 0, "GC must stay disabled on the baseline curve");
+    assert!(
+        off_last > 4 * off_first,
+        "baseline must grow linearly: first={off_first} last={off_last}"
+    );
+    assert!(on_retired > 0, "GC-on curve must retire instances");
+    assert!(
+        on_last <= 2 * on_first,
+        "GC-on curve must stay flat: first={on_first} last={on_last}"
+    );
+    assert!(
+        on_last < off_last / 2,
+        "GC-on endpoint must undercut the baseline: {on_last} vs {off_last}"
+    );
+    println!("# OK: GC-off endpoint grew {off_first} -> {off_last} bytes; GC-on stayed {on_first} -> {on_last}");
+}

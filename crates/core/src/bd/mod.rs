@@ -20,6 +20,7 @@ mod state;
 use std::collections::{HashMap, HashSet};
 
 use crate::config::Config;
+use crate::gc::{GcPolicy, GcState, RetiredSet};
 use crate::pathset::PathSet;
 use crate::protocol::{ActionBuf, Protocol};
 use crate::quorum;
@@ -48,6 +49,13 @@ pub struct BdProcess {
     peer_contents: HashMap<(ProcessId, LocalPayloadId), Content>,
     /// Messages referencing a still-unknown local identifier, waiting for the announcement.
     pending: HashMap<(ProcessId, LocalPayloadId), Vec<WireMessage>>,
+    // --- instance GC state ---
+    gc: GcState,
+    /// Per-peer local identifiers whose content has been retired: a late
+    /// [`PayloadRef::Local`] naming one of them is dropped instead of queueing in
+    /// `pending` forever. Peers allocate local identifiers sequentially, so the markers
+    /// compact into a watermark exactly like retired broadcast sequence numbers.
+    retired_peer_refs: HashMap<ProcessId, RetiredSet>,
 }
 
 impl BdProcess {
@@ -77,6 +85,50 @@ impl BdProcess {
             announced: HashSet::new(),
             peer_contents: HashMap::new(),
             pending: HashMap::new(),
+            gc: GcState::new(config.gc),
+            retired_peer_refs: HashMap::new(),
+        }
+    }
+
+    /// Prunes every layer of per-broadcast state for the instances whose retention
+    /// window elapsed: the Dolev instances and Bracha quorum sets (`contents`), the
+    /// delivery marker (safe to drop — the GC watermark keeps rejecting the id), and the
+    /// MBD.1 link-local identifier bookkeeping on both sides of every link.
+    fn run_gc(&mut self) {
+        for id in self.gc.due() {
+            self.contents.retain(|content, _| content.id != id);
+            self.delivered_ids.remove(&id);
+            let mine: Vec<(Content, LocalPayloadId)> = self
+                .my_local_ids
+                .iter()
+                .filter(|(content, _)| content.id == id)
+                .map(|(content, &local_id)| (content.clone(), local_id))
+                .collect();
+            for (content, local_id) in mine {
+                self.my_local_ids.remove(&content);
+                self.announced.retain(|&(_, announced_id)| announced_id != local_id);
+            }
+            let peers: Vec<(ProcessId, LocalPayloadId)> = self
+                .peer_contents
+                .iter()
+                .filter(|(_, content)| content.id == id)
+                .map(|(&key, _)| key)
+                .collect();
+            for (peer, local_id) in peers {
+                self.peer_contents.remove(&(peer, local_id));
+                self.pending.remove(&(peer, local_id));
+                self.tombstone_peer_ref(peer, local_id);
+            }
+        }
+    }
+
+    /// Marks a peer's local identifier as belonging to a retired instance.
+    fn tombstone_peer_ref(&mut self, peer: ProcessId, local_id: LocalPayloadId) {
+        let max_retired = self.gc.policy().max_retired;
+        let set = self.retired_peer_refs.entry(peer).or_default();
+        set.insert(local_id);
+        if set.len() > max_retired {
+            set.force_compact(max_retired);
         }
     }
 
@@ -118,6 +170,14 @@ impl BdProcess {
         let content = match &msg.payload {
             PayloadRef::Inline(p) => Content::new(msg.id, p.clone()),
             PayloadRef::Announce { local_id, payload } => {
+                // A replayed announcement for a retired instance must not re-enter
+                // `peer_contents`; tombstone the identifier so the Local refs that may
+                // follow it are dropped too instead of queueing forever.
+                if self.gc.is_retired(msg.id) {
+                    self.tombstone_peer_ref(from, *local_id);
+                    self.pending.remove(&(from, *local_id));
+                    return;
+                }
                 let content = Content::new(msg.id, payload.clone());
                 self.peer_contents
                     .insert((from, *local_id), content.clone());
@@ -126,6 +186,14 @@ impl BdProcess {
             PayloadRef::Local(local_id) => match self.peer_contents.get(&(from, *local_id)) {
                 Some(content) => content.clone(),
                 None => {
+                    // A reference to a retired instance is dropped deterministically.
+                    if self
+                        .retired_peer_refs
+                        .get(&from)
+                        .is_some_and(|set| set.contains(*local_id))
+                    {
+                        return;
+                    }
                     // The announcement has not arrived yet (asynchronous reordering):
                     // queue the message and process it when the payload is known.
                     self.pending.entry((from, *local_id)).or_default().push(msg);
@@ -158,6 +226,10 @@ impl BdProcess {
         content: Content,
         actions: &mut Vec<Action<WireMessage>>,
     ) {
+        // Frames of a retired instance are dropped before they can recreate state.
+        if self.gc.is_retired(content.id) {
+            return;
+        }
         // A merged message (MBD.3/MBD.4) decomposes into the two Bracha-layer messages it
         // carries; both follow the same received path.
         let mut constituents: Vec<(Phase, ProcessId)> = Vec::new();
@@ -476,6 +548,7 @@ impl BdProcess {
                 state.delivered = true;
                 progress = true;
                 if self.delivered_ids.insert(state.content.id) {
+                    self.gc.on_delivered(state.content.id);
                     let delivery = Delivery {
                         id: state.content.id,
                         payload: state.content.payload.clone(),
@@ -723,8 +796,10 @@ impl Protocol for BdProcess {
     }
 
     fn broadcast(&mut self, payload: Payload) -> Vec<Action<WireMessage>> {
+        self.gc.on_event();
         let mut actions = Vec::new();
         self.broadcast_inner(payload, &mut actions);
+        self.run_gc();
         actions
     }
 
@@ -733,13 +808,17 @@ impl Protocol for BdProcess {
         from: ProcessId,
         message: WireMessage,
     ) -> Vec<Action<WireMessage>> {
+        self.gc.on_event();
         let mut actions = Vec::new();
         self.handle_wire(from, message, &mut actions);
+        self.run_gc();
         actions
     }
 
     fn broadcast_into(&mut self, payload: Payload, out: &mut ActionBuf<WireMessage>) {
+        self.gc.on_event();
         self.broadcast_inner(payload, out.as_mut_vec());
+        self.run_gc();
     }
 
     fn handle_message_into(
@@ -748,7 +827,9 @@ impl Protocol for BdProcess {
         message: WireMessage,
         out: &mut ActionBuf<WireMessage>,
     ) {
+        self.gc.on_event();
         self.handle_wire(from, message, out.as_mut_vec());
+        self.run_gc();
     }
 
     fn deliveries(&self) -> &[Delivery] {
@@ -776,6 +857,18 @@ impl Protocol for BdProcess {
 
     fn stored_paths(&self) -> usize {
         BdProcess::stored_paths(self)
+    }
+
+    fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.gc.set_policy(policy);
+    }
+
+    fn note_time(&mut self, now_ms: u64) {
+        self.gc.note_time(now_ms);
+    }
+
+    fn gc_retired(&self) -> u64 {
+        self.gc.retired_count()
     }
 }
 

@@ -742,3 +742,112 @@ fn accessors_expose_configuration_and_neighbors() {
     assert_eq!(p.stored_paths(), 0);
     assert_eq!(p.deliveries().len(), 0);
 }
+
+// ---------------------------------------------------------------------------
+// Instance GC: watermark retirement and deterministic replay dropping.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gc_retires_delivered_instances_across_the_network_and_drops_replays() {
+    let graph = generate::figure1_example();
+    let config = Config::bdopt_mbd1(10, 1).with_gc(crate::gc::GcPolicy::after_events(16));
+    let mut net = TestNet::new(&graph, config);
+    let payload = Payload::filled(1, 16);
+    net.broadcast(0, payload.clone(), &[]);
+    assert!(net.all_correct_delivered(&payload, &[]));
+    // A second broadcast pads enough engine events to elapse every retention window.
+    net.broadcast(3, Payload::filled(2, 16), &[]);
+    for p in &net.processes {
+        assert!(
+            p.gc_retired() >= 1,
+            "process {} retired nothing",
+            p.process_id()
+        );
+    }
+    // Replaying the SEND of the retired broadcast must be a silent no-op everywhere.
+    let replay = WireMessage {
+        kind: MessageKind::Send,
+        id: BroadcastId::new(0, 0),
+        originator: 0,
+        originator2: None,
+        payload: PayloadRef::Inline(payload),
+        path: vec![],
+        fields: Default::default(),
+    };
+    for i in graph.neighbors_vec(0) {
+        let deliveries_before = net.processes[i].deliveries().len();
+        let bytes_before = net.processes[i].state_bytes();
+        let actions = net.processes[i].handle_message(0, replay.clone());
+        assert!(actions.is_empty(), "process {i} reacted to a retired replay");
+        assert_eq!(net.processes[i].deliveries().len(), deliveries_before);
+        // The replay event may retire the *second* broadcast (its own window keeps
+        // running), so state may shrink — it must never grow.
+        assert!(net.processes[i].state_bytes() <= bytes_before);
+    }
+}
+
+#[test]
+fn replayed_local_refs_for_retired_instances_are_dropped_not_queued() {
+    // MBD.1 regression: a late `Local` reference (or a replayed announcement) for a
+    // retired instance must be dropped via the per-peer tombstones, not parked in the
+    // `pending` queue forever.
+    let config = Config::bdopt_mbd1(10, 1).with_gc(crate::gc::GcPolicy::after_events(2));
+    let mut p = BdProcess::new(0, config, vec![5, 6, 7]);
+    let id = BroadcastId::new(5, 0);
+    let payload = Payload::from("m");
+    let announce = WireMessage {
+        kind: MessageKind::Ready,
+        id,
+        originator: 5,
+        originator2: None,
+        payload: PayloadRef::Announce {
+            local_id: 0,
+            payload: payload.clone(),
+        },
+        path: vec![],
+        fields: Default::default(),
+    };
+    p.handle_message(5, announce.clone());
+    let inline_ready = |originator: usize| WireMessage {
+        kind: MessageKind::Ready,
+        id,
+        originator,
+        originator2: None,
+        payload: PayloadRef::Inline(payload.clone()),
+        path: vec![],
+        fields: Default::default(),
+    };
+    p.handle_message(6, inline_ready(6));
+    assert_eq!(p.deliveries().len(), 1, "2f+1 Readys incl. our own deliver");
+    // Unrelated traffic elapses the 2-event retention window.
+    let pad = WireMessage {
+        kind: MessageKind::Echo,
+        id: BroadcastId::new(6, 1),
+        originator: 6,
+        originator2: None,
+        payload: PayloadRef::Inline(Payload::from("pad")),
+        path: vec![],
+        fields: Default::default(),
+    };
+    p.handle_message(6, pad.clone());
+    p.handle_message(6, pad);
+    assert_eq!(p.gc_retired(), 1);
+    let baseline = p.state_bytes();
+    // A late Local ref from the announcing peer must not queue in `pending` (whose
+    // buffered frames are part of `state_bytes`).
+    let late_ref = WireMessage {
+        kind: MessageKind::Ready,
+        id,
+        originator: 7,
+        originator2: None,
+        payload: PayloadRef::Local(0),
+        path: vec![],
+        fields: Default::default(),
+    };
+    assert!(p.handle_message(5, late_ref).is_empty());
+    assert_eq!(p.state_bytes(), baseline, "Local replay must not buffer");
+    // A replayed announcement must not re-enter `peer_contents` either.
+    assert!(p.handle_message(5, announce).is_empty());
+    assert_eq!(p.state_bytes(), baseline, "Announce replay must not resurrect");
+    assert_eq!(p.deliveries().len(), 1);
+}

@@ -13,6 +13,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
+use crate::gc::{GcPolicy, GcState};
 use crate::protocol::{ActionBuf, Protocol};
 use crate::quorum;
 use crate::types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
@@ -68,6 +69,7 @@ pub struct BrachaProcess {
     delivered_ids: HashSet<BroadcastId>,
     deliveries: Vec<Delivery>,
     next_seq: u32,
+    gc: GcState,
 }
 
 impl BrachaProcess {
@@ -90,6 +92,17 @@ impl BrachaProcess {
             delivered_ids: HashSet::new(),
             deliveries: Vec::new(),
             next_seq: 0,
+            gc: GcState::new(GcPolicy::DISABLED),
+        }
+    }
+
+    /// Retires every instance whose retention window elapsed: quorum state and the
+    /// delivered-id marker are pruned (the GC watermark keeps rejecting the id, which is
+    /// what preserves BRB-No duplication after the prune).
+    fn run_gc(&mut self) {
+        for id in self.gc.due() {
+            self.states.retain(|content, _| content.id != id);
+            self.delivered_ids.remove(&id);
         }
     }
 
@@ -121,6 +134,11 @@ impl BrachaProcess {
         message: BrachaMessage,
         actions: &mut Vec<Action<BrachaMessage>>,
     ) {
+        // Frames for a retired instance are dropped deterministically: recreating the
+        // entry below would resurrect pruned state (and could re-deliver).
+        if self.gc.is_retired(message.id) {
+            return;
+        }
         let content = Content::new(message.id, message.payload.clone());
         let state = self.states.entry(content.clone()).or_default();
         let mut send_echo = false;
@@ -175,6 +193,7 @@ impl BrachaProcess {
             );
         }
         if deliver && self.delivered_ids.insert(content.id) {
+            self.gc.on_delivered(content.id);
             let delivery = Delivery {
                 id: content.id,
                 payload: content.payload,
@@ -208,7 +227,9 @@ impl Protocol for BrachaProcess {
 
     fn broadcast(&mut self, payload: Payload) -> Vec<Action<BrachaMessage>> {
         let mut actions = Vec::new();
+        self.gc.on_event();
         self.broadcast_inner(payload, &mut actions);
+        self.run_gc();
         actions
     }
 
@@ -218,12 +239,16 @@ impl Protocol for BrachaProcess {
         message: BrachaMessage,
     ) -> Vec<Action<BrachaMessage>> {
         let mut actions = Vec::new();
+        self.gc.on_event();
         self.handle_internal(from, message, &mut actions);
+        self.run_gc();
         actions
     }
 
     fn broadcast_into(&mut self, payload: Payload, out: &mut ActionBuf<BrachaMessage>) {
+        self.gc.on_event();
         self.broadcast_inner(payload, out.as_mut_vec());
+        self.run_gc();
     }
 
     fn handle_message_into(
@@ -232,7 +257,9 @@ impl Protocol for BrachaProcess {
         message: BrachaMessage,
         out: &mut ActionBuf<BrachaMessage>,
     ) {
+        self.gc.on_event();
         self.handle_internal(from, message, out.as_mut_vec());
+        self.run_gc();
     }
 
     fn deliveries(&self) -> &[Delivery] {
@@ -258,6 +285,18 @@ impl Protocol for BrachaProcess {
         // paths; reported explicitly (rather than via the trait default) so that the
         // Sec. 7.3 memory tables show a deliberate zero, not a missing metric.
         0
+    }
+
+    fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.gc.set_policy(policy);
+    }
+
+    fn note_time(&mut self, now_ms: u64) {
+        self.gc.note_time(now_ms);
+    }
+
+    fn gc_retired(&self) -> u64 {
+        self.gc.retired_count()
     }
 }
 
@@ -437,6 +476,48 @@ mod tests {
             },
         );
         assert!(p.state_bytes() > before);
+    }
+
+    #[test]
+    fn gc_retires_delivered_instances_and_drops_replays() {
+        let n = 4;
+        let mut processes = new_system(n, 1);
+        for p in &mut processes {
+            p.set_gc_policy(GcPolicy::after_events(2));
+        }
+        let actions = processes[0].broadcast(Payload::from("gc"));
+        let initial: Vec<_> = actions.into_iter().map(|a| (0, a)).collect();
+        run_to_quiescence(&mut processes, initial);
+        assert!(processes.iter().all(|p| p.deliveries().len() == 1));
+        // Push every process past its retention window with unrelated traffic.
+        let unrelated = |seq| BrachaMessage {
+            kind: BrachaKind::Echo,
+            id: BroadcastId::new(1, seq),
+            payload: Payload::from("pad"),
+        };
+        for p in &mut processes {
+            for seq in 10..14 {
+                p.handle_message(2, unrelated(seq));
+            }
+            assert!(p.gc_retired() >= 1, "the delivered instance must retire");
+        }
+        let p = &mut processes[3];
+        let retired_state = p.state_bytes();
+        // Replaying the full READY quorum of the retired broadcast must neither
+        // re-deliver nor recreate state.
+        for from in 0..3 {
+            let actions = p.handle_message(
+                from,
+                BrachaMessage {
+                    kind: BrachaKind::Ready,
+                    id: BroadcastId::new(0, 0),
+                    payload: Payload::from("gc"),
+                },
+            );
+            assert!(actions.is_empty(), "replayed frames are no-ops");
+        }
+        assert_eq!(p.deliveries().len(), 1, "no duplicate delivery");
+        assert_eq!(p.state_bytes(), retired_state, "no state regrowth");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::collections::{HashMap, HashSet};
 use crate::bracha::{BrachaKind, BrachaMessage};
 use crate::cpa::CpaProcess;
 use crate::dolev_routed::RoutedDolev;
+use crate::gc::{GcPolicy, GcState};
 use crate::protocol::{ActionBuf, Protocol};
 use crate::quorum;
 use crate::rc::{RcDelivery, RcTransport};
@@ -56,6 +57,9 @@ pub struct BrachaOverRc<T> {
     delivered_ids: HashSet<BroadcastId>,
     deliveries: Vec<Delivery>,
     next_seq: u32,
+    /// Retirement tracker for the Bracha layer's own per-content state; the substrate
+    /// keeps its own tracker and retires its RC instances independently.
+    gc: GcState,
 }
 
 impl<T: RcTransport> BrachaOverRc<T> {
@@ -81,6 +85,17 @@ impl<T: RcTransport> BrachaOverRc<T> {
             delivered_ids: HashSet::new(),
             deliveries: Vec::new(),
             next_seq: 0,
+            gc: GcState::new(GcPolicy::DISABLED),
+        }
+    }
+
+    /// Prunes the Bracha-layer state of every instance whose retention window elapsed
+    /// (dropping `delivered_ids` markers is safe: the GC watermark keeps rejecting the
+    /// retired ids forever, preserving BRB-No duplication).
+    fn run_gc(&mut self) {
+        for id in self.gc.due() {
+            self.states.retain(|content, _| content.id != id);
+            self.delivered_ids.remove(&id);
         }
     }
 
@@ -124,6 +139,10 @@ impl<T: RcTransport> BrachaOverRc<T> {
         actions: &mut Vec<Action<T::Message>>,
         pending: &mut Vec<(ProcessId, BrachaMessage)>,
     ) {
+        // RC deliveries for a retired instance are dropped before they can recreate state.
+        if self.gc.is_retired(message.id) {
+            return;
+        }
         let content = Content::new(message.id, message.payload.clone());
         let state = self.states.entry(content.clone()).or_default();
         let mut send_echo = false;
@@ -181,6 +200,7 @@ impl<T: RcTransport> BrachaOverRc<T> {
             );
         }
         if deliver && self.delivered_ids.insert(content.id) {
+            self.gc.on_delivered(content.id);
             let delivery = Delivery {
                 id: content.id,
                 payload: content.payload,
@@ -210,6 +230,7 @@ impl<T: RcTransport> Protocol for BrachaOverRc<T> {
     }
 
     fn broadcast(&mut self, payload: Payload) -> Vec<Action<T::Message>> {
+        self.gc.on_event();
         let id = BroadcastId::new(self.id, self.next_seq);
         self.next_seq += 1;
         let mut actions = Vec::new();
@@ -224,10 +245,12 @@ impl<T: RcTransport> Protocol for BrachaOverRc<T> {
             &mut pending,
         );
         self.drain(pending, &mut actions);
+        self.run_gc();
         actions
     }
 
     fn handle_message(&mut self, from: ProcessId, message: T::Message) -> Vec<Action<T::Message>> {
+        self.gc.on_event();
         let mut actions = Vec::new();
         let rc_deliveries = self.transport.on_message(from, message, &mut actions);
         let pending: Vec<(ProcessId, BrachaMessage)> = rc_deliveries
@@ -235,6 +258,7 @@ impl<T: RcTransport> Protocol for BrachaOverRc<T> {
             .filter_map(|d: RcDelivery| decode_bracha(&d.payload).map(|m| (d.origin, m)))
             .collect();
         self.drain(pending, &mut actions);
+        self.run_gc();
         actions
     }
 
@@ -244,12 +268,14 @@ impl<T: RcTransport> Protocol for BrachaOverRc<T> {
         message: T::Message,
         out: &mut ActionBuf<T::Message>,
     ) {
+        self.gc.on_event();
         let rc_deliveries = self.transport.on_message(from, message, out.as_mut_vec());
         let pending: Vec<(ProcessId, BrachaMessage)> = rc_deliveries
             .into_iter()
             .filter_map(|d: RcDelivery| decode_bracha(&d.payload).map(|m| (d.origin, m)))
             .collect();
         self.drain(pending, out.as_mut_vec());
+        self.run_gc();
     }
 
     fn deliveries(&self) -> &[Delivery] {
@@ -273,6 +299,20 @@ impl<T: RcTransport> Protocol for BrachaOverRc<T> {
 
     fn stored_paths(&self) -> usize {
         self.transport.stored_paths()
+    }
+
+    fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.gc.set_policy(policy);
+        self.transport.set_gc_policy(policy);
+    }
+
+    fn note_time(&mut self, now_ms: u64) {
+        self.gc.note_time(now_ms);
+        self.transport.note_time(now_ms);
+    }
+
+    fn gc_retired(&self) -> u64 {
+        self.gc.retired_count() + self.transport.gc_retired()
     }
 }
 
@@ -482,6 +522,57 @@ mod tests {
         let mut processes = routed_system(&g, 1);
         run(&mut processes, 0, Payload::from("m"), &[]);
         assert!(processes[1].state_bytes() > 0);
+    }
+
+    #[test]
+    fn gc_retires_both_layers_and_drops_replayed_ready_quorums() {
+        let g = generate::complete(4);
+        let mut p = BrachaOverRc::new(4, 1, RoutedDolev::new(1, 1, g));
+        <BrachaOverRc<RoutedDolev> as Protocol>::set_gc_policy(&mut p, GcPolicy::after_events(2));
+        let id = BroadcastId::new(0, 0);
+        let ready = |origin: ProcessId, seq: u32| crate::dolev_routed::RoutedDolevMessage {
+            origin,
+            seq,
+            payload: encode_bracha(&BrachaMessage {
+                kind: BrachaKind::Ready,
+                id,
+                payload: Payload::from("m"),
+            }),
+            route: vec![origin, 1],
+            position: 1,
+        };
+        // A full READY quorum (2f+1 = 3 origins) delivers at the Bracha layer.
+        let replays: Vec<_> = [(0usize, 0u32), (2, 0), (3, 0)]
+            .into_iter()
+            .map(|(o, s)| ready(o, s))
+            .collect();
+        for m in replays.clone() {
+            p.handle_message(m.origin, m);
+        }
+        assert_eq!(p.deliveries().len(), 1);
+        // Unrelated malformed RC traffic elapses the 2-event retention window.
+        for seq in 10..12 {
+            let pad = crate::dolev_routed::RoutedDolevMessage {
+                origin: 2,
+                seq,
+                payload: Payload::from("not a bracha message"),
+                route: vec![2, 1],
+                position: 1,
+            };
+            p.handle_message(2, pad);
+        }
+        assert!(
+            <BrachaOverRc<RoutedDolev> as Protocol>::gc_retired(&p) >= 1,
+            "the delivered instance must have retired in at least one layer"
+        );
+        let baseline = p.state_bytes();
+        // Replaying the entire READY quorum resurrects nothing and re-delivers nothing.
+        for m in replays {
+            let actions = p.handle_message(m.origin, m);
+            assert!(actions.iter().all(|a| a.as_delivery().is_none()));
+        }
+        assert_eq!(p.deliveries().len(), 1, "no duplicate delivery");
+        assert_eq!(p.state_bytes(), baseline);
     }
 
     #[test]

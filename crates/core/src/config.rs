@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::gc::GcPolicy;
 use crate::quorum;
 
 /// Bonomi et al.'s modifications of Dolev's reliable-communication protocol (Sec. 4.2).
@@ -162,6 +163,11 @@ pub struct Config {
     /// Bound on memoized disjoint-path combinations per content (see
     /// [`crate::disjoint::DEFAULT_MAX_COMBINATIONS`]).
     pub max_path_combinations: usize,
+    /// Instance garbage collection: when a delivered broadcast's per-instance state may
+    /// be retired (see [`crate::gc::GcPolicy`]). Defaults to disabled, the historical
+    /// keep-everything behavior.
+    #[serde(default)]
+    pub gc: GcPolicy,
 }
 
 /// Error returned by [`Config::validate`].
@@ -200,7 +206,14 @@ impl Config {
             md: MdFlags::none(),
             mbd: MbdFlags::none(),
             max_path_combinations: crate::disjoint::DEFAULT_MAX_COMBINATIONS,
+            gc: GcPolicy::DISABLED,
         }
+    }
+
+    /// Returns a copy with the instance-GC policy replaced.
+    pub fn with_gc(mut self, gc: GcPolicy) -> Self {
+        self.gc = gc;
+        self
     }
 
     /// BDopt: the state-of-the-art baseline of the paper — Bracha combined with Dolev

@@ -21,6 +21,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 
+use crate::gc::{GcPolicy, GcState};
 use crate::protocol::{ActionBuf, Protocol};
 use crate::types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
 use crate::wire::{FIELD_BID, FIELD_MTYPE, FIELD_PAYLOAD_SIZE, FIELD_PROCESS_ID};
@@ -59,6 +60,7 @@ pub struct CpaProcess {
     states: HashMap<Content, CpaState>,
     deliveries: Vec<Delivery>,
     next_seq: u32,
+    gc: GcState,
 }
 
 impl CpaProcess {
@@ -71,6 +73,16 @@ impl CpaProcess {
             states: HashMap::new(),
             deliveries: Vec::new(),
             next_seq: 0,
+            gc: GcState::new(GcPolicy::DISABLED),
+        }
+    }
+
+    /// Prunes every instance whose retention window elapsed. CPA has no separate
+    /// delivered-id set: the per-state `delivered` flag goes with the state, so the GC
+    /// marker alone keeps rejecting late frames for the retired id.
+    fn run_gc(&mut self) {
+        for id in self.gc.due() {
+            self.states.retain(|content, _| content.id != id);
         }
     }
 
@@ -85,9 +97,13 @@ impl CpaProcess {
     }
 
     fn deliver_and_relay(&mut self, content: &Content, actions: &mut Vec<Action<CpaMessage>>) {
+        if self.gc.is_retired(content.id) {
+            return;
+        }
         let state = self.states.entry(content.clone()).or_default();
         if !state.delivered {
             state.delivered = true;
+            self.gc.on_delivered(content.id);
             let delivery = Delivery {
                 id: content.id,
                 payload: content.payload.clone(),
@@ -124,6 +140,10 @@ impl CpaProcess {
         actions: &mut Vec<Action<CpaMessage>>,
     ) {
         let content = message.content;
+        // Replayed frames for a retired instance must not recreate its witness state.
+        if self.gc.is_retired(content.id) {
+            return;
+        }
         let state = self.states.entry(content.clone()).or_default();
         if state.delivered {
             return;
@@ -149,18 +169,24 @@ impl Protocol for CpaProcess {
 
     fn broadcast(&mut self, payload: Payload) -> Vec<Action<CpaMessage>> {
         let mut actions = Vec::new();
+        self.gc.on_event();
         self.broadcast_inner(payload, &mut actions);
+        self.run_gc();
         actions
     }
 
     fn handle_message(&mut self, from: ProcessId, message: CpaMessage) -> Vec<Action<CpaMessage>> {
         let mut actions = Vec::new();
+        self.gc.on_event();
         self.handle_message_inner(from, message, &mut actions);
+        self.run_gc();
         actions
     }
 
     fn broadcast_into(&mut self, payload: Payload, out: &mut ActionBuf<CpaMessage>) {
+        self.gc.on_event();
         self.broadcast_inner(payload, out.as_mut_vec());
+        self.run_gc();
     }
 
     fn handle_message_into(
@@ -169,7 +195,9 @@ impl Protocol for CpaProcess {
         message: CpaMessage,
         out: &mut ActionBuf<CpaMessage>,
     ) {
+        self.gc.on_event();
         self.handle_message_inner(from, message, out.as_mut_vec());
+        self.run_gc();
     }
 
     fn deliveries(&self) -> &[Delivery] {
@@ -195,6 +223,18 @@ impl Protocol for CpaProcess {
         // same memory role (each witness certifies one length-one transmission path from
         // a neighbor), so they are what the Sec. 7.3 path counter reports.
         self.states.values().map(|s| s.witnesses.len()).sum()
+    }
+
+    fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.gc.set_policy(policy);
+    }
+
+    fn note_time(&mut self, now_ms: u64) {
+        self.gc.note_time(now_ms);
+    }
+
+    fn gc_retired(&self) -> u64 {
+        self.gc.retired_count()
     }
 }
 
@@ -315,6 +355,39 @@ mod tests {
         };
         assert_eq!(m.wire_size(), 1 + 4 + 4 + 4 + 16);
         assert_eq!(CpaProcess::message_size(&m), 29);
+    }
+
+    #[test]
+    fn gc_retired_instance_rejects_replayed_witnesses() {
+        let mut p = CpaProcess::new(1, 1, vec![0, 2, 3]);
+        p.set_gc_policy(GcPolicy::after_events(1));
+        let content = Content::new(BroadcastId::new(0, 0), Payload::from("m"));
+        // Direct reception from the source: delivered, retention window opens.
+        p.handle_message(
+            0,
+            CpaMessage {
+                content: content.clone(),
+            },
+        );
+        assert_eq!(p.deliveries().len(), 1);
+        // One further event elapses the window (the pad is an undelivered witness).
+        let pad = Content::new(BroadcastId::new(2, 0), Payload::from("pad"));
+        p.handle_message(3, CpaMessage { content: pad });
+        assert_eq!(p.gc_retired(), 1);
+        let base = p.state_bytes();
+        // A full witness quorum replayed for the retired id must not re-deliver or
+        // recreate witness state.
+        for from in [2, 3] {
+            let actions = p.handle_message(
+                from,
+                CpaMessage {
+                    content: content.clone(),
+                },
+            );
+            assert!(actions.is_empty());
+        }
+        assert_eq!(p.deliveries().len(), 1, "no duplicate delivery");
+        assert_eq!(p.state_bytes(), base, "no state regrowth");
     }
 
     #[test]

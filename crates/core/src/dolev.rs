@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::MdFlags;
 use crate::disjoint::DisjointPathTracker;
+use crate::gc::{GcPolicy, GcState};
 use crate::pathset::PathSet;
 use crate::protocol::{ActionBuf, Protocol};
 use crate::types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
@@ -79,6 +80,7 @@ pub struct DolevProcess {
     instances: HashMap<Content, InstanceState>,
     deliveries: Vec<Delivery>,
     next_seq: u32,
+    gc: GcState,
 }
 
 impl DolevProcess {
@@ -92,6 +94,14 @@ impl DolevProcess {
             instances: HashMap::new(),
             deliveries: Vec::new(),
             next_seq: 0,
+            gc: GcState::new(GcPolicy::DISABLED),
+        }
+    }
+
+    /// Prunes the state of every instance whose retention window elapsed.
+    fn run_gc(&mut self) {
+        for id in self.gc.due() {
+            self.instances.retain(|content, _| content.id != id);
         }
     }
 
@@ -152,6 +162,7 @@ impl DolevProcess {
             .or_insert_with(InstanceState::new);
         Self::deliver(&content, state, &mut self.deliveries, actions);
         state.relayed_empty = true;
+        self.gc.on_delivered(id);
     }
 
     /// Shared body of [`Protocol::handle_message`] / [`Protocol::handle_message_into`].
@@ -163,6 +174,10 @@ impl DolevProcess {
     ) {
         let content = message.content.clone();
         let source = content.id.source;
+        // Frames of a retired instance are dropped before they can recreate state.
+        if self.gc.is_retired(content.id) {
+            return;
+        }
         let state = self
             .instances
             .entry(content.clone())
@@ -211,6 +226,9 @@ impl DolevProcess {
 
         // Relay logic.
         let newly_delivered = state.delivered && !was_delivered;
+        if newly_delivered {
+            self.gc.on_delivered(content.id);
+        }
         if state.delivered {
             if self.md.md2 && !state.relayed_empty {
                 // MD.2: forward the content with an empty path to all neighbors (skipping
@@ -274,8 +292,10 @@ impl Protocol for DolevProcess {
     }
 
     fn broadcast(&mut self, payload: Payload) -> Vec<Action<DolevMessage>> {
+        self.gc.on_event();
         let mut actions = Vec::new();
         self.broadcast_inner(payload, &mut actions);
+        self.run_gc();
         actions
     }
 
@@ -284,13 +304,17 @@ impl Protocol for DolevProcess {
         from: ProcessId,
         message: DolevMessage,
     ) -> Vec<Action<DolevMessage>> {
+        self.gc.on_event();
         let mut actions = Vec::new();
         self.handle_message_inner(from, message, &mut actions);
+        self.run_gc();
         actions
     }
 
     fn broadcast_into(&mut self, payload: Payload, out: &mut ActionBuf<DolevMessage>) {
+        self.gc.on_event();
         self.broadcast_inner(payload, out.as_mut_vec());
+        self.run_gc();
     }
 
     fn handle_message_into(
@@ -299,7 +323,9 @@ impl Protocol for DolevProcess {
         message: DolevMessage,
         out: &mut ActionBuf<DolevMessage>,
     ) {
+        self.gc.on_event();
         self.handle_message_inner(from, message, out.as_mut_vec());
+        self.run_gc();
     }
 
     fn deliveries(&self) -> &[Delivery] {
@@ -319,6 +345,18 @@ impl Protocol for DolevProcess {
 
     fn stored_paths(&self) -> usize {
         DolevProcess::stored_paths(self)
+    }
+
+    fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.gc.set_policy(policy);
+    }
+
+    fn note_time(&mut self, now_ms: u64) {
+        self.gc.note_time(now_ms);
+    }
+
+    fn gc_retired(&self) -> u64 {
+        self.gc.retired_count()
     }
 }
 
@@ -519,6 +557,52 @@ mod tests {
         assert!(
             actions.is_empty(),
             "paths through a delivered neighbor are dropped"
+        );
+    }
+
+    #[test]
+    fn gc_retires_delivered_instances_and_drops_replayed_paths() {
+        let mut p = DolevProcess::new(1, 1, vec![0, 2, 3], MdFlags::all());
+        <DolevProcess as Protocol>::set_gc_policy(&mut p, GcPolicy::after_events(2));
+        let content = Content::new(BroadcastId::new(0, 0), Payload::from("m"));
+        // MD.1 direct reception delivers immediately and opens the retention window.
+        p.handle_message(
+            0,
+            DolevMessage {
+                content: content.clone(),
+                path: vec![],
+            },
+        );
+        assert_eq!(p.deliveries().len(), 1);
+        // Unrelated traffic elapses the 2-event window and retires the instance.
+        let other = Content::new(BroadcastId::new(2, 5), Payload::from("pad"));
+        for _ in 0..2 {
+            p.handle_message(
+                3,
+                DolevMessage {
+                    content: other.clone(),
+                    path: vec![2],
+                },
+            );
+        }
+        assert_eq!(<DolevProcess as Protocol>::gc_retired(&p), 1);
+        let baseline = <DolevProcess as Protocol>::state_bytes(&p);
+        // Replayed frames for the retired instance are dropped without any effect.
+        for from in [0usize, 2, 3] {
+            let actions = p.handle_message(
+                from,
+                DolevMessage {
+                    content: content.clone(),
+                    path: vec![],
+                },
+            );
+            assert!(actions.is_empty(), "retired frames must be no-ops");
+        }
+        assert_eq!(p.deliveries().len(), 1, "no duplicate delivery");
+        assert_eq!(
+            <DolevProcess as Protocol>::state_bytes(&p),
+            baseline,
+            "replays must not resurrect retired state"
         );
     }
 

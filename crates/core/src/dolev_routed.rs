@@ -27,6 +27,7 @@ use std::sync::Arc;
 use brb_graph::paths::k_disjoint_routes;
 use brb_graph::Graph;
 
+use crate::gc::{GcPolicy, GcState};
 use crate::protocol::{ActionBuf, Protocol};
 use crate::rc::{RcDelivery, RcTransport};
 use crate::types::{Action, BroadcastId, Delivery, Payload, ProcessId};
@@ -93,6 +94,7 @@ pub struct RoutedDolev {
     instances: HashMap<(ProcessId, u32), RouteInstance>,
     next_seq: u32,
     deliveries: Vec<Delivery>,
+    gc: GcState,
 }
 
 impl RoutedDolev {
@@ -113,6 +115,15 @@ impl RoutedDolev {
             instances: HashMap::new(),
             next_seq: 0,
             deliveries: Vec::new(),
+            gc: GcState::new(GcPolicy::DISABLED),
+        }
+    }
+
+    /// Prunes the vote state of every instance whose retention window elapsed. The
+    /// `routes` cache is topology-static (bounded by the node count), so it is kept.
+    fn run_gc(&mut self) {
+        for id in self.gc.due() {
+            self.instances.remove(&(id.source, id.seq));
         }
     }
 
@@ -142,15 +153,20 @@ impl RoutedDolev {
         seq: u32,
         payload: Payload,
     ) -> Option<RcDelivery> {
+        let id = BroadcastId::new(origin, seq);
+        if self.gc.is_retired(id) {
+            return None;
+        }
         let instance = self.instances.entry((origin, seq)).or_default();
         if instance.delivered {
             return None;
         }
         instance.delivered = true;
         self.deliveries.push(Delivery {
-            id: BroadcastId::new(origin, seq),
+            id,
             payload: payload.clone(),
         });
+        self.gc.on_delivered(id);
         Some(RcDelivery {
             origin,
             seq,
@@ -182,6 +198,7 @@ impl RcTransport for RoutedDolev {
         payload: Payload,
         actions: &mut Vec<Action<RoutedDolevMessage>>,
     ) -> Vec<RcDelivery> {
+        self.gc.on_event();
         let seq = self.next_seq;
         self.next_seq += 1;
         for destination in 0..self.graph.node_count() {
@@ -205,9 +222,12 @@ impl RcTransport for RoutedDolev {
             }
         }
         // An origin RC-delivers its own broadcast immediately (Algorithm 2, line 13).
-        self.record_delivery(self.id, seq, payload)
+        let out: Vec<RcDelivery> = self
+            .record_delivery(self.id, seq, payload)
             .into_iter()
-            .collect()
+            .collect();
+        self.run_gc();
+        out
     }
 
     fn on_message(
@@ -216,7 +236,71 @@ impl RcTransport for RoutedDolev {
         message: RoutedDolevMessage,
         actions: &mut Vec<Action<RoutedDolevMessage>>,
     ) -> Vec<RcDelivery> {
+        self.gc.on_event();
+        let out = self.on_message_inner(from, message, actions);
+        self.run_gc();
+        out
+    }
+
+    fn wire_size(message: &RoutedDolevMessage) -> usize {
+        message.wire_size()
+    }
+
+    fn state_bytes(&self) -> usize {
+        let votes: usize = self
+            .instances
+            .values()
+            .flat_map(|i| i.votes.iter())
+            .map(|(payload, routes)| payload.len() + 8 * routes.len())
+            .sum();
+        let routes: usize = self
+            .routes
+            .values()
+            .flat_map(|rs| rs.iter())
+            .map(|r| 8 * r.len())
+            .sum();
+        votes + routes
+    }
+
+    fn stored_paths(&self) -> usize {
+        self.instances
+            .values()
+            .flat_map(|i| i.votes.values())
+            .map(BTreeSet::len)
+            .sum()
+    }
+
+    fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.gc.set_policy(policy);
+    }
+
+    fn note_time(&mut self, now_ms: u64) {
+        self.gc.note_time(now_ms);
+    }
+
+    fn gc_retired(&self) -> u64 {
+        self.gc.retired_count()
+    }
+}
+
+impl RoutedDolev {
+    /// Body of [`RcTransport::on_message`] (split out so the GC event/prune bookkeeping
+    /// wraps every return path exactly once).
+    fn on_message_inner(
+        &mut self,
+        from: ProcessId,
+        message: RoutedDolevMessage,
+        actions: &mut Vec<Action<RoutedDolevMessage>>,
+    ) -> Vec<RcDelivery> {
         if !self.plausible(from, &message) {
+            return Vec::new();
+        }
+        // Frames of a retired instance are dropped (not even relayed) before they can
+        // recreate state.
+        if self
+            .gc
+            .is_retired(BroadcastId::new(message.origin, message.seq))
+        {
             return Vec::new();
         }
         if !message.at_destination() {
@@ -257,34 +341,6 @@ impl RcTransport for RoutedDolev {
                 .collect();
         }
         Vec::new()
-    }
-
-    fn wire_size(message: &RoutedDolevMessage) -> usize {
-        message.wire_size()
-    }
-
-    fn state_bytes(&self) -> usize {
-        let votes: usize = self
-            .instances
-            .values()
-            .flat_map(|i| i.votes.iter())
-            .map(|(payload, routes)| payload.len() + 8 * routes.len())
-            .sum();
-        let routes: usize = self
-            .routes
-            .values()
-            .flat_map(|rs| rs.iter())
-            .map(|r| 8 * r.len())
-            .sum();
-        votes + routes
-    }
-
-    fn stored_paths(&self) -> usize {
-        self.instances
-            .values()
-            .flat_map(|i| i.votes.values())
-            .map(BTreeSet::len)
-            .sum()
     }
 }
 
@@ -362,6 +418,18 @@ impl Protocol for RoutedDolev {
 
     fn stored_paths(&self) -> usize {
         <RoutedDolev as RcTransport>::stored_paths(self)
+    }
+
+    fn set_gc_policy(&mut self, policy: GcPolicy) {
+        <RoutedDolev as RcTransport>::set_gc_policy(self, policy);
+    }
+
+    fn note_time(&mut self, now_ms: u64) {
+        <RoutedDolev as RcTransport>::note_time(self, now_ms);
+    }
+
+    fn gc_retired(&self) -> u64 {
+        <RoutedDolev as RcTransport>::gc_retired(self)
     }
 }
 
@@ -565,6 +633,40 @@ mod tests {
             position: 1,
         };
         assert_eq!(m.wire_size(), 1 + 4 + 4 + 4 + 16 + 2 + 4 * 3);
+    }
+
+    #[test]
+    fn gc_retires_delivered_instances_and_drops_replayed_route_copies() {
+        let g = generate::complete(4);
+        let mut p = RoutedDolev::new(1, 1, g);
+        <RoutedDolev as RcTransport>::set_gc_policy(&mut p, GcPolicy::after_events(1));
+        // Direct reception from the origin delivers and opens the retention window.
+        let direct = RoutedDolevMessage {
+            origin: 0,
+            seq: 0,
+            payload: Payload::from("m"),
+            route: vec![0, 1],
+            position: 1,
+        };
+        let mut actions = Vec::new();
+        assert_eq!(p.on_message(0, direct.clone(), &mut actions).len(), 1);
+        // One unrelated relay event elapses the window and retires the instance.
+        let relay = RoutedDolevMessage {
+            origin: 2,
+            seq: 9,
+            payload: Payload::from("pad"),
+            route: vec![2, 1, 3],
+            position: 1,
+        };
+        let _ = p.on_message(2, relay, &mut actions);
+        assert_eq!(<RoutedDolev as RcTransport>::gc_retired(&p), 1);
+        let baseline = <RoutedDolev as RcTransport>::state_bytes(&p);
+        // Replays of the retired instance deliver nothing, relay nothing, create nothing.
+        actions.clear();
+        assert!(p.on_message(0, direct, &mut actions).is_empty());
+        assert!(actions.is_empty(), "retired frames are not relayed");
+        assert_eq!(p.deliveries().len(), 1, "no duplicate delivery");
+        assert_eq!(<RoutedDolev as RcTransport>::state_bytes(&p), baseline);
     }
 
     #[test]

@@ -34,6 +34,12 @@
 //! `(Config, Graph, ProcessId)`, which is how the deployment backends (`brb-runtime`,
 //! `brb-net`) and the experiment sweeps run every stack through one code path.
 //!
+//! The [`gc`] module bounds per-broadcast memory for long-lived nodes: configure a
+//! [`gc::GcPolicy`] retention window (through [`config::Config::gc`] or
+//! [`protocol::Protocol::set_gc_policy`]) and every engine retires a [`types::BroadcastId`]
+//! once delivered and quiesced, dropping late or replayed frames for retired instances
+//! deterministically instead of resurrecting their state.
+//!
 //! # Quick example
 //!
 //! ```
@@ -72,6 +78,7 @@ pub mod cpa;
 pub mod disjoint;
 pub mod dolev;
 pub mod dolev_routed;
+pub mod gc;
 pub mod pathset;
 pub mod protocol;
 pub mod quorum;
@@ -84,6 +91,7 @@ pub use bd::BdProcess;
 pub use bracha_rc::{BrachaCpa, BrachaOverRc, BrachaRoutedDolev};
 pub use config::{Config, MbdFlags, MdFlags};
 pub use dolev_routed::RoutedDolev;
+pub use gc::{GcPolicy, GcState};
 pub use protocol::{ActionBuf, Protocol};
 pub use rc::{RcDelivery, RcTransport};
 pub use stack::{DynEngine, DynStack, EncodedFrame, StackSpec, WireAction, WireActionBuf};

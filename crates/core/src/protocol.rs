@@ -187,6 +187,22 @@ pub trait Protocol {
     fn stored_paths(&self) -> usize {
         0
     }
+
+    /// Installs an instance-GC retention policy (see [`crate::gc::GcPolicy`]).
+    ///
+    /// The default implementation ignores it: protocols without per-broadcast state (or
+    /// without GC support) simply keep their historical behavior.
+    fn set_gc_policy(&mut self, _policy: crate::gc::GcPolicy) {}
+
+    /// Feeds the host's clock to the engine for time-based retention windows: virtual
+    /// milliseconds in the simulator, wall-clock milliseconds in the live deployments.
+    /// The default implementation ignores it.
+    fn note_time(&mut self, _now_ms: u64) {}
+
+    /// Number of broadcast instances this engine has retired through GC so far.
+    fn gc_retired(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

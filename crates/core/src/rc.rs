@@ -79,6 +79,21 @@ pub trait RcTransport {
     fn stored_paths(&self) -> usize {
         0
     }
+
+    /// Installs an instance-GC retention policy on the substrate's own per-instance
+    /// state (see [`crate::gc::GcPolicy`]). The substrate retires its RC instances
+    /// independently of the Bracha layer above it, with the same policy. The default
+    /// implementation ignores it.
+    fn set_gc_policy(&mut self, _policy: crate::gc::GcPolicy) {}
+
+    /// Feeds the host clock to the substrate for time-based retention windows. The
+    /// default implementation ignores it.
+    fn note_time(&mut self, _now_ms: u64) {}
+
+    /// Number of RC instances the substrate has retired through GC so far.
+    fn gc_retired(&self) -> u64 {
+        0
+    }
 }
 
 /// CPA is a reliable-communication protocol for the `t`-locally bounded fault model, so it
@@ -114,6 +129,18 @@ impl RcTransport for CpaProcess {
 
     fn state_bytes(&self) -> usize {
         <CpaProcess as Protocol>::state_bytes(self)
+    }
+
+    fn set_gc_policy(&mut self, policy: crate::gc::GcPolicy) {
+        <CpaProcess as Protocol>::set_gc_policy(self, policy);
+    }
+
+    fn note_time(&mut self, now_ms: u64) {
+        <CpaProcess as Protocol>::note_time(self, now_ms);
+    }
+
+    fn gc_retired(&self) -> u64 {
+        <CpaProcess as Protocol>::gc_retired(self)
     }
 }
 

@@ -334,6 +334,15 @@ pub trait DynEngine: Send {
 
     /// Number of transmission paths currently stored for disjoint-path verification.
     fn stored_paths(&self) -> usize;
+
+    /// Installs an instance-GC retention policy (see [`crate::gc::GcPolicy`]).
+    fn set_gc_policy(&mut self, policy: crate::gc::GcPolicy);
+
+    /// Feeds the host's clock (milliseconds) for time-based retention windows.
+    fn note_time(&mut self, now_ms: u64);
+
+    /// Number of broadcast instances retired through GC so far.
+    fn gc_retired(&self) -> u64;
 }
 
 impl<P> DynEngine for P
@@ -374,6 +383,18 @@ where
 
     fn stored_paths(&self) -> usize {
         Protocol::stored_paths(self)
+    }
+
+    fn set_gc_policy(&mut self, policy: crate::gc::GcPolicy) {
+        Protocol::set_gc_policy(self, policy)
+    }
+
+    fn note_time(&mut self, now_ms: u64) {
+        Protocol::note_time(self, now_ms)
+    }
+
+    fn gc_retired(&self) -> u64 {
+        Protocol::gc_retired(self)
     }
 }
 
@@ -450,6 +471,18 @@ where
 
     fn stored_paths(&self) -> usize {
         Protocol::stored_paths(&self.inner)
+    }
+
+    fn set_gc_policy(&mut self, policy: crate::gc::GcPolicy) {
+        Protocol::set_gc_policy(&mut self.inner, policy)
+    }
+
+    fn note_time(&mut self, now_ms: u64) {
+        Protocol::note_time(&mut self.inner, now_ms)
+    }
+
+    fn gc_retired(&self) -> u64 {
+        Protocol::gc_retired(&self.inner)
     }
 }
 
@@ -556,7 +589,7 @@ impl StackSpec {
         graph: &Arc<Graph>,
         id: ProcessId,
     ) -> Box<dyn DynEngine> {
-        match self {
+        let engine = match self {
             StackSpec::BrachaRoutedDolev => Box::new(SinkEngine::new(BrachaOverRc::new(
                 config.n,
                 config.f,
@@ -566,9 +599,10 @@ impl StackSpec {
                 id,
                 config.f,
                 Arc::clone(graph),
-            ))),
-            other => other.build_neighborhood(config, graph, id),
-        }
+            ))) as Box<dyn DynEngine>,
+            other => return other.build_neighborhood(config, graph, id),
+        };
+        apply_gc(engine, config)
     }
 
     /// Builds the stacks that only need the process's direct neighborhood.
@@ -578,7 +612,7 @@ impl StackSpec {
         graph: &Graph,
         id: ProcessId,
     ) -> Box<dyn DynEngine> {
-        match self {
+        let engine: Box<dyn DynEngine> = match self {
             StackSpec::Bd => Box::new(SinkEngine::new(BdProcess::new(
                 id,
                 *config,
@@ -606,7 +640,8 @@ impl StackSpec {
             StackSpec::BrachaRoutedDolev | StackSpec::RoutedDolev => {
                 unreachable!("routed stacks are built by build/build_shared")
             }
-        }
+        };
+        apply_gc(engine, config)
     }
 
     /// Convenience: builds the engine and wraps it in a [`DynStack`], ready to be driven
@@ -625,6 +660,17 @@ impl StackSpec {
     ) -> DynStack {
         DynStack::new(self.build_shared(config, graph, id))
     }
+}
+
+/// Installs the configured instance-GC policy on a freshly built engine.
+///
+/// A disabled policy is skipped so engines that seed GC from [`Config`] directly
+/// (the Bracha–Dolev engine) keep whatever the constructor installed.
+fn apply_gc(mut engine: Box<dyn DynEngine>, config: &Config) -> Box<dyn DynEngine> {
+    if config.gc.enabled() {
+        engine.set_gc_policy(config.gc);
+    }
+    engine
 }
 
 impl fmt::Display for StackSpec {
@@ -797,6 +843,18 @@ impl Protocol for DynStack {
 
     fn stored_paths(&self) -> usize {
         self.engine.stored_paths()
+    }
+
+    fn set_gc_policy(&mut self, policy: crate::gc::GcPolicy) {
+        self.engine.set_gc_policy(policy);
+    }
+
+    fn note_time(&mut self, now_ms: u64) {
+        self.engine.note_time(now_ms);
+    }
+
+    fn gc_retired(&self) -> u64 {
+        self.engine.gc_retired()
     }
 }
 

@@ -29,12 +29,6 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::endpoint::{bind_endpoints, connect_mesh, send_frame, spawn_link_reader};
 
-/// Deprecated name of [`DriverOptions`], kept for one release: the TCP deployment and
-/// the channel runtime used to carry separately maintained options structs whose
-/// defaults could silently drift apart; both are now the same documented type.
-#[deprecated(since = "0.1.0", note = "use brb_transport::DriverOptions instead")]
-pub type TcpOptions = DriverOptions;
-
 /// The loopback-socket transport of one process: TCP write halves keyed by neighbor,
 /// plus the mailbox its per-link reader threads feed ([`spawn_link_reader`]).
 pub struct TcpTransport {
@@ -208,6 +202,8 @@ impl TcpDeployment {
                 deliveries: Vec::new(),
                 messages_sent: 0,
                 bytes_sent: 0,
+                state_bytes: 0,
+                gc_retired: 0,
             })
             .collect();
         for handle in self.handles {

@@ -52,7 +52,5 @@ pub mod endpoint;
 pub mod frame;
 
 pub use brb_transport::DriverOptions;
-#[allow(deprecated)]
-pub use deployment::TcpOptions;
 pub use deployment::{run_tcp_broadcast, run_tcp_workload, TcpDeployment, TcpTransport};
 pub use endpoint::{bind_endpoints, connect_mesh, Endpoint, NodeLinks};

@@ -21,12 +21,6 @@ use parking_lot::Mutex;
 
 pub use brb_transport::{DeploymentReport, NodeReport};
 
-/// Deprecated name of [`DriverOptions`], kept for one release: the channel runtime and
-/// the TCP deployment used to carry separately maintained options structs whose defaults
-/// could silently drift apart; both are now the same documented type.
-#[deprecated(since = "0.1.0", note = "use brb_transport::DriverOptions instead")]
-pub type RuntimeOptions = DriverOptions;
-
 /// A running thread-per-process deployment.
 pub struct Deployment {
     handles: Vec<JoinHandle<NodeReport>>,
@@ -142,6 +136,8 @@ impl Deployment {
                 deliveries: Vec::new(),
                 messages_sent: 0,
                 bytes_sent: 0,
+                state_bytes: 0,
+                gc_retired: 0,
             })
             .collect();
         for handle in self.handles {

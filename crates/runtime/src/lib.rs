@@ -25,7 +25,5 @@ pub mod workload;
 
 pub use brb_transport::link;
 pub use brb_transport::DriverOptions;
-#[allow(deprecated)]
-pub use deployment::RuntimeOptions;
 pub use deployment::{Deployment, DeploymentReport, NodeReport};
 pub use workload::{drive_workload, Pacing, WorkloadRun};

@@ -128,6 +128,13 @@ pub struct ExperimentResult {
     /// experiment ran a [`WorkloadSpec`]; `None` for the paper's single-broadcast runs.
     #[serde(default)]
     pub workload: Option<WorkloadStats>,
+    /// Broadcast instances retired through watermark GC across all processes (0 when
+    /// [`Config::gc`](brb_core::config::Config) is disabled).
+    #[serde(default)]
+    pub gc_retired: u64,
+    /// Protocol-state bytes still held across all processes at the end of the run.
+    #[serde(default)]
+    pub retained_bytes: usize,
 }
 
 impl ExperimentResult {
@@ -287,6 +294,8 @@ where
         correct: correct.len(),
         peak_state_bytes,
         peak_stored_paths,
+        gc_retired: sim.metrics().gc_retired,
+        retained_bytes: sim.metrics().retained_bytes,
         workload: params.workload.is_some().then_some(stats),
     };
     ExperimentRecord {

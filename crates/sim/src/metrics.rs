@@ -44,6 +44,14 @@ pub struct RunMetrics {
     pub peak_state_bytes: usize,
     /// Number of events processed by the simulator.
     pub events_processed: usize,
+    /// Total broadcast instances retired through watermark GC, summed over all
+    /// processes (0 when GC is disabled).
+    #[serde(default)]
+    pub gc_retired: u64,
+    /// Protocol-state bytes still held across all processes when the run ended —
+    /// the quantity that stays flat under GC and grows without it.
+    #[serde(default)]
+    pub retained_bytes: usize,
 }
 
 impl RunMetrics {
@@ -122,6 +130,8 @@ impl RunMetrics {
         let _ = writeln!(out, "events_processed={}", self.events_processed);
         let _ = writeln!(out, "peak_stored_paths={}", self.peak_stored_paths);
         let _ = writeln!(out, "peak_state_bytes={}", self.peak_state_bytes);
+        let _ = writeln!(out, "gc_retired={}", self.gc_retired);
+        let _ = writeln!(out, "retained_bytes={}", self.retained_bytes);
         for (kind, count) in &self.messages_per_kind {
             let _ = writeln!(out, "kind {kind}={count}");
         }

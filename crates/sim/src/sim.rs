@@ -133,6 +133,9 @@ where
     memory_sampling: usize,
     /// Per-process event counters driving the sampling grid.
     events_per_process: Vec<usize>,
+    /// Last `gc_retired` count observed per process: a change forces a memory sample
+    /// regardless of the stride, so GC-driven state drops land on the curve.
+    gc_retired_seen: Vec<u64>,
 }
 
 impl<P: Protocol> Simulation<P>
@@ -161,6 +164,7 @@ where
             max_events: 50_000_000,
             memory_sampling: 1,
             events_per_process: vec![0; n],
+            gc_retired_seen: vec![0; n],
         }
     }
 
@@ -250,6 +254,7 @@ where
         self.metrics.record_injection(id, self.now);
         let mut actions = std::mem::take(&mut self.actions);
         actions.clear();
+        self.processes[source].note_time(self.now.as_micros() / 1_000);
         self.processes[source].broadcast_into(payload, &mut actions);
         self.schedule_actions(source, &mut actions);
         self.actions = actions;
@@ -345,10 +350,22 @@ where
         loop {
             let step = self.step_batch();
             if step == 0 {
+                self.collect_gc_metrics();
                 return processed;
             }
             processed += step;
         }
+    }
+
+    /// Refreshes the end-of-run GC counters in the metrics: total instances retired and
+    /// total protocol-state bytes still retained across all processes.
+    ///
+    /// Walking every process's state is `O(processes x live instances)`, so this runs
+    /// only at quiescence (and wherever a long-running host wants a curve point), never
+    /// on the per-event hot path.
+    pub fn collect_gc_metrics(&mut self) {
+        self.metrics.gc_retired = self.processes.iter().map(|p| p.gc_retired()).sum();
+        self.metrics.retained_bytes = self.processes.iter().map(|p| p.state_bytes()).sum();
     }
 
     /// Runs until either quiescence or the given virtual deadline; events and injections
@@ -380,13 +397,20 @@ where
         let message = Arc::try_unwrap(event.message).unwrap_or_else(|shared| (*shared).clone());
         let mut actions = std::mem::take(&mut self.actions);
         actions.clear();
+        self.processes[event.to].note_time(self.now.as_micros() / 1_000);
         self.processes[event.to].handle_message_into(event.from, message, &mut actions);
         self.schedule_actions(event.to, &mut actions);
         self.actions = actions;
-        self.update_memory_peaks(event.to);
+        // A GC retirement forces a sample so the state drop lands on the memory curve
+        // even between stride points.
+        let retired = self.processes[event.to].gc_retired();
+        let gc_fired = retired != self.gc_retired_seen[event.to];
+        self.gc_retired_seen[event.to] = retired;
+        self.update_memory_peaks(event.to, gc_fired);
     }
 
     fn schedule_actions(&mut self, from: ProcessId, actions: &mut ActionBuf<P::Message>) {
+        let mut delivered = false;
         for action in actions.drain() {
             match action {
                 Action::Send { to, message } => {
@@ -419,15 +443,19 @@ where
                 }
                 Action::Deliver(delivery) => {
                     self.metrics.record_delivery(from, delivery.id, self.now);
+                    delivered = true;
                 }
             }
         }
-        self.update_memory_peaks(from);
+        // A delivery is where an instance's state is at its largest: force a sample so
+        // strided sampling never misses the peak (the stride only thins out the
+        // in-between measurements).
+        self.update_memory_peaks(from, delivered);
     }
 
-    fn update_memory_peaks(&mut self, process: ProcessId) {
+    fn update_memory_peaks(&mut self, process: ProcessId, force: bool) {
         self.events_per_process[process] += 1;
-        if !self.events_per_process[process].is_multiple_of(self.memory_sampling) {
+        if !force && !self.events_per_process[process].is_multiple_of(self.memory_sampling) {
             return;
         }
         let state = self.processes[process].state_bytes();

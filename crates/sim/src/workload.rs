@@ -94,6 +94,7 @@ where
         processed += step;
         in_flight.retain(|id| sim.metrics().delivered_count(*id, &correct) < correct.len());
     }
+    sim.collect_gc_metrics();
     processed
 }
 
@@ -125,6 +126,8 @@ pub fn workload_stats(
             stats.duration_ms = last_delivery.saturating_sub(first).as_millis_f64();
         }
     }
+    stats.gc_retired = metrics.gc_retired;
+    stats.retained_bytes = metrics.retained_bytes;
     stats
 }
 

@@ -30,8 +30,8 @@ pub enum Command {
 /// Options of a live deployment, shared by the channel runtime and the TCP backend.
 ///
 /// This replaces the former `RuntimeOptions` / `TcpOptions` pair, whose separately
-/// maintained `Default` impls had already started to drift apart in spirit (deprecated
-/// aliases remain for one release). On top of the old knobs it carries the
+/// maintained `Default` impls had already started to drift apart in spirit. On top of
+/// the old knobs it carries the
 /// [`LinkPolicy`] vocabulary: per-process Byzantine [`Behavior`]s and a wall-clock-scaled
 /// [`brb_sim::DelayModel`], so the simulator's scenario configurations run identically on
 /// the live backends.
@@ -61,6 +61,10 @@ pub struct DriverOptions {
     pub behaviors: Vec<(ProcessId, Behavior)>,
     /// Per-frame transmission delay applied on every node's outbound links.
     pub link_delay: LinkDelay,
+    /// Instance-GC retention policy installed on every node's engine. `None` (the
+    /// default) leaves whatever the engine's [`brb_core::config::Config`] seeded —
+    /// usually disabled — so per-broadcast state is kept forever, the pre-GC behavior.
+    pub gc: Option<brb_core::gc::GcPolicy>,
 }
 
 impl Default for DriverOptions {
@@ -73,6 +77,7 @@ impl Default for DriverOptions {
             seed: 1,
             behaviors: Vec::new(),
             link_delay: LinkDelay::None,
+            gc: None,
         }
     }
 }
@@ -93,6 +98,13 @@ impl DriverOptions {
     /// Returns a copy with the given link delay installed.
     pub fn with_link_delay(mut self, link_delay: LinkDelay) -> Self {
         self.link_delay = link_delay;
+        self
+    }
+
+    /// Returns a copy with the given instance-GC retention policy installed on every
+    /// node's engine.
+    pub fn with_gc(mut self, gc: brb_core::gc::GcPolicy) -> Self {
+        self.gc = Some(gc);
         self
     }
 
@@ -140,6 +152,11 @@ pub struct NodeReport {
     pub messages_sent: usize,
     /// Total bytes the process put on its links (Table 3 accounting).
     pub bytes_sent: usize,
+    /// Protocol-state bytes the engine still held at shutdown (flat under instance GC,
+    /// growing with every broadcast without it).
+    pub state_bytes: usize,
+    /// Broadcast instances the engine retired through watermark GC.
+    pub gc_retired: u64,
 }
 
 /// Aggregated report of a whole deployment run.
@@ -209,6 +226,10 @@ impl NodeDriver {
         let id = engine.process_id();
         let policy = options.policy_of(id);
         let receives = policy.behavior.receives();
+        let mut engine = engine;
+        if let Some(gc) = options.gc {
+            engine.set_gc_policy(gc);
+        }
         Self {
             engine,
             actions: WireActionBuf::new(),
@@ -225,6 +246,7 @@ impl NodeDriver {
     /// thread, one per process.
     pub fn run(mut self) -> NodeReport {
         let id = self.engine.process_id();
+        let started = std::time::Instant::now();
         let mut messages_sent = 0usize;
         let mut bytes_sent = 0usize;
         let mut shutting_down = false;
@@ -234,6 +256,10 @@ impl NodeDriver {
                 recv(self.transport.inbound()) -> frame => Wake::Frame(frame.ok()),
                 default(self.idle_shutdown) => Wake::Idle,
             };
+            // Live backends feed wall-clock milliseconds since start-up, so
+            // time-based retention windows measure real elapsed time.
+            self.engine
+                .note_time(started.elapsed().as_millis() as u64);
             match wake {
                 Wake::Command(Some(Command::Broadcast(payload))) => {
                     if self.receives {
@@ -269,6 +295,8 @@ impl NodeDriver {
             deliveries: self.engine.deliveries().to_vec(),
             messages_sent,
             bytes_sent,
+            state_bytes: self.engine.state_bytes(),
+            gc_retired: self.engine.gc_retired(),
         }
     }
 
@@ -437,12 +465,16 @@ mod tests {
                     deliveries: vec![],
                     messages_sent: 2,
                     bytes_sent: 10,
+                    state_bytes: 0,
+                    gc_retired: 0,
                 },
                 NodeReport {
                     id: 1,
                     deliveries: vec![],
                     messages_sent: 3,
                     bytes_sent: 20,
+                    state_bytes: 0,
+                    gc_retired: 0,
                 },
             ],
         };

@@ -17,9 +17,9 @@
 //!   vocabulary to live backends: frame-level [`brb_sim::Behavior`] injection
 //!   ([`policy::FaultyLink`]) and wall-clock-scaled [`brb_sim::DelayModel`]s
 //!   ([`policy::DelayedLink`], [`LinkDelay::Scaled`]);
-//! * [`DriverOptions`] — the one options struct of every live deployment (the former
-//!   `RuntimeOptions` / `TcpOptions` are deprecated aliases of it), which resolves a
-//!   per-process [`LinkPolicy`] and decorates the transport accordingly.
+//! * [`DriverOptions`] — the one options struct of every live deployment (it replaced
+//!   the former `RuntimeOptions` / `TcpOptions` pair), which resolves a per-process
+//!   [`LinkPolicy`] and decorates the transport accordingly.
 //!
 //! # Quickstart: a two-node deployment from the driver alone
 //!

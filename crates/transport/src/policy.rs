@@ -21,12 +21,14 @@
 //! composes them in the canonical order (behavior outermost, so dropped frames incur no
 //! delay and amplified copies are delayed independently, matching the simulator).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 use brb_core::types::ProcessId;
 use brb_sim::{Behavior, DelayModel};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -159,11 +161,13 @@ impl<T: Transport> Transport for FaultyLink<T> {
 /// Delaying this way keeps the node's event loop free — like the simulator, where a
 /// message in flight does not stop its sender from processing the next event — so a
 /// wall-clock [`LinkDelay::Scaled`] regime measures *network* delay, not an artificial
-/// serialization of the node's outbound frames. The forwarder drains its queue in FIFO
-/// order, so with jittered models a frame sampled short can wait behind an earlier frame
-/// sampled long (the line never reorders, unlike the simulator); with constant models
-/// the behavior is exact. Frames still queued when the node shuts down are transmitted
-/// before the forwarder exits, unless the whole deployment is being torn down.
+/// serialization of the node's outbound frames. The forwarder holds queued frames in a
+/// deadline-ordered priority queue and transmits each one when *its own* deadline
+/// passes, so with jittered models a frame sampled short overtakes an earlier frame
+/// sampled long — the reordering the paper's asynchronous regime is about, and exactly
+/// what the simulator's event queue does. Frames sharing a deadline keep their enqueue
+/// order. Frames still queued when the node shuts down are transmitted at their
+/// deadlines before the forwarder exits, unless the whole deployment is being torn down.
 pub struct DelayedLink {
     /// Clone of the inner transport's inbound stream (the inner transport itself moves
     /// into the forwarder thread).
@@ -171,9 +175,42 @@ pub struct DelayedLink {
     /// Snapshot of the inner transport's peer set, so `send` can report the copy count
     /// exactly (the forwarder's own return value arrives too late to count).
     peers: Vec<ProcessId>,
-    line: Sender<(Instant, ProcessId, Bytes, usize)>,
+    line: Sender<Queued>,
     delay: LinkDelay,
     rng: StdRng,
+    /// Monotone enqueue counter: the stable tie-break for frames due at the same
+    /// instant, so equal-deadline frames transmit in send order.
+    next_seq: u64,
+}
+
+/// One frame in flight on the delay line, ordered by `(due, seq)`.
+#[derive(Debug)]
+struct Queued {
+    due: Instant,
+    seq: u64,
+    to: ProcessId,
+    frame: Bytes,
+    wire_size: usize,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl Eq for Queued {}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl DelayedLink {
@@ -182,14 +219,41 @@ impl DelayedLink {
     pub fn new<T: Transport + 'static>(mut inner: T, delay: LinkDelay, seed: u64) -> Self {
         let inbound = inner.inbound().clone();
         let peers = inner.peers();
-        let (line, queue) = unbounded::<(Instant, ProcessId, Bytes, usize)>();
+        let (line, queue) = unbounded::<Queued>();
         std::thread::spawn(move || {
-            while let Ok((due, to, frame, wire_size)) = queue.recv() {
-                let now = Instant::now();
-                if due > now {
-                    std::thread::sleep(due - now);
+            // Earliest deadline first, enqueue order on ties; the forwarder sleeps only
+            // until the *earliest* pending deadline, so a short-sampled frame never
+            // waits behind a long-sampled one that entered the line before it.
+            let mut pending: BinaryHeap<Reverse<Queued>> = BinaryHeap::new();
+            loop {
+                match pending.peek() {
+                    Some(Reverse(next)) => {
+                        let now = Instant::now();
+                        if next.due <= now {
+                            let Reverse(item) = pending.pop().expect("peeked item exists");
+                            inner.send(item.to, &item.frame, item.wire_size);
+                            continue;
+                        }
+                        match queue.recv_timeout(next.due - now) {
+                            Ok(item) => pending.push(Reverse(item)),
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                    None => match queue.recv() {
+                        Ok(item) => pending.push(Reverse(item)),
+                        Err(_) => break,
+                    },
                 }
-                inner.send(to, &frame, wire_size);
+            }
+            // The node dropped its handle: flush what is still in flight, each frame at
+            // its own deadline.
+            while let Some(Reverse(item)) = pending.pop() {
+                let now = Instant::now();
+                if item.due > now {
+                    std::thread::sleep(item.due - now);
+                }
+                inner.send(item.to, &item.frame, item.wire_size);
             }
         });
         Self {
@@ -198,6 +262,7 @@ impl DelayedLink {
             line,
             delay,
             rng: StdRng::seed_from_u64(seed),
+            next_seq: 0,
         }
     }
 
@@ -237,8 +302,15 @@ impl Transport for DelayedLink {
         if !self.peers.contains(&to) {
             return 0;
         }
-        let due = Instant::now() + self.sample();
-        if self.line.send((due, to, frame.clone(), wire_size)).is_ok() {
+        let item = Queued {
+            due: Instant::now() + self.sample(),
+            seq: self.next_seq,
+            to,
+            frame: frame.clone(),
+            wire_size,
+        };
+        self.next_seq += 1;
+        if self.line.send(item).is_ok() {
             1
         } else {
             0
@@ -355,6 +427,62 @@ mod tests {
             0
         );
         assert!(t1.inbound().is_empty());
+    }
+
+    #[test]
+    fn delay_line_reorders_by_deadline_not_enqueue_order() {
+        let (t0, t1) = pair();
+        let delayed = DelayedLink::new(t0, LinkDelay::None, 1);
+        // Feed the line directly with explicit deadlines: a frame enqueued *first* with
+        // a long delay must be overtaken by a later frame with a short delay.
+        let now = Instant::now();
+        delayed
+            .line
+            .send(Queued {
+                due: now + Duration::from_millis(150),
+                seq: 0,
+                to: 1,
+                frame: Bytes::from_static(b"slow"),
+                wire_size: 4,
+            })
+            .unwrap();
+        delayed
+            .line
+            .send(Queued {
+                due: now + Duration::from_millis(20),
+                seq: 1,
+                to: 1,
+                frame: Bytes::from_static(b"fast"),
+                wire_size: 4,
+            })
+            .unwrap();
+        let first = t1.inbound().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            first.bytes.as_ref(),
+            b"fast",
+            "the short-deadline frame overtakes the earlier long one"
+        );
+        let second = t1.inbound().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(second.bytes.as_ref(), b"slow");
+    }
+
+    #[test]
+    fn queued_frames_order_by_deadline_then_enqueue_seq() {
+        let base = Instant::now();
+        let item = |due: Instant, seq: u64| Queued {
+            due,
+            seq,
+            to: 1,
+            frame: Bytes::from_static(b"x"),
+            wire_size: 1,
+        };
+        let early = base + Duration::from_millis(10);
+        let late = base + Duration::from_millis(50);
+        assert!(item(early, 9) < item(late, 0), "the deadline dominates");
+        assert!(
+            item(early, 0) < item(early, 1),
+            "equal deadlines fall back to enqueue order"
+        );
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub struct WorkloadStats {
     /// Per-broadcast delivery latencies (microseconds), one observation per completed
     /// broadcast.
     pub latency_histogram: LogHistogram,
+    /// Broadcast instances retired through watermark GC, summed over all processes
+    /// (0 when GC is disabled or the backend does not report it).
+    #[serde(default)]
+    pub gc_retired: u64,
+    /// Protocol-state bytes still held across all processes when the run ended. Flat
+    /// across consecutive runs under GC; grows with every completed broadcast without.
+    #[serde(default)]
+    pub retained_bytes: usize,
 }
 
 impl WorkloadStats {
@@ -63,6 +71,11 @@ impl WorkloadStats {
         self.completed += other.completed;
         self.duration_ms += other.duration_ms;
         self.latency_histogram.merge(&other.latency_histogram);
+        // Retirements accumulate like the counts; retained bytes keep the worst
+        // end-of-run snapshot, so merging across seeds or workers reports the largest
+        // residual footprint observed.
+        self.gc_retired += other.gc_retired;
+        self.retained_bytes = self.retained_bytes.max(other.retained_bytes);
     }
 }
 
@@ -87,6 +100,7 @@ mod tests {
             completed: latencies_micros.len(),
             duration_ms,
             latency_histogram: histogram,
+            ..WorkloadStats::default()
         }
     }
 

@@ -86,3 +86,18 @@ if [ "$(wc -l < "$out/sweep_brd.csv")" != "$base_rows" ]; then
 fi
 
 echo "OK: bd and bracha-routed-dolev sweeps ran the same $base_rows-row matrix with per-stack results"
+
+# Bounded-memory benchmark: machine-readable quiescence timing plus the GC-off/GC-on
+# memory-curve endpoints. The binary itself asserts the boundedness invariants (linear
+# growth without GC, flat with GC) and exits non-zero on regression; here we only check
+# the JSON artifact exists and carries the expected fields.
+timeout 600 cargo run --release -p brb-bench --bin bench_quiescence -- \
+    --out "$out/BENCH_quiescence.json" > "$out/stdout_bench_quiescence.txt"
+for field in mean_ms gc_off gc_on first_bytes last_bytes gc_retired; do
+    if ! grep -q "\"$field\"" "$out/BENCH_quiescence.json"; then
+        echo "FAIL: BENCH_quiescence.json is missing field \"$field\"" >&2
+        exit 1
+    fi
+done
+
+echo "OK: BENCH_quiescence.json written (boundedness asserted by the benchmark binary)"

@@ -155,3 +155,85 @@ fn repeated_broadcasts_from_all_sources_deliver() {
         assert_eq!(p.deliveries().len(), n);
     }
 }
+
+proptest! {
+    // Same pinned-runner discipline as above, with its own committed base seed so the
+    // two suites stay independent.
+    #![proptest_config(ProptestConfig::with_cases(24)
+        .with_rng_seed(0xB0B0_0001_B4B5_0002)
+        .with_failure_persistence(FileFailurePersistence::SourceParallel("proptest-regressions")))]
+
+    /// Instance GC safety: for an arbitrary interleaving of engine events, wall-clock
+    /// advances and deliveries, `GcState` retires an instance only *after* it was
+    /// delivered **and** the full quiescence window (events and/or milliseconds,
+    /// whichever the policy watches) has elapsed since that delivery — never earlier,
+    /// and never for an instance that was not delivered at all.
+    #[test]
+    fn gc_never_retires_before_delivery_plus_quiescence_window(
+        use_events in any::<bool>(),
+        use_time in any::<bool>(),
+        event_window in 1u64..32,
+        time_window in 1u64..32,
+        ops in proptest::collection::vec((0usize..3, 0usize..4, 0u32..8, 1u64..5), 1..200),
+    ) {
+        use std::collections::HashMap;
+        use brb_core::gc::{GcPolicy, GcState};
+
+        let mut policy = GcPolicy::DISABLED;
+        if use_events {
+            policy.retention_events = Some(event_window);
+        }
+        if use_time {
+            policy.retention_time_ms = Some(time_window);
+        }
+        let mut gc = GcState::new(policy);
+        let mut events: u64 = 0;
+        let mut now_ms: u64 = 0;
+        let mut delivered_at: HashMap<BroadcastId, (u64, u64)> = HashMap::new();
+
+        for (kind, source, seq, dt) in ops {
+            let id = BroadcastId::new(source, seq);
+            match kind {
+                // An engine event (a handled message): advances the event clock.
+                0 => {
+                    gc.on_event();
+                    events += 1;
+                }
+                // Wall clock advances (the driver's `note_time`).
+                1 => {
+                    now_ms += dt;
+                    gc.note_time(now_ms);
+                }
+                // A delivery; engines call `on_delivered` exactly once per instance.
+                _ => {
+                    delivered_at.entry(id).or_insert_with(|| {
+                        gc.on_delivered(id);
+                        (events, now_ms)
+                    });
+                }
+            }
+
+            for retired in gc.due() {
+                let (at_events, at_ms) = delivered_at
+                    .get(&retired)
+                    .copied()
+                    .expect("retired an instance that was never delivered");
+                let events_up = use_events && events - at_events >= event_window;
+                let time_up = use_time && now_ms - at_ms >= time_window;
+                prop_assert!(
+                    events_up || time_up,
+                    "{retired:?} retired after only {} events / {} ms of quiescence",
+                    events - at_events,
+                    now_ms - at_ms
+                );
+                prop_assert!(gc.is_retired(retired));
+            }
+        }
+
+        if !use_events && !use_time {
+            // Disabled policy: nothing is ever enqueued, nothing ever retires.
+            prop_assert_eq!(gc.retired_count(), 0);
+            prop_assert_eq!(gc.pending_len(), 0);
+        }
+    }
+}

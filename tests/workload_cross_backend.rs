@@ -314,3 +314,143 @@ fn closed_loop_workload_agrees_across_backends_with_a_crash() {
     }
     assert!(threaded.nodes[7].deliveries.is_empty());
 }
+
+#[test]
+fn replayed_frames_of_retired_instances_agree_and_stay_bounded_across_backends() {
+    // Instance GC under a Byzantine `Replayer`: every frame the replayer forwards is
+    // duplicated, so frames of broadcasts the receiving engines have *already retired*
+    // keep arriving throughout the run. The watermark markers must turn each of them
+    // into a deterministic no-op: no duplicate delivery (BRB-No duplication below), no
+    // resurrected state, and the exact same per-process delivery sets on the simulator,
+    // the channel runtime and the TCP deployment.
+    let n = 10;
+    let seed = 909;
+    let spec = WorkloadSpec::constant_rate(4_000, 16).with_payload_bytes(64);
+    let graph = generate::figure1_example();
+    let gc = brb_core::gc::GcPolicy::after_events(96);
+    let config_plain = Config::bdopt_mbd1(n, 1);
+    let config_gc = config_plain.with_gc(gc);
+    let behaviors: Vec<(ProcessId, Behavior)> = vec![(1, Behavior::Replayer)];
+    let correct: Vec<ProcessId> = (0..n).filter(|&p| p != 1).collect();
+    let schedule = spec.schedule(n, seed);
+    let ids = predicted_ids(&schedule);
+    let broadcasts: Vec<BroadcastRecord> = schedule
+        .iter()
+        .zip(&ids)
+        .map(|(injection, &id)| {
+            BroadcastRecord::new(injection.source, id, injection.payload.clone())
+        })
+        .collect();
+
+    let simulate = |config: &Config| {
+        let processes: Vec<DynStack> = (0..n)
+            .map(|i| StackSpec::Bd.build_protocol(config, &graph, i))
+            .collect();
+        let mut sim = Simulation::new(processes, DelayModel::synchronous(), 1);
+        sim.set_behavior(1, Behavior::Replayer);
+        run_workload(&mut sim, &schedule, spec.mode);
+        let logs: Vec<Vec<Delivery>> = sim
+            .processes()
+            .iter()
+            .map(|p| p.deliveries().to_vec())
+            .collect();
+        let retained: usize = sim.processes().iter().map(|p| p.state_bytes()).sum();
+        let retired: u64 = sim.processes().iter().map(|p| p.gc_retired()).sum();
+        (logs, retained, retired)
+    };
+
+    // 1. Simulator, with and without GC: the no-GC run is the unbounded baseline the
+    //    GC run must undercut (it keeps all 16 instances on all 10 processes forever).
+    let (nogc_logs, nogc_retained, nogc_retired) = simulate(&config_plain);
+    assert_eq!(nogc_retired, 0, "disabled GC must retire nothing");
+    let (sim_logs, sim_retained, sim_retired) = simulate(&config_gc);
+    assert!(sim_retired > 0, "the event window must retire instances");
+    assert!(
+        sim_retained < nogc_retained / 2,
+        "GC must shed most of the per-broadcast state: {sim_retained} vs {nogc_retained}"
+    );
+    for &p in &correct {
+        assert_eq!(
+            delivery_set(&sim_logs[p]),
+            delivery_set(&nogc_logs[p]),
+            "GC must not change what process {p} delivers"
+        );
+    }
+
+    // 2. Channel runtime, GC flowing through the same `Config`.
+    let options = DriverOptions::default().with_behaviors(behaviors.clone());
+    let deployment = Deployment::start(&graph, config_gc, StackSpec::Bd, options.clone(), &[]);
+    let threaded_run = deployment.run_workload(
+        &schedule,
+        spec.mode,
+        Pacing::Unpaced,
+        &correct,
+        Duration::from_secs(60),
+    );
+    let threaded = deployment.shutdown();
+    assert!(threaded_run.all_completed(), "{threaded_run:?}");
+
+    // 3. TCP sockets over loopback.
+    let deployment = TcpDeployment::start(&graph, config_gc, StackSpec::Bd, options, &[])
+        .expect("TCP deployment starts");
+    let tcp_run = deployment.run_workload(
+        &schedule,
+        spec.mode,
+        Pacing::Unpaced,
+        &correct,
+        Duration::from_secs(60),
+    );
+    let tcp = deployment.shutdown();
+    assert!(tcp_run.all_completed(), "{tcp_run:?}");
+
+    for (backend, report) in [("runtime", &threaded), ("tcp", &tcp)] {
+        let retired: u64 = report.nodes.iter().map(|node| node.gc_retired).sum();
+        assert!(retired > 0, "{backend}: live engines must retire instances");
+        let retained: usize = report.nodes.iter().map(|node| node.state_bytes).sum();
+        assert!(
+            retained < nogc_retained,
+            "{backend}: retained state must stay under the keep-everything \
+             baseline: {retained} vs {nogc_retained}"
+        );
+    }
+
+    for &p in &correct {
+        let sim_set = delivery_set(&sim_logs[p]);
+        assert_eq!(sim_set.len(), 16, "process {p} must deliver all 16 broadcasts");
+        assert_eq!(
+            sim_set,
+            delivery_set(&threaded.nodes[p].deliveries),
+            "sim and channel runtime disagree at process {p}"
+        );
+        assert_eq!(
+            sim_set,
+            delivery_set(&tcp.nodes[p].deliveries),
+            "sim and TCP disagree at process {p}"
+        );
+    }
+
+    // All four BRB properties — including No duplication, the one a resurrected
+    // instance would break — on every backend's logs.
+    for (backend, logs) in [
+        ("sim", sim_logs.clone()),
+        (
+            "runtime",
+            threaded
+                .nodes
+                .iter()
+                .map(|node| node.deliveries.clone())
+                .collect(),
+        ),
+        (
+            "tcp",
+            tcp.nodes
+                .iter()
+                .map(|node| node.deliveries.clone())
+                .collect(),
+        ),
+    ] {
+        let slices: Vec<&[Delivery]> = logs.iter().map(|l| l.as_slice()).collect();
+        check_brb(&slices, &correct, &broadcasts)
+            .unwrap_or_else(|v| panic!("GC + replayer on {backend}: {v}"));
+    }
+}

@@ -37,6 +37,7 @@ fn bench_full_broadcast(c: &mut Criterion) {
                 seed: 5,
                 workload: None,
                 behaviors: Vec::new(),
+                churn: None,
             };
             b.iter(|| {
                 let r = run_experiment_on_graph(&params, &graph);
@@ -68,6 +69,7 @@ fn bench_broadcast_n100(c: &mut Criterion) {
         seed: 7,
         workload: None,
         behaviors: Vec::new(),
+        churn: None,
     };
     group.bench_function("bdw_preset", |b| {
         b.iter(|| {
@@ -97,6 +99,7 @@ fn bench_sweep_workers(c: &mut Criterion) {
                 seed: 1 + run,
                 workload: None,
                 behaviors: Vec::new(),
+                churn: None,
             };
             ExperimentSpec::new(format!("bench/run={run}"), 5_000 + run, params)
         })

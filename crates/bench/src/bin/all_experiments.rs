@@ -2,7 +2,8 @@
 //! results — the one-stop reproduction of the paper's evaluation section.
 //!
 //! Usage: `cargo run --release -p brb-bench --bin all_experiments [-- --quick] [-- --async]
-//! [-- --workers N] [-- --stack NAME] [-- --csv PATH] [-- --workload] [-- --behaviors]`
+//! [-- --workers N] [-- --stack NAME] [-- --csv PATH] [-- --workload] [-- --behaviors]
+//! [-- --churn]`
 //!
 //! `--workload` additionally runs the multi-broadcast workload sweep (arrival process ×
 //! source selection; see `brb_bench::workload`), emitting per-point throughput,
@@ -14,6 +15,12 @@
 //! deployment; see `brb_bench::behaviors`), emitting rows tagged in the `behavior` CSV
 //! column — the live-backend rows report the deterministic delivery counts, the
 //! simulator rows additionally their exact message/byte totals.
+//!
+//! `--churn` additionally runs the churn scenario matrix (scheduled link flaps,
+//! partitions, restarts and per-link delay overrides on the simulator, plus the mixed
+//! schedule on the planar-grid/geometric/expander topology families; see
+//! `brb_bench::churn`), emitting rows tagged in the `behavior` CSV column with the
+//! scenario name and the number of applied churn events.
 //!
 //! `--stack NAME` selects the protocol stack every harness sweeps (default `bd`, the
 //! paper's Bracha–Dolev combination; see `brb_core::stack::StackSpec` for the other
@@ -28,8 +35,8 @@
 use std::fmt::Write as _;
 
 use brb_bench::{
-    async_from_args, behaviors, behaviors_from_args, figures, stack_from_args, table1,
-    workers_from_args, workload, workload_from_args, Scale,
+    async_from_args, behaviors, behaviors_from_args, churn, churn_from_args, figures,
+    stack_from_args, table1, workers_from_args, workload, workload_from_args, Scale,
 };
 
 /// Fixed-format float rendering used for every CSV cell, so the file is a pure function
@@ -162,6 +169,18 @@ fn main() {
                 p.correct,
                 fmt_opt(p.messages),
                 fmt_opt(p.bytes),
+            );
+        }
+    }
+
+    if churn_from_args(&args) {
+        println!("==============================================================");
+        for p in churn::run_churn_matrix(scale, asynchronous, workers, stack) {
+            let _ = writeln!(
+                csv,
+                "churn,{stack},{},{},{},{},{},{},{},{},,",
+                p.scenario, p.label, p.n, p.delivered, p.correct, p.messages, p.bytes,
+                p.churn_events,
             );
         }
     }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod behaviors;
+pub mod churn;
 pub mod figures;
 pub mod table1;
 pub mod workload;
@@ -81,6 +82,12 @@ pub fn workload_from_args(args: &[String]) -> bool {
 /// (`--behaviors`; see [`behaviors::run_behavior_matrix`]).
 pub fn behaviors_from_args(args: &[String]) -> bool {
     args.iter().any(|a| a == "--behaviors")
+}
+
+/// Whether the churn scenario matrix was requested on the command line
+/// (`--churn`; see [`churn::run_churn_matrix`]).
+pub fn churn_from_args(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--churn")
 }
 
 /// Parses the `--stack NAME` / `--stack=NAME` command-line option (defaults to the
@@ -273,6 +280,7 @@ pub fn experiment(
         seed,
         workload: None,
         behaviors: Vec::new(),
+        churn: None,
     }
 }
 

@@ -17,7 +17,9 @@
 //! All generators produce simple undirected [`Graph`]s and are deterministic for a fixed
 //! seed where randomness is involved.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
 use crate::generate::GenerateError;
 use crate::graph::{Graph, ProcessId};
@@ -116,6 +118,91 @@ pub fn grid(rows: usize, cols: usize, wrap: bool) -> Graph {
         }
     }
     g
+}
+
+/// Planar grid: a `rows x cols` grid with one diagonal per face, alternating in
+/// orientation like a checkerboard — still planar (each diagonal lies inside its own
+/// face) but strictly better connected than the plain grid, whose connectivity 2 is
+/// below the `f + 1` threshold any single-fault scenario needs.
+///
+/// Node `(r, c)` has identifier `r * cols + c`, like [`grid`]. The face at `(r, c)` gets
+/// the diagonal `(r, c) — (r+1, c+1)` when `r + c` is even and `(r, c+1) — (r+1, c)`
+/// when odd. Planar graphs are the sparsest family in "On Byzantine Broadcast in Planar
+/// Graphs" (see PAPERS.md); this is the deterministic member used by the churn golden
+/// scenarios.
+///
+/// # Panics
+///
+/// Panics if either dimension is smaller than 2 (no face to triangulate).
+pub fn planar_grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 2 && cols >= 2, "a planar grid needs a face");
+    let mut g = grid(rows, cols, false);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows - 1 {
+        for c in 0..cols - 1 {
+            if (r + c).is_multiple_of(2) {
+                g.add_edge(id(r, c), id(r + 1, c + 1));
+            } else {
+                g.add_edge(id(r, c + 1), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// Geometric random graph `G(n, radius)`: `n` points drawn uniformly in the unit square
+/// (a pure function of `(n, radius, seed)`), with an edge between every pair at
+/// Euclidean distance at most `radius`.
+///
+/// The standard model of ad-hoc wireless / sensor deployments — the "loosely connected
+/// networks" regime of PAPERS.md, where connectivity is local and partitions are a
+/// radius away. Connectivity is *not* guaranteed; callers needing a floor verify with
+/// [`crate::connectivity::is_k_connected`] and re-seed, exactly as with
+/// [`watts_strogatz`].
+pub fn geometric_random_graph(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fixed draw order (x then y per node) makes the embedding part of the function.
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut g = Graph::new(n);
+    let r2 = radius * radius;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = points[u].0 - points[v].0;
+            let dy = points[u].1 - points[v].1;
+            if dx * dx + dy * dy <= r2 {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Bounded-degree expander: the union of `d/2` independent seeded Hamiltonian cycles
+/// over `n` nodes (a pure function of `(n, d, seed)`).
+///
+/// Unions of random Hamiltonian cycles are expanders with high probability while keeping
+/// every degree at most `d` — the bounded-degree regime of "Simulating Authenticated
+/// Broadcast in Networks of Bounded Degree" (PAPERS.md), where broadcast must work
+/// without the dense quorums of complete graphs. Coinciding cycle edges are merged (the
+/// graph is simple), so degrees can fall slightly below `d`.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::InfeasibleRegular`] if `d` is odd, zero, or `>= n`.
+pub fn bounded_degree_expander(n: usize, d: usize, seed: u64) -> Result<Graph, GenerateError> {
+    if d == 0 || !d.is_multiple_of(2) || d >= n {
+        return Err(GenerateError::InfeasibleRegular { n, degree: d });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let mut order: Vec<ProcessId> = (0..n).collect();
+    for _ in 0..d / 2 {
+        order.shuffle(&mut rng);
+        for i in 0..n {
+            g.add_edge(order[i], order[(i + 1) % n]);
+        }
+    }
+    Ok(g)
 }
 
 /// Harary graph `H_{k,n}`: the `k`-vertex-connected graph over `n` nodes with the minimum
@@ -267,7 +354,7 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::connectivity::vertex_connectivity;
+    use crate::connectivity::{is_k_connected, vertex_connectivity};
     use crate::traversal::is_connected;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -334,6 +421,83 @@ mod tests {
         // 2 columns with wrap would duplicate edges; the generator must not.
         let g = grid(2, 2, true);
         assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn planar_grid_pins_counts_and_connectivity() {
+        // rows*(cols-1) + cols*(rows-1) grid edges plus one diagonal per face.
+        let g = planar_grid(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 31 + 12);
+        // With an even row count the bottom-left corner keeps degree 2.
+        assert_eq!(vertex_connectivity(&g), 2);
+        // The 5x5 planar grid (the churn golden-scenario topology) is 3-connected:
+        // every corner picks up a diagonal.
+        let g = planar_grid(5, 5);
+        assert_eq!(g.node_count(), 25);
+        assert_eq!(g.edge_count(), 40 + 16);
+        assert!(is_k_connected(&g, 3));
+        assert_eq!(vertex_connectivity(&g), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a face")]
+    fn planar_grid_needs_two_rows_and_columns() {
+        let _ = planar_grid(1, 5);
+    }
+
+    #[test]
+    fn geometric_random_graph_pins_fixed_seeds() {
+        // A pure function of (n, radius, seed): the pinned values double as the
+        // cross-platform determinism check for the vendored StdRng draws.
+        let g = geometric_random_graph(24, 0.45, 77);
+        assert_eq!(g.node_count(), 24);
+        assert_eq!(g.edge_count(), 102);
+        assert!(is_connected(&g));
+        assert!(!is_k_connected(&g, 2), "radius 0.45 leaves a cut vertex");
+        let g = geometric_random_graph(24, 0.55, 77);
+        assert_eq!(g.edge_count(), 139);
+        assert!(is_k_connected(&g, 3));
+        assert!(!is_k_connected(&g, 4));
+        let g = geometric_random_graph(24, 0.6, 77);
+        assert_eq!(g.edge_count(), 155);
+        assert!(is_k_connected(&g, 4), "a wider radius buys connectivity");
+    }
+
+    #[test]
+    fn geometric_random_graph_is_a_pure_function_of_its_seed() {
+        let a = geometric_random_graph(20, 0.5, 9);
+        let b = geometric_random_graph(20, 0.5, 9);
+        assert_eq!(a.edges(), b.edges());
+        let c = geometric_random_graph(20, 0.5, 10);
+        assert_ne!(a.edges(), c.edges(), "a different seed moves the points");
+    }
+
+    #[test]
+    fn bounded_degree_expander_pins_fixed_seeds() {
+        // d/2 Hamiltonian cycles: at most n*d/2 edges, fewer when cycle edges coincide.
+        let g = bounded_degree_expander(24, 4, 5).unwrap();
+        assert_eq!(g.node_count(), 24);
+        assert_eq!(g.edge_count(), 45, "three cycle edges coincide at this seed");
+        assert!(g.nodes().all(|u| g.degree(u) <= 4));
+        assert!(is_k_connected(&g, 3));
+        assert_eq!(vertex_connectivity(&g), 3);
+        let g = bounded_degree_expander(24, 4, 9).unwrap();
+        assert_eq!(g.edge_count(), 48, "disjoint cycles at this seed");
+        assert_eq!(vertex_connectivity(&g), 4);
+        let g = bounded_degree_expander(30, 6, 3).unwrap();
+        assert_eq!(g.edge_count(), 85);
+        assert_eq!(vertex_connectivity(&g), 4);
+    }
+
+    #[test]
+    fn bounded_degree_expander_is_deterministic_and_validates() {
+        let a = bounded_degree_expander(20, 4, 1).unwrap();
+        let b = bounded_degree_expander(20, 4, 1).unwrap();
+        assert_eq!(a.edges(), b.edges());
+        assert!(bounded_degree_expander(20, 3, 1).is_err(), "odd degree");
+        assert!(bounded_degree_expander(20, 0, 1).is_err());
+        assert!(bounded_degree_expander(4, 4, 1).is_err(), "d must be < n");
     }
 
     #[test]
@@ -416,3 +580,4 @@ mod tests {
         );
     }
 }
+

@@ -121,14 +121,30 @@ impl TcpDeployment {
             for (peer, stream) in node_links.readers {
                 spawn_link_reader(peer, stream, mailbox_tx.clone());
             }
-            let driver = NodeDriver::new(
+            let mut driver = NodeDriver::new(
                 stack.build_shared(&config, &shared_graph, id),
                 Box::new(TcpTransport::new(node_links.writers, mailbox_rx)),
                 cmd_rx,
                 delivery_tx.clone(),
                 &options,
             );
+            if options.churn.is_some() {
+                // NodeRestart events rebuild the engine with the same constructor the
+                // node started from (same identity and topology view, fresh state);
+                // the sockets and reader threads are untouched — only protocol state
+                // is lost, like a process crash-recovering on a machine whose kernel
+                // keeps the connections alive.
+                let config = config.clone();
+                let shared_graph = shared_graph.clone();
+                driver = driver
+                    .with_engine_factory(move || stack.build_shared(&config, &shared_graph, id));
+            }
             handles.push(std::thread::spawn(move || driver.run()));
+        }
+        if let Some(churn) = &options.churn {
+            // The pacer outlives this constructor; its schedule starts now. The join
+            // handle is dropped — the thread exits once the schedule is exhausted.
+            let _ = churn.spawn_pacer(commands.clone());
         }
         Ok(Self {
             handles,
@@ -204,6 +220,7 @@ impl TcpDeployment {
                 bytes_sent: 0,
                 state_bytes: 0,
                 gc_retired: 0,
+                restarts: 0,
             })
             .collect();
         for handle in self.handles {

@@ -56,14 +56,27 @@ impl Deployment {
             if crashed.contains(&id) {
                 continue;
             }
-            let driver = NodeDriver::new(
+            let mut driver = NodeDriver::new(
                 stack.build_shared(&config, &shared_graph, id),
                 Box::new(ChannelTransport::new(mailbox, links)),
                 cmd_rx,
                 delivery_tx.clone(),
                 &options,
             );
+            if options.churn.is_some() {
+                // NodeRestart events rebuild the engine with the same constructor the
+                // node started from (same identity and topology view, fresh state).
+                let config = config.clone();
+                let shared_graph = shared_graph.clone();
+                driver = driver
+                    .with_engine_factory(move || stack.build_shared(&config, &shared_graph, id));
+            }
             handles.push(std::thread::spawn(move || driver.run()));
+        }
+        if let Some(churn) = &options.churn {
+            // The pacer outlives this constructor; its schedule starts now. The join
+            // handle is dropped — the thread exits once the schedule is exhausted.
+            let _ = churn.spawn_pacer(commands.clone());
         }
         Self {
             handles,
@@ -138,6 +151,7 @@ impl Deployment {
                 bytes_sent: 0,
                 state_bytes: 0,
                 gc_retired: 0,
+                restarts: 0,
             })
             .collect();
         for handle in self.handles {

@@ -25,6 +25,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::behavior::Behavior;
+use crate::churn::ChurnSpec;
 use crate::delay::DelayModel;
 use crate::metrics::RunMetrics;
 use crate::sim::Simulation;
@@ -64,6 +65,14 @@ pub struct ExperimentParams {
     /// scenario description drives every backend.
     #[serde(default)]
     pub behaviors: Vec<(ProcessId, Behavior)>,
+    /// Churn schedule (link flaps, partitions, node restarts, per-link overrides)
+    /// applied during the run. `None` — the default — reproduces the static networks of
+    /// the paper; `Some(spec)` compiles the spec with the run seed and interleaves the
+    /// events into the simulation ([`crate::Simulation::set_churn`]). The live
+    /// deployments replay the same compiled schedule through
+    /// `brb_transport::ChurnHandle`, so one scenario description drives every backend.
+    #[serde(default)]
+    pub churn: Option<ChurnSpec>,
 }
 
 impl ExperimentParams {
@@ -82,6 +91,7 @@ impl ExperimentParams {
             seed: 1,
             workload: None,
             behaviors: Vec::new(),
+            churn: None,
         }
     }
 
@@ -100,6 +110,12 @@ impl ExperimentParams {
     /// Returns a copy of the parameters with the given Byzantine behaviour assignments.
     pub fn with_behaviors(mut self, behaviors: Vec<(ProcessId, Behavior)>) -> Self {
         self.behaviors = behaviors;
+        self
+    }
+
+    /// Returns a copy of the parameters with a churn schedule installed.
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = Some(churn);
         self
     }
 }
@@ -205,7 +221,11 @@ pub fn run_experiment_recorded(params: &ExperimentParams, graph: &Graph) -> Expe
             let processes: Vec<BdProcess> = (0..params.n)
                 .map(|i| BdProcess::new(i, params.config, index.neighbors(i).to_vec()))
                 .collect();
-            record_run(params, processes)
+            let config = params.config;
+            let restart_index = NeighborIndex::new(graph);
+            record_run(params, graph, processes, move |i| {
+                BdProcess::new(i, config, restart_index.neighbors(i).to_vec())
+            })
         }
         // Every other stack goes through the boxed engine + wire codec, the same code
         // path the socket deployments drive. Topology-aware stacks share one graph copy.
@@ -214,7 +234,10 @@ pub fn run_experiment_recorded(params: &ExperimentParams, graph: &Graph) -> Expe
             let processes: Vec<_> = (0..params.n)
                 .map(|i| stack.build_protocol_shared(&params.config, &shared, i))
                 .collect();
-            record_run(params, processes)
+            let config = params.config;
+            record_run(params, graph, processes, move |i| {
+                stack.build_protocol_shared(&config, &shared, i)
+            })
         }
     }
 }
@@ -222,7 +245,12 @@ pub fn run_experiment_recorded(params: &ExperimentParams, graph: &Graph) -> Expe
 /// Simulates the experiment's traffic — the paper's single broadcast from process 0, or
 /// the full multi-broadcast workload when [`ExperimentParams::workload`] is set — over
 /// prebuilt protocol instances and collects the metrics.
-fn record_run<P: Protocol>(params: &ExperimentParams, processes: Vec<P>) -> ExperimentRecord
+fn record_run<P: Protocol>(
+    params: &ExperimentParams,
+    graph: &Graph,
+    processes: Vec<P>,
+    restart_builder: impl FnMut(ProcessId) -> P + 'static,
+) -> ExperimentRecord
 where
     P::Message: Eq,
 {
@@ -235,6 +263,12 @@ where
     // Explicit behaviour assignments come last, so they can refine the crash set.
     for (process, behavior) in &params.behaviors {
         sim.set_behavior(*process, behavior.clone());
+    }
+    if let Some(spec) = &params.churn {
+        // Same compile seed as the run: one (params, seed) pair fully determines the
+        // schedule, exactly like the workload expansion below.
+        sim.set_churn(spec.compile(params.seed), graph.edges());
+        sim.set_restart_builder(restart_builder);
     }
     match &params.workload {
         None => {
@@ -333,6 +367,7 @@ mod tests {
             seed: 11,
             workload: None,
             behaviors: Vec::new(),
+            churn: None,
         }
     }
 

@@ -11,6 +11,9 @@
 //!   normal) link regimes;
 //! * [`behavior::Behavior`] — node-level Byzantine behaviours (crash, message dropping,
 //!   replay, mid-broadcast failure, targeted silence, flooding);
+//! * [`churn::ChurnSpec`] — seeded, serializable churn timelines (link flaps,
+//!   partition/heal, node restart with state loss, per-link asymmetric delay and loss
+//!   overrides) compiled to ordered event lists shared with the live backends;
 //! * [`metrics::RunMetrics`] — latency, network consumption and memory proxies;
 //! * [`invariants`] — checkers for the four BRB properties over finished executions, used
 //!   by the integration and property tests of every protocol stack;
@@ -78,6 +81,7 @@
 #![warn(missing_docs)]
 
 pub mod behavior;
+pub mod churn;
 pub mod delay;
 pub mod experiment;
 pub mod invariants;
@@ -88,6 +92,7 @@ pub mod time;
 pub mod workload;
 
 pub use behavior::Behavior;
+pub use churn::{ChurnAction, ChurnClause, ChurnEvent, ChurnSpec, LinkState, RestartMemory};
 pub use delay::DelayModel;
 pub use experiment::{
     run_experiment, run_experiment_on_graph, run_experiment_recorded, ExperimentParams,

@@ -52,6 +52,11 @@ pub struct RunMetrics {
     /// the quantity that stays flat under GC and grows without it.
     #[serde(default)]
     pub retained_bytes: usize,
+    /// Churn events applied during the run, in application order: `(virtual time in
+    /// microseconds, rendered action)`. Empty for churn-free runs, so the existing
+    /// golden snapshots are unaffected.
+    #[serde(default)]
+    pub churn_events: Vec<(u64, String)>,
 }
 
 impl RunMetrics {
@@ -76,6 +81,12 @@ impl RunMetrics {
     /// Records a broadcast injection (the first time wins, like deliveries).
     pub fn record_injection(&mut self, id: BroadcastId, at: SimTime) {
         self.injection_times.entry(id).or_insert(at);
+    }
+
+    /// Records an applied churn event (events arrive in application order, which is
+    /// nondecreasing in time — the compiled schedule's order).
+    pub fn record_churn(&mut self, at: SimTime, action: &str) {
+        self.churn_events.push((at.as_micros(), action.to_string()));
     }
 
     /// Number of broadcasts injected.
@@ -152,6 +163,11 @@ impl RunMetrics {
                 id.seq,
                 at.as_micros()
             );
+        }
+        // Emitted only for churned runs: churn-free metrics render exactly as before,
+        // which keeps the pre-churn golden snapshots byte-identical.
+        for (at, action) in &self.churn_events {
+            let _ = writeln!(out, "churn at_us={at} {action}");
         }
         out
     }

@@ -24,16 +24,17 @@
 //!   path never formats a message's `Debug` representation more than once per kind.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::mem::{discriminant, Discriminant};
 use std::sync::Arc;
 
 use brb_core::protocol::{ActionBuf, Protocol};
-use brb_core::types::{Action, BroadcastId, Payload, ProcessId};
+use brb_core::types::{Action, BroadcastId, Delivery, Payload, ProcessId};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::behavior::Behavior;
+use crate::churn::{ChurnAction, ChurnEvent, LinkState};
 use crate::delay::DelayModel;
 use crate::metrics::RunMetrics;
 use crate::time::SimTime;
@@ -136,6 +137,29 @@ where
     /// Last `gc_retired` count observed per process: a change forces a memory sample
     /// regardless of the stride, so GC-driven state drops land on the curve.
     gc_retired_seen: Vec<u64>,
+    /// Compiled churn schedule ([`crate::churn::ChurnSpec::compile`]), consumed in order:
+    /// the third event source of [`Simulation::step_batch`], applied *before* same-time
+    /// injections and message events (the network reconfigures at the start of the
+    /// instant).
+    churn_events: Vec<ChurnEvent>,
+    /// Index of the next unapplied churn event.
+    next_churn: usize,
+    /// Current link-level churn state; consulted at send time by
+    /// [`Simulation::schedule_actions`], exactly like the live `ChurnLink` decorator.
+    link_state: LinkState,
+    /// Undirected edge list of the topology (needed to expand `Partition` actions).
+    churn_edges: Vec<(ProcessId, ProcessId)>,
+    /// Builds a fresh protocol instance for a [`ChurnAction::NodeRestart`] (volatile
+    /// state loss + re-join). Required whenever the schedule contains a restart.
+    restart_builder: Option<Box<dyn FnMut(ProcessId) -> P>>,
+    /// Per-process durable delivery log: everything delivered before the process's
+    /// restarts (the compact state a real node persists across a crash).
+    durable_deliveries: Vec<Vec<Delivery>>,
+    /// Ids in the durable log; post-restart re-deliveries of these are suppressed so
+    /// no-duplication holds across crashes (and no GC-retired instance resurrects).
+    durable_ids: Vec<BTreeSet<BroadcastId>>,
+    /// Number of node restarts executed.
+    restarts: u64,
 }
 
 impl<P: Protocol> Simulation<P>
@@ -165,7 +189,62 @@ where
             memory_sampling: 1,
             events_per_process: vec![0; n],
             gc_retired_seen: vec![0; n],
+            churn_events: Vec::new(),
+            next_churn: 0,
+            link_state: LinkState::new(),
+            churn_edges: Vec::new(),
+            restart_builder: None,
+            durable_deliveries: vec![Vec::new(); n],
+            durable_ids: vec![BTreeSet::new(); n],
+            restarts: 0,
         }
+    }
+
+    /// Installs a compiled churn schedule. `edges` is the topology's undirected edge
+    /// list (used to expand `Partition` actions into their cross links). Events are
+    /// applied in order at their virtual times, before same-time injections and message
+    /// events.
+    pub fn set_churn(&mut self, events: Vec<ChurnEvent>, edges: Vec<(ProcessId, ProcessId)>) {
+        self.churn_events = events;
+        self.next_churn = 0;
+        self.churn_edges = edges;
+    }
+
+    /// Installs the factory that rebuilds a process for [`ChurnAction::NodeRestart`]
+    /// events. The returned instance must be a *fresh* engine (same id, same neighbors,
+    /// empty volatile state): the restart models a crash-recover with state loss, and
+    /// the simulation itself preserves only the durable delivered log.
+    pub fn set_restart_builder(&mut self, builder: impl FnMut(ProcessId) -> P + 'static) {
+        self.restart_builder = Some(Box::new(builder));
+    }
+
+    /// The current link-level churn state (for assertions and diagnostics).
+    pub fn link_state(&self) -> &LinkState {
+        &self.link_state
+    }
+
+    /// Number of churn events not yet applied.
+    pub fn pending_churn(&self) -> usize {
+        self.churn_events.len() - self.next_churn
+    }
+
+    /// Number of node restarts executed so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// The complete delivery log of a process across restarts: its durable pre-restart
+    /// deliveries followed by the current engine's deliveries (minus durable duplicates,
+    /// which the dispatch path already suppresses). Equals the engine's own log for a
+    /// process that never restarted.
+    pub fn full_deliveries(&self, process: ProcessId) -> Vec<Delivery> {
+        let mut log = self.durable_deliveries[process].clone();
+        for delivery in self.processes[process].deliveries() {
+            if !self.durable_ids[process].contains(&delivery.id) {
+                log.push(delivery.clone());
+            }
+        }
+        log
     }
 
     /// Overrides the behaviour of one process.
@@ -297,10 +376,19 @@ where
             .injections
             .peek()
             .map(|Reverse(injection)| injection.at);
-        let batch_at = match (next_event, next_injection) {
-            (None, None) => return 0,
-            (Some(at), None) | (None, Some(at)) => at,
-            (Some(event_at), Some(injection_at)) => event_at.min(injection_at),
+        // Churn events scheduled in the past fire at the current instant, like clamped
+        // injections.
+        let next_churn = self
+            .churn_events
+            .get(self.next_churn)
+            .map(|event| SimTime::from_micros(event.at_micros).max(self.now));
+        let batch_at = match [next_event, next_injection, next_churn]
+            .into_iter()
+            .flatten()
+            .min()
+        {
+            None => return 0,
+            Some(at) => at,
         };
         // Move the pooled buffer out so the queue and the processes can be borrowed
         // mutably while iterating it; its capacity is given back at the end.
@@ -313,7 +401,19 @@ where
             batch.push(self.queue.pop().expect("peeked event exists").0);
         }
         self.now = batch_at;
-        // Application first: injections due now broadcast before the network's
+        // Network reconfiguration at the start of the instant: churn events due now
+        // apply before same-time injections broadcast and message events are delivered.
+        let mut churned = 0usize;
+        while let Some(event) = self.churn_events.get(self.next_churn) {
+            if SimTime::from_micros(event.at_micros) > batch_at {
+                break;
+            }
+            let action = event.action.clone();
+            self.next_churn += 1;
+            self.apply_churn_action(&action);
+            churned += 1;
+        }
+        // Application next: injections due now broadcast before the network's
         // same-time message events are delivered.
         let mut injected = 0usize;
         while let Some(Reverse(injection)) = self.injections.peek() {
@@ -324,7 +424,7 @@ where
             self.broadcast(injection.source, injection.payload);
             injected += 1;
         }
-        let processed = injected + batch.len();
+        let processed = churned + injected + batch.len();
         self.metrics.events_processed += processed;
         assert!(
             self.metrics.events_processed <= self.max_events,
@@ -377,13 +477,46 @@ where
             let event_due = matches!(self.queue.peek(), Some(Reverse(e)) if e.at <= deadline);
             let injection_due =
                 matches!(self.injections.peek(), Some(Reverse(i)) if i.at <= deadline);
-            if !event_due && !injection_due {
+            let churn_due = self
+                .churn_events
+                .get(self.next_churn)
+                .is_some_and(|e| SimTime::from_micros(e.at_micros).max(self.now) <= deadline);
+            if !event_due && !injection_due && !churn_due {
                 break;
             }
             processed += self.step_batch();
         }
         self.now = self.now.max(deadline);
         processed
+    }
+
+    /// Applies one churn event to the link state, recording it in the metrics and
+    /// carrying out a node restart when the action asks for one.
+    fn apply_churn_action(&mut self, action: &ChurnAction) {
+        self.metrics.record_churn(self.now, &action.to_string());
+        if let Some(process) = self.link_state.apply(action, &self.churn_edges) {
+            self.restart_process(process);
+        }
+    }
+
+    /// Crash-recovers one process: the engine is replaced by a freshly built one (same
+    /// id and neighbors, empty volatile state) and the old engine's deliveries move into
+    /// the durable log, whose ids the dispatch path suppresses from then on — across a
+    /// crash a node may rebuild transient state for a retired instance, but it can never
+    /// deliver it twice.
+    fn restart_process(&mut self, process: ProcessId) {
+        let builder = self
+            .restart_builder
+            .as_mut()
+            .expect("a churn schedule with NodeRestart requires Simulation::set_restart_builder");
+        let fresh = builder(process);
+        let old = std::mem::replace(&mut self.processes[process], fresh);
+        for delivery in old.deliveries() {
+            if self.durable_ids[process].insert(delivery.id) {
+                self.durable_deliveries[process].push(delivery.clone());
+            }
+        }
+        self.restarts += 1;
     }
 
     /// Delivers one event to its destination process and schedules the resulting actions
@@ -414,6 +547,18 @@ where
         for action in actions.drain() {
             match action {
                 Action::Send { to, message } => {
+                    // Send-time churn gating, exactly like the live ChurnLink decorator
+                    // (outermost: a downed link drops the frame before the behavior's
+                    // attempted-send accounting, and it is not counted as sent).
+                    // Messages already in flight still arrive.
+                    if !self.link_state.allows(from, to) {
+                        continue;
+                    }
+                    if let Some(p) = self.link_state.loss_probability(from, to) {
+                        if self.rng.gen_bool(p) {
+                            continue;
+                        }
+                    }
                     let behavior = self.behaviors[from].clone();
                     let copies =
                         behavior.outbound_copies(to, self.sent_per_process[from], &mut self.rng);
@@ -427,11 +572,14 @@ where
                         .entry(discriminant(&message))
                         .or_insert_with(|| kind_label(&message));
                     let message = Arc::new(message);
+                    // Per-directed-link delay override: the extra rides on top of every
+                    // sampled copy delay, matching the live ChurnLink's extra delay line.
+                    let extra = SimTime::from_micros(self.link_state.extra_delay_micros(from, to));
                     for _ in 0..copies {
                         self.metrics.record_send(label, bytes);
                         let delay = self.delay.sample(&mut self.rng);
                         let event = Event {
-                            at: self.now + delay,
+                            at: self.now + delay + extra,
                             from,
                             to,
                             seq: self.next_seq,
@@ -442,6 +590,12 @@ where
                     }
                 }
                 Action::Deliver(delivery) => {
+                    // An instance delivered before a restart lives in the durable log;
+                    // the rebuilt engine re-delivering it is the crash-recover duplicate
+                    // this suppression exists for.
+                    if self.durable_ids[from].contains(&delivery.id) {
+                        continue;
+                    }
                     self.metrics.record_delivery(from, delivery.id, self.now);
                     delivered = true;
                 }
@@ -793,6 +947,126 @@ mod tests {
             "injection fires"
         );
         assert_eq!(sim.pending_injections(), 0);
+    }
+
+    #[test]
+    fn isolating_the_source_blocks_every_send() {
+        use crate::churn::{ChurnAction, ChurnSpec};
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        let graph = generate::figure1_example();
+        let spec = ChurnSpec::new().at(0, ChurnAction::Partition { side: vec![0] });
+        sim.set_churn(spec.compile(1), graph.edges());
+        sim.schedule_broadcast(SimTime::ZERO, 0, Payload::filled(1, 16));
+        sim.run_to_quiescence();
+        assert_eq!(
+            sim.metrics().messages_sent,
+            0,
+            "every frame from the isolated source is dropped at send time"
+        );
+        assert_eq!(sim.metrics().churn_events.len(), 1);
+        assert!(!sim.link_state().is_quiet());
+    }
+
+    #[test]
+    fn heal_lets_later_broadcasts_through() {
+        use crate::churn::{ChurnAction, ChurnSpec};
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        let graph = generate::figure1_example();
+        let spec = ChurnSpec::new()
+            .at(0, ChurnAction::Partition { side: vec![0] })
+            .at(500_000, ChurnAction::Heal);
+        sim.set_churn(spec.compile(1), graph.edges());
+        // First broadcast dies against the partition; the second, after the heal,
+        // reaches everyone.
+        sim.schedule_broadcast(SimTime::ZERO, 0, Payload::filled(1, 16));
+        sim.schedule_broadcast(SimTime::from_millis(600), 0, Payload::filled(2, 16));
+        sim.run_to_quiescence();
+        let correct = sim.correct_processes();
+        assert_eq!(
+            sim.metrics()
+                .delivered_count(BroadcastId::new(0, 0), &correct),
+            0,
+            "messages are not retransmitted after the heal"
+        );
+        assert_eq!(
+            sim.metrics()
+                .delivered_count(BroadcastId::new(0, 1), &correct),
+            10
+        );
+        assert!(sim.link_state().is_quiet(), "heal restored every link");
+    }
+
+    #[test]
+    fn restart_preserves_durable_deliveries_and_suppresses_duplicates() {
+        use crate::churn::{ChurnAction, ChurnSpec};
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        sim.set_restart_builder(move |i| {
+            let graph = generate::figure1_example();
+            BdProcess::new(i, config, graph.neighbors_vec(i))
+        });
+        let spec = ChurnSpec::new().at(1_000_000, ChurnAction::NodeRestart { process: 5 });
+        sim.set_churn(spec.compile(1), Vec::new());
+        sim.schedule_broadcast(SimTime::ZERO, 0, Payload::filled(1, 16));
+        sim.schedule_broadcast(SimTime::from_millis(2_000), 3, Payload::filled(2, 16));
+        sim.run_to_quiescence();
+        assert_eq!(sim.restarts(), 1);
+        // The restarted engine only saw the second broadcast; the first survives in the
+        // durable log, so the combined view has both with no duplicates.
+        assert_eq!(sim.processes()[5].deliveries().len(), 1);
+        let full = sim.full_deliveries(5);
+        assert_eq!(full.len(), 2);
+        let ids: Vec<BroadcastId> = full.iter().map(|d| d.id).collect();
+        assert_eq!(ids, vec![BroadcastId::new(0, 0), BroadcastId::new(3, 0)]);
+        // A never-restarted process reports its engine log unchanged.
+        assert_eq!(sim.full_deliveries(2).len(), 2);
+    }
+
+    #[test]
+    fn per_link_delay_override_is_asymmetric() {
+        use crate::churn::{ChurnAction, ChurnSpec};
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        let spec = ChurnSpec::new().at(
+            0,
+            ChurnAction::SetLinkDelay {
+                from: 0,
+                to: 1,
+                extra_micros: 250_000,
+            },
+        );
+        sim.set_churn(spec.compile(1), Vec::new());
+        sim.broadcast(0, Payload::filled(1, 16));
+        sim.step_batch(); // applies the override before any message event
+        sim.run_to_quiescence();
+        // Every copy 0 -> 1 carries the extra 250 ms; the reverse direction does not,
+        // so 1 still delivers on time through its other neighbors but the slow copies
+        // arrive long after quiescence would otherwise be reached.
+        let correct = sim.correct_processes();
+        assert_eq!(
+            sim.metrics()
+                .delivered_count(BroadcastId::new(0, 0), &correct),
+            10
+        );
+        assert!(
+            sim.now() >= SimTime::from_millis(300),
+            "the overridden link's copies stretch the run past 250 ms (now = {})",
+            sim.now()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "set_restart_builder")]
+    fn restart_without_builder_panics() {
+        use crate::churn::{ChurnAction, ChurnSpec};
+        let config = Config::bdopt_mbd1(10, 1);
+        let mut sim = bd_simulation(10, 1, config, DelayModel::synchronous(), 1);
+        let spec = ChurnSpec::new().at(0, ChurnAction::NodeRestart { process: 2 });
+        sim.set_churn(spec.compile(1), Vec::new());
+        sim.broadcast(0, Payload::filled(1, 16));
+        sim.run_to_quiescence();
     }
 
     #[test]

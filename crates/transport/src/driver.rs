@@ -12,10 +12,12 @@ use std::time::Duration;
 
 use brb_core::stack::{DynEngine, WireAction, WireActionBuf};
 use brb_core::types::{Delivery, Payload, ProcessId};
+use brb_sim::churn::RestartMemory;
 use brb_sim::Behavior;
 use crossbeam::channel::{Receiver, Sender};
 
-use crate::policy::{LinkDelay, LinkPolicy};
+use crate::churn::{ChurnHandle, ChurnLink};
+use crate::policy::{DelayedLink, FaultyLink, LinkDelay, LinkPolicy};
 use crate::transport::Transport;
 
 /// Commands a deployment sends to one of its node drivers.
@@ -23,6 +25,11 @@ use crate::transport::Transport;
 pub enum Command {
     /// Initiate the broadcast of the given payload.
     Broadcast(Payload),
+    /// Crash-recover the node: its engine (all volatile protocol state) is discarded
+    /// and rebuilt through the driver's engine factory; the durable delivered log
+    /// survives. A no-op when no factory was installed
+    /// (see [`NodeDriver::with_engine_factory`]).
+    Restart,
     /// Finish processing pending traffic, then exit and report.
     Shutdown,
 }
@@ -65,6 +72,12 @@ pub struct DriverOptions {
     /// default) leaves whatever the engine's [`brb_core::config::Config`] seeded —
     /// usually disabled — so per-broadcast state is kept forever, the pre-GC behavior.
     pub gc: Option<brb_core::gc::GcPolicy>,
+    /// Churn schedule of the deployment, when one is set: every node's transport is
+    /// gated by the handle's shared link state ([`ChurnLink`] outermost, so a frame on
+    /// a downed link never reaches a behavior or delay decorator — the simulator's
+    /// ordering), and per-link delay overrides ride the delay line. The deployment is
+    /// responsible for spawning the pacer ([`ChurnHandle::spawn_pacer`]).
+    pub churn: Option<ChurnHandle>,
 }
 
 impl Default for DriverOptions {
@@ -78,6 +91,7 @@ impl Default for DriverOptions {
             behaviors: Vec::new(),
             link_delay: LinkDelay::None,
             gc: None,
+            churn: None,
         }
     }
 }
@@ -108,6 +122,12 @@ impl DriverOptions {
         self
     }
 
+    /// Returns a copy with the given churn schedule installed on every node's links.
+    pub fn with_churn(mut self, churn: ChurnHandle) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
     /// The behavior assigned to `process` (the last matching entry wins).
     pub fn behavior_of(&self, process: ProcessId) -> Behavior {
         self.behaviors
@@ -134,10 +154,42 @@ impl DriverOptions {
     }
 
     /// Decorates `base` with the fault/delay policy resolved for `process`
-    /// (see [`LinkPolicy::decorate`]).
+    /// (see [`LinkPolicy::decorate`]), plus the churn gate when a schedule is set.
+    ///
+    /// With churn the composition is, outermost first: [`ChurnLink`] (downed-link gate
+    /// and loss overrides), the behavior ([`FaultyLink`]), the delay line
+    /// ([`DelayedLink`], always present so the per-link delay overrides have a line to
+    /// ride even under [`LinkDelay::None`]) — the exact order the simulator applies per
+    /// `Send` action, so a gated frame advances no behavior counter and samples no
+    /// delay.
     pub fn decorate(&self, process: ProcessId, base: Box<dyn Transport>) -> Box<dyn Transport> {
-        self.policy_of(process)
-            .decorate(base, self.seed.wrapping_add(process as u64))
+        let seed = self.seed.wrapping_add(process as u64);
+        let Some(handle) = &self.churn else {
+            return self.policy_of(process).decorate(base, seed);
+        };
+        let policy = self.policy_of(process);
+        let mut transport: Box<dyn Transport> = Box::new(DelayedLink::with_churn(
+            base,
+            policy.delay.clone(),
+            seed,
+            handle.clone(),
+            process,
+        ));
+        if policy.behavior.is_byzantine() {
+            // The same distinct stream LinkPolicy::decorate derives, so a behavior's
+            // drop decisions do not move when churn is enabled.
+            transport = Box::new(FaultyLink::new(
+                transport,
+                policy.behavior.clone(),
+                seed ^ 0x5EED_B44A_D001_CAFE,
+            ));
+        }
+        Box::new(ChurnLink::new(
+            transport,
+            handle.clone(),
+            process,
+            seed ^ 0xC4C4_D70B_1055_CAFE,
+        ))
     }
 }
 
@@ -155,8 +207,11 @@ pub struct NodeReport {
     /// Protocol-state bytes the engine still held at shutdown (flat under instance GC,
     /// growing with every broadcast without it).
     pub state_bytes: usize,
-    /// Broadcast instances the engine retired through watermark GC.
+    /// Broadcast instances the engine retired through watermark GC (summed across
+    /// restarts: retirements of discarded engines are carried over).
     pub gc_retired: u64,
+    /// Number of [`Command::Restart`]s the node carried out.
+    pub restarts: u64,
 }
 
 /// Aggregated report of a whole deployment run.
@@ -211,6 +266,23 @@ pub struct NodeDriver {
     /// (`false` only for [`Behavior::Crash`], whose outbound side the decorator already
     /// silences).
     receives: bool,
+    /// Rebuilds a fresh engine on [`Command::Restart`]. `None` (the default) makes
+    /// restarts no-ops — only deployments running a churn schedule with restarts
+    /// install one.
+    engine_factory: Option<Box<dyn FnMut() -> Box<dyn DynEngine> + Send>>,
+    /// The durable compact state a restart preserves: the ids delivered by discarded
+    /// engines (suppressing post-restart re-deliveries, the no-duplication-across-
+    /// crashes property) ...
+    memory: RestartMemory,
+    /// ... and those deliveries themselves, in order, for the final report.
+    durable: Vec<Delivery>,
+    /// The GC policy to re-install on a rebuilt engine (the factory builds from the
+    /// raw config, which usually has GC disabled).
+    gc: Option<brb_core::gc::GcPolicy>,
+    /// GC retirements of discarded engines, carried into the final report.
+    retired_before: u64,
+    /// Number of restarts carried out.
+    restarts: u64,
 }
 
 impl NodeDriver {
@@ -238,7 +310,50 @@ impl NodeDriver {
             deliveries,
             idle_shutdown: options.idle_shutdown,
             receives,
+            engine_factory: None,
+            memory: RestartMemory::new(),
+            durable: Vec::new(),
+            gc: options.gc,
+            retired_before: 0,
+            restarts: 0,
         }
+    }
+
+    /// Installs the engine factory [`Command::Restart`] rebuilds from: a deployment
+    /// running a churn schedule with [`brb_sim::churn::ChurnAction::NodeRestart`] events
+    /// passes the same constructor it built the original engine with, so the fresh
+    /// engine re-joins with the identical identity and topology view but none of the
+    /// volatile protocol state.
+    #[must_use]
+    pub fn with_engine_factory(
+        mut self,
+        factory: impl FnMut() -> Box<dyn DynEngine> + Send + 'static,
+    ) -> Self {
+        self.engine_factory = Some(Box::new(factory));
+        self
+    }
+
+    /// Carries out a [`Command::Restart`]: absorbs the doomed engine's delivered log
+    /// into the durable state, then swaps in a freshly built engine (with the GC policy
+    /// re-applied). A no-op without an engine factory.
+    fn restart(&mut self) {
+        if self.engine_factory.is_none() {
+            return;
+        }
+        for delivery in self.engine.deliveries() {
+            if self.memory.note_delivered(delivery.id) {
+                self.durable.push(delivery.clone());
+            }
+        }
+        self.retired_before += self.engine.gc_retired();
+        let factory = self.engine_factory.as_mut().expect("checked above");
+        let mut fresh = factory();
+        if let Some(gc) = self.gc {
+            fresh.set_gc_policy(gc);
+        }
+        self.actions.clear();
+        self.engine = fresh;
+        self.restarts += 1;
     }
 
     /// Runs the node to completion (shutdown command or channel disconnection) and
@@ -267,6 +382,7 @@ impl NodeDriver {
                         self.dispatch(&mut messages_sent, &mut bytes_sent);
                     }
                 }
+                Wake::Command(Some(Command::Restart)) => self.restart(),
                 Wake::Command(Some(Command::Shutdown)) | Wake::Command(None) => {
                     shutting_down = true;
                 }
@@ -290,13 +406,26 @@ impl NodeDriver {
                 break;
             }
         }
+        // The report's delivery log spans restarts: the durable pre-restart
+        // deliveries first (their original order), then what the current engine
+        // delivered — minus re-deliveries of durable ids, which no-duplication
+        // across crashes suppresses.
+        let mut deliveries = std::mem::take(&mut self.durable);
+        deliveries.extend(
+            self.engine
+                .deliveries()
+                .iter()
+                .filter(|d| !self.memory.suppresses(d.id))
+                .cloned(),
+        );
         NodeReport {
             id,
-            deliveries: self.engine.deliveries().to_vec(),
+            deliveries,
             messages_sent,
             bytes_sent,
             state_bytes: self.engine.state_bytes(),
-            gc_retired: self.engine.gc_retired(),
+            gc_retired: self.retired_before + self.engine.gc_retired(),
+            restarts: self.restarts,
         }
     }
 
@@ -318,6 +447,12 @@ impl NodeDriver {
                     *bytes_sent += wire_size * copies;
                 }
                 WireAction::Deliver(delivery) => {
+                    // A rebuilt engine may re-deliver an instance the node already
+                    // delivered before its crash; the durable log suppresses the
+                    // duplicate (no-duplication holds across restarts).
+                    if self.memory.suppresses(delivery.id) {
+                        continue;
+                    }
                     let _ = self.deliveries.send((self.engine.process_id(), delivery));
                 }
             }
@@ -467,6 +602,7 @@ mod tests {
                     bytes_sent: 10,
                     state_bytes: 0,
                     gc_retired: 0,
+                    restarts: 0,
                 },
                 NodeReport {
                     id: 1,
@@ -475,6 +611,7 @@ mod tests {
                     bytes_sent: 20,
                     state_bytes: 0,
                     gc_retired: 0,
+                    restarts: 0,
                 },
             ],
         };

@@ -75,11 +75,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod driver;
 pub mod link;
 pub mod policy;
 pub mod transport;
 
+pub use churn::{ChurnHandle, ChurnLink};
 pub use driver::{Command, DeploymentReport, DriverOptions, NodeDriver, NodeReport};
 pub use link::{build_links, AuthenticatedSender, Frame, Mailbox};
 pub use policy::{DelayedLink, FaultyLink, LinkDelay, LinkPolicy};

@@ -32,6 +32,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::churn::ChurnHandle;
 use crate::link::Frame;
 use crate::transport::Transport;
 
@@ -181,6 +182,11 @@ pub struct DelayedLink {
     /// Monotone enqueue counter: the stable tie-break for frames due at the same
     /// instant, so equal-deadline frames transmit in send order.
     next_seq: u64,
+    /// When the deployment runs a churn schedule: the shared handle and this link's
+    /// sending process, consulted per frame for the per-directed-link delay override
+    /// (added on top of the sampled delay, exactly like the simulator adds the override
+    /// to each copy's sampled delay).
+    churn: Option<(ChurnHandle, ProcessId)>,
 }
 
 /// One frame in flight on the delay line, ordered by `(due, seq)`.
@@ -263,7 +269,25 @@ impl DelayedLink {
             delay,
             rng: StdRng::seed_from_u64(seed),
             next_seq: 0,
+            churn: None,
         }
+    }
+
+    /// Like [`DelayedLink::new`], but each outbound frame additionally incurs the
+    /// churn schedule's per-directed-link delay override for `id -> to` (scaled to
+    /// wall-clock time by the handle), on top of its sampled delay. With
+    /// [`LinkDelay::None`] the line carries *only* the overrides — the form a churned
+    /// deployment uses when no background delay model is configured.
+    pub fn with_churn<T: Transport + 'static>(
+        inner: T,
+        delay: LinkDelay,
+        seed: u64,
+        handle: ChurnHandle,
+        id: ProcessId,
+    ) -> Self {
+        let mut link = Self::new(inner, delay, seed);
+        link.churn = Some((handle, id));
+        link
     }
 
     /// Samples one transmission delay.
@@ -302,8 +326,12 @@ impl Transport for DelayedLink {
         if !self.peers.contains(&to) {
             return 0;
         }
+        let extra = match &self.churn {
+            Some((handle, id)) => handle.extra_delay(*id, to),
+            None => Duration::ZERO,
+        };
         let item = Queued {
-            due: Instant::now() + self.sample(),
+            due: Instant::now() + self.sample() + extra,
             seq: self.next_seq,
             to,
             frame: frame.clone(),

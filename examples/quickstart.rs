@@ -50,6 +50,7 @@ fn main() {
             seed: 7,
             workload: None,
             behaviors: Vec::new(),
+            churn: None,
         };
         let result = run_experiment_on_graph(&params, &graph);
         println!(

@@ -14,7 +14,10 @@
 # and the Byzantine behavior matrix (--behaviors), so it also covers the lossy /
 # silent-towards / flooder scenario rows measured on the simulator, the channel
 # runtime and the TCP deployment (sim rows go through the sweep engine and must be
-# worker-invariant; live-backend rows report the deterministic delivery counts).
+# worker-invariant; live-backend rows report the deterministic delivery counts),
+# and the churn scenario matrix (--churn), so it also covers the scheduled link
+# flap / partition-heal / restart / per-link delay rows and the planar-grid /
+# geometric / expander topology-family rows.
 #
 # Usage: scripts/ci_smoke.sh [output-dir]
 set -euo pipefail
@@ -25,9 +28,9 @@ mkdir -p "$out"
 # Time-box each run: the quick preset finishes in well under a minute on CI hardware,
 # so ten minutes signals a hang rather than a slow machine.
 timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
-    --quick --workload --behaviors --workers 1 --csv "$out/sweep_w1.csv" > "$out/stdout_w1.txt"
+    --quick --workload --behaviors --churn --workers 1 --csv "$out/sweep_w1.csv" > "$out/stdout_w1.txt"
 timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
-    --quick --workload --behaviors --workers 4 --csv "$out/sweep_w4.csv" > "$out/stdout_w4.txt"
+    --quick --workload --behaviors --churn --workers 4 --csv "$out/sweep_w4.csv" > "$out/stdout_w4.txt"
 
 if ! diff -u "$out/sweep_w1.csv" "$out/sweep_w4.csv"; then
     echo "FAIL: sweep output differs between 1 and 4 workers" >&2
@@ -58,7 +61,19 @@ for backend in sim runtime tcp; do
     fi
 done
 
-echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows, $workload_rows workload rows, $behavior_rows behavior rows incl. the lossy runs)"
+churn_rows=$(grep -c "^churn," "$out/sweep_w1.csv" || true)
+if [ "$churn_rows" -lt 8 ]; then
+    echo "FAIL: expected >= 8 churn rows (5 scenarios + 3 topology families), found $churn_rows — did --churn run?" >&2
+    exit 1
+fi
+for scenario in flap partition-heal restart link-delay mixed; do
+    if ! grep -q "^churn,.*,$scenario," "$out/sweep_w1.csv"; then
+        echo "FAIL: no churn row for scenario $scenario" >&2
+        exit 1
+    fi
+done
+
+echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows, $workload_rows workload rows, $behavior_rows behavior rows incl. the lossy runs, $churn_rows churn rows)"
 
 # Second stack: the same harnesses, parameters and topologies, but running the plain
 # Bracha-over-routed-Dolev stack through the boxed DynEngine path.
@@ -78,8 +93,9 @@ if diff -q "$out/sweep_w1.csv" "$out/sweep_brd.csv" > /dev/null; then
     echo "FAIL: the two stacks produced identical CSVs — the --stack flag is inert" >&2
     exit 1
 fi
-# The second stack runs without --workload/--behaviors; compare only the shared rows.
-base_rows=$((rows - workload_rows - behavior_rows))
+# The second stack runs without --workload/--behaviors/--churn; compare only the
+# shared rows.
+base_rows=$((rows - workload_rows - behavior_rows - churn_rows))
 if [ "$(wc -l < "$out/sweep_brd.csv")" != "$base_rows" ]; then
     echo "FAIL: the two stacks swept a different number of data points" >&2
     exit 1

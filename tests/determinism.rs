@@ -116,11 +116,65 @@ fn determinism_bd_with_crashes_matches_golden() {
         seed: 11,
         workload: None,
         behaviors: Vec::new(),
+        churn: None,
     };
     let graph = experiment_graph(16, 5, 33);
     let record = run_experiment_recorded(&params, &graph);
     assert!(record.result.complete());
     check_golden("bd_random_n16_crashed", &record.metrics.canonical_text());
+}
+
+#[test]
+fn determinism_churn_planar_grid_matches_golden() {
+    // A churned run on the planar-grid family: an early flap of the 0—1 edge, an
+    // asymmetric delay override on 0 -> 1, then (after dissemination) a first-row
+    // partition, its heal, and a restart of the far corner. The canonical rendering
+    // gains `churn at_us=…` lines — pinned here byte for byte.
+    use brb_sim::churn::{ChurnAction, ChurnSpec};
+    let graph = brb_graph::families::planar_grid(5, 5);
+    let churn = ChurnSpec::new()
+        .at(
+            0,
+            ChurnAction::SetLinkDelay {
+                from: 0,
+                to: 1,
+                extra_micros: 5_000,
+            },
+        )
+        .flap(0, 1, 10_000, 40_000, 10_000, 1)
+        .at(
+            500_000,
+            ChurnAction::Partition {
+                side: vec![0, 1, 2, 3, 4],
+            },
+        )
+        .at(550_000, ChurnAction::Heal)
+        .at(600_000, ChurnAction::NodeRestart { process: 24 });
+    let params = ExperimentParams {
+        n: 25,
+        connectivity: 3,
+        f: 1,
+        crashed: 0,
+        payload_size: 96,
+        config: Config::bdopt_mbd1(25, 1),
+        stack: StackSpec::Bd,
+        delay: DelayModel::synchronous(),
+        seed: 17,
+        workload: None,
+        behaviors: Vec::new(),
+        churn: Some(churn),
+    };
+    let record = run_experiment_recorded(&params, &graph);
+    assert!(
+        record.result.complete(),
+        "the 3-connected grid rides out the flap"
+    );
+    let rendered = record.metrics.canonical_text();
+    assert!(
+        rendered.contains("churn at_us=600000 restart p24"),
+        "churn events must render:\n{rendered}"
+    );
+    check_golden("bd_planar_grid_churn", &rendered);
 }
 
 #[test]

@@ -34,6 +34,7 @@ fn run(
         seed: 13,
         workload: None,
         behaviors: Vec::new(),
+        churn: None,
     };
     run_experiment_on_graph(&params, graph)
 }

@@ -38,6 +38,7 @@ fn bench_full_broadcast(c: &mut Criterion) {
                 workload: None,
                 behaviors: Vec::new(),
                 churn: None,
+                consensus: None,
             };
             b.iter(|| {
                 let r = run_experiment_on_graph(&params, &graph);
@@ -70,6 +71,7 @@ fn bench_broadcast_n100(c: &mut Criterion) {
         workload: None,
         behaviors: Vec::new(),
         churn: None,
+        consensus: None,
     };
     group.bench_function("bdw_preset", |b| {
         b.iter(|| {
@@ -100,6 +102,7 @@ fn bench_sweep_workers(c: &mut Criterion) {
                 workload: None,
                 behaviors: Vec::new(),
                 churn: None,
+                consensus: None,
             };
             ExperimentSpec::new(format!("bench/run={run}"), 5_000 + run, params)
         })

@@ -3,7 +3,18 @@
 //!
 //! Usage: `cargo run --release -p brb-bench --bin all_experiments [-- --quick] [-- --async]
 //! [-- --workers N] [-- --stack NAME] [-- --csv PATH] [-- --workload] [-- --behaviors]
-//! [-- --churn]`
+//! [-- --churn] [-- --consensus]`
+//!
+//! The unconditional run also sweeps the non-regular topology families (planar grid,
+//! geometric random graph, bounded-degree expander) across the paper's
+//! `k >= 2f + 1` connectivity thresholds (see `brb_bench::figures::run_topology_families`),
+//! emitting rows in the `families` CSV section.
+//!
+//! `--consensus` additionally runs the consensus-over-BRB matrix (seeded binary
+//! Byzantine consensus where every round message rides a fresh BRB instance of the
+//! selected stack; see `brb_bench::consensus`), emitting per-scenario decision round,
+//! rounds-to-decide `p50`/`p99`, BRB instances spawned and instance-GC retirement
+//! columns in the `consensus` CSV section.
 //!
 //! `--workload` additionally runs the multi-broadcast workload sweep (arrival process ×
 //! source selection; see `brb_bench::workload`), emitting per-point throughput,
@@ -35,8 +46,9 @@
 use std::fmt::Write as _;
 
 use brb_bench::{
-    async_from_args, behaviors, behaviors_from_args, churn, churn_from_args, figures,
-    stack_from_args, table1, workers_from_args, workload, workload_from_args, Scale,
+    async_from_args, behaviors, behaviors_from_args, churn, churn_from_args, consensus,
+    consensus_from_args, figures, stack_from_args, table1, workers_from_args, workload,
+    workload_from_args, Scale,
 };
 
 /// Fixed-format float rendering used for every CSV cell, so the file is a pure function
@@ -136,6 +148,20 @@ fn main() {
             cell(state)
         );
     }
+    println!("==============================================================");
+    for p in figures::run_topology_families(scale, asynchronous, stack) {
+        let _ = writeln!(
+            csv,
+            "families,{stack},,{},{},{},{},{},{},{},,",
+            p.family,
+            p.k,
+            cell(p.result.latency_ms),
+            cell(p.result.bytes),
+            cell(p.result.messages),
+            p.n,
+            p.f
+        );
+    }
     if workload_from_args(&args) {
         println!("==============================================================");
         for p in workload::run_workload_sweep(scale, asynchronous, workers, stack) {
@@ -179,8 +205,36 @@ fn main() {
             let _ = writeln!(
                 csv,
                 "churn,{stack},{},{},{},{},{},{},{},{},,",
-                p.scenario, p.label, p.n, p.delivered, p.correct, p.messages, p.bytes,
+                p.scenario,
+                p.label,
+                p.n,
+                p.delivered,
+                p.correct,
+                p.messages,
+                p.bytes,
                 p.churn_events,
+            );
+        }
+    }
+
+    if consensus_from_args(&args) {
+        println!("==============================================================");
+        for p in consensus::run_consensus_matrix(scale, asynchronous, workers, stack) {
+            let _ = writeln!(
+                csv,
+                "consensus,{stack},{},N={}/k={}/f={},{},{},{},{},{},{},{},{}",
+                p.scenario,
+                p.n,
+                p.k,
+                p.f,
+                cell(p.decision_round),
+                cell(p.rounds_p50),
+                cell(p.rounds_p99),
+                cell(p.instances),
+                cell(p.gc_retired),
+                cell(p.latency_ms),
+                p.decided,
+                p.honest
             );
         }
     }

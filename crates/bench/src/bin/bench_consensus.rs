@@ -1,0 +1,157 @@
+//! Machine-readable consensus-over-BRB benchmark for CI.
+//!
+//! Emits `BENCH_consensus.json` with one section per proposal scenario (unanimous,
+//! split, split + value-flipper) at a fixed seed: the mean wall-clock milliseconds to
+//! drive one seeded binary consensus instance to termination on the simulator, the
+//! decided round, the number of BRB instances spawned in the consensus namespace per
+//! run, and the instance-GC retirement count (the runs install an event-count
+//! retention window, so closed-round BRB state is reclaimed mid-consensus).
+//!
+//! The termination/agreement/GC invariants are asserted here (exit code 1 on
+//! regression), so the smoke script only has to check the file exists and carries the
+//! expected fields. The JSON is hand-rolled: the workspace deliberately has no JSON
+//! dependency.
+//!
+//! Usage: `cargo run --release -p brb-bench --bin bench_consensus [-- --out PATH]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use brb_consensus::{ConsensusSpec, ProposalPattern};
+use brb_core::config::Config;
+use brb_core::gc::GcPolicy;
+use brb_core::stack::StackSpec;
+use brb_sim::experiment::{experiment_graph, ExperimentParams};
+use brb_sim::run_consensus_recorded;
+
+/// Iterations per scenario averaged into `mean_ms`.
+const ITERS: u32 = 3;
+/// System size of the benchmark point.
+const N: usize = 14;
+/// Connectivity of the benchmark topology.
+const K: usize = 5;
+/// Fault budget.
+const F: usize = 2;
+/// Event-count retention window installed on every run.
+const GC_WINDOW: u64 = 64;
+
+struct ScenarioResult {
+    name: &'static str,
+    mean_ms: f64,
+    decision_value: u8,
+    decision_round: u32,
+    rounds_driven: u32,
+    instances: usize,
+    gc_retired: u64,
+}
+
+/// Runs one scenario `ITERS` times at the fixed seed and averages the wall clock.
+fn run_scenario(name: &'static str, spec: ConsensusSpec) -> ScenarioResult {
+    let config = Config::bdopt_mbd1(N, F).with_gc(GcPolicy::after_events(GC_WINDOW));
+    let params = ExperimentParams::new(N, K, F, config)
+        .with_stack(StackSpec::Bd)
+        .with_consensus(spec);
+    let graph = experiment_graph(N, K, params.seed);
+    let mut total_ms = 0.0;
+    let mut last = None;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let record = run_consensus_recorded(&params, &graph);
+        total_ms += start.elapsed().as_secs_f64() * 1_000.0;
+        last = Some(record);
+    }
+    let record = last.expect("ITERS > 0");
+    let stats = record.result.consensus.expect("consensus stats");
+    assert!(
+        stats.all_decided(),
+        "{name}: every honest process must decide ({}/{})",
+        stats.decided,
+        stats.honest
+    );
+    ScenarioResult {
+        name,
+        mean_ms: total_ms / f64::from(ITERS),
+        decision_value: stats.decision_value.expect("decided"),
+        decision_round: stats.decision_round.expect("decided"),
+        rounds_driven: stats.rounds_driven,
+        instances: stats.instances,
+        gc_retired: record.result.gc_retired,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
+        })
+        .unwrap_or_else(|| "BENCH_consensus.json".to_string());
+
+    let results = [
+        run_scenario(
+            "unanimous1",
+            ConsensusSpec::default().with_proposals(ProposalPattern::Unanimous(1)),
+        ),
+        run_scenario(
+            "split",
+            ConsensusSpec::default().with_proposals(ProposalPattern::Split),
+        ),
+        run_scenario(
+            "split_flip",
+            ConsensusSpec::default()
+                .with_proposals(ProposalPattern::Split)
+                .with_flippers(vec![N - 2]),
+        ),
+    ];
+
+    let mut json = format!(
+        "{{\n  \"bench\": \"consensus_over_brb_n{N}_k{K}\",\n  \"iters\": {ITERS},\n  \
+         \"window_events\": {GC_WINDOW},\n  \"scenarios\": {{\n"
+    );
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"mean_ms\": {:.3}, \"decision_value\": {}, \
+             \"decision_round\": {}, \"rounds_driven\": {}, \"instances\": {}, \
+             \"gc_retired\": {} }}{comma}",
+            r.name,
+            r.mean_ms,
+            r.decision_value,
+            r.decision_round,
+            r.rounds_driven,
+            r.instances,
+            r.gc_retired
+        );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("JSON output path must be writable");
+    print!("{json}");
+    println!("# written to {out_path}");
+
+    // The invariants CI relies on: unanimous proposals decide their value in round 0
+    // (pinned coin), every scenario spawns BRB instances, and the retention window
+    // actually retires closed-round state mid-consensus.
+    let unanimous = &results[0];
+    assert_eq!(unanimous.decision_value, 1, "validity on unanimous input");
+    assert_eq!(unanimous.decision_round, 0, "pinned coin decides round 0");
+    for r in &results {
+        assert!(r.instances > 0, "{}: no BRB instances spawned", r.name);
+        assert!(
+            r.gc_retired > 0,
+            "{}: the retention window must retire instances",
+            r.name
+        );
+        assert!(r.mean_ms > 0.0, "{}: zero wall clock", r.name);
+    }
+    println!(
+        "# OK: {} scenarios decided; unanimous in round {} with {} instances",
+        results.len(),
+        unanimous.decision_round,
+        unanimous.instances
+    );
+}

@@ -116,7 +116,10 @@ fn main() {
     // The boundedness invariant CI relies on: GC off grows with the broadcast count,
     // GC on stays flat (the last endpoint may not exceed the first by more than the
     // in-flight window's worth of instances — in practice it equals it).
-    assert_eq!(off_retired, 0, "GC must stay disabled on the baseline curve");
+    assert_eq!(
+        off_retired, 0,
+        "GC must stay disabled on the baseline curve"
+    );
     assert!(
         off_last > 4 * off_first,
         "baseline must grow linearly: first={off_first} last={off_last}"

@@ -1,0 +1,229 @@
+//! The consensus experiment axis: binary Byzantine consensus over BRB as sweep rows.
+//!
+//! The paper stops at the broadcast layer; this harness measures the canonical
+//! application on top — seeded binary consensus (`brb-consensus`), where every round
+//! message rides a fresh BRB instance of the selected stack. Every scenario
+//! (proposal pattern × consensus-level value-flipper) runs through the parallel sweep
+//! engine via [`brb_sim::ExperimentParams::consensus`], so the rows are worker-count
+//! invariant and the CI smoke job can byte-diff the CSV between 1 and 4 workers.
+//!
+//! Each row reports the decided round, the `p50`/`p99` of rounds-to-decide across the
+//! point's seeds, the number of BRB instances spawned in the consensus namespace, and
+//! the instance-GC retirement count (the runs set an event-count retention window, so
+//! per-instance state of closed rounds is actually reclaimed mid-consensus).
+
+use brb_consensus::{ConsensusSpec, ProposalPattern};
+use brb_core::config::Config;
+use brb_core::gc::GcPolicy;
+use brb_core::stack::StackSpec;
+use brb_sim::{run_sweep, DelayModel, ExperimentSpec};
+use brb_stats::percentile;
+
+use crate::{experiment, point_specs, Scale};
+
+/// Event-count retention window installed on every consensus run, small enough that
+/// closed-round BRB instances retire while the consensus instance is still running.
+const GC_WINDOW: u64 = 64;
+
+/// One row of the consensus matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsensusPoint {
+    /// Scenario name (e.g. `"split-flip"`), the CSV `behavior` column.
+    pub scenario: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Network connectivity `k`.
+    pub k: usize,
+    /// Fault budget `f`.
+    pub f: usize,
+    /// Honest processes that decided (summed sanity: equals `honest` on success).
+    pub decided: usize,
+    /// Number of honest processes (correct and not value-flippers).
+    pub honest: usize,
+    /// Mean decided round over the point's seeds.
+    pub decision_round: f64,
+    /// Median rounds-to-decide across the seeds.
+    pub rounds_p50: f64,
+    /// 99th-percentile rounds-to-decide across the seeds.
+    pub rounds_p99: f64,
+    /// Mean number of BRB instances spawned in the consensus namespace per run.
+    pub instances: f64,
+    /// Mean instance-GC retirements per run (positive: the retention window works
+    /// under consensus load).
+    pub gc_retired: f64,
+    /// Mean virtual time (ms) until every honest process decided.
+    pub latency_ms: f64,
+}
+
+/// The scenario list: proposal patterns with and without a consensus-level Byzantine
+/// value-flipper (the flipper is BRB-honest below, so the BRB layer never masks it).
+fn scenarios(n: usize) -> Vec<(String, ConsensusSpec)> {
+    vec![
+        (
+            "unanimous1".to_string(),
+            ConsensusSpec::default().with_proposals(ProposalPattern::Unanimous(1)),
+        ),
+        (
+            "split".to_string(),
+            ConsensusSpec::default().with_proposals(ProposalPattern::Split),
+        ),
+        (
+            "random".to_string(),
+            ConsensusSpec::default().with_proposals(ProposalPattern::Random(5)),
+        ),
+        (
+            "split-flip".to_string(),
+            ConsensusSpec::default()
+                .with_proposals(ProposalPattern::Split)
+                .with_flippers(vec![n - 2]),
+        ),
+    ]
+}
+
+/// Runs the consensus matrix: every scenario through the sweep engine, `runs` seeds per
+/// point, aggregated per scenario.
+pub fn run_consensus_matrix(
+    scale: Scale,
+    asynchronous: bool,
+    workers: usize,
+    stack: StackSpec,
+) -> Vec<ConsensusPoint> {
+    let (n, k, f) = match scale {
+        Scale::Quick => (10, 4, 1),
+        Scale::Paper => (20, 7, 2),
+    };
+    let graph_seed = 33_000 + (n * k) as u64;
+    let delay = if asynchronous {
+        DelayModel::asynchronous()
+    } else {
+        DelayModel::synchronous()
+    };
+    let config = Config::bdopt_mbd1(n, f).with_gc(GcPolicy::after_events(GC_WINDOW));
+    let runs = scale.runs();
+
+    let named = scenarios(n);
+    let mut specs: Vec<ExperimentSpec> = Vec::new();
+    for (name, spec) in &named {
+        let params = experiment(n, k, f, 16, config, delay, 1)
+            .with_stack(stack)
+            .with_consensus(spec.clone());
+        specs.extend(point_specs(name, &params, graph_seed, runs));
+    }
+    let outcomes = run_sweep(&specs, workers);
+
+    let points: Vec<ConsensusPoint> = outcomes
+        .chunks(runs)
+        .zip(named)
+        .map(|(chunk, (scenario, _))| {
+            let mut rounds: Vec<f64> = Vec::new();
+            let (mut round_sum, mut instances, mut retired, mut latency) = (0.0, 0.0, 0.0, 0.0);
+            let (mut decided, mut honest) = (0, 0);
+            for outcome in chunk {
+                let stats = outcome
+                    .record
+                    .result
+                    .consensus
+                    .as_ref()
+                    .expect("consensus params produce consensus stats");
+                rounds.push(f64::from(stats.rounds_driven));
+                round_sum += stats.decision_round.map_or(f64::NAN, f64::from);
+                instances += stats.instances as f64;
+                retired += outcome.record.result.gc_retired as f64;
+                latency += stats.decision_time_ms;
+                decided = stats.decided;
+                honest = stats.honest;
+            }
+            let denom = chunk.len().max(1) as f64;
+            ConsensusPoint {
+                scenario,
+                n,
+                k,
+                f,
+                decided,
+                honest,
+                decision_round: round_sum / denom,
+                rounds_p50: percentile(&rounds, 50.0),
+                rounds_p99: percentile(&rounds, 99.0),
+                instances: instances / denom,
+                gc_retired: retired / denom,
+                latency_ms: latency / denom,
+            }
+        })
+        .collect();
+
+    print_points(
+        &format!(
+            "Consensus matrix — stack={stack}, N={n}, k={k}, f={f}, {runs} seed(s)/point, \
+             GC window {GC_WINDOW} events"
+        ),
+        &points,
+    );
+    points
+}
+
+fn print_points(title: &str, points: &[ConsensusPoint]) {
+    println!("# {title}");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>11} {:>13}",
+        "scenario",
+        "decided",
+        "dec round",
+        "rounds p50",
+        "rounds p99",
+        "instances",
+        "gc_retired",
+        "latency (ms)"
+    );
+    for p in points {
+        println!(
+            "{:<12} {:>5}/{:<2} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>11.1} {:>13.2}",
+            p.scenario,
+            p.decided,
+            p.honest,
+            p.decision_round,
+            p.rounds_p50,
+            p.rounds_p99,
+            p.instances,
+            p.gc_retired,
+            p.latency_ms
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_consensus_matrix_terminates_and_retires_instances() {
+        let points = run_consensus_matrix(Scale::Quick, false, 2, StackSpec::Bd);
+        assert_eq!(points.len(), 4, "4 proposal/flipper scenarios");
+        for p in &points {
+            assert_eq!(
+                p.decided, p.honest,
+                "{}: all honest must decide",
+                p.scenario
+            );
+            assert!(p.decision_round.is_finite(), "{}", p.scenario);
+            assert!(p.instances > 0.0, "{}", p.scenario);
+            assert!(
+                p.gc_retired > 0.0,
+                "{}: the retention window must retire instances",
+                p.scenario
+            );
+        }
+        let unanimous = points.iter().find(|p| p.scenario == "unanimous1").unwrap();
+        assert_eq!(
+            unanimous.decision_round, 0.0,
+            "unanimous proposals decide in round 0 when the coin cooperates, or the \
+             mean stays finite otherwise"
+        );
+    }
+
+    #[test]
+    fn consensus_matrix_is_worker_count_invariant() {
+        let a = run_consensus_matrix(Scale::Quick, false, 1, StackSpec::Bd);
+        let b = run_consensus_matrix(Scale::Quick, false, 4, StackSpec::Bd);
+        assert_eq!(a, b);
+    }
+}

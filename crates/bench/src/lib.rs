@@ -27,6 +27,7 @@
 
 pub mod behaviors;
 pub mod churn;
+pub mod consensus;
 pub mod figures;
 pub mod table1;
 pub mod workload;
@@ -88,6 +89,12 @@ pub fn behaviors_from_args(args: &[String]) -> bool {
 /// (`--churn`; see [`churn::run_churn_matrix`]).
 pub fn churn_from_args(args: &[String]) -> bool {
     args.iter().any(|a| a == "--churn")
+}
+
+/// Whether the consensus-over-BRB matrix was requested on the command line
+/// (`--consensus`; see [`consensus::run_consensus_matrix`]).
+pub fn consensus_from_args(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--consensus")
 }
 
 /// Parses the `--stack NAME` / `--stack=NAME` command-line option (defaults to the
@@ -281,6 +288,7 @@ pub fn experiment(
         workload: None,
         behaviors: Vec::new(),
         churn: None,
+        consensus: None,
     }
 }
 

@@ -1,0 +1,117 @@
+//! Consensus property checkers, shared by every backend's tests.
+//!
+//! Each checker takes the per-process decisions of the **honest** processes (correct at
+//! the transport level *and* not consensus-level value-flippers) and returns a
+//! human-readable violation, so the same assertions run against the simulator, the
+//! channel runtime and the TCP deployment.
+
+use brb_core::types::ProcessId;
+
+use crate::{ConsensusSpec, Decision};
+
+/// Agreement: no two honest processes decide different values (here strengthened to
+/// the lockstep property the phase-stepped harness guarantees — same value **and**
+/// same round).
+pub fn check_agreement(decisions: &[(ProcessId, Option<Decision>)]) -> Result<(), String> {
+    let mut first: Option<(ProcessId, Decision)> = None;
+    for &(process, decision) in decisions {
+        let Some(decision) = decision else { continue };
+        match first {
+            None => first = Some((process, decision)),
+            Some((p0, d0)) if d0 != decision => {
+                return Err(format!(
+                    "agreement violated: p{p0} decided {:?} but p{process} decided {:?}",
+                    d0, decision
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Validity: if every honest process proposes the same value, that value is the only
+/// possible decision. (With mixed proposals any decided value is trivially valid in
+/// the binary setting, so the check is vacuous then.)
+pub fn check_validity(
+    spec: &ConsensusSpec,
+    decisions: &[(ProcessId, Option<Decision>)],
+) -> Result<(), String> {
+    let proposals: Vec<u8> = decisions
+        .iter()
+        .map(|&(p, _)| spec.proposal_for(p))
+        .collect();
+    let Some(&first) = proposals.first() else {
+        return Ok(());
+    };
+    if !proposals.iter().all(|&v| v == first) {
+        return Ok(());
+    }
+    for &(process, decision) in decisions {
+        if let Some(decision) = decision {
+            if decision.value != first {
+                return Err(format!(
+                    "validity violated: all honest processes proposed {first} but p{process} \
+                     decided {}",
+                    decision.value
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Termination: every honest process decided.
+pub fn check_termination(decisions: &[(ProcessId, Option<Decision>)]) -> Result<(), String> {
+    let undecided: Vec<ProcessId> = decisions
+        .iter()
+        .filter(|(_, d)| d.is_none())
+        .map(|&(p, _)| p)
+        .collect();
+    if undecided.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "termination violated: undecided processes {undecided:?}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProposalPattern;
+
+    fn d(value: u8, round: u32) -> Option<Decision> {
+        Some(Decision { value, round })
+    }
+
+    #[test]
+    fn agreement_accepts_lockstep_and_rejects_divergence() {
+        assert!(check_agreement(&[(0, d(1, 2)), (1, d(1, 2)), (2, None)]).is_ok());
+        assert!(check_agreement(&[(0, d(1, 2)), (1, d(0, 2))]).is_err());
+        assert!(
+            check_agreement(&[(0, d(1, 2)), (1, d(1, 3))]).is_err(),
+            "lockstep agreement also pins the round"
+        );
+    }
+
+    #[test]
+    fn validity_binds_unanimous_proposals_only() {
+        let unanimous = ConsensusSpec::default().with_proposals(ProposalPattern::Unanimous(0));
+        assert!(check_validity(&unanimous, &[(0, d(0, 1)), (1, d(0, 1))]).is_ok());
+        assert!(check_validity(&unanimous, &[(0, d(1, 1))]).is_err());
+        let split = ConsensusSpec::default().with_proposals(ProposalPattern::Split);
+        assert!(
+            check_validity(&split, &[(0, d(1, 1)), (1, d(1, 1))]).is_ok(),
+            "mixed proposals make any binary decision valid"
+        );
+    }
+
+    #[test]
+    fn termination_requires_every_honest_decision() {
+        assert!(check_termination(&[(0, d(0, 1)), (1, d(0, 1))]).is_ok());
+        let err = check_termination(&[(0, d(0, 1)), (3, None)]).unwrap_err();
+        assert!(err.contains("[3]"), "{err}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Wire formats for consensus round-messages and harness control operations.
+//!
+//! Two distinct magic prefixes keep the namespaces apart:
+//!
+//! * [`MSG_MAGIC`] tags **round-messages** (`EST`/`AUX`), the payloads that actually
+//!   travel through BRB instances. Each one is minted in
+//!   [`brb_core::types::NAMESPACE_CONSENSUS`] under the slot scheme
+//!   `local = (round << 2) | slot` with slot `0`/`1` for `EST` of value 0/1 and
+//!   slot [`SLOT_AUX`] for the round's single `AUX`. Decoding cross-checks the
+//!   payload against the slot carried by the [`brb_core::types::BroadcastId`], so a
+//!   Byzantine process cannot smuggle an `EST(1)` under the `EST(0)` instance id.
+//! * [`CTL_MAGIC`] tags **control operations** (`Propose` / `CloseBv` / `CloseRound`),
+//!   which never reach the network: the harness hands them to
+//!   [`crate::ConsensusEngine::broadcast_wire`](brb_core::stack::DynEngine::broadcast_wire)
+//!   through the ordinary broadcast entry point (so the same `Command::Broadcast`
+//!   plumbing works on every backend) and the engine intercepts them locally.
+
+use brb_core::types::{seq_local, BroadcastSeq, Payload};
+
+/// Magic prefix of consensus round-message payloads (`EST`/`AUX`).
+pub const MSG_MAGIC: [u8; 4] = *b"CNSM";
+
+/// Magic prefix of harness control operations (never sent over the wire).
+pub const CTL_MAGIC: [u8; 4] = *b"CNSC";
+
+/// Wire slot carrying a round's `AUX` message (slots 0 and 1 are `EST` of that value).
+pub const SLOT_AUX: u32 = 2;
+
+/// Number of low bits of a namespace-local sequence number that carry the slot.
+pub const SLOT_BITS: u32 = 2;
+
+/// A consensus round-message, as carried by one BRB instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundMsg {
+    /// Binary-value broadcast of `value` for `round` (phase 1).
+    Est {
+        /// Consensus round the estimate belongs to.
+        round: u32,
+        /// The binary estimate (0 or 1).
+        value: u8,
+    },
+    /// The round's single auxiliary vote for `value` (phase 2).
+    Aux {
+        /// Consensus round the vote belongs to.
+        round: u32,
+        /// The binary vote (0 or 1).
+        value: u8,
+    },
+}
+
+impl RoundMsg {
+    /// The round this message belongs to.
+    pub fn round(&self) -> u32 {
+        match *self {
+            RoundMsg::Est { round, .. } | RoundMsg::Aux { round, .. } => round,
+        }
+    }
+
+    /// The binary value this message carries.
+    pub fn value(&self) -> u8 {
+        match *self {
+            RoundMsg::Est { value, .. } | RoundMsg::Aux { value, .. } => value,
+        }
+    }
+
+    /// The wire slot this message occupies within its round.
+    pub fn slot(&self) -> u32 {
+        match *self {
+            RoundMsg::Est { value, .. } => value as u32,
+            RoundMsg::Aux { .. } => SLOT_AUX,
+        }
+    }
+
+    /// Namespace-local sequence number of the BRB instance carrying this message.
+    pub fn local_seq(&self) -> u32 {
+        (self.round() << SLOT_BITS) | self.slot()
+    }
+
+    /// Encodes the message payload (`MSG_MAGIC ++ tag ++ round LE ++ value`).
+    pub fn encode(&self) -> Payload {
+        let (tag, round, value) = match *self {
+            RoundMsg::Est { round, value } => (0u8, round, value),
+            RoundMsg::Aux { round, value } => (1u8, round, value),
+        };
+        let mut bytes = Vec::with_capacity(10);
+        bytes.extend_from_slice(&MSG_MAGIC);
+        bytes.push(tag);
+        bytes.extend_from_slice(&round.to_le_bytes());
+        bytes.push(value);
+        Payload::new(bytes)
+    }
+
+    /// Decodes a round-message from a delivered payload, cross-checking it against the
+    /// namespace-local part of the instance's sequence number.
+    ///
+    /// Returns `None` (the delivery is ignored) when the payload is malformed, carries a
+    /// non-binary value, or disagrees with the slot the instance id claims — a Byzantine
+    /// source can equivocate between payload and id, but never make correct processes
+    /// account the message under the wrong `(round, slot)`.
+    pub fn decode(seq: BroadcastSeq, bytes: &[u8]) -> Option<RoundMsg> {
+        if bytes.len() != 10 || bytes[..4] != MSG_MAGIC {
+            return None;
+        }
+        let tag = bytes[4];
+        let round = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+        let value = bytes[9];
+        if value > 1 {
+            return None;
+        }
+        let msg = match tag {
+            0 => RoundMsg::Est { round, value },
+            1 => RoundMsg::Aux { round, value },
+            _ => return None,
+        };
+        if msg.local_seq() != seq_local(seq) {
+            return None;
+        }
+        Some(msg)
+    }
+}
+
+/// A harness-issued control operation, intercepted locally by the consensus engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Start round 0: adopt the configured proposal and BV-broadcast it.
+    Propose,
+    /// Close the BV phase of `round` at quiescence: emit the round's `AUX` vote.
+    CloseBv(u32),
+    /// Close `round` at quiescence: evaluate the decide rule and enter the next round.
+    CloseRound(u32),
+}
+
+impl ControlOp {
+    /// Encodes the operation as a payload for `broadcast_wire` interception.
+    pub fn encode(&self) -> Payload {
+        let mut bytes = Vec::with_capacity(9);
+        bytes.extend_from_slice(&CTL_MAGIC);
+        match *self {
+            ControlOp::Propose => bytes.push(0),
+            ControlOp::CloseBv(round) => {
+                bytes.push(1);
+                bytes.extend_from_slice(&round.to_le_bytes());
+            }
+            ControlOp::CloseRound(round) => {
+                bytes.push(2);
+                bytes.extend_from_slice(&round.to_le_bytes());
+            }
+        }
+        Payload::new(bytes)
+    }
+
+    /// Decodes a control operation, or `None` if `bytes` is an ordinary client payload.
+    pub fn decode(bytes: &[u8]) -> Option<ControlOp> {
+        if bytes.len() < 5 || bytes[..4] != CTL_MAGIC {
+            return None;
+        }
+        let round = |b: &[u8]| (b.len() == 9).then(|| u32::from_le_bytes([b[5], b[6], b[7], b[8]]));
+        match bytes[4] {
+            0 if bytes.len() == 5 => Some(ControlOp::Propose),
+            1 => round(bytes).map(ControlOp::CloseBv),
+            2 => round(bytes).map(ControlOp::CloseRound),
+            _ => None,
+        }
+    }
+}
+
+/// Payload instructing a consensus engine to propose its configured value (round 0).
+pub fn propose_payload() -> Payload {
+    ControlOp::Propose.encode()
+}
+
+/// Payload instructing a consensus engine to close the BV phase of `round`.
+pub fn close_bv_payload(round: u32) -> Payload {
+    ControlOp::CloseBv(round).encode()
+}
+
+/// Payload instructing a consensus engine to close `round` and enter the next one.
+pub fn close_round_payload(round: u32) -> Payload {
+    ControlOp::CloseRound(round).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brb_core::types::{namespaced_seq, NAMESPACE_CONSENSUS};
+
+    #[test]
+    fn round_msgs_round_trip_through_their_own_slot() {
+        for msg in [
+            RoundMsg::Est { round: 3, value: 0 },
+            RoundMsg::Est { round: 3, value: 1 },
+            RoundMsg::Aux { round: 7, value: 1 },
+        ] {
+            let seq = namespaced_seq(NAMESPACE_CONSENSUS, msg.local_seq());
+            let payload = msg.encode();
+            assert_eq!(RoundMsg::decode(seq, payload.as_bytes()), Some(msg));
+        }
+    }
+
+    #[test]
+    fn slot_mismatch_is_rejected() {
+        // EST(3, 1) smuggled under the EST(3, 0) instance id.
+        let lying_seq = namespaced_seq(
+            NAMESPACE_CONSENSUS,
+            RoundMsg::Est { round: 3, value: 0 }.local_seq(),
+        );
+        let payload = RoundMsg::Est { round: 3, value: 1 }.encode();
+        assert_eq!(RoundMsg::decode(lying_seq, payload.as_bytes()), None);
+        // Wrong round under the right slot bits is likewise rejected.
+        let payload = RoundMsg::Est { round: 4, value: 0 }.encode();
+        assert_eq!(RoundMsg::decode(lying_seq, payload.as_bytes()), None);
+    }
+
+    #[test]
+    fn control_ops_round_trip_and_client_payloads_pass_through() {
+        for op in [
+            ControlOp::Propose,
+            ControlOp::CloseBv(0),
+            ControlOp::CloseRound(41),
+        ] {
+            assert_eq!(ControlOp::decode(op.encode().as_bytes()), Some(op));
+        }
+        assert_eq!(ControlOp::decode(b"plain client payload"), None);
+        assert_eq!(ControlOp::decode(&MSG_MAGIC), None);
+    }
+}

@@ -106,7 +106,8 @@ impl BdProcess {
                 .collect();
             for (content, local_id) in mine {
                 self.my_local_ids.remove(&content);
-                self.announced.retain(|&(_, announced_id)| announced_id != local_id);
+                self.announced
+                    .retain(|&(_, announced_id)| announced_id != local_id);
             }
             let peers: Vec<(ProcessId, LocalPayloadId)> = self
                 .peer_contents
@@ -793,6 +794,14 @@ impl Protocol for BdProcess {
 
     fn process_id(&self) -> ProcessId {
         self.id
+    }
+
+    fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    fn set_next_seq(&mut self, seq: u32) {
+        self.next_seq = seq;
     }
 
     fn broadcast(&mut self, payload: Payload) -> Vec<Action<WireMessage>> {

@@ -778,7 +778,10 @@ fn gc_retires_delivered_instances_across_the_network_and_drops_replays() {
         let deliveries_before = net.processes[i].deliveries().len();
         let bytes_before = net.processes[i].state_bytes();
         let actions = net.processes[i].handle_message(0, replay.clone());
-        assert!(actions.is_empty(), "process {i} reacted to a retired replay");
+        assert!(
+            actions.is_empty(),
+            "process {i} reacted to a retired replay"
+        );
         assert_eq!(net.processes[i].deliveries().len(), deliveries_before);
         // The replay event may retire the *second* broadcast (its own window keeps
         // running), so state may shrink — it must never grow.
@@ -848,6 +851,10 @@ fn replayed_local_refs_for_retired_instances_are_dropped_not_queued() {
     assert_eq!(p.state_bytes(), baseline, "Local replay must not buffer");
     // A replayed announcement must not re-enter `peer_contents` either.
     assert!(p.handle_message(5, announce).is_empty());
-    assert_eq!(p.state_bytes(), baseline, "Announce replay must not resurrect");
+    assert_eq!(
+        p.state_bytes(),
+        baseline,
+        "Announce replay must not resurrect"
+    );
     assert_eq!(p.deliveries().len(), 1);
 }

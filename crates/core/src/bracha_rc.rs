@@ -229,6 +229,14 @@ impl<T: RcTransport> Protocol for BrachaOverRc<T> {
         self.id
     }
 
+    fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    fn set_next_seq(&mut self, seq: u32) {
+        self.next_seq = seq;
+    }
+
     fn broadcast(&mut self, payload: Payload) -> Vec<Action<T::Message>> {
         self.gc.on_event();
         let id = BroadcastId::new(self.id, self.next_seq);

@@ -167,6 +167,14 @@ impl Protocol for CpaProcess {
         self.id
     }
 
+    fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    fn set_next_seq(&mut self, seq: u32) {
+        self.next_seq = seq;
+    }
+
     fn broadcast(&mut self, payload: Payload) -> Vec<Action<CpaMessage>> {
         let mut actions = Vec::new();
         self.gc.on_event();

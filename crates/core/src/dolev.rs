@@ -291,6 +291,14 @@ impl Protocol for DolevProcess {
         self.id
     }
 
+    fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    fn set_next_seq(&mut self, seq: u32) {
+        self.next_seq = seq;
+    }
+
     fn broadcast(&mut self, payload: Payload) -> Vec<Action<DolevMessage>> {
         self.gc.on_event();
         let mut actions = Vec::new();

@@ -351,6 +351,14 @@ impl Protocol for RoutedDolev {
         self.id
     }
 
+    fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    fn set_next_seq(&mut self, seq: u32) {
+        self.next_seq = seq;
+    }
+
     fn broadcast(&mut self, payload: Payload) -> Vec<Action<RoutedDolevMessage>> {
         let mut actions = Vec::new();
         let deliveries = self.originate(payload, &mut actions);

@@ -50,7 +50,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
-use crate::types::{BroadcastId, BroadcastSeq, ProcessId};
+use crate::types::{seq_local, seq_namespace, BroadcastId, BroadcastSeq, ProcessId};
 
 /// When a delivered broadcast instance may be retired.
 ///
@@ -180,7 +180,15 @@ pub struct GcState {
     /// Delivered instances whose retention window is still open, in delivery order
     /// (windows are uniform, so the deque front always comes due first).
     pending: VecDeque<(BroadcastId, u64, u64)>,
-    retired: HashMap<ProcessId, RetiredSet>,
+    /// Retired markers, keyed per `(source, client-instance namespace)` over the
+    /// namespace-*local* sequence numbers. Keying per source alone would mix the
+    /// namespaces into one `RetiredSet`: a consensus-namespace retirement (seq ≥ 2^24)
+    /// would sit 2^24 above the workload watermark, and the `max_retired` force-compact
+    /// valve could then jump the watermark across the gap, retiring every
+    /// not-yet-delivered namespace-0 instance of that source in one stroke. Each
+    /// namespace is sequential on its own, so per-namespace sets keep the compactness
+    /// the watermark design assumes.
+    retired: HashMap<(ProcessId, u32), RetiredSet>,
     retired_count: u64,
 }
 
@@ -231,8 +239,8 @@ impl GcState {
     /// state.
     pub fn is_retired(&self, id: BroadcastId) -> bool {
         self.retired
-            .get(&id.source)
-            .is_some_and(|set| set.contains(id.seq))
+            .get(&(id.source, seq_namespace(id.seq)))
+            .is_some_and(|set| set.contains(seq_local(id.seq)))
     }
 
     /// Drains the instances whose retention window elapsed, marking each retired. The
@@ -253,9 +261,13 @@ impl GcState {
                 break;
             }
             self.pending.pop_front();
-            let set = self.retired.entry(id.source).or_default();
-            if !set.contains(id.seq) {
-                set.insert(id.seq);
+            let set = self
+                .retired
+                .entry((id.source, seq_namespace(id.seq)))
+                .or_default();
+            let local = seq_local(id.seq);
+            if !set.contains(local) {
+                set.insert(local);
                 self.retired_count += 1;
                 if set.len() > self.policy.max_retired {
                     set.force_compact(self.policy.max_retired);
@@ -331,7 +343,7 @@ mod tests {
             let _ = gc.due();
         }
         assert_eq!(gc.retired_count(), 1000);
-        let set = gc.retired.get(&4).unwrap();
+        let set = gc.retired.get(&(4, 0)).unwrap();
         assert_eq!(set.watermark, 1000);
         assert_eq!(set.len(), 0, "contiguous seqs live in the watermark alone");
         assert!(gc.is_retired(id(4, 999)));
@@ -347,9 +359,31 @@ mod tests {
         assert!(!gc.is_retired(id(0, 0)), "the gap seq is not retired");
         gc.on_delivered(id(0, 0));
         let _ = gc.due();
-        let set = gc.retired.get(&0).unwrap();
+        let set = gc.retired.get(&(0, 0)).unwrap();
         assert_eq!(set.watermark, 2, "filling the gap compacts both markers");
         assert_eq!(set.len(), 0);
+    }
+
+    #[test]
+    fn force_compaction_never_crosses_client_instance_namespaces() {
+        use crate::types::{namespaced_seq, NAMESPACE_CLIENT, NAMESPACE_CONSENSUS};
+        let mut gc = GcState::new(GcPolicy::after_events(0).with_max_retired(2));
+        // A consensus client retires sparse high-namespace instances — enough gaps to
+        // trip the force-compact valve repeatedly.
+        for local in [1, 3, 5, 7, 9, 11, 13] {
+            gc.on_delivered(id(6, namespaced_seq(NAMESPACE_CONSENSUS, local)));
+            let _ = gc.due();
+        }
+        // The same source's namespace-0 (workload) instances must stay live: with a
+        // source-keyed set the compaction above would have swept the watermark past
+        // every 24-bit client seq.
+        for local in [0, 1, 2, 100, 1 << 20] {
+            assert!(
+                !gc.is_retired(id(6, namespaced_seq(NAMESPACE_CLIENT, local))),
+                "namespace-0 seq {local} must not be retired by consensus GC"
+            );
+        }
+        assert!(gc.is_retired(id(6, namespaced_seq(NAMESPACE_CONSENSUS, 1))));
     }
 
     #[test]
@@ -360,7 +394,7 @@ mod tests {
             gc.on_delivered(id(0, seq));
             let _ = gc.due();
         }
-        let set = gc.retired.get(&0).unwrap();
+        let set = gc.retired.get(&(0, 0)).unwrap();
         assert!(set.len() <= 4, "cap holds: {} exceptions", set.len());
         for seq in [1, 3, 5, 7, 9, 11] {
             assert!(gc.is_retired(id(0, seq)), "seq {seq} must stay retired");

@@ -167,6 +167,39 @@ pub trait Protocol {
         out.extend(self.handle_message(from, message));
     }
 
+    /// The sequence number the next plain [`Protocol::broadcast`] will mint.
+    ///
+    /// Repeatable-broadcast engines own a per-process counter; protocols without one
+    /// report 0.
+    fn next_seq(&self) -> crate::types::BroadcastSeq {
+        0
+    }
+
+    /// Overrides the sequence number the next plain [`Protocol::broadcast`] will mint.
+    ///
+    /// The default implementation ignores it (single-shot protocols have no counter).
+    fn set_next_seq(&mut self, _seq: crate::types::BroadcastSeq) {}
+
+    /// Broadcasts `payload` under an explicitly chosen sequence number instead of the
+    /// engine's own counter, leaving the counter unchanged.
+    ///
+    /// This is the hook layered clients use to mint ids in their own client-instance
+    /// namespace (see [`crate::types::namespaced_seq`]): a consensus layer broadcasting
+    /// round-messages picks `seq = namespaced_seq(NAMESPACE_CONSENSUS, local)` so its
+    /// instances can never collide with the engine-counter ids
+    /// ([`crate::types::NAMESPACE_CLIENT`]) a workload generator predicts.
+    fn broadcast_with_seq_into(
+        &mut self,
+        seq: crate::types::BroadcastSeq,
+        payload: Payload,
+        out: &mut ActionBuf<Self::Message>,
+    ) {
+        let saved = self.next_seq();
+        self.set_next_seq(seq);
+        self.broadcast_into(payload, out);
+        self.set_next_seq(saved);
+    }
+
     /// All payloads delivered so far, in delivery order.
     fn deliveries(&self) -> &[Delivery];
 

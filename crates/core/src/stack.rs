@@ -320,6 +320,21 @@ pub trait DynEngine: Send {
     /// Initiates the broadcast of `payload`, pushing the resulting actions into `out`.
     fn broadcast_wire(&mut self, payload: Payload, out: &mut WireActionBuf);
 
+    /// Initiates a broadcast under an explicitly chosen sequence number, leaving the
+    /// engine's own counter untouched (see [`Protocol::broadcast_with_seq_into`]).
+    ///
+    /// This is the **client-instance namespace** hook: the engine's own counter mints
+    /// ids in [`crate::types::NAMESPACE_CLIENT`] (plain broadcasts, workload-generator
+    /// schedules), while layered clients such as `brb-consensus` pass
+    /// `seq = namespaced_seq(NAMESPACE_CONSENSUS, local)` so their instances can never
+    /// collide with the engine-counter ids on the same node.
+    fn broadcast_wire_seq(
+        &mut self,
+        seq: crate::types::BroadcastSeq,
+        payload: Payload,
+        out: &mut WireActionBuf,
+    );
+
     /// Handles an encoded frame received from direct neighbor `from` over the
     /// authenticated link, pushing the resulting actions into `out`.
     ///
@@ -357,6 +372,19 @@ where
     fn broadcast_wire(&mut self, payload: Payload, out: &mut WireActionBuf) {
         let mut buf = ActionBuf::new();
         self.broadcast_into(payload, &mut buf);
+        for action in buf.drain() {
+            out.push(encode_action::<P>(action));
+        }
+    }
+
+    fn broadcast_wire_seq(
+        &mut self,
+        seq: crate::types::BroadcastSeq,
+        payload: Payload,
+        out: &mut WireActionBuf,
+    ) {
+        let mut buf = ActionBuf::new();
+        self.broadcast_with_seq_into(seq, payload, &mut buf);
         for action in buf.drain() {
             out.push(encode_action::<P>(action));
         }
@@ -444,6 +472,20 @@ where
     fn broadcast_wire(&mut self, payload: Payload, out: &mut WireActionBuf) {
         self.scratch.clear();
         self.inner.broadcast_into(payload, &mut self.scratch);
+        for action in self.scratch.drain() {
+            out.push(encode_action::<P>(action));
+        }
+    }
+
+    fn broadcast_wire_seq(
+        &mut self,
+        seq: crate::types::BroadcastSeq,
+        payload: Payload,
+        out: &mut WireActionBuf,
+    ) {
+        self.scratch.clear();
+        self.inner
+            .broadcast_with_seq_into(seq, payload, &mut self.scratch);
         for action in self.scratch.drain() {
             out.push(encode_action::<P>(action));
         }
@@ -816,6 +858,22 @@ impl Protocol for DynStack {
         self.forward(out);
     }
 
+    // The trait's default would save/restore the *adapter's* (nonexistent) counter and
+    // then call `broadcast_into`, silently minting the boxed engine's own next id
+    // instead of `seq` — so the adapter must forward to the engine's seq-aware entry.
+    fn broadcast_with_seq_into(
+        &mut self,
+        seq: crate::types::BroadcastSeq,
+        payload: Payload,
+        out: &mut ActionBuf<EncodedFrame>,
+    ) {
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.engine.broadcast_wire_seq(seq, payload, &mut scratch);
+        self.scratch = scratch;
+        self.forward(out);
+    }
+
     fn handle_message_into(
         &mut self,
         from: ProcessId,
@@ -948,6 +1006,46 @@ mod tests {
                     1,
                     "{stack}: process {} did not deliver via DynStack",
                     Protocol::process_id(p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seq_aware_broadcast_leaves_the_client_namespace_counter_untouched() {
+        use crate::types::{namespaced_seq, NAMESPACE_CONSENSUS};
+        // A consensus-style client mints an id in its own namespace, then a plain
+        // broadcast still gets the engine counter's (0, 0): no collision, no skipped id.
+        for stack in StackSpec::ALL {
+            let graph = stack_graph(stack);
+            let config = stack_config(stack, graph.node_count());
+            let mut engines: Vec<Box<dyn DynEngine>> = (0..graph.node_count())
+                .map(|i| stack.build(&config, &graph, i))
+                .collect();
+            let mut out = WireActionBuf::new();
+            let consensus_seq = namespaced_seq(NAMESPACE_CONSENSUS, 5);
+            engines[0].broadcast_wire_seq(consensus_seq, Payload::from("layered"), &mut out);
+            let mut queue: Vec<(ProcessId, WireAction)> = out.drain().map(|a| (0, a)).collect();
+            engines[0].broadcast_wire(Payload::from("plain"), &mut out);
+            queue.extend(out.drain().map(|a| (0, a)));
+            while let Some((from, action)) = queue.pop() {
+                if let WireAction::Send { to, frame, .. } = action {
+                    engines[to].handle_frame(from, &frame, &mut out);
+                    queue.extend(out.drain().map(|a| (to, a)));
+                }
+            }
+            for engine in &engines {
+                let ids: std::collections::BTreeSet<BroadcastId> =
+                    engine.deliveries().iter().map(|d| d.id).collect();
+                assert!(
+                    ids.contains(&BroadcastId::new(0, consensus_seq)),
+                    "{stack}: consensus-namespace id missing at {}",
+                    engine.process_id()
+                );
+                assert!(
+                    ids.contains(&BroadcastId::new(0, 0)),
+                    "{stack}: the plain broadcast must still mint (0, 0) at {}",
+                    engine.process_id()
                 );
             }
         }

@@ -17,6 +17,53 @@ pub type BroadcastSeq = u32;
 /// neighbors (modification MBD.1).
 pub type LocalPayloadId = u32;
 
+/// Number of low bits of a [`BroadcastSeq`] that carry the namespace-local sequence
+/// number; the bits above them carry the client-instance namespace.
+///
+/// Layered clients (a consensus engine, a workload generator) that share one node's
+/// engine each allocate broadcast sequence numbers independently, so without
+/// coordination two clients would mint the same `(source, seq)` pair for different
+/// payloads — indistinguishable, to every other process, from a Byzantine equivocation.
+/// The namespace scheme partitions the 32-bit sequence space instead:
+/// `seq = (namespace << 24) | local`, giving every client 2^24 collision-free
+/// instances per node. [`NAMESPACE_CLIENT`] (0) is the default — engines allocate
+/// their own counters there, so plain broadcasts and workload-generator schedules are
+/// unchanged — and [`NAMESPACE_CONSENSUS`] (1) is reserved for `brb-consensus`
+/// round-message instances.
+pub const NAMESPACE_SHIFT: u32 = 24;
+
+/// Mask selecting the namespace-local part of a [`BroadcastSeq`].
+pub const NAMESPACE_LOCAL_MASK: BroadcastSeq = (1 << NAMESPACE_SHIFT) - 1;
+
+/// The default client-instance namespace: engine-owned counters (plain `broadcast`
+/// calls, workload-generator schedules) allocate here, starting at 0.
+pub const NAMESPACE_CLIENT: u32 = 0;
+
+/// The namespace reserved for consensus round-messages (`brb-consensus`): every
+/// BV/aux broadcast is minted here, so consensus instances never collide with
+/// workload-generator ids on the same node.
+pub const NAMESPACE_CONSENSUS: u32 = 1;
+
+/// Composes a [`BroadcastSeq`] from a client-instance namespace and a namespace-local
+/// sequence number (`local` must fit in [`NAMESPACE_SHIFT`] bits).
+pub fn namespaced_seq(namespace: u32, local: u32) -> BroadcastSeq {
+    debug_assert!(
+        local <= NAMESPACE_LOCAL_MASK,
+        "local seq overflows namespace"
+    );
+    (namespace << NAMESPACE_SHIFT) | (local & NAMESPACE_LOCAL_MASK)
+}
+
+/// The client-instance namespace a [`BroadcastSeq`] was minted in.
+pub fn seq_namespace(seq: BroadcastSeq) -> u32 {
+    seq >> NAMESPACE_SHIFT
+}
+
+/// The namespace-local part of a [`BroadcastSeq`].
+pub fn seq_local(seq: BroadcastSeq) -> u32 {
+    seq & NAMESPACE_LOCAL_MASK
+}
+
 /// Identifier of a broadcast: the source process and its per-source sequence number.
 ///
 /// If the source is correct, `(source, seq)` uniquely identifies a payload. A Byzantine
@@ -172,6 +219,18 @@ mod tests {
     #[test]
     fn broadcast_id_display() {
         assert_eq!(BroadcastId::new(3, 7).to_string(), "(3, 7)");
+    }
+
+    #[test]
+    fn namespaced_seqs_round_trip_and_never_collide_across_namespaces() {
+        let client = namespaced_seq(NAMESPACE_CLIENT, 42);
+        let consensus = namespaced_seq(NAMESPACE_CONSENSUS, 42);
+        assert_eq!(client, 42, "namespace 0 is the plain engine counter");
+        assert_ne!(client, consensus);
+        assert_eq!(seq_namespace(consensus), NAMESPACE_CONSENSUS);
+        assert_eq!(seq_local(consensus), 42);
+        assert_eq!(seq_namespace(client), NAMESPACE_CLIENT);
+        assert_eq!(seq_local(client), 42);
     }
 
     #[test]

@@ -162,7 +162,9 @@ pub fn planar_grid(rows: usize, cols: usize) -> Graph {
 pub fn geometric_random_graph(n: usize, radius: f64, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     // Fixed draw order (x then y per node) makes the embedding part of the function.
-    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut g = Graph::new(n);
     let r2 = radius * radius;
     for u in 0..n {
@@ -478,7 +480,11 @@ mod tests {
         // d/2 Hamiltonian cycles: at most n*d/2 edges, fewer when cycle edges coincide.
         let g = bounded_degree_expander(24, 4, 5).unwrap();
         assert_eq!(g.node_count(), 24);
-        assert_eq!(g.edge_count(), 45, "three cycle edges coincide at this seed");
+        assert_eq!(
+            g.edge_count(),
+            45,
+            "three cycle edges coincide at this seed"
+        );
         assert!(g.nodes().all(|u| g.degree(u) <= 4));
         assert!(is_k_connected(&g, 3));
         assert_eq!(vertex_connectivity(&g), 3);
@@ -580,4 +586,3 @@ mod tests {
         );
     }
 }
-

@@ -18,7 +18,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use brb_core::config::Config;
-use brb_core::stack::StackSpec;
+use brb_core::stack::{DynEngine, StackSpec};
 use brb_core::types::{Delivery, Payload, ProcessId};
 use brb_graph::Graph;
 use brb_transport::{
@@ -134,7 +134,6 @@ impl TcpDeployment {
                 // the sockets and reader threads are untouched — only protocol state
                 // is lost, like a process crash-recovering on a machine whose kernel
                 // keeps the connections alive.
-                let config = config.clone();
                 let shared_graph = shared_graph.clone();
                 driver = driver
                     .with_engine_factory(move || stack.build_shared(&config, &shared_graph, id));
@@ -155,6 +154,70 @@ impl TcpDeployment {
         })
     }
 
+    /// Binds the endpoints, establishes the TCP mesh of `graph`, and spawns one driver
+    /// per process over caller-built engines — how decorator engines (e.g.
+    /// [`brb_consensus::ConsensusEngine`]) run on real sockets: the caller constructs
+    /// one boxed [`DynEngine`] per process (index = process id, exactly
+    /// `graph.node_count()` of them), keeps its side handles, and hands the engines
+    /// over. No engine factory is installed, so a restart command is a no-op
+    /// (rebuilding a decorator engine would discard its volatile state mid-protocol);
+    /// churn schedules still pace their link events.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error raised while binding or connecting.
+    pub fn start_with_engines(
+        graph: &Graph,
+        engines: Vec<Box<dyn DynEngine>>,
+        options: DriverOptions,
+        crashed: &[ProcessId],
+    ) -> std::io::Result<Self> {
+        let n = graph.node_count();
+        assert_eq!(engines.len(), n, "one engine per process required");
+        let endpoints = bind_endpoints(n)?;
+        let links = connect_mesh(graph, &endpoints)?;
+        let (delivery_tx, delivery_rx) = unbounded();
+        let mut commands = Vec::with_capacity(n);
+        let mut handles = Vec::new();
+        let mut all_streams = Vec::new();
+
+        for ((id, node_links), engine) in links.into_iter().enumerate().zip(engines) {
+            let (cmd_tx, cmd_rx) = unbounded();
+            commands.push(cmd_tx);
+            for stream in node_links.writers.values() {
+                if let Ok(clone) = stream.try_clone() {
+                    all_streams.push(clone);
+                }
+            }
+            if crashed.contains(&id) {
+                // Keep the sockets open but run no protocol: a crash fault.
+                continue;
+            }
+            let (mailbox_tx, mailbox_rx) = unbounded();
+            for (peer, stream) in node_links.readers {
+                spawn_link_reader(peer, stream, mailbox_tx.clone());
+            }
+            let driver = NodeDriver::new(
+                engine,
+                Box::new(TcpTransport::new(node_links.writers, mailbox_rx)),
+                cmd_rx,
+                delivery_tx.clone(),
+                &options,
+            );
+            handles.push(std::thread::spawn(move || driver.run()));
+        }
+        if let Some(churn) = &options.churn {
+            let _ = churn.spawn_pacer(commands.clone());
+        }
+        Ok(Self {
+            handles,
+            commands,
+            deliveries: delivery_rx,
+            all_streams,
+            n,
+        })
+    }
+
     /// Number of processes in the deployment (including crashed ones).
     pub fn process_count(&self) -> usize {
         self.n
@@ -163,6 +226,12 @@ impl TcpDeployment {
     /// Asks `source` to broadcast `payload`.
     pub fn broadcast(&self, source: ProcessId, payload: Payload) {
         let _ = self.commands[source].send(Command::Broadcast(payload));
+    }
+
+    /// The shared delivery stream of the deployment, for drivers that track
+    /// completion themselves (see `brb_runtime::consensus::drive_consensus`).
+    pub fn deliveries(&self) -> &Receiver<(ProcessId, Delivery)> {
+        &self.deliveries
     }
 
     /// Waits until at least `expected` deliveries have been observed in total, or until
@@ -221,6 +290,7 @@ impl TcpDeployment {
                 state_bytes: 0,
                 gc_retired: 0,
                 restarts: 0,
+                decision: None,
             })
             .collect();
         for handle in self.handles {
@@ -258,6 +328,52 @@ pub fn run_tcp_broadcast(
     let expected = graph.node_count() - crashed.len();
     deployment.await_deliveries(expected, timeout);
     Ok(deployment.shutdown())
+}
+
+/// Convenience wrapper: runs one seeded consensus instance of the given stack over
+/// real TCP sockets and returns the deployment report (with
+/// [`NodeReport::decision`] patched in from the decision handles) together with what
+/// the phase driver observed. The phase schedule, quiescence rule and decision logic
+/// are the exact code the channel runtime runs
+/// (`brb_runtime::consensus::drive_consensus`), so a fixed `(graph, config, stack,
+/// spec)` tuple decides the same value in the same round on both live backends — and
+/// on the simulator.
+///
+/// # Errors
+///
+/// Returns any socket error raised while setting the deployment up.
+#[allow(clippy::too_many_arguments)]
+pub fn run_tcp_consensus(
+    graph: &Graph,
+    config: Config,
+    stack: StackSpec,
+    spec: &brb_consensus::ConsensusSpec,
+    f: usize,
+    options: DriverOptions,
+    crashed: &[ProcessId],
+    timeout: Duration,
+) -> std::io::Result<(DeploymentReport, brb_runtime::ConsensusRun)> {
+    let n = graph.node_count();
+    let grace = options.idle_shutdown;
+    let (engines, handles) = brb_runtime::build_consensus_engines(graph, &config, stack, spec, f);
+    let receiving = brb_runtime::receiving_processes(n, &options, crashed);
+    let honest = brb_sim::honest_processes(&receiving, spec);
+    let deployment = TcpDeployment::start_with_engines(graph, engines, options, crashed)?;
+    let run = brb_runtime::drive_consensus(
+        |source, payload| deployment.broadcast(source, payload),
+        deployment.deliveries(),
+        spec,
+        &handles,
+        &honest,
+        receiving.len(),
+        grace,
+        timeout,
+    );
+    let mut report = deployment.shutdown();
+    for (id, handle) in handles.iter().enumerate() {
+        report.nodes[id].decision = handle.get();
+    }
+    Ok((report, run))
 }
 
 /// Convenience wrapper: expands `spec` into its seeded schedule, firehoses the TCP

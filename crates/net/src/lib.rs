@@ -52,5 +52,7 @@ pub mod endpoint;
 pub mod frame;
 
 pub use brb_transport::DriverOptions;
-pub use deployment::{run_tcp_broadcast, run_tcp_workload, TcpDeployment, TcpTransport};
+pub use deployment::{
+    run_tcp_broadcast, run_tcp_consensus, run_tcp_workload, TcpDeployment, TcpTransport,
+};
 pub use endpoint::{bind_endpoints, connect_mesh, Endpoint, NodeLinks};

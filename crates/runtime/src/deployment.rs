@@ -12,7 +12,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use brb_core::config::Config;
-use brb_core::stack::StackSpec;
+use brb_core::stack::{DynEngine, StackSpec};
 use brb_core::types::{Delivery, Payload, ProcessId};
 use brb_graph::Graph;
 use brb_transport::{build_links, ChannelTransport, Command, DriverOptions, NodeDriver};
@@ -66,7 +66,6 @@ impl Deployment {
             if options.churn.is_some() {
                 // NodeRestart events rebuild the engine with the same constructor the
                 // node started from (same identity and topology view, fresh state).
-                let config = config.clone();
                 let shared_graph = shared_graph.clone();
                 driver = driver
                     .with_engine_factory(move || stack.build_shared(&config, &shared_graph, id));
@@ -86,6 +85,56 @@ impl Deployment {
         }
     }
 
+    /// Spawns one thread per process over caller-built engines — the hook decorator
+    /// engines (e.g. [`brb_consensus::ConsensusEngine`]) come through: the caller
+    /// constructs one boxed [`DynEngine`] per process (index = process id, exactly
+    /// `graph.node_count()` of them), keeps whatever side handles it needs (decision
+    /// handles, instrumentation), and hands the engines over.
+    ///
+    /// Unlike [`Deployment::start`], no engine factory is installed: a
+    /// [`Command::Restart`] is a no-op, because rebuilding a decorator engine would
+    /// discard its volatile state (for consensus, the round state) mid-protocol.
+    /// Churn schedules still pace their link events.
+    pub fn start_with_engines(
+        graph: &Graph,
+        engines: Vec<Box<dyn DynEngine>>,
+        options: DriverOptions,
+        crashed: &[ProcessId],
+    ) -> Self {
+        let n = graph.node_count();
+        assert_eq!(engines.len(), n, "one engine per process required");
+        let (mailboxes, senders) = build_links(n, &graph.edges());
+        let (delivery_tx, delivery_rx) = unbounded();
+        let mut commands = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (id, ((mailbox, links), engine)) in
+            mailboxes.into_iter().zip(senders).zip(engines).enumerate()
+        {
+            let (cmd_tx, cmd_rx) = unbounded();
+            commands.push(cmd_tx);
+            if crashed.contains(&id) {
+                continue;
+            }
+            let driver = NodeDriver::new(
+                engine,
+                Box::new(ChannelTransport::new(mailbox, links)),
+                cmd_rx,
+                delivery_tx.clone(),
+                &options,
+            );
+            handles.push(std::thread::spawn(move || driver.run()));
+        }
+        if let Some(churn) = &options.churn {
+            let _ = churn.spawn_pacer(commands.clone());
+        }
+        Self {
+            handles,
+            commands,
+            deliveries: delivery_rx,
+            n,
+        }
+    }
+
     /// Number of processes in the deployment (including crashed ones).
     pub fn process_count(&self) -> usize {
         self.n
@@ -94,6 +143,12 @@ impl Deployment {
     /// Asks `source` to broadcast `payload`.
     pub fn broadcast(&self, source: ProcessId, payload: Payload) {
         let _ = self.commands[source].send(Command::Broadcast(payload));
+    }
+
+    /// The shared delivery stream of the deployment, for drivers that track
+    /// completion themselves (see [`crate::consensus::drive_consensus`]).
+    pub fn deliveries(&self) -> &Receiver<(ProcessId, Delivery)> {
+        &self.deliveries
     }
 
     /// Waits until at least `expected` deliveries have been observed in total, or until
@@ -152,6 +207,7 @@ impl Deployment {
                 state_bytes: 0,
                 gc_retired: 0,
                 restarts: 0,
+                decision: None,
             })
             .collect();
         for handle in self.handles {

@@ -20,10 +20,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod consensus;
 pub mod deployment;
 pub mod workload;
 
 pub use brb_transport::link;
 pub use brb_transport::DriverOptions;
+pub use consensus::{
+    build_consensus_engines, drive_consensus, receiving_processes, run_threaded_consensus,
+    ConsensusRun,
+};
 pub use deployment::{Deployment, DeploymentReport, NodeReport};
 pub use workload::{drive_workload, Pacing, WorkloadRun};

@@ -255,7 +255,7 @@ impl ChurnSpec {
     /// emitted events are in nondecreasing time order with `seq` numbering their rank.
     pub fn compile(&self, seed: u64) -> Vec<ChurnEvent> {
         // A distinct stream from the workload/delay RNGs sharing the run seed.
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4C4_0FF1_CE5C_4EDu64);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0C4C_40FF_1CE5_C4ED_u64);
         let mut raw: Vec<(u64, ChurnAction)> = Vec::new();
         for clause in &self.clauses {
             match clause {
@@ -538,7 +538,10 @@ mod tests {
         assert!(!state.allows(2, 3), "previously-down link stays down");
         state.apply(&ChurnAction::Heal, &edges);
         assert_eq!(state, before, "heal restores the exact pre-partition state");
-        assert!(!state.allows(2, 3), "the independent LinkDown survives the heal");
+        assert!(
+            !state.allows(2, 3),
+            "the independent LinkDown survives the heal"
+        );
     }
 
     #[test]
@@ -550,7 +553,10 @@ mod tests {
         assert!(state.allows(0, 1));
         state.apply(&ChurnAction::Heal, &edges);
         assert!(state.allows(0, 2));
-        assert!(state.is_quiet(), "heal does not re-down the manually restored link");
+        assert!(
+            state.is_quiet(),
+            "heal does not re-down the manually restored link"
+        );
     }
 
     #[test]
@@ -608,13 +614,22 @@ mod tests {
 
     #[test]
     fn actions_render_for_the_metrics_log() {
-        assert_eq!(ChurnAction::LinkDown { a: 2, b: 5 }.to_string(), "link-down 2-5");
         assert_eq!(
-            ChurnAction::Partition { side: vec![0, 1, 2] }.to_string(),
+            ChurnAction::LinkDown { a: 2, b: 5 }.to_string(),
+            "link-down 2-5"
+        );
+        assert_eq!(
+            ChurnAction::Partition {
+                side: vec![0, 1, 2]
+            }
+            .to_string(),
             "partition [0 1 2]"
         );
         assert_eq!(ChurnAction::Heal.to_string(), "heal");
-        assert_eq!(ChurnAction::NodeRestart { process: 7 }.to_string(), "restart p7");
+        assert_eq!(
+            ChurnAction::NodeRestart { process: 7 }.to_string(),
+            "restart p7"
+        );
         assert_eq!(
             ChurnAction::SetLinkDelay {
                 from: 1,
@@ -625,5 +640,4 @@ mod tests {
             "link-delay 1->2 +500us"
         );
     }
-
 }

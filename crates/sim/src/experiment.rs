@@ -73,6 +73,12 @@ pub struct ExperimentParams {
     /// `brb_transport::ChurnHandle`, so one scenario description drives every backend.
     #[serde(default)]
     pub churn: Option<ChurnSpec>,
+    /// Binary consensus instance to run **instead of** broadcast traffic: the engines
+    /// are wrapped in [`brb_consensus::ConsensusEngine`] and the run phase-steps
+    /// proposals to decisions (see [`crate::consensus::run_consensus_recorded`]).
+    /// `None` — the default — keeps the broadcast experiments exactly as before.
+    #[serde(default)]
+    pub consensus: Option<brb_consensus::ConsensusSpec>,
 }
 
 impl ExperimentParams {
@@ -92,6 +98,7 @@ impl ExperimentParams {
             workload: None,
             behaviors: Vec::new(),
             churn: None,
+            consensus: None,
         }
     }
 
@@ -116,6 +123,12 @@ impl ExperimentParams {
     /// Returns a copy of the parameters with a churn schedule installed.
     pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
         self.churn = Some(churn);
+        self
+    }
+
+    /// Returns a copy of the parameters with a consensus instance installed.
+    pub fn with_consensus(mut self, consensus: brb_consensus::ConsensusSpec) -> Self {
+        self.consensus = Some(consensus);
         self
     }
 }
@@ -151,6 +164,11 @@ pub struct ExperimentResult {
     /// Protocol-state bytes still held across all processes at the end of the run.
     #[serde(default)]
     pub retained_bytes: usize,
+    /// Consensus outcome (decision value/round, rounds driven, instances spawned)
+    /// when the experiment ran a [`brb_consensus::ConsensusSpec`]; `None` for
+    /// broadcast experiments.
+    #[serde(default)]
+    pub consensus: Option<crate::consensus::ConsensusStats>,
 }
 
 impl ExperimentResult {
@@ -212,6 +230,12 @@ pub fn run_experiment_recorded(params: &ExperimentParams, graph: &Graph) -> Expe
         params.crashed <= params.f,
         "cannot crash more than f processes"
     );
+    // A consensus experiment replaces the broadcast traffic entirely and always runs
+    // through the DynStack wire-frame path (consensus needs the seq-aware DynEngine
+    // interface between itself and the stack below), whatever the stack.
+    if params.consensus.is_some() {
+        return crate::consensus::run_consensus_recorded(params, graph);
+    }
     match params.stack {
         // The paper's stack keeps its typed fast path: no frame encoding, no boxing.
         StackSpec::Bd => {
@@ -331,6 +355,7 @@ where
         gc_retired: sim.metrics().gc_retired,
         retained_bytes: sim.metrics().retained_bytes,
         workload: params.workload.is_some().then_some(stats),
+        consensus: None,
     };
     ExperimentRecord {
         result,
@@ -368,6 +393,7 @@ mod tests {
             workload: None,
             behaviors: Vec::new(),
             churn: None,
+            consensus: None,
         }
     }
 

@@ -82,6 +82,7 @@
 
 pub mod behavior;
 pub mod churn;
+pub mod consensus;
 pub mod delay;
 pub mod experiment;
 pub mod invariants;
@@ -93,6 +94,10 @@ pub mod workload;
 
 pub use behavior::Behavior;
 pub use churn::{ChurnAction, ChurnClause, ChurnEvent, ChurnSpec, LinkState, RestartMemory};
+pub use consensus::{
+    build_consensus_sim, honest_decisions, honest_processes, run_consensus, run_consensus_recorded,
+    ConsensusStats,
+};
 pub use delay::DelayModel;
 pub use experiment::{
     run_experiment, run_experiment_on_graph, run_experiment_recorded, ExperimentParams,

@@ -57,6 +57,14 @@ pub struct RunMetrics {
     /// golden snapshots are unaffected.
     #[serde(default)]
     pub churn_events: Vec<(u64, String)>,
+    /// Consensus decisions reached during the run: `(process, decided value, decision
+    /// round)`, ordered by process. Empty for non-consensus runs, so the existing
+    /// golden snapshots are unaffected.
+    #[serde(default)]
+    pub decisions: Vec<(ProcessId, u8, u32)>,
+    /// Number of consensus rounds the harness drove (0 for non-consensus runs).
+    #[serde(default)]
+    pub consensus_rounds: u32,
 }
 
 impl RunMetrics {
@@ -168,6 +176,13 @@ impl RunMetrics {
         // which keeps the pre-churn golden snapshots byte-identical.
         for (at, action) in &self.churn_events {
             let _ = writeln!(out, "churn at_us={at} {action}");
+        }
+        // Emitted only for consensus runs, for the same golden-compatibility reason.
+        if !self.decisions.is_empty() || self.consensus_rounds > 0 {
+            let _ = writeln!(out, "consensus_rounds={}", self.consensus_rounds);
+            for (process, value, round) in &self.decisions {
+                let _ = writeln!(out, "decision p{process} value={value} round={round}");
+            }
         }
         out
     }

@@ -296,6 +296,13 @@ where
         self.metrics
     }
 
+    /// Mutable access to the metrics, for harnesses that record run-level facts the
+    /// simulator cannot observe itself (e.g. consensus decisions read from engine
+    /// handles after quiescence).
+    pub fn metrics_mut(&mut self) -> &mut RunMetrics {
+        &mut self.metrics
+    }
+
     /// Immutable access to the protocol instances.
     pub fn processes(&self) -> &[P] {
         &self.processes
@@ -331,6 +338,24 @@ where
         let id = BroadcastId::new(source, self.injected_per_source[source]);
         self.injected_per_source[source] += 1;
         self.metrics.record_injection(id, self.now);
+        let mut actions = std::mem::take(&mut self.actions);
+        actions.clear();
+        self.processes[source].note_time(self.now.as_micros() / 1_000);
+        self.processes[source].broadcast_into(payload, &mut actions);
+        self.schedule_actions(source, &mut actions);
+        self.actions = actions;
+    }
+
+    /// Hands `payload` to process `source`'s engine through the broadcast entry point
+    /// **without recording an injection**: the channel by which layered clients (the
+    /// consensus harness's `Propose`/`CloseBv`/`CloseRound` control operations) talk to
+    /// their engines. Unlike [`Simulation::broadcast`], no [`BroadcastId`] is attributed
+    /// and the per-source injection counter is untouched, so workload metrics and
+    /// `predicted_ids` stay exact. A crashed process ignores the operation.
+    pub fn client_op(&mut self, source: ProcessId, payload: Payload) {
+        if !self.behaviors[source].receives() {
+            return;
+        }
         let mut actions = std::mem::take(&mut self.actions);
         actions.clear();
         self.processes[source].note_time(self.now.as_micros() / 1_000);

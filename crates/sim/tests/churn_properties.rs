@@ -26,8 +26,7 @@ fn action_strategy(n: usize) -> impl Strategy<Value = ChurnAction> {
     prop_oneof![
         (p.clone(), 0..n).prop_map(|(a, b)| ChurnAction::LinkDown { a, b }),
         (p.clone(), 0..n).prop_map(|(a, b)| ChurnAction::LinkUp { a, b }),
-        proptest::collection::vec(p.clone(), 0..n)
-            .prop_map(|side| ChurnAction::Partition { side }),
+        proptest::collection::vec(p.clone(), 0..n).prop_map(|side| ChurnAction::Partition { side }),
         Just(ChurnAction::Heal),
         (p.clone(), 0..n, 0u64..1_000_000).prop_map(|(from, to, extra_micros)| {
             ChurnAction::SetLinkDelay {
@@ -57,7 +56,11 @@ fn spec_strategy() -> impl Strategy<Value = ChurnSpec> {
         0u64..50_000,
     )
         .prop_map(|(a, b, start, down, up, cycles, jitter)| {
-            (Some((a, b, start, down, up, cycles, jitter)), 0, ChurnAction::Heal)
+            (
+                Some((a, b, start, down, up, cycles, jitter)),
+                0,
+                ChurnAction::Heal,
+            )
         });
     proptest::collection::vec(prop_oneof![at, flap], 0..12).prop_map(|clauses| {
         let mut spec = ChurnSpec::new();

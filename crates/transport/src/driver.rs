@@ -24,6 +24,13 @@ use crate::transport::Transport;
 #[derive(Debug, Clone)]
 pub enum Command {
     /// Initiate the broadcast of the given payload.
+    ///
+    /// Broadcasts initiated this way mint ids in the **client instance namespace**
+    /// (`brb_core::types::NAMESPACE_CLIENT`): engines allocate the next free local
+    /// sequence number under namespace 0, so deployment-initiated client traffic can
+    /// never collide with the ids a decorator engine (e.g. a
+    /// `brb_consensus::ConsensusEngine`, which owns `NAMESPACE_CONSENSUS`) mints for
+    /// its own internal broadcasts on the same node.
     Broadcast(Payload),
     /// Crash-recover the node: its engine (all volatile protocol state) is discarded
     /// and rebuilt through the driver's engine factory; the durable delivered log
@@ -212,6 +219,11 @@ pub struct NodeReport {
     pub gc_retired: u64,
     /// Number of [`Command::Restart`]s the node carried out.
     pub restarts: u64,
+    /// The node's consensus decision, when the deployment ran binary consensus over
+    /// BRB (`brb-consensus`). The driver itself never sets this — it reports `None`
+    /// and the consensus harness patches the field in from the engines'
+    /// [`brb_consensus::DecisionHandle`]s after shutdown.
+    pub decision: Option<brb_consensus::Decision>,
 }
 
 /// Aggregated report of a whole deployment run.
@@ -373,8 +385,7 @@ impl NodeDriver {
             };
             // Live backends feed wall-clock milliseconds since start-up, so
             // time-based retention windows measure real elapsed time.
-            self.engine
-                .note_time(started.elapsed().as_millis() as u64);
+            self.engine.note_time(started.elapsed().as_millis() as u64);
             match wake {
                 Wake::Command(Some(Command::Broadcast(payload))) => {
                     if self.receives {
@@ -426,6 +437,7 @@ impl NodeDriver {
             state_bytes: self.engine.state_bytes(),
             gc_retired: self.retired_before + self.engine.gc_retired(),
             restarts: self.restarts,
+            decision: None,
         }
     }
 
@@ -603,6 +615,7 @@ mod tests {
                     state_bytes: 0,
                     gc_retired: 0,
                     restarts: 0,
+                    decision: None,
                 },
                 NodeReport {
                     id: 1,
@@ -612,6 +625,7 @@ mod tests {
                     state_bytes: 0,
                     gc_retired: 0,
                     restarts: 0,
+                    decision: None,
                 },
             ],
         };

@@ -145,7 +145,10 @@ fn main() -> std::io::Result<()> {
             (on_2x as f64) < 1.5 * on_1x as f64,
             "{backend}: GC-on state must stay flat ({on_1x} -> {on_2x})"
         );
-        assert!(on_2x < off_2x / 4, "{backend}: GC must undercut the baseline");
+        assert!(
+            on_2x < off_2x / 4,
+            "{backend}: GC must undercut the baseline"
+        );
         println!(
             "{backend}: GC off grows {off_1x} -> {off_2x} B; GC on stays {on_1x} -> {on_2x} B"
         );

@@ -51,6 +51,7 @@ fn main() {
             workload: None,
             behaviors: Vec::new(),
             churn: None,
+            consensus: None,
         };
         let result = run_experiment_on_graph(&params, &graph);
         println!(

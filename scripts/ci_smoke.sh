@@ -17,7 +17,10 @@
 # worker-invariant; live-backend rows report the deterministic delivery counts),
 # and the churn scenario matrix (--churn), so it also covers the scheduled link
 # flap / partition-heal / restart / per-link delay rows and the planar-grid /
-# geometric / expander topology-family rows.
+# geometric / expander topology-family rows, and the consensus-over-BRB matrix
+# (--consensus), so it also covers the binary-consensus decision-round /
+# rounds-percentile / BRB-instance / instance-GC rows driven through the same
+# deterministic sweep engine.
 #
 # Usage: scripts/ci_smoke.sh [output-dir]
 set -euo pipefail
@@ -28,9 +31,11 @@ mkdir -p "$out"
 # Time-box each run: the quick preset finishes in well under a minute on CI hardware,
 # so ten minutes signals a hang rather than a slow machine.
 timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
-    --quick --workload --behaviors --churn --workers 1 --csv "$out/sweep_w1.csv" > "$out/stdout_w1.txt"
+    --quick --workload --behaviors --churn --consensus --workers 1 \
+    --csv "$out/sweep_w1.csv" > "$out/stdout_w1.txt"
 timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
-    --quick --workload --behaviors --churn --workers 4 --csv "$out/sweep_w4.csv" > "$out/stdout_w4.txt"
+    --quick --workload --behaviors --churn --consensus --workers 4 \
+    --csv "$out/sweep_w4.csv" > "$out/stdout_w4.txt"
 
 if ! diff -u "$out/sweep_w1.csv" "$out/sweep_w4.csv"; then
     echo "FAIL: sweep output differs between 1 and 4 workers" >&2
@@ -73,7 +78,31 @@ for scenario in flap partition-heal restart link-delay mixed; do
     fi
 done
 
-echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows, $workload_rows workload rows, $behavior_rows behavior rows incl. the lossy runs, $churn_rows churn rows)"
+families_rows=$(grep -c "^families," "$out/sweep_w1.csv" || true)
+if [ "$families_rows" -lt 5 ]; then
+    echo "FAIL: expected >= 5 topology-family rows (3 families at k=3 + 2 at k=5), found $families_rows" >&2
+    exit 1
+fi
+for family in planar-grid geometric expander; do
+    if ! grep -q "^families,.*,$family," "$out/sweep_w1.csv"; then
+        echo "FAIL: no topology-family row for $family" >&2
+        exit 1
+    fi
+done
+
+consensus_rows=$(grep -c "^consensus," "$out/sweep_w1.csv" || true)
+if [ "$consensus_rows" -lt 4 ]; then
+    echo "FAIL: expected >= 4 consensus rows (proposal/flipper scenarios), found $consensus_rows — did --consensus run?" >&2
+    exit 1
+fi
+for scenario in unanimous1 split random split-flip; do
+    if ! grep -q "^consensus,.*,$scenario," "$out/sweep_w1.csv"; then
+        echo "FAIL: no consensus row for scenario $scenario" >&2
+        exit 1
+    fi
+done
+
+echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows, $workload_rows workload rows, $behavior_rows behavior rows incl. the lossy runs, $churn_rows churn rows, $families_rows topology-family rows, $consensus_rows consensus rows)"
 
 # Second stack: the same harnesses, parameters and topologies, but running the plain
 # Bracha-over-routed-Dolev stack through the boxed DynEngine path.
@@ -93,9 +122,10 @@ if diff -q "$out/sweep_w1.csv" "$out/sweep_brd.csv" > /dev/null; then
     echo "FAIL: the two stacks produced identical CSVs — the --stack flag is inert" >&2
     exit 1
 fi
-# The second stack runs without --workload/--behaviors/--churn; compare only the
-# shared rows.
-base_rows=$((rows - workload_rows - behavior_rows - churn_rows))
+# The second stack runs without --workload/--behaviors/--churn/--consensus; compare
+# only the shared rows (the topology-family rows are unconditional, so they appear in
+# both runs).
+base_rows=$((rows - workload_rows - behavior_rows - churn_rows - consensus_rows))
 if [ "$(wc -l < "$out/sweep_brd.csv")" != "$base_rows" ]; then
     echo "FAIL: the two stacks swept a different number of data points" >&2
     exit 1
@@ -117,3 +147,19 @@ for field in mean_ms gc_off gc_on first_bytes last_bytes gc_retired; do
 done
 
 echo "OK: BENCH_quiescence.json written (boundedness asserted by the benchmark binary)"
+
+# Consensus-over-BRB benchmark: mean wall-clock decision latency, decided round and
+# BRB-instance/GC counts per proposal scenario at a fixed seed. The binary asserts the
+# termination/agreement/GC invariants itself and exits non-zero on regression; here we
+# only check the JSON artifact exists and carries the expected fields.
+timeout 600 cargo run --release -p brb-bench --bin bench_consensus -- \
+    --out "$out/BENCH_consensus.json" > "$out/stdout_bench_consensus.txt"
+for field in mean_ms decision_value decision_round rounds_driven instances gc_retired \
+    unanimous1 split split_flip; do
+    if ! grep -q "\"$field\"" "$out/BENCH_consensus.json"; then
+        echo "FAIL: BENCH_consensus.json is missing field \"$field\"" >&2
+        exit 1
+    fi
+done
+
+echo "OK: BENCH_consensus.json written (consensus invariants asserted by the benchmark binary)"

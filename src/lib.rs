@@ -1,12 +1,14 @@
 //! Umbrella crate re-exporting the PBRB reproduction crates.
 //!
 //! See the individual crates for details:
-//! [`brb_core`] (protocols), [`brb_graph`] (topologies), [`brb_sim`] (discrete-event
-//! simulator), [`brb_transport`] (the shared live-deployment node driver and its
-//! fault/delay link decorators), [`brb_runtime`] (threaded deployment), [`brb_stats`]
-//! (statistics) and [`brb_workload`] (multi-broadcast traffic generation).
+//! [`brb_core`] (protocols), [`brb_graph`] (topologies), [`brb_consensus`] (binary
+//! Byzantine consensus over BRB), [`brb_sim`] (discrete-event simulator),
+//! [`brb_transport`] (the shared live-deployment node driver and its fault/delay link
+//! decorators), [`brb_runtime`] (threaded deployment), [`brb_stats`] (statistics) and
+//! [`brb_workload`] (multi-broadcast traffic generation).
 #![forbid(unsafe_code)]
 
+pub use brb_consensus as consensus;
 pub use brb_core as core;
 pub use brb_graph as graph;
 pub use brb_runtime as runtime;

@@ -122,15 +122,23 @@ fn seeded_churn_schedule_agrees_across_all_three_backends() {
         .collect();
     let mut sim = Simulation::new(processes, DelayModel::synchronous(), 1);
     sim.set_churn(spec.compile(SEED), graph.edges());
-    let (config_for_restart, graph_for_restart) = (config.clone(), graph.clone());
+    let (config_for_restart, graph_for_restart) = (config, graph.clone());
     sim.set_restart_builder(move |process| {
         StackSpec::Bd.build_protocol(&config_for_restart, &graph_for_restart, process)
     });
     for (slot, &source) in WAVE1_SOURCES.iter().enumerate() {
-        sim.schedule_broadcast(SimTime::from_micros(slot as u64 * 10_000), source, payload_of(1, slot));
+        sim.schedule_broadcast(
+            SimTime::from_micros(slot as u64 * 10_000),
+            source,
+            payload_of(1, slot),
+        );
     }
     for (slot, &source) in WAVE2_SOURCES.iter().enumerate() {
-        sim.schedule_broadcast(SimTime::from_micros(WAVE2_AT_US + slot as u64 * 10_000), source, payload_of(2, slot));
+        sim.schedule_broadcast(
+            SimTime::from_micros(WAVE2_AT_US + slot as u64 * 10_000),
+            source,
+            payload_of(2, slot),
+        );
     }
     sim.run_to_quiescence();
     // The restart demonstrably happened: the volatile engine only saw wave two, the
@@ -144,8 +152,8 @@ fn seeded_churn_schedule_agrees_across_all_three_backends() {
 
     // 2. Channel runtime: the pacer thread replays the same compiled schedule against
     //    the shared link state, and routes the restart command to the node driver.
-    let options = DriverOptions::default()
-        .with_churn(ChurnHandle::new(&spec, SEED, 1.0, &graph.edges()));
+    let options =
+        DriverOptions::default().with_churn(ChurnHandle::new(&spec, SEED, 1.0, &graph.edges()));
     let deployment = Deployment::start(&graph, config, StackSpec::Bd, options, &[]);
     run_live_waves(
         "runtime",
@@ -156,8 +164,8 @@ fn seeded_churn_schedule_agrees_across_all_three_backends() {
 
     // 3. TCP sockets over loopback, same pacer, fresh handle (each deployment's churn
     //    clock starts at its own start time).
-    let options = DriverOptions::default()
-        .with_churn(ChurnHandle::new(&spec, SEED, 1.0, &graph.edges()));
+    let options =
+        DriverOptions::default().with_churn(ChurnHandle::new(&spec, SEED, 1.0, &graph.edges()));
     let deployment =
         TcpDeployment::start(&graph, config, StackSpec::Bd, options, &[]).expect("TCP starts");
     run_live_waves(
@@ -242,7 +250,10 @@ fn run_live_waves(
     }
     let expected = N * WAVE1_SOURCES.len();
     let got = await_deliveries(expected, Duration::from_secs(60));
-    assert_eq!(got, expected, "{backend}: wave one must complete everywhere");
+    assert_eq!(
+        got, expected,
+        "{backend}: wave one must complete everywhere"
+    );
     assert!(
         start.elapsed() < Duration::from_micros(PARTITION_AT_US),
         "{backend}: wave one must finish inside the pre-partition window \
@@ -258,7 +269,10 @@ fn run_live_waves(
         broadcast(source, payload_of(2, slot));
     }
     let got = await_deliveries(expected, Duration::from_secs(60));
-    assert_eq!(got, expected, "{backend}: wave two must complete everywhere");
+    assert_eq!(
+        got, expected,
+        "{backend}: wave two must complete everywhere"
+    );
 }
 
 #[test]
@@ -279,8 +293,8 @@ fn per_link_delay_override_is_asymmetric_on_a_live_deployment() {
             extra_micros: extra.as_micros() as u64,
         },
     );
-    let options = DriverOptions::default()
-        .with_churn(ChurnHandle::new(&spec, SEED, 1.0, &graph.edges()));
+    let options =
+        DriverOptions::default().with_churn(ChurnHandle::new(&spec, SEED, 1.0, &graph.edges()));
     let deployment = Deployment::start(&graph, config, StackSpec::Dolev, options, &[]);
     // Let the pacer apply the t = 0 override before the first frame is sent.
     std::thread::sleep(Duration::from_millis(50));
@@ -309,6 +323,10 @@ fn per_link_delay_override_is_asymmetric_on_a_live_deployment() {
     );
     assert!(fast < slow, "the override must be direction-specific");
     for node in &report.nodes {
-        assert_eq!(node.deliveries.len(), 2, "both broadcasts deliver everywhere");
+        assert_eq!(
+            node.deliveries.len(),
+            2,
+            "both broadcasts deliver everywhere"
+        );
     }
 }

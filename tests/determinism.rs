@@ -117,6 +117,7 @@ fn determinism_bd_with_crashes_matches_golden() {
         workload: None,
         behaviors: Vec::new(),
         churn: None,
+        consensus: None,
     };
     let graph = experiment_graph(16, 5, 33);
     let record = run_experiment_recorded(&params, &graph);
@@ -163,6 +164,7 @@ fn determinism_churn_planar_grid_matches_golden() {
         workload: None,
         behaviors: Vec::new(),
         churn: Some(churn),
+        consensus: None,
     };
     let record = run_experiment_recorded(&params, &graph);
     assert!(

@@ -35,6 +35,7 @@ fn run(
         workload: None,
         behaviors: Vec::new(),
         churn: None,
+        consensus: None,
     };
     run_experiment_on_graph(&params, graph)
 }

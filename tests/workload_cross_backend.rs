@@ -416,7 +416,11 @@ fn replayed_frames_of_retired_instances_agree_and_stay_bounded_across_backends()
 
     for &p in &correct {
         let sim_set = delivery_set(&sim_logs[p]);
-        assert_eq!(sim_set.len(), 16, "process {p} must deliver all 16 broadcasts");
+        assert_eq!(
+            sim_set.len(),
+            16,
+            "process {p} must deliver all 16 broadcasts"
+        );
         assert_eq!(
             sim_set,
             delivery_set(&threaded.nodes[p].deliveries),

@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p brb-bench --bin all_experiments [-- --quick] [-- --async]
 //! [-- --workers N] [-- --stack NAME] [-- --csv PATH] [-- --workload] [-- --behaviors]
-//! [-- --churn] [-- --consensus]`
+//! [-- --churn] [-- --consensus] [-- --trace]`
 //!
 //! The unconditional run also sweeps the non-regular topology families (planar grid,
 //! geometric random graph, bounded-degree expander) across the paper's
@@ -33,6 +33,13 @@
 //! `brb_bench::churn`), emitting rows tagged in the `behavior` CSV column with the
 //! scenario name and the number of applied churn events.
 //!
+//! `--trace` additionally runs the structured-trace matrix (seeded scenarios on the
+//! simulator with a `brb-trace` sink attached; see `brb_bench::trace`), emitting the
+//! per-broadcast causal latency breakdown (`injection → first hop → threshold →
+//! delivery`, virtual microseconds) in the `trace` CSV section and the per-cause
+//! frame-drop totals in the `trace_drops` section. Both are functions of the virtual
+//! clock, so they participate in the 1-vs-4-worker byte-equality diff.
+//!
 //! `--stack NAME` selects the protocol stack every harness sweeps (default `bd`, the
 //! paper's Bracha–Dolev combination; see `brb_core::stack::StackSpec` for the other
 //! names), so table/figure baselines can be regenerated per stack. The chosen stack is
@@ -47,8 +54,8 @@ use std::fmt::Write as _;
 
 use brb_bench::{
     async_from_args, behaviors, behaviors_from_args, churn, churn_from_args, consensus,
-    consensus_from_args, figures, stack_from_args, table1, workers_from_args, workload,
-    workload_from_args, Scale,
+    consensus_from_args, figures, stack_from_args, table1, trace, trace_from_args,
+    workers_from_args, workload, workload_from_args, Scale,
 };
 
 /// Fixed-format float rendering used for every CSV cell, so the file is a pure function
@@ -235,6 +242,33 @@ fn main() {
                 cell(p.latency_ms),
                 p.decided,
                 p.honest
+            );
+        }
+    }
+
+    if trace_from_args(&args) {
+        println!("==============================================================");
+        let fmt_us = |v: Option<u64>| v.map_or(String::new(), |v| v.to_string());
+        let (breakdowns, drops) = trace::run_trace_matrix(scale, asynchronous, stack);
+        for p in &breakdowns {
+            let _ = writeln!(
+                csv,
+                "trace,{stack},{},bc{}_{},{},{},{},{},{},,,",
+                p.scenario,
+                p.source,
+                p.seq,
+                p.injection_us,
+                fmt_us(p.first_hop_us),
+                fmt_us(p.threshold_us),
+                fmt_us(p.delivery_us),
+                p.deliveries,
+            );
+        }
+        for p in &drops {
+            let _ = writeln!(
+                csv,
+                "trace_drops,{stack},{},{},{},,,,,,,",
+                p.scenario, p.cause, p.dropped,
             );
         }
     }

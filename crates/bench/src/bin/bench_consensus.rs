@@ -9,14 +9,14 @@
 //!
 //! The termination/agreement/GC invariants are asserted here (exit code 1 on
 //! regression), so the smoke script only has to check the file exists and carries the
-//! expected fields. The JSON is hand-rolled: the workspace deliberately has no JSON
-//! dependency.
+//! expected fields. The JSON is emitted through [`brb_bench::json`]: the workspace
+//! deliberately has no JSON dependency.
 //!
 //! Usage: `cargo run --release -p brb-bench --bin bench_consensus [-- --out PATH]`
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
+use brb_bench::json::{out_path_from_args, write_and_echo, JsonObject};
 use brb_consensus::{ConsensusSpec, ProposalPattern};
 use brb_core::config::Config;
 use brb_core::gc::GcPolicy;
@@ -81,15 +81,7 @@ fn run_scenario(name: &'static str, spec: ConsensusSpec) -> ScenarioResult {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
-        })
-        .unwrap_or_else(|| "BENCH_consensus.json".to_string());
+    let out_path = out_path_from_args(&args, "BENCH_consensus.json");
 
     let results = [
         run_scenario(
@@ -108,30 +100,23 @@ fn main() {
         ),
     ];
 
-    let mut json = format!(
-        "{{\n  \"bench\": \"consensus_over_brb_n{N}_k{K}\",\n  \"iters\": {ITERS},\n  \
-         \"window_events\": {GC_WINDOW},\n  \"scenarios\": {{\n"
-    );
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    \"{}\": {{ \"mean_ms\": {:.3}, \"decision_value\": {}, \
-             \"decision_round\": {}, \"rounds_driven\": {}, \"instances\": {}, \
-             \"gc_retired\": {} }}{comma}",
-            r.name,
-            r.mean_ms,
-            r.decision_value,
-            r.decision_round,
-            r.rounds_driven,
-            r.instances,
-            r.gc_retired
-        );
+    let mut scenarios = JsonObject::new();
+    for r in &results {
+        let mut obj = JsonObject::new();
+        obj.f64("mean_ms", r.mean_ms, 3)
+            .u64("decision_value", u64::from(r.decision_value))
+            .u64("decision_round", u64::from(r.decision_round))
+            .u64("rounds_driven", u64::from(r.rounds_driven))
+            .u64("instances", r.instances as u64)
+            .u64("gc_retired", r.gc_retired);
+        scenarios.obj(r.name, obj);
     }
-    json.push_str("  }\n}\n");
-    std::fs::write(&out_path, &json).expect("JSON output path must be writable");
-    print!("{json}");
-    println!("# written to {out_path}");
+    let mut doc = JsonObject::new();
+    doc.str("bench", &format!("consensus_over_brb_n{N}_k{K}"))
+        .u64("iters", u64::from(ITERS))
+        .u64("window_events", GC_WINDOW)
+        .obj("scenarios", scenarios);
+    write_and_echo(&out_path, &doc.render());
 
     // The invariants CI relies on: unanimous proposals decide their value in round 0
     // (pinned coin), every scenario spawns BRB instances, and the retention window

@@ -12,11 +12,14 @@
 //!
 //! The flatness invariant is asserted here (exit code 1 on regression), so the smoke
 //! script only has to check the file exists and carries the expected fields. The JSON
-//! is hand-rolled: the workspace deliberately has no JSON dependency.
+//! is emitted through [`brb_bench::json`]: the workspace deliberately has no JSON
+//! dependency.
 //!
 //! Usage: `cargo run --release -p brb-bench --bin bench_quiescence [-- --out PATH]`
 
 use std::time::Instant;
+
+use brb_bench::json::{out_path_from_args, write_and_echo, JsonObject};
 
 use brb_core::config::Config;
 use brb_core::gc::GcPolicy;
@@ -85,33 +88,35 @@ fn memory_curve(gc: Option<GcPolicy>) -> (usize, usize, u64) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
-        })
-        .unwrap_or_else(|| "BENCH_quiescence.json".to_string());
+    let out_path = out_path_from_args(&args, "BENCH_quiescence.json");
 
     let (mean_ms, events) = quiescence_mean_ms();
     let (off_first, off_last, off_retired) = memory_curve(None);
     let (on_first, on_last, on_retired) = memory_curve(Some(GcPolicy::after_events(CURVE_WINDOW)));
 
-    let json = format!(
-        "{{\n  \"bench\": \"engine_quiescence_n100_k12\",\n  \"quiescence\": {{\n    \
-         \"mean_ms\": {mean_ms:.3},\n    \"iters\": {QUIESCENCE_ITERS},\n    \
-         \"events\": {events}\n  }},\n  \"memory_curve\": {{\n    \
-         \"broadcasts\": {CURVE_BROADCASTS},\n    \"window_events\": {CURVE_WINDOW},\n    \
-         \"gc_off\": {{ \"first_bytes\": {off_first}, \"last_bytes\": {off_last}, \
-         \"gc_retired\": {off_retired} }},\n    \
-         \"gc_on\": {{ \"first_bytes\": {on_first}, \"last_bytes\": {on_last}, \
-         \"gc_retired\": {on_retired} }}\n  }}\n}}\n"
-    );
-    std::fs::write(&out_path, &json).expect("JSON output path must be writable");
-    print!("{json}");
-    println!("# written to {out_path}");
+    let endpoints = |first: usize, last: usize, retired: u64| {
+        let mut obj = JsonObject::new();
+        obj.u64("first_bytes", first as u64)
+            .u64("last_bytes", last as u64)
+            .u64("gc_retired", retired);
+        obj
+    };
+    let mut quiescence = JsonObject::new();
+    quiescence
+        .f64("mean_ms", mean_ms, 3)
+        .u64("iters", u64::from(QUIESCENCE_ITERS))
+        .u64("events", events as u64);
+    let mut curve = JsonObject::new();
+    curve
+        .u64("broadcasts", CURVE_BROADCASTS as u64)
+        .u64("window_events", CURVE_WINDOW)
+        .obj("gc_off", endpoints(off_first, off_last, off_retired))
+        .obj("gc_on", endpoints(on_first, on_last, on_retired));
+    let mut doc = JsonObject::new();
+    doc.str("bench", "engine_quiescence_n100_k12")
+        .obj("quiescence", quiescence)
+        .obj("memory_curve", curve);
+    write_and_echo(&out_path, &doc.render());
 
     // The boundedness invariant CI relies on: GC off grows with the broadcast count,
     // GC on stays flat (the last endpoint may not exceed the first by more than the

@@ -29,7 +29,9 @@ pub mod behaviors;
 pub mod churn;
 pub mod consensus;
 pub mod figures;
+pub mod json;
 pub mod table1;
+pub mod trace;
 pub mod workload;
 
 use brb_core::config::Config;
@@ -95,6 +97,12 @@ pub fn churn_from_args(args: &[String]) -> bool {
 /// (`--consensus`; see [`consensus::run_consensus_matrix`]).
 pub fn consensus_from_args(args: &[String]) -> bool {
     args.iter().any(|a| a == "--consensus")
+}
+
+/// Whether the structured-trace matrix was requested on the command line
+/// (`--trace`; see [`trace::run_trace_matrix`]).
+pub fn trace_from_args(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--trace")
 }
 
 /// Parses the `--stack NAME` / `--stack=NAME` command-line option (defaults to the

@@ -50,6 +50,9 @@ pub struct ConsensusEngine {
     handle: DecisionHandle,
     /// Number of BRB instances this node has spawned for round-messages.
     instances: u64,
+    /// Structured-trace handle for the consensus layer's own phase events (the inner
+    /// engine holds its own copy for the BRB-level events).
+    tracer: brb_trace::Tracer,
 }
 
 impl ConsensusEngine {
@@ -65,6 +68,7 @@ impl ConsensusEngine {
             seen: 0,
             handle: DecisionHandle::default(),
             instances: 0,
+            tracer: brb_trace::Tracer::disabled(),
         }
     }
 
@@ -93,6 +97,18 @@ impl ConsensusEngine {
     fn send_round_msgs(&mut self, msgs: Vec<RoundMsg>, out: &mut WireActionBuf) {
         for msg in msgs {
             let seq = namespaced_seq(NAMESPACE_CONSENSUS, msg.local_seq());
+            if self.tracer.is_enabled() {
+                let id = self.inner.process_id();
+                let kind = match msg {
+                    RoundMsg::Est { round, value } => {
+                        brb_trace::TraceEventKind::ConsensusBv { round, value }
+                    }
+                    RoundMsg::Aux { round, value } => {
+                        brb_trace::TraceEventKind::ConsensusAux { round, value }
+                    }
+                };
+                self.tracer.emit(id, id, seq, kind);
+            }
             self.instances += 1;
             self.inner.broadcast_wire_seq(seq, msg.encode(), out);
         }
@@ -125,7 +141,22 @@ impl ConsensusEngine {
             // itself), so loop until the delivery log stops growing.
             self.send_round_msgs(pending, out);
         }
-        self.handle.set(self.node.decided());
+        let decided = self.node.decided();
+        if let Some(decision) = decided {
+            if self.handle.get().is_none() {
+                let id = self.inner.process_id();
+                self.tracer.emit(
+                    id,
+                    id,
+                    namespaced_seq(NAMESPACE_CONSENSUS, 0),
+                    brb_trace::TraceEventKind::ConsensusDecide {
+                        round: decision.round,
+                        value: decision.value,
+                    },
+                );
+            }
+        }
+        self.handle.set(decided);
     }
 }
 
@@ -138,6 +169,15 @@ impl DynEngine for ConsensusEngine {
         // Control operations are intercepted locally; everything else is an ordinary
         // client broadcast and passes straight through to the inner engine.
         if let Some(op) = ControlOp::decode(payload.as_bytes()) {
+            if let ControlOp::CloseRound(round) = op {
+                let id = self.inner.process_id();
+                self.tracer.emit(
+                    id,
+                    id,
+                    namespaced_seq(NAMESPACE_CONSENSUS, 0),
+                    brb_trace::TraceEventKind::ConsensusCoin { round },
+                );
+            }
             let msgs = self.node.on_control(op);
             self.send_round_msgs(msgs, out);
             self.pump(out);
@@ -177,5 +217,10 @@ impl DynEngine for ConsensusEngine {
 
     fn gc_retired(&self) -> u64 {
         self.inner.gc_retired()
+    }
+
+    fn set_tracer(&mut self, tracer: brb_trace::Tracer) {
+        self.tracer = tracer.clone();
+        self.inner.set_tracer(tracer);
     }
 }

@@ -56,6 +56,8 @@ pub struct BdProcess {
     /// `pending` forever. Peers allocate local identifiers sequentially, so the markers
     /// compact into a watermark exactly like retired broadcast sequence numbers.
     retired_peer_refs: HashMap<ProcessId, RetiredSet>,
+    /// Structured-trace handle (disabled by default; one branch per would-be event).
+    tracer: brb_trace::Tracer,
 }
 
 impl BdProcess {
@@ -87,6 +89,7 @@ impl BdProcess {
             pending: HashMap::new(),
             gc: GcState::new(config.gc),
             retired_peer_refs: HashMap::new(),
+            tracer: brb_trace::Tracer::disabled(),
         }
     }
 
@@ -96,6 +99,8 @@ impl BdProcess {
     /// MBD.1 link-local identifier bookkeeping on both sides of every link.
     fn run_gc(&mut self) {
         for id in self.gc.due() {
+            self.tracer
+                .emit(self.id, id.source, id.seq, brb_trace::TraceEventKind::Retired);
             self.contents.retain(|content, _| content.id != id);
             self.delivered_ids.remove(&id);
             let mine: Vec<(Content, LocalPayloadId)> = self
@@ -177,6 +182,15 @@ impl BdProcess {
                 if self.gc.is_retired(msg.id) {
                     self.tombstone_peer_ref(from, *local_id);
                     self.pending.remove(&(from, *local_id));
+                    self.tracer.emit(
+                        self.id,
+                        msg.id.source,
+                        msg.id.seq,
+                        brb_trace::TraceEventKind::FrameDropped {
+                            to: self.id,
+                            cause: brb_trace::DropCause::GcRetired,
+                        },
+                    );
                     return;
                 }
                 let content = Content::new(msg.id, payload.clone());
@@ -229,6 +243,15 @@ impl BdProcess {
     ) {
         // Frames of a retired instance are dropped before they can recreate state.
         if self.gc.is_retired(content.id) {
+            self.tracer.emit(
+                self.id,
+                content.id.source,
+                content.id.seq,
+                brb_trace::TraceEventKind::FrameDropped {
+                    to: self.id,
+                    cause: brb_trace::DropCause::GcRetired,
+                },
+            );
             return;
         }
         // A merged message (MBD.3/MBD.4) decomposes into the two Bracha-layer messages it
@@ -353,7 +376,25 @@ impl BdProcess {
             } else {
                 instance.tracker.add_path(intermediate.clone(), from);
             }
+            self.tracer.emit(
+                self.id,
+                state.content.id.source,
+                state.content.id.seq,
+                brb_trace::TraceEventKind::PathAccumulated {
+                    paths: instance.tracker.path_count(),
+                },
+            );
             let threshold_met = instance.tracker.reaches(cfg.dolev_threshold());
+            if threshold_met {
+                self.tracer.emit(
+                    self.id,
+                    state.content.id.source,
+                    state.content.id.seq,
+                    brb_trace::TraceEventKind::DisjointReached {
+                        disjoint: cfg.dolev_threshold(),
+                    },
+                );
+            }
             // MD.1 delivers on direct reception; single-hop Sends (MBD.2) are only ever
             // received directly, so they are validated the same way.
             let direct_delivery = direct && (cfg.md.md1 || (cfg.mbd.mbd2 && phase == Phase::Send));
@@ -522,6 +563,29 @@ impl BdProcess {
             }
             if want_ready {
                 state.sent_ready = true;
+                if state.echo_origins.len() >= cfg.echo_quorum() {
+                    self.tracer.emit(
+                        self.id,
+                        state.content.id.source,
+                        state.content.id.seq,
+                        brb_trace::TraceEventKind::EchoThreshold {
+                            echoes: state.echo_origins.len(),
+                        },
+                    );
+                } else {
+                    self.tracer.emit(
+                        self.id,
+                        state.content.id.source,
+                        state.content.id.seq,
+                        brb_trace::TraceEventKind::ReadyAmplified,
+                    );
+                }
+                self.tracer.emit(
+                    self.id,
+                    state.content.id.source,
+                    state.content.id.seq,
+                    brb_trace::TraceEventKind::ReadySent,
+                );
                 state.ready_origins.insert(self.id);
                 if cfg.mbd.mbd2 {
                     state.echo_origins.insert(self.id);
@@ -766,6 +830,8 @@ impl BdProcess {
     fn broadcast_inner(&mut self, payload: Payload, actions: &mut Vec<Action<WireMessage>>) {
         let id = BroadcastId::new(self.id, self.next_seq);
         self.next_seq += 1;
+        self.tracer
+            .emit(self.id, id.source, id.seq, brb_trace::TraceEventKind::Injected);
         let content = Content::new(id, payload);
         let mut state = self
             .contents
@@ -878,6 +944,10 @@ impl Protocol for BdProcess {
 
     fn gc_retired(&self) -> u64 {
         self.gc.retired_count()
+    }
+
+    fn set_tracer(&mut self, tracer: brb_trace::Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -70,6 +70,7 @@ pub struct BrachaProcess {
     deliveries: Vec<Delivery>,
     next_seq: u32,
     gc: GcState,
+    tracer: brb_trace::Tracer,
 }
 
 impl BrachaProcess {
@@ -93,6 +94,7 @@ impl BrachaProcess {
             deliveries: Vec::new(),
             next_seq: 0,
             gc: GcState::new(GcPolicy::DISABLED),
+            tracer: brb_trace::Tracer::disabled(),
         }
     }
 
@@ -103,6 +105,8 @@ impl BrachaProcess {
         for id in self.gc.due() {
             self.states.retain(|content, _| content.id != id);
             self.delivered_ids.remove(&id);
+            self.tracer
+                .emit(self.id, id.source, id.seq, brb_trace::TraceEventKind::Retired);
         }
     }
 
@@ -137,6 +141,15 @@ impl BrachaProcess {
         // Frames for a retired instance are dropped deterministically: recreating the
         // entry below would resurrect pruned state (and could re-deliver).
         if self.gc.is_retired(message.id) {
+            self.tracer.emit(
+                self.id,
+                message.id.source,
+                message.id.seq,
+                brb_trace::TraceEventKind::FrameDropped {
+                    to: self.id,
+                    cause: brb_trace::DropCause::GcRetired,
+                },
+            );
             return;
         }
         let content = Content::new(message.id, message.payload.clone());
@@ -158,6 +171,14 @@ impl BrachaProcess {
                 if state.echos.len() >= quorum::echo_quorum(self.n, self.f) && !state.sent_ready {
                     state.sent_ready = true;
                     send_ready = true;
+                    self.tracer.emit(
+                        self.id,
+                        message.id.source,
+                        message.id.seq,
+                        brb_trace::TraceEventKind::EchoThreshold {
+                            echoes: state.echos.len(),
+                        },
+                    );
                 }
             }
             BrachaKind::Ready => {
@@ -165,12 +186,26 @@ impl BrachaProcess {
                 if state.readys.len() >= quorum::ready_amplification(self.f) && !state.sent_ready {
                     state.sent_ready = true;
                     send_ready = true;
+                    self.tracer.emit(
+                        self.id,
+                        message.id.source,
+                        message.id.seq,
+                        brb_trace::TraceEventKind::ReadyAmplified,
+                    );
                 }
                 if state.readys.len() >= quorum::ready_quorum(self.f) && !state.delivered {
                     state.delivered = true;
                     deliver = true;
                 }
             }
+        }
+        if send_ready {
+            self.tracer.emit(
+                self.id,
+                message.id.source,
+                message.id.seq,
+                brb_trace::TraceEventKind::ReadySent,
+            );
         }
         if send_echo {
             self.send_to_all(
@@ -207,6 +242,8 @@ impl BrachaProcess {
     fn broadcast_inner(&mut self, payload: Payload, actions: &mut Vec<Action<BrachaMessage>>) {
         let id = BroadcastId::new(self.id, self.next_seq);
         self.next_seq += 1;
+        self.tracer
+            .emit(self.id, id.source, id.seq, brb_trace::TraceEventKind::Injected);
         self.send_to_all(
             BrachaMessage {
                 kind: BrachaKind::Send,
@@ -305,6 +342,10 @@ impl Protocol for BrachaProcess {
 
     fn gc_retired(&self) -> u64 {
         self.gc.retired_count()
+    }
+
+    fn set_tracer(&mut self, tracer: brb_trace::Tracer) {
+        self.tracer = tracer;
     }
 }
 

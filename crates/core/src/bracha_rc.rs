@@ -60,6 +60,8 @@ pub struct BrachaOverRc<T> {
     /// Retirement tracker for the Bracha layer's own per-content state; the substrate
     /// keeps its own tracker and retires its RC instances independently.
     gc: GcState,
+    /// Structured-trace handle (disabled by default; one branch per would-be event).
+    tracer: brb_trace::Tracer,
 }
 
 impl<T: RcTransport> BrachaOverRc<T> {
@@ -86,6 +88,7 @@ impl<T: RcTransport> BrachaOverRc<T> {
             deliveries: Vec::new(),
             next_seq: 0,
             gc: GcState::new(GcPolicy::DISABLED),
+            tracer: brb_trace::Tracer::disabled(),
         }
     }
 
@@ -94,6 +97,8 @@ impl<T: RcTransport> BrachaOverRc<T> {
     /// retired ids forever, preserving BRB-No duplication).
     fn run_gc(&mut self) {
         for id in self.gc.due() {
+            self.tracer
+                .emit(self.id, id.source, id.seq, brb_trace::TraceEventKind::Retired);
             self.states.retain(|content, _| content.id != id);
             self.delivered_ids.remove(&id);
         }
@@ -141,6 +146,15 @@ impl<T: RcTransport> BrachaOverRc<T> {
     ) {
         // RC deliveries for a retired instance are dropped before they can recreate state.
         if self.gc.is_retired(message.id) {
+            self.tracer.emit(
+                self.id,
+                message.id.source,
+                message.id.seq,
+                brb_trace::TraceEventKind::FrameDropped {
+                    to: self.id,
+                    cause: brb_trace::DropCause::GcRetired,
+                },
+            );
             return;
         }
         let content = Content::new(message.id, message.payload.clone());
@@ -163,6 +177,14 @@ impl<T: RcTransport> BrachaOverRc<T> {
                 if state.echos.len() >= quorum::echo_quorum(self.n, self.f) && !state.sent_ready {
                     state.sent_ready = true;
                     send_ready = true;
+                    self.tracer.emit(
+                        self.id,
+                        message.id.source,
+                        message.id.seq,
+                        brb_trace::TraceEventKind::EchoThreshold {
+                            echoes: state.echos.len(),
+                        },
+                    );
                 }
             }
             BrachaKind::Ready => {
@@ -170,6 +192,12 @@ impl<T: RcTransport> BrachaOverRc<T> {
                 if state.readys.len() >= quorum::ready_amplification(self.f) && !state.sent_ready {
                     state.sent_ready = true;
                     send_ready = true;
+                    self.tracer.emit(
+                        self.id,
+                        message.id.source,
+                        message.id.seq,
+                        brb_trace::TraceEventKind::ReadyAmplified,
+                    );
                 }
                 if state.readys.len() >= quorum::ready_quorum(self.f) && !state.delivered {
                     state.delivered = true;
@@ -189,6 +217,12 @@ impl<T: RcTransport> BrachaOverRc<T> {
             );
         }
         if send_ready {
+            self.tracer.emit(
+                self.id,
+                message.id.source,
+                message.id.seq,
+                brb_trace::TraceEventKind::ReadySent,
+            );
             self.originate_bracha(
                 &BrachaMessage {
                     kind: BrachaKind::Ready,
@@ -241,6 +275,8 @@ impl<T: RcTransport> Protocol for BrachaOverRc<T> {
         self.gc.on_event();
         let id = BroadcastId::new(self.id, self.next_seq);
         self.next_seq += 1;
+        self.tracer
+            .emit(self.id, id.source, id.seq, brb_trace::TraceEventKind::Injected);
         let mut actions = Vec::new();
         let mut pending = Vec::new();
         self.originate_bracha(
@@ -321,6 +357,10 @@ impl<T: RcTransport> Protocol for BrachaOverRc<T> {
 
     fn gc_retired(&self) -> u64 {
         self.gc.retired_count() + self.transport.gc_retired()
+    }
+
+    fn set_tracer(&mut self, tracer: brb_trace::Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -61,6 +61,7 @@ pub struct CpaProcess {
     deliveries: Vec<Delivery>,
     next_seq: u32,
     gc: GcState,
+    tracer: brb_trace::Tracer,
 }
 
 impl CpaProcess {
@@ -74,6 +75,7 @@ impl CpaProcess {
             deliveries: Vec::new(),
             next_seq: 0,
             gc: GcState::new(GcPolicy::DISABLED),
+            tracer: brb_trace::Tracer::disabled(),
         }
     }
 
@@ -83,6 +85,8 @@ impl CpaProcess {
     fn run_gc(&mut self) {
         for id in self.gc.due() {
             self.states.retain(|content, _| content.id != id);
+            self.tracer
+                .emit(self.id, id.source, id.seq, brb_trace::TraceEventKind::Retired);
         }
     }
 
@@ -103,6 +107,14 @@ impl CpaProcess {
         let state = self.states.entry(content.clone()).or_default();
         if !state.delivered {
             state.delivered = true;
+            self.tracer.emit(
+                self.id,
+                content.id.source,
+                content.id.seq,
+                brb_trace::TraceEventKind::CpaAccepted {
+                    witnesses: state.witnesses.len(),
+                },
+            );
             self.gc.on_delivered(content.id);
             let delivery = Delivery {
                 id: content.id,
@@ -128,6 +140,8 @@ impl CpaProcess {
     fn broadcast_inner(&mut self, payload: Payload, actions: &mut Vec<Action<CpaMessage>>) {
         let id = BroadcastId::new(self.id, self.next_seq);
         self.next_seq += 1;
+        self.tracer
+            .emit(self.id, id.source, id.seq, brb_trace::TraceEventKind::Injected);
         let content = Content::new(id, payload);
         self.deliver_and_relay(&content, actions);
     }
@@ -142,6 +156,15 @@ impl CpaProcess {
         let content = message.content;
         // Replayed frames for a retired instance must not recreate its witness state.
         if self.gc.is_retired(content.id) {
+            self.tracer.emit(
+                self.id,
+                content.id.source,
+                content.id.seq,
+                brb_trace::TraceEventKind::FrameDropped {
+                    to: self.id,
+                    cause: brb_trace::DropCause::GcRetired,
+                },
+            );
             return;
         }
         let state = self.states.entry(content.clone()).or_default();
@@ -243,6 +266,10 @@ impl Protocol for CpaProcess {
 
     fn gc_retired(&self) -> u64 {
         self.gc.retired_count()
+    }
+
+    fn set_tracer(&mut self, tracer: brb_trace::Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -81,6 +81,7 @@ pub struct DolevProcess {
     deliveries: Vec<Delivery>,
     next_seq: u32,
     gc: GcState,
+    tracer: brb_trace::Tracer,
 }
 
 impl DolevProcess {
@@ -95,6 +96,7 @@ impl DolevProcess {
             deliveries: Vec::new(),
             next_seq: 0,
             gc: GcState::new(GcPolicy::DISABLED),
+            tracer: brb_trace::Tracer::disabled(),
         }
     }
 
@@ -102,6 +104,8 @@ impl DolevProcess {
     fn run_gc(&mut self) {
         for id in self.gc.due() {
             self.instances.retain(|content, _| content.id != id);
+            self.tracer
+                .emit(self.id, id.source, id.seq, brb_trace::TraceEventKind::Retired);
         }
     }
 
@@ -145,6 +149,8 @@ impl DolevProcess {
     fn broadcast_inner(&mut self, payload: Payload, actions: &mut Vec<Action<DolevMessage>>) {
         let id = BroadcastId::new(self.id, self.next_seq);
         self.next_seq += 1;
+        self.tracer
+            .emit(self.id, id.source, id.seq, brb_trace::TraceEventKind::Injected);
         let content = Content::new(id, payload);
         for &q in &self.neighbors {
             actions.push(Action::send(
@@ -176,6 +182,15 @@ impl DolevProcess {
         let source = content.id.source;
         // Frames of a retired instance are dropped before they can recreate state.
         if self.gc.is_retired(content.id) {
+            self.tracer.emit(
+                self.id,
+                content.id.source,
+                content.id.seq,
+                brb_trace::TraceEventKind::FrameDropped {
+                    to: self.id,
+                    cause: brb_trace::DropCause::GcRetired,
+                },
+            );
             return;
         }
         let state = self
@@ -214,8 +229,26 @@ impl DolevProcess {
             } else {
                 state.tracker.add_path(intermediate.clone(), from);
             }
+            self.tracer.emit(
+                self.id,
+                content.id.source,
+                content.id.seq,
+                brb_trace::TraceEventKind::PathAccumulated {
+                    paths: state.tracker.path_count(),
+                },
+            );
             let threshold_met = state.tracker.reaches(self.f + 1);
             let md1_delivery = self.md.md1 && direct;
+            if threshold_met {
+                self.tracer.emit(
+                    self.id,
+                    content.id.source,
+                    content.id.seq,
+                    brb_trace::TraceEventKind::DisjointReached {
+                        disjoint: self.f + 1,
+                    },
+                );
+            }
             if threshold_met || md1_delivery {
                 Self::deliver(&content, state, &mut self.deliveries, actions);
                 if self.md.md2 {
@@ -365,6 +398,10 @@ impl Protocol for DolevProcess {
 
     fn gc_retired(&self) -> u64 {
         self.gc.retired_count()
+    }
+
+    fn set_tracer(&mut self, tracer: brb_trace::Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -236,6 +236,15 @@ pub trait Protocol {
     fn gc_retired(&self) -> u64 {
         0
     }
+
+    /// Installs a structured-trace handle (see [`brb_trace::Tracer`]) through which
+    /// the engine reports protocol phase transitions — Dolev path accumulation,
+    /// Bracha echo/ready thresholds, CPA acceptance, GC retirement.
+    ///
+    /// The default implementation ignores it, so third-party protocols (and engines
+    /// without interesting phases) stay source-compatible; a disabled tracer costs a
+    /// single branch per would-be event.
+    fn set_tracer(&mut self, _tracer: brb_trace::Tracer) {}
 }
 
 #[cfg(test)]

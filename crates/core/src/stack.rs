@@ -358,6 +358,14 @@ pub trait DynEngine: Send {
 
     /// Number of broadcast instances retired through GC so far.
     fn gc_retired(&self) -> u64;
+
+    /// Installs a structured-trace handle (see [`brb_trace::Tracer`]).
+    ///
+    /// Unlike the other methods this one is **defaulted** (to a no-op): tracing is
+    /// optional, and existing `DynEngine` implementations outside this crate — e.g.
+    /// decorators like `brb-consensus`'s engine — keep compiling and simply stay
+    /// silent until they opt in.
+    fn set_tracer(&mut self, _tracer: brb_trace::Tracer) {}
 }
 
 impl<P> DynEngine for P
@@ -423,6 +431,10 @@ where
 
     fn gc_retired(&self) -> u64 {
         Protocol::gc_retired(self)
+    }
+
+    fn set_tracer(&mut self, tracer: brb_trace::Tracer) {
+        Protocol::set_tracer(self, tracer)
     }
 }
 
@@ -525,6 +537,10 @@ where
 
     fn gc_retired(&self) -> u64 {
         Protocol::gc_retired(&self.inner)
+    }
+
+    fn set_tracer(&mut self, tracer: brb_trace::Tracer) {
+        Protocol::set_tracer(&mut self.inner, tracer)
     }
 }
 
@@ -913,6 +929,10 @@ impl Protocol for DynStack {
 
     fn gc_retired(&self) -> u64 {
         self.engine.gc_retired()
+    }
+
+    fn set_tracer(&mut self, tracer: brb_trace::Tracer) {
+        self.engine.set_tracer(tracer);
     }
 }
 

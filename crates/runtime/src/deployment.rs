@@ -207,6 +207,8 @@ impl Deployment {
                 state_bytes: 0,
                 gc_retired: 0,
                 restarts: 0,
+                drops_by_cause: brb_trace::DropCounts::new(),
+                queue_depth_peak: 0,
                 decision: None,
             })
             .collect();

@@ -176,11 +176,25 @@ pub fn run_consensus(
 /// wrapped engines, phase-steps to termination and returns the usual
 /// [`ExperimentRecord`] with [`ExperimentResult::consensus`] filled.
 pub fn run_consensus_recorded(params: &ExperimentParams, graph: &Graph) -> ExperimentRecord {
+    run_consensus_sink(params, graph, None).record
+}
+
+/// [`run_consensus_recorded`] with an optional trace sink attached before the phases
+/// start, returning the record plus the per-process drop accounting (the events end up
+/// in the caller's sink; [`crate::experiment::run_experiment_traced`] drains them).
+pub fn run_consensus_sink(
+    params: &ExperimentParams,
+    graph: &Graph,
+    sink: Option<std::sync::Arc<dyn brb_trace::TraceSink>>,
+) -> crate::experiment::TracedRecord {
     let spec = params
         .consensus
         .as_ref()
         .expect("run_consensus_recorded requires ExperimentParams::consensus");
     let (mut sim, handles) = build_consensus_sim(params, graph, spec);
+    if let Some(sink) = sink {
+        sim.set_trace_sink(sink);
+    }
     let stats = run_consensus(&mut sim, spec, &handles);
     let correct = sim.correct_processes();
     let result = ExperimentResult {
@@ -196,9 +210,14 @@ pub fn run_consensus_recorded(params: &ExperimentParams, graph: &Graph) -> Exper
         workload: None,
         consensus: Some(stats),
     };
-    ExperimentRecord {
-        result,
-        metrics: sim.into_metrics(),
+    let drop_counts = sim.drop_counts().to_vec();
+    crate::experiment::TracedRecord {
+        record: ExperimentRecord {
+            result,
+            metrics: sim.into_metrics(),
+        },
+        events: Vec::new(),
+        drop_counts,
     }
 }
 

@@ -225,6 +225,38 @@ pub fn run_experiment_on_graph(params: &ExperimentParams, graph: &Graph) -> Expe
 /// Runs one experiment on a caller-provided topology and returns both the aggregated
 /// result and the full run metrics.
 pub fn run_experiment_recorded(params: &ExperimentParams, graph: &Graph) -> ExperimentRecord {
+    run_experiment_sink(params, graph, None).record
+}
+
+/// An [`ExperimentRecord`] together with the structured trace and the per-process drop
+/// accounting captured during the run, as returned by [`run_experiment_traced`].
+#[derive(Debug, Clone)]
+pub struct TracedRecord {
+    /// The record an untraced run would have produced ([`RunMetrics`] included —
+    /// attaching the sink never changes them; `tests/trace_observer.rs` pins this).
+    pub record: ExperimentRecord,
+    /// Every [`brb_trace::TraceEvent`] the run emitted, in emission order.
+    pub events: Vec<brb_trace::TraceEvent>,
+    /// Send-time drop accounting per process (churn gating, link loss, behaviour).
+    pub drop_counts: Vec<brb_trace::DropCounts>,
+}
+
+/// [`run_experiment_recorded`] with a [`brb_trace::VecSink`] attached: same metrics,
+/// plus the full event trace and the per-process drop counters.
+pub fn run_experiment_traced(params: &ExperimentParams, graph: &Graph) -> TracedRecord {
+    let sink = std::sync::Arc::new(brb_trace::VecSink::new());
+    let mut traced = run_experiment_sink(params, graph, Some(sink.clone()));
+    traced.events = sink.take();
+    traced
+}
+
+/// Shared body of [`run_experiment_recorded`] / [`run_experiment_traced`]: runs the
+/// experiment with an optional trace sink attached to the simulation.
+fn run_experiment_sink(
+    params: &ExperimentParams,
+    graph: &Graph,
+    sink: Option<std::sync::Arc<dyn brb_trace::TraceSink>>,
+) -> TracedRecord {
     assert_eq!(graph.node_count(), params.n, "graph size must match N");
     assert!(
         params.crashed <= params.f,
@@ -234,7 +266,7 @@ pub fn run_experiment_recorded(params: &ExperimentParams, graph: &Graph) -> Expe
     // through the DynStack wire-frame path (consensus needs the seq-aware DynEngine
     // interface between itself and the stack below), whatever the stack.
     if params.consensus.is_some() {
-        return crate::consensus::run_consensus_recorded(params, graph);
+        return crate::consensus::run_consensus_sink(params, graph, sink);
     }
     match params.stack {
         // The paper's stack keeps its typed fast path: no frame encoding, no boxing.
@@ -247,9 +279,13 @@ pub fn run_experiment_recorded(params: &ExperimentParams, graph: &Graph) -> Expe
                 .collect();
             let config = params.config;
             let restart_index = NeighborIndex::new(graph);
-            record_run(params, graph, processes, move |i| {
-                BdProcess::new(i, config, restart_index.neighbors(i).to_vec())
-            })
+            record_run(
+                params,
+                graph,
+                processes,
+                move |i| BdProcess::new(i, config, restart_index.neighbors(i).to_vec()),
+                sink,
+            )
         }
         // Every other stack goes through the boxed engine + wire codec, the same code
         // path the socket deployments drive. Topology-aware stacks share one graph copy.
@@ -259,9 +295,13 @@ pub fn run_experiment_recorded(params: &ExperimentParams, graph: &Graph) -> Expe
                 .map(|i| stack.build_protocol_shared(&params.config, &shared, i))
                 .collect();
             let config = params.config;
-            record_run(params, graph, processes, move |i| {
-                stack.build_protocol_shared(&config, &shared, i)
-            })
+            record_run(
+                params,
+                graph,
+                processes,
+                move |i| stack.build_protocol_shared(&config, &shared, i),
+                sink,
+            )
         }
     }
 }
@@ -274,11 +314,15 @@ fn record_run<P: Protocol>(
     graph: &Graph,
     processes: Vec<P>,
     restart_builder: impl FnMut(ProcessId) -> P + 'static,
-) -> ExperimentRecord
+    sink: Option<std::sync::Arc<dyn brb_trace::TraceSink>>,
+) -> TracedRecord
 where
     P::Message: Eq,
 {
     let mut sim = Simulation::new(processes, params.delay, params.seed);
+    if let Some(sink) = sink {
+        sim.set_trace_sink(sink);
+    }
     // Crash the `crashed` highest-numbered processes (never the source, process 0).
     for offset in 0..params.crashed {
         let victim = params.n - 1 - offset;
@@ -357,9 +401,14 @@ where
         workload: params.workload.is_some().then_some(stats),
         consensus: None,
     };
-    ExperimentRecord {
-        result,
-        metrics: sim.into_metrics(),
+    let drop_counts = sim.drop_counts().to_vec();
+    TracedRecord {
+        record: ExperimentRecord {
+            result,
+            metrics: sim.into_metrics(),
+        },
+        events: Vec::new(),
+        drop_counts,
     }
 }
 

@@ -100,8 +100,8 @@ pub use consensus::{
 };
 pub use delay::DelayModel;
 pub use experiment::{
-    run_experiment, run_experiment_on_graph, run_experiment_recorded, ExperimentParams,
-    ExperimentRecord, ExperimentResult,
+    run_experiment, run_experiment_on_graph, run_experiment_recorded, run_experiment_traced,
+    ExperimentParams, ExperimentRecord, ExperimentResult, TracedRecord,
 };
 pub use invariants::{check_brb, check_brb_processes, BroadcastRecord, Violation};
 pub use metrics::RunMetrics;

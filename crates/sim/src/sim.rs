@@ -26,6 +26,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::mem::{discriminant, Discriminant};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use brb_core::protocol::{ActionBuf, Protocol};
@@ -160,6 +161,17 @@ where
     durable_ids: Vec<BTreeSet<BroadcastId>>,
     /// Number of node restarts executed.
     restarts: u64,
+    /// Structured-trace handle shared with every process ([`Simulation::set_trace_sink`]);
+    /// disabled by default, in which case every emit is a single branch.
+    tracer: brb_trace::Tracer,
+    /// The virtual clock backing the tracer's timestamps, advanced to `now` (in µs)
+    /// before any engine or host emission.
+    trace_clock: Option<Arc<AtomicU64>>,
+    /// Always-on per-process drop accounting, mirroring the live decorators' counter
+    /// registry: frames discarded at send time by churn gating, lossy links or
+    /// Byzantine behaviour. Deterministic for a fixed seed; deliberately kept out of
+    /// [`RunMetrics`] so golden transcripts are unaffected.
+    drop_counts: Vec<brb_trace::DropCounts>,
 }
 
 impl<P: Protocol> Simulation<P>
@@ -197,6 +209,48 @@ where
             durable_deliveries: vec![Vec::new(); n],
             durable_ids: vec![BTreeSet::new(); n],
             restarts: 0,
+            tracer: brb_trace::Tracer::disabled(),
+            trace_clock: None,
+            drop_counts: vec![brb_trace::DropCounts::new(); n],
+        }
+    }
+
+    /// Attaches a structured-trace sink to this run: every process's engine and the
+    /// simulator's own host events (deliveries, frame sends/drops, restarts) emit
+    /// [`brb_trace::TraceEvent`]s stamped with the **virtual** clock, tagged
+    /// [`brb_trace::Backend::Sim`]. Call before injecting broadcasts; attaching is
+    /// idempotent but events are only recorded from the moment of attachment.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn brb_trace::TraceSink>) {
+        let (clock, handle) = brb_trace::Clock::virtual_clock();
+        handle.store(self.now.as_micros(), Ordering::Relaxed);
+        let tracer = brb_trace::Tracer::new(brb_trace::Backend::Sim, clock, sink);
+        for process in &mut self.processes {
+            process.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+        self.trace_clock = Some(handle);
+    }
+
+    /// The tracer shared with every process (disabled unless
+    /// [`Simulation::set_trace_sink`] was called). A restart builder can clone this to
+    /// re-install tracing on freshly built engines — [`Simulation::restart_process`]
+    /// already does so automatically.
+    pub fn tracer(&self) -> &brb_trace::Tracer {
+        &self.tracer
+    }
+
+    /// Per-process drop accounting (send-time churn gating, link loss, Byzantine
+    /// suppression), indexed by process id. Always collected, deterministic for a
+    /// fixed seed, and independent of whether a trace sink is attached.
+    pub fn drop_counts(&self) -> &[brb_trace::DropCounts] {
+        &self.drop_counts
+    }
+
+    /// Advances the tracer's virtual clock to the simulator's current instant.
+    #[inline]
+    fn sync_trace_clock(&self) {
+        if let Some(clock) = &self.trace_clock {
+            clock.store(self.now.as_micros(), Ordering::Relaxed);
         }
     }
 
@@ -338,6 +392,7 @@ where
         let id = BroadcastId::new(source, self.injected_per_source[source]);
         self.injected_per_source[source] += 1;
         self.metrics.record_injection(id, self.now);
+        self.sync_trace_clock();
         let mut actions = std::mem::take(&mut self.actions);
         actions.clear();
         self.processes[source].note_time(self.now.as_micros() / 1_000);
@@ -356,6 +411,7 @@ where
         if !self.behaviors[source].receives() {
             return;
         }
+        self.sync_trace_clock();
         let mut actions = std::mem::take(&mut self.actions);
         actions.clear();
         self.processes[source].note_time(self.now.as_micros() / 1_000);
@@ -426,6 +482,7 @@ where
             batch.push(self.queue.pop().expect("peeked event exists").0);
         }
         self.now = batch_at;
+        self.sync_trace_clock();
         // Network reconfiguration at the start of the instant: churn events due now
         // apply before same-time injections broadcast and message events are delivered.
         let mut churned = 0usize;
@@ -534,7 +591,8 @@ where
             .restart_builder
             .as_mut()
             .expect("a churn schedule with NodeRestart requires Simulation::set_restart_builder");
-        let fresh = builder(process);
+        let mut fresh = builder(process);
+        fresh.set_tracer(self.tracer.clone());
         let old = std::mem::replace(&mut self.processes[process], fresh);
         for delivery in old.deliveries() {
             if self.durable_ids[process].insert(delivery.id) {
@@ -542,6 +600,8 @@ where
             }
         }
         self.restarts += 1;
+        self.tracer
+            .emit_frame(process, brb_trace::TraceEventKind::Restarted);
     }
 
     /// Delivers one event to its destination process and schedules the resulting actions
@@ -577,10 +637,26 @@ where
                     // attempted-send accounting, and it is not counted as sent).
                     // Messages already in flight still arrive.
                     if !self.link_state.allows(from, to) {
+                        self.drop_counts[from].record(brb_trace::DropCause::ChurnGate);
+                        self.tracer.emit_frame(
+                            from,
+                            brb_trace::TraceEventKind::FrameDropped {
+                                to,
+                                cause: brb_trace::DropCause::ChurnGate,
+                            },
+                        );
                         continue;
                     }
                     if let Some(p) = self.link_state.loss_probability(from, to) {
                         if self.rng.gen_bool(p) {
+                            self.drop_counts[from].record(brb_trace::DropCause::Loss);
+                            self.tracer.emit_frame(
+                                from,
+                                brb_trace::TraceEventKind::FrameDropped {
+                                    to,
+                                    cause: brb_trace::DropCause::Loss,
+                                },
+                            );
                             continue;
                         }
                     }
@@ -589,6 +665,14 @@ where
                         behavior.outbound_copies(to, self.sent_per_process[from], &mut self.rng);
                     self.sent_per_process[from] += 1;
                     if copies == 0 {
+                        self.drop_counts[from].record(brb_trace::DropCause::Behavior);
+                        self.tracer.emit_frame(
+                            from,
+                            brb_trace::TraceEventKind::FrameDropped {
+                                to,
+                                cause: brb_trace::DropCause::Behavior,
+                            },
+                        );
                         continue;
                     }
                     let bytes = P::message_size(&message);
@@ -602,6 +686,8 @@ where
                     let extra = SimTime::from_micros(self.link_state.extra_delay_micros(from, to));
                     for _ in 0..copies {
                         self.metrics.record_send(label, bytes);
+                        self.tracer
+                            .emit_frame(from, brb_trace::TraceEventKind::FrameSent { to, bytes });
                         let delay = self.delay.sample(&mut self.rng);
                         let event = Event {
                             at: self.now + delay + extra,
@@ -622,6 +708,12 @@ where
                         continue;
                     }
                     self.metrics.record_delivery(from, delivery.id, self.now);
+                    self.tracer.emit(
+                        from,
+                        delivery.id.source,
+                        delivery.id.seq,
+                        brb_trace::TraceEventKind::Delivered,
+                    );
                     delivered = true;
                 }
             }

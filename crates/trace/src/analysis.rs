@@ -1,0 +1,115 @@
+//! Order-normalized causal sequences and per-broadcast latency breakdowns.
+
+use std::collections::BTreeMap;
+
+use crate::event::{NodeId, TraceEvent, TraceEventKind};
+
+/// The order-normalized causal sequence of a trace: every causal event (see
+/// [`TraceEventKind::is_causal`]) reduced to `(source, seq, kind, node)` and
+/// sorted, discarding timestamps and arrival order. Two backends running the
+/// same seeded scenario must produce identical sequences.
+pub fn causal_sequence(events: &[TraceEvent]) -> Vec<(NodeId, u32, &'static str, NodeId)> {
+    let mut seq: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind.is_causal())
+        .map(|e| (e.source, e.seq, e.kind.name(), e.node))
+        .collect();
+    seq.sort_unstable();
+    seq.dedup();
+    seq
+}
+
+/// Renders a causal sequence one entry per line: `source seq kind node`.
+pub fn render_causal_sequence(seq: &[(NodeId, u32, &'static str, NodeId)]) -> String {
+    let mut out = String::new();
+    for (source, sq, kind, node) in seq {
+        out.push_str(&format!("({source}, {sq}) {kind} @ node {node}\n"));
+    }
+    out
+}
+
+/// Causal latency decomposition of one broadcast instance:
+/// `injection → first hop → threshold → delivery`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Source process of the instance.
+    pub source: NodeId,
+    /// Sequence number of the instance.
+    pub seq: u32,
+    /// When the source injected the broadcast.
+    pub injection_us: u64,
+    /// First protocol event at any node other than the source (first hop).
+    pub first_hop_us: Option<u64>,
+    /// First threshold crossing anywhere (Dolev disjoint set, Bracha ready,
+    /// CPA acceptance).
+    pub threshold_us: Option<u64>,
+    /// Last delivery across all nodes (completion of the broadcast).
+    pub delivery_us: Option<u64>,
+    /// Number of nodes that delivered.
+    pub deliveries: usize,
+}
+
+/// Computes the per-instance breakdown from a raw trace. Instances without an
+/// `Injected` mark (e.g. trace fragments) are skipped. Sorted by `(source, seq)`.
+pub fn latency_breakdown(events: &[TraceEvent]) -> Vec<LatencyBreakdown> {
+    struct Acc {
+        injection: Option<u64>,
+        first_hop: Option<u64>,
+        threshold: Option<u64>,
+        delivery: Option<u64>,
+        deliveries: usize,
+    }
+    let mut by_id: BTreeMap<(NodeId, u32), Acc> = BTreeMap::new();
+    for event in events {
+        if matches!(
+            event.kind,
+            TraceEventKind::FrameSent { .. }
+                | TraceEventKind::FrameDropped { .. }
+                | TraceEventKind::QueueDepth { .. }
+                | TraceEventKind::Restarted
+        ) {
+            continue;
+        }
+        let acc = by_id.entry((event.source, event.seq)).or_insert(Acc {
+            injection: None,
+            first_hop: None,
+            threshold: None,
+            delivery: None,
+            deliveries: 0,
+        });
+        let min_in = |slot: &mut Option<u64>, t: u64| {
+            *slot = Some(slot.map_or(t, |v| v.min(t)));
+        };
+        match event.kind {
+            TraceEventKind::Injected => min_in(&mut acc.injection, event.time_us),
+            TraceEventKind::Delivered => {
+                acc.deliveries += 1;
+                acc.delivery = Some(acc.delivery.map_or(event.time_us, |v| v.max(event.time_us)));
+            }
+            TraceEventKind::DisjointReached { .. }
+            | TraceEventKind::ReadySent
+            | TraceEventKind::CpaAccepted { .. } => min_in(&mut acc.threshold, event.time_us),
+            _ => {}
+        }
+        if event.node != event.source {
+            min_in(&mut acc.first_hop, event.time_us);
+        }
+    }
+    let mut rows: Vec<LatencyBreakdown> = by_id
+        .into_iter()
+        .filter_map(|((source, seq), acc)| {
+            let injection_us = acc.injection?;
+            Some(LatencyBreakdown {
+                source,
+                seq,
+                injection_us,
+                first_hop_us: acc.first_hop,
+                threshold_us: acc.threshold,
+                delivery_us: acc.delivery,
+                deliveries: acc.deliveries,
+            })
+        })
+        .collect();
+    rows.sort_unstable_by_key(|r| (r.source, r.seq));
+    rows
+}

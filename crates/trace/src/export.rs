@@ -1,0 +1,222 @@
+//! Exporters: JSONL (one event object per line) and Chrome trace-event JSON
+//! (loads in Perfetto / `chrome://tracing`), plus schema validators for both.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{TraceEvent, TraceEventKind};
+use crate::json::{parse_json, JsonValue};
+
+/// Renders one event as a single-line JSON object.
+///
+/// Fixed keys: `backend`, `node`, `source`, `seq`, `time_us`, `kind`; variant
+/// payloads are flattened as extra keys (`paths`, `to`, `cause`, `round`, ...).
+pub fn jsonl_line(event: &TraceEvent) -> String {
+    let mut line = format!(
+        "{{\"backend\":\"{}\",\"node\":{},\"source\":{},\"seq\":{},\"time_us\":{},\"kind\":\"{}\"",
+        event.backend.as_str(),
+        event.node,
+        event.source,
+        event.seq,
+        event.time_us,
+        event.kind.name()
+    );
+    match event.kind {
+        TraceEventKind::PathAccumulated { paths } => {
+            let _ = write!(line, ",\"paths\":{paths}");
+        }
+        TraceEventKind::DisjointReached { disjoint } => {
+            let _ = write!(line, ",\"disjoint\":{disjoint}");
+        }
+        TraceEventKind::EchoThreshold { echoes } => {
+            let _ = write!(line, ",\"echoes\":{echoes}");
+        }
+        TraceEventKind::CpaAccepted { witnesses } => {
+            let _ = write!(line, ",\"witnesses\":{witnesses}");
+        }
+        TraceEventKind::ConsensusBv { round, value }
+        | TraceEventKind::ConsensusAux { round, value }
+        | TraceEventKind::ConsensusDecide { round, value } => {
+            let _ = write!(line, ",\"round\":{round},\"value\":{value}");
+        }
+        TraceEventKind::ConsensusCoin { round } => {
+            let _ = write!(line, ",\"round\":{round}");
+        }
+        TraceEventKind::FrameSent { to, bytes } => {
+            let _ = write!(line, ",\"to\":{to},\"bytes\":{bytes}");
+        }
+        TraceEventKind::FrameDropped { to, cause } => {
+            let _ = write!(line, ",\"to\":{to},\"cause\":\"{}\"", cause.as_str());
+        }
+        TraceEventKind::QueueDepth { depth } => {
+            let _ = write!(line, ",\"depth\":{depth}");
+        }
+        TraceEventKind::Injected
+        | TraceEventKind::ReadySent
+        | TraceEventKind::ReadyAmplified
+        | TraceEventKind::Delivered
+        | TraceEventKind::Retired
+        | TraceEventKind::Restarted => {}
+    }
+    line.push('}');
+    line
+}
+
+/// Renders a slice of events as a JSONL document (trailing newline included).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&jsonl_line(event));
+        out.push('\n');
+    }
+    out
+}
+
+/// Validates a JSONL trace against the event schema: every non-empty line must
+/// be a well-formed object carrying the six fixed keys with the right types and
+/// a known `kind`/`backend`. Returns the number of validated events.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    const KINDS: [&str; 17] = [
+        "injected",
+        "path_accumulated",
+        "disjoint_reached",
+        "echo_threshold",
+        "ready_sent",
+        "ready_amplified",
+        "cpa_accepted",
+        "delivered",
+        "retired",
+        "restarted",
+        "consensus_bv",
+        "consensus_aux",
+        "consensus_coin",
+        "consensus_decide",
+        "frame_sent",
+        "frame_dropped",
+        "queue_depth",
+    ];
+    let mut count = 0;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let backend = value
+            .get("backend")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {}: missing string \"backend\"", idx + 1))?;
+        if !matches!(backend, "sim" | "runtime" | "tcp") {
+            return Err(format!("line {}: unknown backend {backend:?}", idx + 1));
+        }
+        for key in ["node", "source", "seq", "time_us"] {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("line {}: missing integer \"{key}\"", idx + 1))?;
+        }
+        let kind = value
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {}: missing string \"kind\"", idx + 1))?;
+        if !KINDS.contains(&kind) {
+            return Err(format!("line {}: unknown kind {kind:?}", idx + 1));
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Renders events as Chrome trace-event JSON: one track (`tid`) per node, an
+/// `X` complete span per `(node, broadcast instance)` from the node's first
+/// sighting of the instance to its delivery, and instant events for every
+/// individual mark. Open the file in Perfetto (`ui.perfetto.dev`) or
+/// `chrome://tracing`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut entries: Vec<String> = Vec::new();
+    let mut nodes: BTreeMap<usize, ()> = BTreeMap::new();
+    // (node, source, seq) -> (first time seen, delivery time)
+    let mut spans: BTreeMap<(usize, usize, u32), (u64, Option<u64>)> = BTreeMap::new();
+
+    for event in events {
+        nodes.entry(event.node).or_default();
+        let instant = format!(
+            "{{\"name\":\"{kind}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"s\":\"t\",\
+             \"args\":{{\"source\":{source},\"seq\":{seq},\"backend\":\"{backend}\"}}}}",
+            kind = event.kind.name(),
+            ts = event.time_us,
+            tid = event.node,
+            source = event.source,
+            seq = event.seq,
+            backend = event.backend.as_str(),
+        );
+        entries.push(instant);
+        // Frame-level events with the (node, 0) sentinel do not open spans.
+        if event.seq != 0 || event.source != event.node || event.kind.is_causal() {
+            let span = spans
+                .entry((event.node, event.source, event.seq))
+                .or_insert((event.time_us, None));
+            span.0 = span.0.min(event.time_us);
+            if matches!(event.kind, TraceEventKind::Delivered) {
+                span.1 = Some(event.time_us);
+            }
+        }
+    }
+
+    for ((node, source, seq), (start, delivered)) in &spans {
+        let Some(end) = delivered else { continue };
+        let dur = end.saturating_sub(*start).max(1);
+        entries.push(format!(
+            "{{\"name\":\"bcast ({source}, {seq})\",\"ph\":\"X\",\"ts\":{start},\"dur\":{dur},\
+             \"pid\":0,\"tid\":{node},\"args\":{{\"source\":{source},\"seq\":{seq}}}}}"
+        ));
+    }
+
+    for node in nodes.keys() {
+        entries.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{node},\
+             \"args\":{{\"name\":\"node {node}\"}}}}"
+        ));
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, entry) in entries.iter().enumerate() {
+        out.push_str(entry);
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Validates a Chrome trace document: well-formed JSON with a `traceEvents`
+/// array whose members all carry `name`/`ph`/`pid`/`tid`. Returns the number
+/// of trace entries.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let value = parse_json(text)?;
+    let entries = value
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"traceEvents\" array")?;
+    for (i, entry) in entries.iter().enumerate() {
+        entry
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("entry {i}: missing \"name\""))?;
+        let ph = entry
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("entry {i}: missing \"ph\""))?;
+        if !matches!(ph, "X" | "i" | "M") {
+            return Err(format!("entry {i}: unexpected phase {ph:?}"));
+        }
+        for key in ["pid", "tid"] {
+            entry
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("entry {i}: missing integer \"{key}\""))?;
+        }
+    }
+    Ok(entries.len())
+}

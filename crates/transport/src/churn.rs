@@ -172,6 +172,9 @@ pub struct ChurnLink<T> {
     /// The sending process (the `from` side of every gating decision).
     id: ProcessId,
     rng: StdRng,
+    /// Drop accounting ([`brb_trace::DropCause::ChurnGate`] / `Loss`); `None` leaves
+    /// drops unobserved.
+    observer: Option<crate::policy::LinkObserver>,
 }
 
 impl<T: Transport> ChurnLink<T> {
@@ -183,7 +186,15 @@ impl<T: Transport> ChurnLink<T> {
             handle,
             id,
             rng: StdRng::seed_from_u64(seed),
+            observer: None,
         }
+    }
+
+    /// Routes this gate's drops into `observer`'s counter registry.
+    #[must_use]
+    pub fn with_observer(mut self, observer: crate::policy::LinkObserver) -> Self {
+        self.observer = Some(observer);
+        self
     }
 }
 
@@ -198,10 +209,16 @@ impl<T: Transport> Transport for ChurnLink<T> {
 
     fn send(&mut self, to: ProcessId, frame: &Bytes, wire_size: usize) -> usize {
         if !self.handle.allows(self.id, to) {
+            if let Some(observer) = &self.observer {
+                observer.frame_dropped(to, brb_trace::DropCause::ChurnGate);
+            }
             return 0;
         }
         if let Some(p) = self.handle.loss_probability(self.id, to) {
             if self.rng.gen_bool(p) {
+                if let Some(observer) = &self.observer {
+                    observer.frame_dropped(to, brb_trace::DropCause::Loss);
+                }
                 return 0;
             }
         }

@@ -8,17 +8,58 @@
 //! thread, and collects the [`NodeReport`]s at shutdown. The deployments themselves are
 //! thereby reduced to *constructors* (wire the links, build the engines, spawn drivers).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use brb_core::stack::{DynEngine, WireAction, WireActionBuf};
 use brb_core::types::{Delivery, Payload, ProcessId};
 use brb_sim::churn::RestartMemory;
 use brb_sim::Behavior;
+use brb_trace::{DropCounts, NodeCounters, TraceEventKind, TraceSink, Tracer};
 use crossbeam::channel::{Receiver, Sender};
 
 use crate::churn::{ChurnHandle, ChurnLink};
-use crate::policy::{DelayedLink, FaultyLink, LinkDelay, LinkPolicy};
+use crate::policy::{DelayedLink, FaultyLink, LinkDelay, LinkObserver, LinkPolicy};
 use crate::transport::Transport;
+
+/// Structured-trace configuration of a live deployment: one shared sink and one shared
+/// **wall-clock** epoch, so every node's events are stamped on the same time base.
+///
+/// Build one per deployment ([`TraceConfig::new`]) and install it with
+/// [`DriverOptions::with_trace`]; each node's driver derives its tracer from it and
+/// threads the handle through its engine and link decorators.
+#[derive(Clone)]
+pub struct TraceConfig {
+    sink: Arc<dyn TraceSink>,
+    backend: brb_trace::Backend,
+    clock: brb_trace::Clock,
+}
+
+impl TraceConfig {
+    /// A trace configuration for `backend` writing to `sink`, with the shared epoch
+    /// anchored at the moment of this call.
+    pub fn new(backend: brb_trace::Backend, sink: Arc<dyn TraceSink>) -> Self {
+        Self {
+            sink,
+            backend,
+            clock: brb_trace::Clock::wall_from_now(),
+        }
+    }
+
+    /// The tracer a node derives from this configuration (all nodes share the sink and
+    /// the epoch).
+    pub fn tracer(&self) -> Tracer {
+        Tracer::new(self.backend, self.clock.clone(), self.sink.clone())
+    }
+}
+
+impl std::fmt::Debug for TraceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceConfig")
+            .field("backend", &self.backend)
+            .finish_non_exhaustive()
+    }
+}
 
 /// Commands a deployment sends to one of its node drivers.
 #[derive(Debug, Clone)]
@@ -85,6 +126,11 @@ pub struct DriverOptions {
     /// ordering), and per-link delay overrides ride the delay line. The deployment is
     /// responsible for spawning the pacer ([`ChurnHandle::spawn_pacer`]).
     pub churn: Option<ChurnHandle>,
+    /// Structured-trace configuration: when set, every node's engine and link
+    /// decorators emit [`brb_trace::TraceEvent`]s into the shared sink, stamped with
+    /// wall-clock microseconds since the config's epoch. `None` — the default — keeps
+    /// tracing disabled (a single branch per would-be event).
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for DriverOptions {
@@ -99,6 +145,7 @@ impl Default for DriverOptions {
             link_delay: LinkDelay::None,
             gc: None,
             churn: None,
+            trace: None,
         }
     }
 }
@@ -133,6 +180,22 @@ impl DriverOptions {
     pub fn with_churn(mut self, churn: ChurnHandle) -> Self {
         self.churn = Some(churn);
         self
+    }
+
+    /// Returns a copy with structured tracing enabled on every node (see
+    /// [`TraceConfig`]).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The tracer resolved for every node: derived from [`DriverOptions::trace`] when
+    /// set, disabled otherwise.
+    pub fn tracer(&self) -> Tracer {
+        self.trace
+            .as_ref()
+            .map(TraceConfig::tracer)
+            .unwrap_or_default()
     }
 
     /// The behavior assigned to `process` (the last matching entry wins).
@@ -170,33 +233,52 @@ impl DriverOptions {
     /// `Send` action, so a gated frame advances no behavior counter and samples no
     /// delay.
     pub fn decorate(&self, process: ProcessId, base: Box<dyn Transport>) -> Box<dyn Transport> {
+        self.decorate_observed(process, base, None)
+    }
+
+    /// [`DriverOptions::decorate`] with every decorator's drop/occupancy accounting
+    /// routed into `observer` (what [`NodeDriver::new`] installs).
+    pub fn decorate_observed(
+        &self,
+        process: ProcessId,
+        base: Box<dyn Transport>,
+        observer: Option<LinkObserver>,
+    ) -> Box<dyn Transport> {
         let seed = self.seed.wrapping_add(process as u64);
         let Some(handle) = &self.churn else {
-            return self.policy_of(process).decorate(base, seed);
+            return self
+                .policy_of(process)
+                .decorate_observed(base, seed, observer);
         };
         let policy = self.policy_of(process);
-        let mut transport: Box<dyn Transport> = Box::new(DelayedLink::with_churn(
-            base,
-            policy.delay.clone(),
-            seed,
-            handle.clone(),
-            process,
-        ));
+        let line = match &observer {
+            Some(obs) => DelayedLink::observed(base, policy.delay.clone(), seed, obs.clone()),
+            None => DelayedLink::new(base, policy.delay.clone(), seed),
+        };
+        let mut transport: Box<dyn Transport> = Box::new(line.churned(handle.clone(), process));
         if policy.behavior.is_byzantine() {
             // The same distinct stream LinkPolicy::decorate derives, so a behavior's
             // drop decisions do not move when churn is enabled.
-            transport = Box::new(FaultyLink::new(
+            let mut faulty = FaultyLink::new(
                 transport,
                 policy.behavior.clone(),
                 seed ^ 0x5EED_B44A_D001_CAFE,
-            ));
+            );
+            if let Some(obs) = &observer {
+                faulty = faulty.with_observer(obs.clone());
+            }
+            transport = Box::new(faulty);
         }
-        Box::new(ChurnLink::new(
+        let mut gate = ChurnLink::new(
             transport,
             handle.clone(),
             process,
             seed ^ 0xC4C4_D70B_1055_CAFE,
-        ))
+        );
+        if let Some(obs) = observer {
+            gate = gate.with_observer(obs);
+        }
+        Box::new(gate)
     }
 }
 
@@ -219,6 +301,13 @@ pub struct NodeReport {
     pub gc_retired: u64,
     /// Number of [`Command::Restart`]s the node carried out.
     pub restarts: u64,
+    /// Frames the node's link decorators discarded, broken down by cause (churn
+    /// gating, loss overrides, Byzantine behavior, non-neighbor sends). Engines'
+    /// GC-retired ingress drops surface only in the trace, not here — they are
+    /// receive-side.
+    pub drops_by_cause: DropCounts,
+    /// Peak occupancy of the node's delay line (0 without a [`LinkDelay`] that queues).
+    pub queue_depth_peak: u64,
     /// The node's consensus decision, when the deployment ran binary consensus over
     /// BRB (`brb-consensus`). The driver itself never sets this — it reports `None`
     /// and the consensus harness patches the field in from the engines'
@@ -295,6 +384,10 @@ pub struct NodeDriver {
     retired_before: u64,
     /// Number of restarts carried out.
     restarts: u64,
+    /// The node's always-on counter registry, shared with its link decorators.
+    counters: Arc<NodeCounters>,
+    /// The node's tracer (disabled unless [`DriverOptions::trace`] was set).
+    tracer: Tracer,
 }
 
 impl NodeDriver {
@@ -314,10 +407,14 @@ impl NodeDriver {
         if let Some(gc) = options.gc {
             engine.set_gc_policy(gc);
         }
+        let tracer = options.tracer();
+        engine.set_tracer(tracer.clone());
+        let counters = Arc::new(NodeCounters::default());
+        let observer = LinkObserver::new(id, counters.clone(), tracer.clone());
         Self {
             engine,
             actions: WireActionBuf::new(),
-            transport: options.decorate(id, transport),
+            transport: options.decorate_observed(id, transport, Some(observer)),
             commands,
             deliveries,
             idle_shutdown: options.idle_shutdown,
@@ -328,6 +425,8 @@ impl NodeDriver {
             gc: options.gc,
             retired_before: 0,
             restarts: 0,
+            counters,
+            tracer,
         }
     }
 
@@ -363,9 +462,12 @@ impl NodeDriver {
         if let Some(gc) = self.gc {
             fresh.set_gc_policy(gc);
         }
+        fresh.set_tracer(self.tracer.clone());
         self.actions.clear();
         self.engine = fresh;
         self.restarts += 1;
+        self.tracer
+            .emit_frame(self.engine.process_id(), TraceEventKind::Restarted);
     }
 
     /// Runs the node to completion (shutdown command or channel disconnection) and
@@ -437,6 +539,8 @@ impl NodeDriver {
             state_bytes: self.engine.state_bytes(),
             gc_retired: self.retired_before + self.engine.gc_retired(),
             restarts: self.restarts,
+            drops_by_cause: self.counters.drops(),
+            queue_depth_peak: self.counters.queue_depth_peak(),
             decision: None,
         }
     }
@@ -457,6 +561,19 @@ impl NodeDriver {
                     let copies = self.transport.send(to, &frame, wire_size);
                     *messages_sent += copies;
                     *bytes_sent += wire_size * copies;
+                    self.counters.record_sends(copies as u64);
+                    if self.tracer.is_enabled() {
+                        let id = self.engine.process_id();
+                        for _ in 0..copies {
+                            self.tracer.emit_frame(
+                                id,
+                                TraceEventKind::FrameSent {
+                                    to,
+                                    bytes: wire_size,
+                                },
+                            );
+                        }
+                    }
                 }
                 WireAction::Deliver(delivery) => {
                     // A rebuilt engine may re-deliver an instance the node already
@@ -465,7 +582,14 @@ impl NodeDriver {
                     if self.memory.suppresses(delivery.id) {
                         continue;
                     }
-                    let _ = self.deliveries.send((self.engine.process_id(), delivery));
+                    let id = self.engine.process_id();
+                    self.tracer.emit(
+                        id,
+                        delivery.id.source,
+                        delivery.id.seq,
+                        TraceEventKind::Delivered,
+                    );
+                    let _ = self.deliveries.send((id, delivery));
                 }
             }
         }
@@ -615,6 +739,8 @@ mod tests {
                     state_bytes: 0,
                     gc_retired: 0,
                     restarts: 0,
+                    drops_by_cause: DropCounts::new(),
+                    queue_depth_peak: 0,
                     decision: None,
                 },
                 NodeReport {
@@ -625,6 +751,8 @@ mod tests {
                     state_bytes: 0,
                     gc_retired: 0,
                     restarts: 0,
+                    drops_by_cause: DropCounts::new(),
+                    queue_depth_peak: 0,
                     decision: None,
                 },
             ],

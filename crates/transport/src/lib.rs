@@ -82,7 +82,7 @@ pub mod policy;
 pub mod transport;
 
 pub use churn::{ChurnHandle, ChurnLink};
-pub use driver::{Command, DeploymentReport, DriverOptions, NodeDriver, NodeReport};
+pub use driver::{Command, DeploymentReport, DriverOptions, NodeDriver, NodeReport, TraceConfig};
 pub use link::{build_links, AuthenticatedSender, Frame, Mailbox};
-pub use policy::{DelayedLink, FaultyLink, LinkDelay, LinkPolicy};
+pub use policy::{DelayedLink, FaultyLink, LinkDelay, LinkObserver, LinkPolicy};
 pub use transport::{ChannelTransport, Transport};

@@ -23,10 +23,12 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use brb_core::types::ProcessId;
 use brb_sim::{Behavior, DelayModel};
+use brb_trace::{DropCause, NodeCounters, TraceEventKind, Tracer};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
@@ -35,6 +37,57 @@ use rand::{Rng, SeedableRng};
 use crate::churn::ChurnHandle;
 use crate::link::Frame;
 use crate::transport::Transport;
+
+/// Observability handles threaded through one node's link decorators: the always-on
+/// counter registry (drop accounting by cause, delay-line occupancy peaks) plus the
+/// node's structured tracer (disabled unless the deployment attached a sink).
+///
+/// Cheap to clone — an [`Arc`] and a [`Tracer`] handle — so every decorator in a
+/// node's stack shares the same registry.
+#[derive(Debug, Clone)]
+pub struct LinkObserver {
+    node: ProcessId,
+    counters: Arc<NodeCounters>,
+    tracer: Tracer,
+}
+
+impl LinkObserver {
+    /// Binds the observer for `node` to a shared counter registry and tracer.
+    pub fn new(node: ProcessId, counters: Arc<NodeCounters>, tracer: Tracer) -> Self {
+        Self {
+            node,
+            counters,
+            tracer,
+        }
+    }
+
+    /// A free-standing observer for `node`: fresh counters, tracing disabled (what a
+    /// decorator built outside a [`crate::NodeDriver`] gets).
+    pub fn detached(node: ProcessId) -> Self {
+        Self::new(node, Arc::new(NodeCounters::default()), Tracer::disabled())
+    }
+
+    /// The shared counter registry.
+    pub fn counters(&self) -> &Arc<NodeCounters> {
+        &self.counters
+    }
+
+    /// Records one dropped frame: bumps the per-cause counter and emits a
+    /// [`TraceEventKind::FrameDropped`] when tracing is attached.
+    pub fn frame_dropped(&self, to: ProcessId, cause: DropCause) {
+        self.counters.record_drop(cause);
+        self.tracer
+            .emit_frame(self.node, TraceEventKind::FrameDropped { to, cause });
+    }
+
+    /// Records the delay line's current occupancy (peak-tracked; also emitted as a
+    /// [`TraceEventKind::QueueDepth`] event when tracing is attached).
+    pub fn queue_depth(&self, depth: usize) {
+        self.counters.note_queue_depth(depth as u64);
+        self.tracer
+            .emit_frame(self.node, TraceEventKind::QueueDepth { depth });
+    }
+}
 
 /// Per-frame transmission delay applied by a [`DelayedLink`].
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -92,18 +145,39 @@ impl LinkPolicy {
     /// (the driver uses `options.seed + process id`) so jitter and drop decisions are
     /// uncorrelated across processes but reproducible per deployment.
     pub fn decorate(&self, base: Box<dyn Transport>, seed: u64) -> Box<dyn Transport> {
+        self.decorate_observed(base, seed, None)
+    }
+
+    /// [`LinkPolicy::decorate`] with the decorators' drop/occupancy accounting routed
+    /// into `observer` (what [`crate::NodeDriver`] installs, so a `NodeReport` can
+    /// break drops down by cause).
+    pub fn decorate_observed(
+        &self,
+        base: Box<dyn Transport>,
+        seed: u64,
+        observer: Option<LinkObserver>,
+    ) -> Box<dyn Transport> {
         let mut transport = base;
         if !self.delay.is_none() {
-            transport = Box::new(DelayedLink::new(transport, self.delay.clone(), seed));
+            transport = Box::new(match &observer {
+                Some(obs) => {
+                    DelayedLink::observed(transport, self.delay.clone(), seed, obs.clone())
+                }
+                None => DelayedLink::new(transport, self.delay.clone(), seed),
+            });
         }
         if self.behavior.is_byzantine() {
             // A distinct stream from the jitter RNG, so enabling a delay model does not
             // shift which frames a Lossy behavior drops.
-            transport = Box::new(FaultyLink::new(
+            let mut faulty = FaultyLink::new(
                 transport,
                 self.behavior.clone(),
                 seed ^ 0x5EED_B44A_D001_CAFE,
-            ));
+            );
+            if let Some(obs) = &observer {
+                faulty = faulty.with_observer(obs.clone());
+            }
+            transport = Box::new(faulty);
         }
         transport
     }
@@ -119,6 +193,8 @@ pub struct FaultyLink<T> {
     /// [`Behavior::outbound_copies`], driving [`Behavior::FailsAfter`]).
     attempted: usize,
     rng: StdRng,
+    /// Drop accounting ([`DropCause::Behavior`]); `None` leaves drops unobserved.
+    observer: Option<LinkObserver>,
 }
 
 impl<T: Transport> FaultyLink<T> {
@@ -129,7 +205,15 @@ impl<T: Transport> FaultyLink<T> {
             behavior,
             attempted: 0,
             rng: StdRng::seed_from_u64(seed),
+            observer: None,
         }
+    }
+
+    /// Routes this link's behaviour-caused drops into `observer`'s counter registry.
+    #[must_use]
+    pub fn with_observer(mut self, observer: LinkObserver) -> Self {
+        self.observer = Some(observer);
+        self
     }
 }
 
@@ -147,6 +231,12 @@ impl<T: Transport> Transport for FaultyLink<T> {
             .behavior
             .outbound_copies(to, self.attempted, &mut self.rng);
         self.attempted += 1;
+        if copies == 0 {
+            if let Some(observer) = &self.observer {
+                observer.frame_dropped(to, DropCause::Behavior);
+            }
+            return 0;
+        }
         let mut transmitted = 0;
         for _ in 0..copies {
             transmitted += self.inner.send(to, frame, wire_size);
@@ -187,6 +277,9 @@ pub struct DelayedLink {
     /// (added on top of the sampled delay, exactly like the simulator adds the override
     /// to each copy's sampled delay).
     churn: Option<(ChurnHandle, ProcessId)>,
+    /// Drop accounting for non-neighbor sends ([`DropCause::NonNeighbor`]); the
+    /// forwarder thread holds its own clone for the occupancy peaks.
+    observer: Option<LinkObserver>,
 }
 
 /// One frame in flight on the delay line, ordered by `(due, seq)`.
@@ -222,15 +315,43 @@ impl PartialOrd for Queued {
 impl DelayedLink {
     /// Wraps `inner` with the given delay; `seed` fixes the jitter stream (the old node
     /// loops seeded it with `options.seed + process id`, and so does the driver).
-    pub fn new<T: Transport + 'static>(mut inner: T, delay: LinkDelay, seed: u64) -> Self {
+    pub fn new<T: Transport + 'static>(inner: T, delay: LinkDelay, seed: u64) -> Self {
+        Self::build(inner, delay, seed, None)
+    }
+
+    /// Like [`DelayedLink::new`], but with non-neighbor drops and delay-line occupancy
+    /// routed into `observer`'s counter registry.
+    pub fn observed<T: Transport + 'static>(
+        inner: T,
+        delay: LinkDelay,
+        seed: u64,
+        observer: LinkObserver,
+    ) -> Self {
+        Self::build(inner, delay, seed, Some(observer))
+    }
+
+    fn build<T: Transport + 'static>(
+        mut inner: T,
+        delay: LinkDelay,
+        seed: u64,
+        observer: Option<LinkObserver>,
+    ) -> Self {
         let inbound = inner.inbound().clone();
         let peers = inner.peers();
         let (line, queue) = unbounded::<Queued>();
+        let line_observer = observer.clone();
         std::thread::spawn(move || {
             // Earliest deadline first, enqueue order on ties; the forwarder sleeps only
             // until the *earliest* pending deadline, so a short-sampled frame never
             // waits behind a long-sampled one that entered the line before it.
             let mut pending: BinaryHeap<Reverse<Queued>> = BinaryHeap::new();
+            // Peak occupancy of the line (Sec. satellite accounting): measured on every
+            // enqueue, where the heap is at its largest.
+            let note_depth = |pending: &BinaryHeap<Reverse<Queued>>| {
+                if let Some(observer) = &line_observer {
+                    observer.queue_depth(pending.len());
+                }
+            };
             loop {
                 match pending.peek() {
                     Some(Reverse(next)) => {
@@ -241,13 +362,19 @@ impl DelayedLink {
                             continue;
                         }
                         match queue.recv_timeout(next.due - now) {
-                            Ok(item) => pending.push(Reverse(item)),
+                            Ok(item) => {
+                                pending.push(Reverse(item));
+                                note_depth(&pending);
+                            }
                             Err(RecvTimeoutError::Timeout) => {}
                             Err(RecvTimeoutError::Disconnected) => break,
                         }
                     }
                     None => match queue.recv() {
-                        Ok(item) => pending.push(Reverse(item)),
+                        Ok(item) => {
+                            pending.push(Reverse(item));
+                            note_depth(&pending);
+                        }
                         Err(_) => break,
                     },
                 }
@@ -270,6 +397,7 @@ impl DelayedLink {
             rng: StdRng::seed_from_u64(seed),
             next_seq: 0,
             churn: None,
+            observer,
         }
     }
 
@@ -285,9 +413,15 @@ impl DelayedLink {
         handle: ChurnHandle,
         id: ProcessId,
     ) -> Self {
-        let mut link = Self::new(inner, delay, seed);
-        link.churn = Some((handle, id));
-        link
+        Self::new(inner, delay, seed).churned(handle, id)
+    }
+
+    /// Adds the churn schedule's per-directed-link delay overrides to an already built
+    /// line (composes with [`DelayedLink::observed`]).
+    #[must_use]
+    pub fn churned(mut self, handle: ChurnHandle, id: ProcessId) -> Self {
+        self.churn = Some((handle, id));
+        self
     }
 
     /// Samples one transmission delay.
@@ -324,6 +458,9 @@ impl Transport for DelayedLink {
         // forwarder, whose return value would arrive too late for the accounting — so a
         // delayed transport reports the same copy counts as an undelayed one.
         if !self.peers.contains(&to) {
+            if let Some(observer) = &self.observer {
+                observer.frame_dropped(to, DropCause::NonNeighbor);
+            }
             return 0;
         }
         let extra = match &self.churn {

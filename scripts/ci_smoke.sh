@@ -20,7 +20,9 @@
 # geometric / expander topology-family rows, and the consensus-over-BRB matrix
 # (--consensus), so it also covers the binary-consensus decision-round /
 # rounds-percentile / BRB-instance / instance-GC rows driven through the same
-# deterministic sweep engine.
+# deterministic sweep engine, and the structured-trace matrix (--trace), so it also
+# covers the per-broadcast causal latency breakdown and drops-by-cause rows computed
+# from the brb-trace event stream on the simulator's virtual clock.
 #
 # Usage: scripts/ci_smoke.sh [output-dir]
 set -euo pipefail
@@ -31,10 +33,10 @@ mkdir -p "$out"
 # Time-box each run: the quick preset finishes in well under a minute on CI hardware,
 # so ten minutes signals a hang rather than a slow machine.
 timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
-    --quick --workload --behaviors --churn --consensus --workers 1 \
+    --quick --workload --behaviors --churn --consensus --trace --workers 1 \
     --csv "$out/sweep_w1.csv" > "$out/stdout_w1.txt"
 timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
-    --quick --workload --behaviors --churn --consensus --workers 4 \
+    --quick --workload --behaviors --churn --consensus --trace --workers 4 \
     --csv "$out/sweep_w4.csv" > "$out/stdout_w4.txt"
 
 if ! diff -u "$out/sweep_w1.csv" "$out/sweep_w4.csv"; then
@@ -102,7 +104,24 @@ for scenario in unanimous1 split random split-flip; do
     fi
 done
 
-echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows, $workload_rows workload rows, $behavior_rows behavior rows incl. the lossy runs, $churn_rows churn rows, $families_rows topology-family rows, $consensus_rows consensus rows)"
+trace_rows=$(grep -c "^trace," "$out/sweep_w1.csv" || true)
+trace_drop_rows=$(grep -c "^trace_drops," "$out/sweep_w1.csv" || true)
+if [ "$trace_rows" -lt 3 ]; then
+    echo "FAIL: expected >= 3 trace breakdown rows (one per scenario), found $trace_rows — did --trace run?" >&2
+    exit 1
+fi
+if [ "$trace_drop_rows" -lt 15 ]; then
+    echo "FAIL: expected >= 15 trace_drops rows (3 scenarios x 5 causes), found $trace_drop_rows" >&2
+    exit 1
+fi
+for cause in loss churn_gate behavior gc_retired non_neighbor; do
+    if ! grep -q "^trace_drops,.*,$cause," "$out/sweep_w1.csv"; then
+        echo "FAIL: no trace_drops row for cause $cause" >&2
+        exit 1
+    fi
+done
+
+echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows, $workload_rows workload rows, $behavior_rows behavior rows incl. the lossy runs, $churn_rows churn rows, $families_rows topology-family rows, $consensus_rows consensus rows, $trace_rows trace + $trace_drop_rows trace_drops rows)"
 
 # Second stack: the same harnesses, parameters and topologies, but running the plain
 # Bracha-over-routed-Dolev stack through the boxed DynEngine path.
@@ -122,10 +141,10 @@ if diff -q "$out/sweep_w1.csv" "$out/sweep_brd.csv" > /dev/null; then
     echo "FAIL: the two stacks produced identical CSVs — the --stack flag is inert" >&2
     exit 1
 fi
-# The second stack runs without --workload/--behaviors/--churn/--consensus; compare
+# The second stack runs without --workload/--behaviors/--churn/--consensus/--trace; compare
 # only the shared rows (the topology-family rows are unconditional, so they appear in
 # both runs).
-base_rows=$((rows - workload_rows - behavior_rows - churn_rows - consensus_rows))
+base_rows=$((rows - workload_rows - behavior_rows - churn_rows - consensus_rows - trace_rows - trace_drop_rows))
 if [ "$(wc -l < "$out/sweep_brd.csv")" != "$base_rows" ]; then
     echo "FAIL: the two stacks swept a different number of data points" >&2
     exit 1
@@ -163,3 +182,14 @@ for field in mean_ms decision_value decision_round rounds_driven instances gc_re
 done
 
 echo "OK: BENCH_consensus.json written (consensus invariants asserted by the benchmark binary)"
+
+# Structured-trace study: the same seeded adversarial scenario on the simulator, the
+# channel runtime and TCP must produce identical order-normalized causal event
+# sequences (asserted inside the example), and the emitted JSONL + Chrome trace-event
+# artifacts must validate against the brb-trace event schema.
+timeout 600 cargo run --release --example trace_study -- "$out" > "$out/stdout_trace_study.txt"
+timeout 600 cargo run --release -p brb-bench --bin trace_validate -- \
+    --jsonl "$out/trace_study.jsonl" --chrome "$out/trace_study_chrome.json" \
+    > "$out/stdout_trace_validate.txt"
+
+echo "OK: trace_study causal sequences identical across backends; emitted trace artifacts validate"

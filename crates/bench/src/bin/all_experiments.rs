@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p brb-bench --bin all_experiments [-- --quick] [-- --async]
 //! [-- --workers N] [-- --stack NAME] [-- --csv PATH] [-- --workload] [-- --behaviors]
-//! [-- --churn] [-- --consensus] [-- --trace]`
+//! [-- --churn] [-- --consensus] [-- --trace] [-- --saturation]`
 //!
 //! The unconditional run also sweeps the non-regular topology families (planar grid,
 //! geometric random graph, bounded-degree expander) across the paper's
@@ -40,6 +40,13 @@
 //! frame-drop totals in the `trace_drops` section. Both are functions of the virtual
 //! clock, so they participate in the 1-vs-4-worker byte-equality diff.
 //!
+//! `--saturation` additionally runs the open-loop saturation ramp (descending
+//! inter-arrival intervals on the simulator; see `brb_bench::saturation`), emitting
+//! per-point offered rate, throughput, `p50`/`p99` latency, completion counts and the
+//! knee flag in the `saturation` CSV section. Virtual time never collapses, so the
+//! section pins the ramp's shape deterministically; the wall-clock knee comparison
+//! (batching + sharding on vs off) lives in the `bench_saturation` binary.
+//!
 //! `--stack NAME` selects the protocol stack every harness sweeps (default `bd`, the
 //! paper's Bracha–Dolev combination; see `brb_core::stack::StackSpec` for the other
 //! names), so table/figure baselines can be regenerated per stack. The chosen stack is
@@ -54,8 +61,8 @@ use std::fmt::Write as _;
 
 use brb_bench::{
     async_from_args, behaviors, behaviors_from_args, churn, churn_from_args, consensus,
-    consensus_from_args, figures, stack_from_args, table1, trace, trace_from_args,
-    workers_from_args, workload, workload_from_args, Scale,
+    consensus_from_args, figures, saturation, saturation_from_args, stack_from_args, table1,
+    trace, trace_from_args, workers_from_args, workload, workload_from_args, Scale,
 };
 
 /// Fixed-format float rendering used for every CSV cell, so the file is a pure function
@@ -184,6 +191,25 @@ fn main() {
                 p.stats.completed,
                 p.stats.gc_retired,
                 p.stats.retained_bytes
+            );
+        }
+    }
+
+    if saturation_from_args(&args) {
+        println!("==============================================================");
+        for p in saturation::run_saturation_sweep(scale, asynchronous, workers, stack) {
+            let _ = writeln!(
+                csv,
+                "saturation,{stack},,{},{},{},{},{},{},{},{},{}",
+                p.label,
+                p.interval_micros,
+                cell(p.offered_per_sec),
+                cell(p.stats.throughput_per_sec()),
+                cell(p.stats.p50_ms()),
+                cell(p.stats.p99_ms()),
+                p.stats.completed,
+                p.stats.injected,
+                u64::from(p.knee),
             );
         }
     }

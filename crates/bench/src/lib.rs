@@ -30,6 +30,7 @@ pub mod churn;
 pub mod consensus;
 pub mod figures;
 pub mod json;
+pub mod saturation;
 pub mod table1;
 pub mod trace;
 pub mod workload;
@@ -103,6 +104,12 @@ pub fn consensus_from_args(args: &[String]) -> bool {
 /// (`--trace`; see [`trace::run_trace_matrix`]).
 pub fn trace_from_args(args: &[String]) -> bool {
     args.iter().any(|a| a == "--trace")
+}
+
+/// Whether the saturation ramp was requested on the command line
+/// (`--saturation`; see [`saturation::run_saturation_sweep`]).
+pub fn saturation_from_args(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--saturation")
 }
 
 /// Parses the `--stack NAME` / `--stack=NAME` command-line option (defaults to the

@@ -375,6 +375,14 @@ pub fn encode_bracha(message: &BrachaMessage) -> Payload {
 /// [`crate::stack`] so neither path pays a second copy.
 pub(crate) fn encode_bracha_frame(message: &BrachaMessage) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(13 + message.payload.len());
+    encode_bracha_frame_into(message, &mut bytes);
+    bytes
+}
+
+/// Appends the frame encoding to an existing buffer — the arena-backed encode path of
+/// the `BrachaMessage` wire codec, which stages a whole burst of frames in one
+/// allocation instead of one `Vec` per frame.
+pub(crate) fn encode_bracha_frame_into(message: &BrachaMessage, bytes: &mut Vec<u8>) {
     bytes.push(match message.kind {
         BrachaKind::Send => 0u8,
         BrachaKind::Echo => 1,
@@ -384,7 +392,6 @@ pub(crate) fn encode_bracha_frame(message: &BrachaMessage) -> Vec<u8> {
     bytes.extend_from_slice(&message.id.seq.to_be_bytes());
     bytes.extend_from_slice(&(message.payload.len() as u32).to_be_bytes());
     bytes.extend_from_slice(message.payload.as_bytes());
-    bytes
 }
 
 /// Decodes an RC payload produced by [`encode_bracha`]. Returns `None` on any malformed

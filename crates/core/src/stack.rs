@@ -54,7 +54,7 @@ use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes};
 use serde::{Deserialize, Serialize};
 
 use crate::bd::BdProcess;
@@ -67,7 +67,7 @@ use crate::dolev::{DolevMessage, DolevProcess};
 use crate::dolev_routed::{RoutedDolev, RoutedDolevMessage};
 use crate::protocol::{ActionBuf, Protocol};
 use crate::types::{Action, BroadcastId, Content, Delivery, Payload, ProcessId};
-use crate::wire::WireMessage;
+use crate::wire::{WireArena, WireMessage};
 use brb_graph::Graph;
 
 // ---------------------------------------------------------------------------
@@ -85,14 +85,40 @@ use brb_graph::Graph;
 /// masks, explicit lengths). Drivers account traffic with `message_size`, not with
 /// `encode_wire().len()`.
 pub trait WireCodec: Sized {
-    /// Encodes the message into a self-contained binary frame.
-    fn encode_wire(&self) -> Bytes;
+    /// Appends the message's self-contained binary frame to `buf` — the arena-backed
+    /// encode path: a whole burst of frames stages into one buffer, so the steady state
+    /// allocates nothing per frame (see [`crate::wire::WireArena`]).
+    fn encode_into(&self, buf: &mut Vec<u8>);
+
+    /// Encodes the message into a self-contained binary frame (one fresh allocation;
+    /// hosts on the hot path use [`WireCodec::encode_into`] through an arena instead).
+    fn encode_wire(&self) -> Bytes {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        Bytes::from(buf)
+    }
 
     /// Decodes a frame produced by [`WireCodec::encode_wire`]; `None` if malformed.
     fn decode_wire(frame: &[u8]) -> Option<Self>;
+
+    /// Reads just the [`BroadcastId`] an encoded frame refers to, without a full
+    /// decode — the instance-sharding router's partition key. Returns `None` for frames
+    /// too short to carry the identifier (a full decode would reject them anyway).
+    fn peek_broadcast_id(frame: &[u8]) -> Option<BroadcastId>;
+}
+
+/// Reads a big-endian `u32` at byte offset `at`, if the frame is long enough.
+fn peek_u32(frame: &[u8], at: usize) -> Option<u32> {
+    frame
+        .get(at..at + 4)
+        .map(|b| u32::from_be_bytes(b.try_into().expect("4 bytes")))
 }
 
 impl WireCodec for WireMessage {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        WireMessage::encode_into(self, buf)
+    }
+
     fn encode_wire(&self) -> Bytes {
         self.encode()
     }
@@ -100,28 +126,47 @@ impl WireCodec for WireMessage {
     fn decode_wire(frame: &[u8]) -> Option<Self> {
         WireMessage::decode(frame)
     }
+
+    fn peek_broadcast_id(frame: &[u8]) -> Option<BroadcastId> {
+        // Layout: tag (1 B), presence mask (1 B), then the always-encoded identifiers.
+        let source = peek_u32(frame, 2)? as ProcessId;
+        Some(BroadcastId::new(source, peek_u32(frame, 6)?))
+    }
 }
 
 impl WireCodec for BrachaMessage {
-    fn encode_wire(&self) -> Bytes {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
         // Reuses the RC-payload framing of `bracha_rc`: kind, source, bid, size, payload.
+        crate::bracha_rc::encode_bracha_frame_into(self, buf)
+    }
+
+    fn encode_wire(&self) -> Bytes {
         Bytes::from(encode_bracha_frame(self))
     }
 
     fn decode_wire(frame: &[u8]) -> Option<Self> {
         decode_bracha_frame(frame)
     }
+
+    fn peek_broadcast_id(frame: &[u8]) -> Option<BroadcastId> {
+        // Layout: kind (1 B), source, bid.
+        let source = peek_u32(frame, 1)? as ProcessId;
+        Some(BroadcastId::new(source, peek_u32(frame, 5)?))
+    }
 }
 
 impl WireCodec for CpaMessage {
-    fn encode_wire(&self) -> Bytes {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
         let payload = &self.content.payload;
-        let mut buf = BytesMut::with_capacity(12 + payload.len());
         buf.put_u32(self.content.id.source as u32);
         buf.put_u32(self.content.id.seq);
         buf.put_u32(payload.len() as u32);
         buf.put_slice(payload.as_bytes());
-        buf.freeze()
+    }
+
+    fn peek_broadcast_id(frame: &[u8]) -> Option<BroadcastId> {
+        let source = peek_u32(frame, 0)? as ProcessId;
+        Some(BroadcastId::new(source, peek_u32(frame, 4)?))
     }
 
     fn decode_wire(mut frame: &[u8]) -> Option<Self> {
@@ -144,9 +189,8 @@ impl WireCodec for CpaMessage {
 }
 
 impl WireCodec for DolevMessage {
-    fn encode_wire(&self) -> Bytes {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
         let payload = &self.content.payload;
-        let mut buf = BytesMut::with_capacity(14 + payload.len() + 4 * self.path.len());
         buf.put_u32(self.content.id.source as u32);
         buf.put_u32(self.content.id.seq);
         buf.put_u32(payload.len() as u32);
@@ -155,7 +199,11 @@ impl WireCodec for DolevMessage {
         for &p in &self.path {
             buf.put_u32(p as u32);
         }
-        buf.freeze()
+    }
+
+    fn peek_broadcast_id(frame: &[u8]) -> Option<BroadcastId> {
+        let source = peek_u32(frame, 0)? as ProcessId;
+        Some(BroadcastId::new(source, peek_u32(frame, 4)?))
     }
 
     fn decode_wire(mut frame: &[u8]) -> Option<Self> {
@@ -189,8 +237,7 @@ impl WireCodec for DolevMessage {
 }
 
 impl WireCodec for RoutedDolevMessage {
-    fn encode_wire(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(16 + self.payload.len() + 4 * self.route.len());
+    fn encode_into(&self, buf: &mut Vec<u8>) {
         buf.put_u32(self.origin as u32);
         buf.put_u32(self.seq);
         buf.put_u32(self.payload.len() as u32);
@@ -200,7 +247,11 @@ impl WireCodec for RoutedDolevMessage {
         for &p in &self.route {
             buf.put_u32(p as u32);
         }
-        buf.freeze()
+    }
+
+    fn peek_broadcast_id(frame: &[u8]) -> Option<BroadcastId> {
+        let origin = peek_u32(frame, 0)? as ProcessId;
+        Some(BroadcastId::new(origin, peek_u32(frame, 4)?))
     }
 
     fn decode_wire(mut frame: &[u8]) -> Option<Self> {
@@ -366,6 +417,18 @@ pub trait DynEngine: Send {
     /// decorators like `brb-consensus`'s engine — keep compiling and simply stay
     /// silent until they opt in.
     fn set_tracer(&mut self, _tracer: brb_trace::Tracer) {}
+
+    /// Reads just the [`BroadcastId`] an inbound frame refers to, without mutating the
+    /// engine or fully decoding the frame — the partition key a sharding host hashes to
+    /// route independent broadcast instances to worker engines.
+    ///
+    /// **Defaulted** to `None` (route everything to the primary engine), so decorator
+    /// engines outside this crate keep compiling; the stacks built by
+    /// [`StackSpec::build`] answer through their codec's
+    /// [`WireCodec::peek_broadcast_id`].
+    fn frame_broadcast_id(&self, _frame: &[u8]) -> Option<BroadcastId> {
+        None
+    }
 }
 
 impl<P> DynEngine for P
@@ -436,6 +499,10 @@ where
     fn set_tracer(&mut self, tracer: brb_trace::Tracer) {
         Protocol::set_tracer(self, tracer)
     }
+
+    fn frame_broadcast_id(&self, frame: &[u8]) -> Option<BroadcastId> {
+        P::Message::peek_broadcast_id(frame)
+    }
 }
 
 /// Encodes one typed action into its wire form.
@@ -458,16 +525,77 @@ where
 /// [`StackSpec::build`] are wrapped in this adapter, so their steady-state event path
 /// reuses one buffer across events (the bare blanket `DynEngine` impl above must create a
 /// fresh buffer per call, since it has nowhere to keep one).
+///
+/// Outbound frames are staged through a persistent [`WireArena`]: one engine step's
+/// burst of sends encodes into a single shared allocation, and each [`WireAction::Send`]
+/// carries a zero-copy slice of it — the buffer-pool discipline of the encode path.
 struct SinkEngine<P: Protocol> {
     inner: P,
     scratch: ActionBuf<P::Message>,
+    arena: WireArena,
+    /// Encoded actions of the current burst, kept in emit order while the arena stages
+    /// the frame bytes (reused across calls, like `scratch`).
+    staged: Vec<StagedAction>,
+    /// How to peek a frame's *instance-level* [`BroadcastId`] (the sharding partition
+    /// key). Defaults to the link-level codec's peek; composed stacks override it —
+    /// a Bracha-over-RC frame's outer id names the RC sub-instance, but all RC
+    /// sub-instances of one Bracha broadcast must land on the same shard, so those
+    /// stacks peek the Bracha id embedded in the RC payload instead.
+    peek: fn(&[u8]) -> Option<BroadcastId>,
 }
 
-impl<P: Protocol> SinkEngine<P> {
+/// One action of a burst with its frame bytes still in the arena: sends reference their
+/// staged frame by push order, deliveries pass through.
+enum StagedAction {
+    Send { to: ProcessId, wire_size: usize },
+    Deliver(Delivery),
+}
+
+impl<P: Protocol> SinkEngine<P>
+where
+    P::Message: WireCodec,
+{
     fn new(inner: P) -> Self {
         Self {
             inner,
             scratch: ActionBuf::new(),
+            arena: WireArena::new(),
+            staged: Vec::new(),
+            peek: P::Message::peek_broadcast_id,
+        }
+    }
+
+    /// Overrides the instance-id peek for composed stacks (see the `peek` field).
+    fn with_peek(mut self, peek: fn(&[u8]) -> Option<BroadcastId>) -> Self {
+        self.peek = peek;
+        self
+    }
+
+    /// Drains the typed scratch buffer into `out`: pass 1 encodes every send into the
+    /// arena's staging buffer, pass 2 seals the burst (one allocation) and emits the
+    /// actions in their original order with zero-copy frame slices.
+    fn flush(&mut self, out: &mut WireActionBuf) {
+        self.staged.clear();
+        for action in self.scratch.drain() {
+            match action {
+                Action::Send { to, message } => {
+                    let wire_size = P::message_size(&message);
+                    self.arena.push_with(|buf| message.encode_into(buf));
+                    self.staged.push(StagedAction::Send { to, wire_size });
+                }
+                Action::Deliver(delivery) => self.staged.push(StagedAction::Deliver(delivery)),
+            }
+        }
+        let mut frames = self.arena.seal().into_iter();
+        for staged in self.staged.drain(..) {
+            out.push(match staged {
+                StagedAction::Send { to, wire_size } => WireAction::Send {
+                    to,
+                    frame: frames.next().expect("one staged frame per send"),
+                    wire_size,
+                },
+                StagedAction::Deliver(delivery) => WireAction::Deliver(delivery),
+            });
         }
     }
 }
@@ -484,9 +612,7 @@ where
     fn broadcast_wire(&mut self, payload: Payload, out: &mut WireActionBuf) {
         self.scratch.clear();
         self.inner.broadcast_into(payload, &mut self.scratch);
-        for action in self.scratch.drain() {
-            out.push(encode_action::<P>(action));
-        }
+        self.flush(out);
     }
 
     fn broadcast_wire_seq(
@@ -498,9 +624,7 @@ where
         self.scratch.clear();
         self.inner
             .broadcast_with_seq_into(seq, payload, &mut self.scratch);
-        for action in self.scratch.drain() {
-            out.push(encode_action::<P>(action));
-        }
+        self.flush(out);
     }
 
     fn handle_frame(&mut self, from: ProcessId, frame: &[u8], out: &mut WireActionBuf) {
@@ -510,9 +634,7 @@ where
         self.scratch.clear();
         self.inner
             .handle_message_into(from, message, &mut self.scratch);
-        for action in self.scratch.drain() {
-            out.push(encode_action::<P>(action));
-        }
+        self.flush(out);
     }
 
     fn deliveries(&self) -> &[Delivery] {
@@ -542,6 +664,22 @@ where
     fn set_tracer(&mut self, tracer: brb_trace::Tracer) {
         Protocol::set_tracer(&mut self.inner, tracer)
     }
+
+    fn frame_broadcast_id(&self, frame: &[u8]) -> Option<BroadcastId> {
+        (self.peek)(frame)
+    }
+}
+
+/// Peeks the *Bracha-level* (client) broadcast id out of an RC frame whose inline
+/// payload is an encoded Bracha message.
+///
+/// Both RC substrates the crate composes under Bracha ([`CpaMessage`],
+/// [`RoutedDolevMessage`]) open with `source/origin (4 B) | seq (4 B) | payloadSize
+/// (4 B) | payload`, so the embedded Bracha frame starts at byte 12.
+fn peek_bracha_over_rc(frame: &[u8]) -> Option<BroadcastId> {
+    let len = peek_u32(frame, 8)? as usize;
+    let inner = frame.get(12..12usize.checked_add(len)?)?;
+    BrachaMessage::peek_broadcast_id(inner)
 }
 
 // ---------------------------------------------------------------------------
@@ -648,11 +786,14 @@ impl StackSpec {
         id: ProcessId,
     ) -> Box<dyn DynEngine> {
         let engine = match self {
-            StackSpec::BrachaRoutedDolev => Box::new(SinkEngine::new(BrachaOverRc::new(
-                config.n,
-                config.f,
-                RoutedDolev::new(id, config.f, Arc::clone(graph)),
-            ))),
+            StackSpec::BrachaRoutedDolev => Box::new(
+                SinkEngine::new(BrachaOverRc::new(
+                    config.n,
+                    config.f,
+                    RoutedDolev::new(id, config.f, Arc::clone(graph)),
+                ))
+                .with_peek(peek_bracha_over_rc),
+            ),
             StackSpec::RoutedDolev => Box::new(SinkEngine::new(RoutedDolev::new(
                 id,
                 config.f,
@@ -676,11 +817,14 @@ impl StackSpec {
                 *config,
                 graph.neighbors_vec(id),
             ))),
-            StackSpec::BrachaCpa => Box::new(SinkEngine::new(BrachaOverRc::new(
-                config.n,
-                config.f,
-                CpaProcess::new(id, config.f, graph.neighbors_vec(id)),
-            ))),
+            StackSpec::BrachaCpa => Box::new(
+                SinkEngine::new(BrachaOverRc::new(
+                    config.n,
+                    config.f,
+                    CpaProcess::new(id, config.f, graph.neighbors_vec(id)),
+                ))
+                .with_peek(peek_bracha_over_rc),
+            ),
             StackSpec::Dolev => Box::new(SinkEngine::new(DolevProcess::new(
                 id,
                 config.f,
@@ -1173,6 +1317,38 @@ mod tests {
         engine.handle_frame(0, &[0xFF, 0x01], &mut out);
         assert!(out.is_empty());
         assert!(engine.deliveries().is_empty());
+    }
+
+    #[test]
+    fn peeked_broadcast_ids_match_full_decodes_on_every_stack() {
+        // Every frame any stack puts on a link peeks to the same BroadcastId a full
+        // decode recovers — the sharding router's correctness condition.
+        for stack in StackSpec::ALL {
+            let graph = stack_graph(stack);
+            let config = stack_config(stack, graph.node_count());
+            let mut engines: Vec<Box<dyn DynEngine>> = (0..graph.node_count())
+                .map(|i| stack.build(&config, &graph, i))
+                .collect();
+            let mut out = WireActionBuf::new();
+            engines[0].broadcast_wire(Payload::from("peek"), &mut out);
+            let mut queue: Vec<(ProcessId, WireAction)> = out.drain().map(|a| (0, a)).collect();
+            let mut checked = 0usize;
+            while let Some((from, action)) = queue.pop() {
+                if let WireAction::Send { to, frame, .. } = action {
+                    let peeked = engines[to]
+                        .frame_broadcast_id(&frame)
+                        .expect("well-formed frames peek");
+                    assert_eq!(peeked, BroadcastId::new(0, 0), "{stack}");
+                    checked += 1;
+                    engines[to].handle_frame(from, &frame, &mut out);
+                    queue.extend(out.drain().map(|a| (to, a)));
+                }
+            }
+            assert!(checked > 0, "{stack} sent no frames");
+        }
+        // Too-short frames peek to None instead of panicking.
+        assert_eq!(WireMessage::peek_broadcast_id(&[1, 2, 3]), None);
+        assert_eq!(CpaMessage::peek_broadcast_id(&[]), None);
     }
 
     #[test]

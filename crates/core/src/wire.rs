@@ -214,6 +214,13 @@ impl WireMessage {
     /// Table 3 order, all integers big-endian.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_size() + 2);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the frame encoding of [`WireMessage::encode`] to an existing buffer —
+    /// the arena-backed path, staging a whole burst of frames in one allocation.
+    pub fn encode_into(&self, buf: &mut impl BufMut) {
         buf.put_u8(self.kind.tag());
         let mut mask = 0u8;
         if self.fields.source {
@@ -264,7 +271,6 @@ impl WireMessage {
         for &p in &self.path {
             buf.put_u32(p as u32);
         }
-        buf.freeze()
     }
 
     /// Decodes a frame produced by [`WireMessage::encode`].
@@ -331,6 +337,113 @@ impl WireMessage {
                 path: mask & (1 << 4) != 0,
             },
         })
+    }
+}
+
+/// Coalesces a burst of encoded frames into one length-prefixed batch buffer.
+///
+/// Layout: `count: u32`, then per frame `len: u32` followed by the frame bytes, all
+/// big-endian. One allocation for the whole batch; [`split_batch`] recovers the
+/// individual frames as zero-copy [`Bytes::slice`] views of the batch buffer.
+///
+/// An empty slice encodes to the 4-byte `count = 0` batch, and a single-frame batch is
+/// a valid (if pointless) degenerate case — both round-trip through [`split_batch`].
+pub fn encode_batch(frames: &[Bytes]) -> Bytes {
+    let total = 4 + frames
+        .iter()
+        .map(|frame| 4 + frame.len())
+        .sum::<usize>();
+    let mut buf = Vec::with_capacity(total);
+    buf.put_u32(frames.len() as u32);
+    for frame in frames {
+        buf.put_u32(frame.len() as u32);
+        buf.put_slice(frame);
+    }
+    Bytes::from(buf)
+}
+
+/// Splits a batch buffer produced by [`encode_batch`] back into its frames.
+///
+/// Each returned frame is a zero-copy view sharing the batch's allocation. Returns
+/// `None` on any framing violation: a truncated header, a frame length running past the
+/// end of the buffer, or trailing bytes after the last frame.
+pub fn split_batch(batch: &Bytes) -> Option<Vec<Bytes>> {
+    let mut cursor: &[u8] = batch;
+    if cursor.remaining() < 4 {
+        return None;
+    }
+    let count = cursor.get_u32() as usize;
+    let mut frames = Vec::with_capacity(count.min(1024));
+    let mut offset = 4usize;
+    for _ in 0..count {
+        if cursor.remaining() < 4 {
+            return None;
+        }
+        let len = cursor.get_u32() as usize;
+        offset += 4;
+        if cursor.remaining() < len {
+            return None;
+        }
+        frames.push(batch.slice(offset..offset + len));
+        cursor.advance(len);
+        offset += len;
+    }
+    if cursor.remaining() != 0 {
+        return None;
+    }
+    Some(frames)
+}
+
+/// A burst-granularity frame arena: the buffer-pool discipline of the steady-state
+/// encode path.
+///
+/// Protocol engines produce *bursts* of outbound frames (one engine step emits many
+/// sends). Instead of allocating one `Vec` per frame, callers write every frame of a
+/// burst into the arena's single staging buffer ([`WireArena::push_with`]) and then
+/// [`WireArena::seal`] the burst: the staging buffer is frozen into one shared [`Bytes`]
+/// allocation and each frame comes back as a zero-copy slice of it. Per frame the steady
+/// state allocates nothing; per burst it allocates once.
+#[derive(Debug, Default)]
+pub struct WireArena {
+    staging: Vec<u8>,
+    marks: Vec<usize>,
+}
+
+impl WireArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one frame to the current burst: `write` receives the staging buffer and
+    /// appends the frame's encoding to it. Returns the frame's index within the burst.
+    pub fn push_with(&mut self, write: impl FnOnce(&mut Vec<u8>)) -> usize {
+        self.marks.push(self.staging.len());
+        write(&mut self.staging);
+        self.marks.len() - 1
+    }
+
+    /// Number of frames staged in the current burst.
+    pub fn frames(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Freezes the current burst into one shared allocation and returns the staged
+    /// frames as zero-copy views of it, in push order. The arena is left empty, ready
+    /// for the next burst.
+    pub fn seal(&mut self) -> Vec<Bytes> {
+        let data = Bytes::from(std::mem::take(&mut self.staging));
+        let mut frames = Vec::with_capacity(self.marks.len());
+        for (i, &start) in self.marks.iter().enumerate() {
+            let end = self
+                .marks
+                .get(i + 1)
+                .copied()
+                .unwrap_or_else(|| data.len());
+            frames.push(data.slice(start..end));
+        }
+        self.marks.clear();
+        frames
     }
 }
 
@@ -503,5 +616,69 @@ mod tests {
             assert_eq!(MessageKind::from_tag(kind.tag()), Some(kind));
         }
         assert_eq!(MessageKind::from_tag(200), None);
+    }
+
+    #[test]
+    fn batch_roundtrips_including_empty_and_single() {
+        for frames in [
+            vec![],
+            vec![Bytes::from_static(b"only")],
+            vec![
+                Bytes::from_static(b""),
+                Bytes::from_static(b"a"),
+                Bytes::from_static(b"frame-two"),
+            ],
+        ] {
+            let batch = encode_batch(&frames);
+            let split = split_batch(&batch).expect("well-formed batch splits");
+            assert_eq!(split, frames);
+        }
+    }
+
+    #[test]
+    fn split_batch_rejects_truncation_and_trailing_bytes() {
+        let frames = vec![Bytes::from_static(b"abc"), Bytes::from_static(b"defg")];
+        let batch = encode_batch(&frames);
+        for cut in 0..batch.len() {
+            assert!(
+                split_batch(&batch.slice(..cut)).is_none(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        let mut extended = batch.to_vec();
+        extended.push(0);
+        assert!(split_batch(&Bytes::from(extended)).is_none());
+    }
+
+    #[test]
+    fn arena_seals_bursts_into_zero_copy_slices() {
+        let mut arena = WireArena::new();
+        assert_eq!(arena.frames(), 0);
+        arena.push_with(|buf| buf.put_slice(b"first"));
+        arena.push_with(|_| {});
+        arena.push_with(|buf| buf.put_slice(b"third"));
+        assert_eq!(arena.frames(), 3);
+        let frames = arena.seal();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(&frames[0][..], b"first");
+        assert!(frames[1].is_empty());
+        assert_eq!(&frames[2][..], b"third");
+        // The arena resets for the next burst.
+        assert_eq!(arena.frames(), 0);
+        arena.push_with(|buf| buf.put_slice(b"next"));
+        assert_eq!(&arena.seal()[0][..], b"next");
+    }
+
+    #[test]
+    fn arena_frames_batch_and_split_back() {
+        let mut arena = WireArena::new();
+        let encoded = sample_message().encode();
+        arena.push_with(|buf| buf.put_slice(&encoded));
+        arena.push_with(|buf| buf.put_slice(&encoded));
+        let frames = arena.seal();
+        let batch = encode_batch(&frames);
+        for frame in split_batch(&batch).unwrap() {
+            assert_eq!(WireMessage::decode(&frame).unwrap(), sample_message());
+        }
     }
 }

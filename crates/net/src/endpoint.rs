@@ -17,10 +17,9 @@ use std::time::Duration;
 use brb_core::types::ProcessId;
 use brb_graph::Graph;
 use brb_transport::Frame;
-use bytes::Bytes;
 use crossbeam::channel::Sender;
 
-use crate::frame::{read_frame, read_handshake, write_frame, write_handshake};
+use crate::frame::{read_frame_burst, read_handshake, write_frame, write_handshake};
 
 /// A bound, not yet connected endpoint of one process.
 #[derive(Debug)]
@@ -153,14 +152,12 @@ pub fn spawn_link_reader(
     std::thread::spawn(move || {
         let mut reader = BufReader::new(stream);
         loop {
-            match read_frame(&mut reader) {
-                Ok(bytes) => {
-                    let frame = Frame {
-                        from: peer,
-                        bytes: Bytes::from(bytes),
-                    };
-                    if mailbox.send(frame).is_err() {
-                        return;
+            match read_frame_burst(&mut reader) {
+                Ok(burst) => {
+                    for bytes in burst {
+                        if mailbox.send(Frame::single(peer, bytes)).is_err() {
+                            return;
+                        }
                     }
                 }
                 Err(_) => return,

@@ -6,7 +6,9 @@
 //! [`brb_core::wire::WireMessage`] bytes, and every connection starts with a fixed-size
 //! handshake that announces the connecting process's identifier.
 
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use bytes::Bytes;
 
 /// Maximum accepted frame size, in bytes.
 ///
@@ -58,6 +60,56 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
     let mut buf = vec![0u8; len];
     reader.read_exact(&mut buf)?;
     Ok(buf)
+}
+
+/// Reads one length-prefixed frame, then drains every *complete* frame already sitting in
+/// the reader's buffer — without blocking for more network data — into a single pooled
+/// allocation. The returned [`Bytes`] are zero-copy slices of that one buffer, so a burst
+/// of `k` frames costs one `Vec` allocation instead of `k`.
+///
+/// Under load (a peer's batched write landing as one TCP segment) this turns per-frame
+/// heap traffic into per-burst heap traffic; when traffic is sparse it degenerates to
+/// exactly [`read_frame`] (a one-frame burst).
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::UnexpectedEof`] when the peer closed the connection, and
+/// [`io::ErrorKind::InvalidData`] when an announced length exceeds [`MAX_FRAME_BYTES`].
+/// An oversized length seen mid-drain is left unconsumed and surfaces on the next call.
+pub fn read_frame_burst<R: Read>(reader: &mut BufReader<R>) -> io::Result<Vec<Bytes>> {
+    // First frame: block until it arrives, exactly like read_frame.
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len} byte frame, above the {MAX_FRAME_BYTES} byte cap"),
+        ));
+    }
+    let mut staging = vec![0u8; len];
+    reader.read_exact(&mut staging)?;
+    let mut marks = vec![0..len];
+
+    // Drain: take every complete frame already buffered, never touching the socket.
+    loop {
+        let buffered = reader.buffer();
+        if buffered.len() < 4 {
+            break;
+        }
+        let next = u32::from_be_bytes([buffered[0], buffered[1], buffered[2], buffered[3]]) as usize;
+        if next > MAX_FRAME_BYTES || buffered.len() < 4 + next {
+            // Oversized or incomplete: leave it for the next (blocking) call.
+            break;
+        }
+        let start = staging.len();
+        staging.extend_from_slice(&buffered[4..4 + next]);
+        marks.push(start..staging.len());
+        reader.consume(4 + next);
+    }
+
+    let pooled = Bytes::from(staging);
+    Ok(marks.into_iter().map(|r| pooled.slice(r)).collect())
 }
 
 /// Writes the connection handshake: magic byte plus the connecting process's identifier.
@@ -136,6 +188,41 @@ mod tests {
         let mut cursor = Cursor::new(buf);
         assert_eq!(
             read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn burst_read_drains_buffered_frames_zero_copy() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"third frame").unwrap();
+        let mut reader = BufReader::new(Cursor::new(buf));
+        let burst = read_frame_burst(&mut reader).unwrap();
+        assert_eq!(burst.len(), 3, "all complete buffered frames drain at once");
+        assert_eq!(&burst[0][..], b"first");
+        assert_eq!(&burst[1][..], b"");
+        assert_eq!(&burst[2][..], b"third frame");
+        assert_eq!(
+            read_frame_burst(&mut reader).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn burst_read_leaves_incomplete_tail_for_the_next_call() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"whole").unwrap();
+        write_frame(&mut buf, b"truncated tail").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut reader = BufReader::new(Cursor::new(buf));
+        let burst = read_frame_burst(&mut reader).unwrap();
+        assert_eq!(burst.len(), 1);
+        assert_eq!(&burst[0][..], b"whole");
+        // The truncated frame surfaces as EOF on the next blocking read.
+        assert_eq!(
+            read_frame_burst(&mut reader).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
         );
     }

@@ -66,9 +66,18 @@ impl Deployment {
             if options.churn.is_some() {
                 // NodeRestart events rebuild the engine with the same constructor the
                 // node started from (same identity and topology view, fresh state).
+                // Sharding is clamped off under churn: a restart rebuilds one engine,
+                // not a pool.
                 let shared_graph = shared_graph.clone();
                 driver = driver
                     .with_engine_factory(move || stack.build_shared(&config, &shared_graph, id));
+            } else if options.shard_workers > 1 {
+                // Extra shard engines: same constructor, same identity; the driver
+                // partitions broadcast instances across them by id hash.
+                let extras = (1..options.shard_workers)
+                    .map(|_| stack.build_shared(&config, &shared_graph, id))
+                    .collect();
+                driver = driver.with_shard_engines(extras);
             }
             handles.push(std::thread::spawn(move || driver.run()));
         }

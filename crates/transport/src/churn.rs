@@ -32,7 +32,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::driver::Command;
 use crate::link::Frame;
-use crate::transport::Transport;
+use crate::transport::{OutFrame, SendReceipt, Transport};
 
 /// The deployment-wide churn state every decorated transport consults.
 #[derive(Debug)]
@@ -223,6 +223,34 @@ impl<T: Transport> Transport for ChurnLink<T> {
             }
         }
         self.inner.send(to, frame, wire_size)
+    }
+
+    fn send_batch(&mut self, to: ProcessId, frames: &[OutFrame]) -> SendReceipt {
+        // Per-frame semantics inside the batch: the gate is consulted and the loss
+        // override drawn for each frame in burst order (same RNG stream as the
+        // frame-at-a-time path); only the survivors travel on, still as one batch.
+        let mut surviving: Vec<OutFrame> = Vec::with_capacity(frames.len());
+        for f in frames {
+            if !self.handle.allows(self.id, to) {
+                if let Some(observer) = &self.observer {
+                    observer.frame_dropped(to, brb_trace::DropCause::ChurnGate);
+                }
+                continue;
+            }
+            if let Some(p) = self.handle.loss_probability(self.id, to) {
+                if self.rng.gen_bool(p) {
+                    if let Some(observer) = &self.observer {
+                        observer.frame_dropped(to, brb_trace::DropCause::Loss);
+                    }
+                    continue;
+                }
+            }
+            surviving.push(f.clone());
+        }
+        if surviving.is_empty() {
+            return SendReceipt::default();
+        }
+        self.inner.send_batch(to, &surviving)
     }
 }
 

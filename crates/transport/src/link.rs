@@ -22,8 +22,35 @@ pub struct Frame {
     /// protocol layer).
     pub from: ProcessId,
     /// Encoded wire message of whichever stack the deployment runs (a
-    /// [`brb_core::stack::WireCodec`] frame; the link treats it as opaque bytes).
+    /// [`brb_core::stack::WireCodec`] frame; the link treats it as opaque bytes), or —
+    /// when [`Frame::batch`] is set — a coalesced burst of such messages.
     pub bytes: Bytes,
+    /// Whether [`Frame::bytes`] is a coalesced batch in the
+    /// [`brb_core::wire::encode_batch`] framing (one channel op carrying a whole
+    /// same-destination burst) rather than a single encoded message. Receivers split
+    /// batches back into messages with [`brb_core::wire::split_batch`].
+    pub batch: bool,
+}
+
+impl Frame {
+    /// A frame carrying one encoded message.
+    pub fn single(from: ProcessId, bytes: Bytes) -> Self {
+        Self {
+            from,
+            bytes,
+            batch: false,
+        }
+    }
+
+    /// A frame carrying a coalesced batch buffer produced by
+    /// [`brb_core::wire::encode_batch`].
+    pub fn batched(from: ProcessId, bytes: Bytes) -> Self {
+        Self {
+            from,
+            bytes,
+            batch: true,
+        }
+    }
 }
 
 /// Sending half of an authenticated link from a fixed process to a fixed neighbor.
@@ -42,12 +69,14 @@ impl AuthenticatedSender {
 
     /// Sends an encoded message. Returns `false` if the peer has shut down.
     pub fn send(&self, bytes: Bytes) -> bool {
-        self.tx
-            .send(Frame {
-                from: self.from,
-                bytes,
-            })
-            .is_ok()
+        self.tx.send(Frame::single(self.from, bytes)).is_ok()
+    }
+
+    /// Sends a coalesced batch buffer ([`brb_core::wire::encode_batch`]) as **one**
+    /// channel op; the receiver splits it back into messages. Returns `false` if the
+    /// peer has shut down.
+    pub fn send_batch(&self, bytes: Bytes) -> bool {
+        self.tx.send(Frame::batched(self.from, bytes)).is_ok()
     }
 }
 

@@ -36,7 +36,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::churn::ChurnHandle;
 use crate::link::Frame;
-use crate::transport::Transport;
+use crate::transport::{OutFrame, SendReceipt, Transport};
 
 /// Observability handles threaded through one node's link decorators: the always-on
 /// counter registry (drop accounting by cause, delay-line occupancy peaks) plus the
@@ -242,6 +242,33 @@ impl<T: Transport> Transport for FaultyLink<T> {
             transmitted += self.inner.send(to, frame, wire_size);
         }
         transmitted
+    }
+
+    fn send_batch(&mut self, to: ProcessId, frames: &[OutFrame]) -> SendReceipt {
+        // Per-frame semantics inside the batch: each frame draws its own behavior
+        // decision in burst order (same RNG stream and `attempted` progression as the
+        // frame-at-a-time path), dropped frames leave the burst, amplified frames
+        // contribute extra copies — and the surviving copies go down as one batch.
+        let mut surviving: Vec<OutFrame> = Vec::with_capacity(frames.len());
+        for f in frames {
+            let copies = self
+                .behavior
+                .outbound_copies(to, self.attempted, &mut self.rng);
+            self.attempted += 1;
+            if copies == 0 {
+                if let Some(observer) = &self.observer {
+                    observer.frame_dropped(to, DropCause::Behavior);
+                }
+                continue;
+            }
+            for _ in 0..copies {
+                surviving.push(f.clone());
+            }
+        }
+        if surviving.is_empty() {
+            return SendReceipt::default();
+        }
+        self.inner.send_batch(to, &surviving)
     }
 }
 
@@ -494,6 +521,49 @@ mod tests {
         let t1 = ChannelTransport::new(mailboxes.pop().unwrap(), senders.pop().unwrap());
         let t0 = ChannelTransport::new(mailboxes.pop().unwrap(), senders.pop().unwrap());
         (t0, t1)
+    }
+
+    #[test]
+    fn faulty_link_batch_matches_frame_at_a_time_accounting() {
+        // Same behavior, same seed: a burst through send_batch must draw the exact
+        // per-frame decisions the frame-at-a-time path draws, so receipts and the
+        // surviving message sequences are identical.
+        let frames: Vec<OutFrame> = (0..16)
+            .map(|i| OutFrame::new(Bytes::from(vec![i as u8; 4]), 50 + i as usize))
+            .collect();
+        for behavior in [
+            Behavior::Lossy(0.5),
+            Behavior::Replayer,
+            Behavior::FailsAfter(7),
+            Behavior::Crash,
+            Behavior::SilentTowards(vec![1]),
+        ] {
+            let (t0, t1) = pair();
+            let mut reference = FaultyLink::new(t0, behavior.clone(), 99);
+            let mut per_frame = SendReceipt::default();
+            for f in &frames {
+                per_frame.record(reference.send(1, &f.frame, f.wire_size), f.wire_size);
+            }
+            let mut survived_ref: Vec<Bytes> = Vec::new();
+            while let Ok(frame) = t1.inbound().try_recv() {
+                survived_ref.push(frame.bytes);
+            }
+
+            let (t0, t1) = pair();
+            let mut batched = FaultyLink::new(t0, behavior.clone(), 99);
+            let receipt = batched.send_batch(1, &frames);
+            let mut survived: Vec<Bytes> = Vec::new();
+            while let Ok(frame) = t1.inbound().try_recv() {
+                if frame.batch {
+                    survived
+                        .extend(brb_core::wire::split_batch(&frame.bytes).expect("valid batch"));
+                } else {
+                    survived.push(frame.bytes);
+                }
+            }
+            assert_eq!(receipt, per_frame, "{behavior:?} receipt identity");
+            assert_eq!(survived, survived_ref, "{behavior:?} surviving frames");
+        }
     }
 
     #[test]

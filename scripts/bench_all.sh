@@ -21,5 +21,9 @@ echo "== bench_consensus -> $out/BENCH_consensus.json"
 cargo run --release -p brb-bench --bin bench_consensus -- \
     --out "$out/BENCH_consensus.json"
 
+echo "== bench_saturation -> $out/BENCH_saturation.json"
+cargo run --release -p brb-bench --bin bench_saturation -- \
+    --out "$out/BENCH_saturation.json"
+
 echo "== all BENCH snapshots written to $out"
 ls -l "$out"/BENCH_*.json

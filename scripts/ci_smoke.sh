@@ -22,7 +22,11 @@
 # rounds-percentile / BRB-instance / instance-GC rows driven through the same
 # deterministic sweep engine, and the structured-trace matrix (--trace), so it also
 # covers the per-broadcast causal latency breakdown and drops-by-cause rows computed
-# from the brb-trace event stream on the simulator's virtual clock.
+# from the brb-trace event stream on the simulator's virtual clock, and the open-loop
+# saturation ramp (--saturation), so it also covers the offered-rate / throughput /
+# latency-percentile / knee rows of the deterministic simulator ramp (the wall-clock
+# knee study with batching + sharding on vs off is the separate bench_saturation
+# binary checked below).
 #
 # Usage: scripts/ci_smoke.sh [output-dir]
 set -euo pipefail
@@ -33,10 +37,10 @@ mkdir -p "$out"
 # Time-box each run: the quick preset finishes in well under a minute on CI hardware,
 # so ten minutes signals a hang rather than a slow machine.
 timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
-    --quick --workload --behaviors --churn --consensus --trace --workers 1 \
+    --quick --workload --behaviors --churn --consensus --trace --saturation --workers 1 \
     --csv "$out/sweep_w1.csv" > "$out/stdout_w1.txt"
 timeout 600 cargo run --release -p brb-bench --bin all_experiments -- \
-    --quick --workload --behaviors --churn --consensus --trace --workers 4 \
+    --quick --workload --behaviors --churn --consensus --trace --saturation --workers 4 \
     --csv "$out/sweep_w4.csv" > "$out/stdout_w4.txt"
 
 if ! diff -u "$out/sweep_w1.csv" "$out/sweep_w4.csv"; then
@@ -121,7 +125,22 @@ for cause in loss churn_gate behavior gc_retired non_neighbor; do
     fi
 done
 
-echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows, $workload_rows workload rows, $behavior_rows behavior rows incl. the lossy runs, $churn_rows churn rows, $families_rows topology-family rows, $consensus_rows consensus rows, $trace_rows trace + $trace_drop_rows trace_drops rows)"
+saturation_rows=$(grep -c "^saturation," "$out/sweep_w1.csv" || true)
+if [ "$saturation_rows" -lt 5 ]; then
+    echo "FAIL: expected >= 5 saturation rows (one per ramp interval), found $saturation_rows — did --saturation run?" >&2
+    exit 1
+fi
+if ! grep -q "^saturation,.*,open-loop/zipf," "$out/sweep_w1.csv"; then
+    echo "FAIL: no open-loop/zipf saturation row" >&2
+    exit 1
+fi
+knee_rows=$(grep -c "^saturation,.*,1$" "$out/sweep_w1.csv" || true)
+if [ "$knee_rows" != 1 ]; then
+    echo "FAIL: expected exactly 1 knee-flagged saturation row, found $knee_rows" >&2
+    exit 1
+fi
+
+echo "OK: 1-worker and 4-worker sweeps produced identical CSVs ($rows rows, $workload_rows workload rows, $behavior_rows behavior rows incl. the lossy runs, $churn_rows churn rows, $families_rows topology-family rows, $consensus_rows consensus rows, $trace_rows trace + $trace_drop_rows trace_drops rows, $saturation_rows saturation rows incl. the knee)"
 
 # Second stack: the same harnesses, parameters and topologies, but running the plain
 # Bracha-over-routed-Dolev stack through the boxed DynEngine path.
@@ -141,10 +160,10 @@ if diff -q "$out/sweep_w1.csv" "$out/sweep_brd.csv" > /dev/null; then
     echo "FAIL: the two stacks produced identical CSVs — the --stack flag is inert" >&2
     exit 1
 fi
-# The second stack runs without --workload/--behaviors/--churn/--consensus/--trace; compare
-# only the shared rows (the topology-family rows are unconditional, so they appear in
-# both runs).
-base_rows=$((rows - workload_rows - behavior_rows - churn_rows - consensus_rows - trace_rows - trace_drop_rows))
+# The second stack runs without --workload/--behaviors/--churn/--consensus/--trace/
+# --saturation; compare only the shared rows (the topology-family rows are
+# unconditional, so they appear in both runs).
+base_rows=$((rows - workload_rows - behavior_rows - churn_rows - consensus_rows - trace_rows - trace_drop_rows - saturation_rows))
 if [ "$(wc -l < "$out/sweep_brd.csv")" != "$base_rows" ]; then
     echo "FAIL: the two stacks swept a different number of data points" >&2
     exit 1
@@ -182,6 +201,22 @@ for field in mean_ms decision_value decision_round rounds_driven instances gc_re
 done
 
 echo "OK: BENCH_consensus.json written (consensus invariants asserted by the benchmark binary)"
+
+# Saturation study: the wall-clock knee of the live backends (bd + bracha stacks,
+# channel + TCP, classic vs batched+sharded transport). Wall-clock numbers vary with
+# the host, so no byte-diff here — only that the quick-scale ramp runs and the JSON
+# carries every combination's knee fields.
+timeout 600 cargo run --release -p brb-bench --bin bench_saturation -- \
+    --quick --out "$out/BENCH_saturation.json" > "$out/stdout_bench_saturation.txt"
+for field in knee_offered_per_sec knee_throughput_per_sec knee_p99_ms curve \
+    classic batched_sharded channel tcp bd bracha; do
+    if ! grep -q "\"$field\"" "$out/BENCH_saturation.json"; then
+        echo "FAIL: BENCH_saturation.json is missing field \"$field\"" >&2
+        exit 1
+    fi
+done
+
+echo "OK: BENCH_saturation.json written (live knee study: batching+sharding on vs off)"
 
 # Structured-trace study: the same seeded adversarial scenario on the simulator, the
 # channel runtime and TCP must produce identical order-normalized causal event

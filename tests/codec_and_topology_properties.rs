@@ -37,6 +37,42 @@ proptest! {
         }
     }
 
+    /// The batch wire framing round-trips every burst — empty, single-frame and
+    /// multi-frame, with frame sizes crossing every small chunk boundary — and the
+    /// split is a zero-copy view of the batch buffer. Truncating the batch at ANY byte
+    /// boundary, or appending trailing garbage, must be rejected (a Byzantine peer owns
+    /// the whole batch buffer).
+    #[test]
+    fn batch_framing_roundtrips_at_every_chunk_boundary(
+        sizes in proptest::collection::vec(0usize..70, 0..12),
+        trailer in any::<u8>(),
+    ) {
+        use brb_core::wire::{encode_batch, split_batch};
+        let frames: Vec<bytes::Bytes> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| bytes::Bytes::from(vec![i as u8; len]))
+            .collect();
+        let batch = encode_batch(&frames);
+        let parts = split_batch(&batch);
+        prop_assert_eq!(parts.as_ref(), Some(&frames), "lossless round-trip");
+
+        // Strictness: every proper prefix fails, and so does any trailing byte.
+        for cut in 0..batch.len() {
+            prop_assert!(
+                split_batch(&batch.slice(0..cut)).is_none(),
+                "truncation at byte {} must be rejected",
+                cut
+            );
+        }
+        let mut extended = batch.to_vec();
+        extended.push(trailer);
+        prop_assert!(
+            split_batch(&bytes::Bytes::from(extended)).is_none(),
+            "trailing bytes must be rejected"
+        );
+    }
+
     /// The Bracha-over-RC codec round-trips every well-formed message and never panics on
     /// arbitrary payload bytes.
     #[test]

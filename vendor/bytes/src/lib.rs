@@ -5,18 +5,27 @@
 //! re-implementations of exactly the API subset the workspace uses. This crate covers
 //! contiguous byte buffers: [`Bytes`], [`BytesMut`] and the [`Buf`]/[`BufMut`] traits
 //! with big-endian integer accessors.
+//!
+//! [`Bytes`] is an *offset view* over a shared allocation: [`Bytes::slice`] returns a
+//! sub-range that shares the same backing storage, so splitting a batch of frames out of
+//! one buffer costs no copies — the property the workspace's buffer-pool hot path is
+//! built on. Equality, ordering and hashing are all over the *visible* byte range.
 
 #![forbid(unsafe_code)]
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// A cheaply cloneable immutable byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// A cheaply cloneable immutable byte buffer: a `(start, end)` view into a shared
+/// allocation. Cloning and [`Bytes::slice`] are O(1) and never copy the bytes.
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -27,31 +36,96 @@ impl Bytes {
 
     /// Wraps a static byte slice.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self {
-            data: Arc::new(bytes.to_vec()),
-        }
+        Self::from(bytes.to_vec())
     }
 
     /// Copies the slice into an owned buffer.
     pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+
+    /// Length of the visible range in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the visible range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Copies the visible range into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a view of the sub-range `range` (indices relative to this view) sharing
+    /// the same backing allocation — no bytes are copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "slice {begin}..{end} out of bounds for Bytes of length {len}"
+        );
         Self {
-            data: Arc::new(bytes.to_vec()),
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
         }
     }
 
-    /// Length of the buffer in bytes.
-    pub fn len(&self) -> usize {
-        self.data.len()
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
     }
+}
 
-    /// Whether the buffer is empty.
-    pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+impl Default for Bytes {
+    fn default() -> Self {
+        Self {
+            data: Arc::new(Vec::new()),
+            start: 0,
+            end: 0,
+        }
     }
+}
 
-    /// Copies the contents into a `Vec<u8>`.
-    pub fn to_vec(&self) -> Vec<u8> {
-        self.data.as_ref().clone()
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
@@ -59,7 +133,7 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        self.data.as_slice()
+        self.as_slice()
     }
 }
 
@@ -77,8 +151,11 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
         Self {
             data: Arc::new(data),
+            start: 0,
+            end,
         }
     }
 }
@@ -91,7 +168,7 @@ impl From<&[u8]> for Bytes {
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Bytes({:?})", self.data)
+        write!(f, "Bytes({:?})", self.as_slice())
     }
 }
 
@@ -126,9 +203,7 @@ impl BytesMut {
 
     /// Converts the buffer into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes {
-            data: Arc::new(self.data),
-        }
+        Bytes::from(self.data)
     }
 }
 
@@ -262,5 +337,28 @@ mod tests {
         let c = b.clone();
         assert_eq!(&b[..], &c[..]);
         assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_view() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = b.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        assert_eq!(mid.len(), 3);
+        // A slice of a slice composes offsets relative to the view.
+        let inner = mid.slice(1..);
+        assert_eq!(&inner[..], &[3, 4]);
+        // Equality, ordering and hashing follow the visible range, not the allocation.
+        assert_eq!(inner, Bytes::from(vec![3, 4]));
+        assert!(mid < inner);
+        let empty = b.slice(6..6);
+        assert!(empty.is_empty());
+        assert_eq!(empty, Bytes::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_the_end_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(1..7);
     }
 }

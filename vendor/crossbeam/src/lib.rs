@@ -3,9 +3,13 @@
 //! Implements the multi-producer multi-consumer channel subset this workspace uses
 //! ([`channel::unbounded`], [`channel::Sender`], [`channel::Receiver`] and the
 //! [`select!`] macro) on top of `std::sync` primitives. The `select!` implementation polls
-//! its `recv` arms in order with a short park between rounds, which matches crossbeam's
-//! observable semantics for the workspace's two-arms-plus-default loops (arbitrary-order
-//! arm readiness, `Err` on disconnection, `default(timeout)` after inactivity).
+//! its `recv` arms in order, delivering queued messages before reporting disconnections,
+//! and parks the thread between rounds with **wake-accurate** unparking (every send on a
+//! selected channel unparks the selector) — which matches crossbeam's observable
+//! semantics for the workspace's select loops (arbitrary-order arm readiness, `Err` on
+//! disconnection, no starvation of a ready arm by a permanently-disconnected one,
+//! `default(timeout)` after inactivity) without adding polling-interval latency to
+//! cross-thread hand-offs.
 
 #![forbid(unsafe_code)]
 
@@ -15,12 +19,17 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::thread::Thread;
     use std::time::{Duration, Instant};
 
     struct Inner<T> {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// Threads parked in a [`select!`] with this channel as an arm. A send (or a
+        /// disconnecting sender drop) unparks them all, so a selecting thread wakes at
+        /// channel-op speed instead of a polling interval.
+        waiters: Vec<Thread>,
     }
 
     struct Shared<T> {
@@ -71,6 +80,7 @@ pub mod channel {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                waiters: Vec::new(),
             }),
             cond: Condvar::new(),
         });
@@ -90,8 +100,12 @@ pub mod channel {
                 return Err(SendError(value));
             }
             inner.queue.push_back(value);
+            let waiters = inner.waiters.clone();
             drop(inner);
             self.shared.cond.notify_all();
+            for waiter in waiters {
+                waiter.unpark();
+            }
             Ok(())
         }
     }
@@ -112,9 +126,17 @@ pub mod channel {
             let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.senders -= 1;
             let disconnected = inner.senders == 0;
+            let waiters = if disconnected {
+                std::mem::take(&mut inner.waiters)
+            } else {
+                Vec::new()
+            };
             drop(inner);
             if disconnected {
                 self.shared.cond.notify_all();
+                for waiter in waiters {
+                    waiter.unpark();
+                }
             }
         }
     }
@@ -196,6 +218,34 @@ pub mod channel {
         pub fn __select_disconnected_result(&self) -> Result<T, RecvError> {
             Err(RecvError)
         }
+
+        /// Registers the current thread to be unparked by the next send on this
+        /// channel (or by the sender side disconnecting). Part of the [`select!`]
+        /// machinery; idempotent per thread.
+        #[doc(hidden)]
+        pub fn __select_register(&self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let me = std::thread::current();
+            if !inner.waiters.iter().any(|t| t.id() == me.id()) {
+                inner.waiters.push(me);
+            }
+        }
+
+        /// Removes the current thread from this channel's waiter list.
+        #[doc(hidden)]
+        pub fn __select_unregister(&self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let me = std::thread::current().id();
+            inner.waiters.retain(|t| t.id() != me);
+        }
+
+        /// Whether a [`select!`] arm on this channel would fire right now (queued
+        /// message or observable disconnection).
+        #[doc(hidden)]
+        pub fn __select_ready(&self) -> bool {
+            let inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            !inner.queue.is_empty() || inner.senders == 0
+        }
     }
 
     impl<T> Clone for Receiver<T> {
@@ -228,13 +278,37 @@ pub mod channel {
 /// Waits on several channel operations at once: `recv(receiver) -> result => body` arms
 /// plus a mandatory `default(timeout) => body` arm (the only shape this workspace uses).
 ///
-/// Arms are polled in order; between polling rounds the thread parks briefly. An arm on a
-/// disconnected channel is considered ready with `Err(RecvError)`, like crossbeam's.
+/// Queued messages take priority over disconnections: each polling round first scans
+/// every arm (in order) for a deliverable message and only then reports the first
+/// *disconnected* arm as ready with `Err(RecvError)`. Real crossbeam picks uniformly at
+/// random among ready operations, which guarantees a permanently-ready disconnected arm
+/// cannot starve an arm with pending messages; the message-first scan gives the same
+/// progress guarantee deterministically. With no arm ready the thread registers as a
+/// waiter on every arm and parks until a send (or sender-side disconnect) unparks it or
+/// the default deadline passes — select wake-ups track channel operations, not a
+/// polling interval.
 #[macro_export]
 macro_rules! select {
     ($(recv($r:expr) -> $res:pat => $body:expr,)+ default($timeout:expr) => $default:expr $(,)?) => {{
         let __deadline = ::std::time::Instant::now() + $timeout;
         'crossbeam_select: loop {
+            // Pass 1: deliver a queued message from the first arm holding one. A
+            // disconnected arm is skipped here — if any other arm has traffic queued,
+            // that traffic must keep flowing (a disconnection stays observable forever;
+            // a starved message queue deadlocks its producer's counterpart).
+            $(
+                {
+                    let __receiver = &$r;
+                    if let ::std::result::Result::Ok(__value) = __receiver.try_recv() {
+                        let $res: ::std::result::Result<_, $crate::channel::RecvError> =
+                            ::std::result::Result::Ok(__value);
+                        break 'crossbeam_select ($body);
+                    }
+                }
+            )+
+            // Pass 2: no arm held a message — the first disconnected arm is ready with
+            // `Err(RecvError)`, like crossbeam's. (A message that raced in between the
+            // passes is simply delivered, which is equally valid.)
             $(
                 {
                     let __receiver = &$r;
@@ -257,7 +331,36 @@ macro_rules! select {
             if ::std::time::Instant::now() >= __deadline {
                 break 'crossbeam_select ($default);
             }
-            ::std::thread::park_timeout(::std::time::Duration::from_micros(200));
+            // No arm is ready: park until a sender wakes us or the default deadline
+            // passes. Registration makes the wake-up precise — a send (or sender-side
+            // disconnect) on any arm unparks this thread immediately, so select adds
+            // channel-op latency, not polling-interval latency. The recheck between
+            // registering and parking closes the race with a send that landed after
+            // the polling passes (its unpark would be lost); a stale unpark token
+            // from an earlier round at worst causes one spurious re-poll.
+            $(
+                {
+                    (&$r).__select_register();
+                }
+            )+
+            let mut __raced = false;
+            $(
+                {
+                    if (&$r).__select_ready() {
+                        __raced = true;
+                    }
+                }
+            )+
+            if !__raced {
+                let __remaining =
+                    __deadline.saturating_duration_since(::std::time::Instant::now());
+                ::std::thread::park_timeout(__remaining);
+            }
+            $(
+                {
+                    (&$r).__select_unregister();
+                }
+            )+
         }
     }};
 }
@@ -296,6 +399,56 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn disconnected_arm_cannot_starve_an_arm_with_messages() {
+        // Regression: a disconnected channel listed *before* a channel with queued
+        // traffic must not short-circuit the select — crossbeam picks among ready
+        // operations, so the queued messages keep flowing and only once they are
+        // drained does the disconnection fire. (The unfixed order-biased poll starved
+        // the second arm forever, hanging the sharded driver's shutdown drain.)
+        let (dead_tx, dead_rx) = unbounded::<u8>();
+        drop(dead_tx);
+        let (tx, rx) = unbounded();
+        tx.send(1u8).unwrap();
+        tx.send(2u8).unwrap();
+        let mut got = Vec::new();
+        let mut disconnections = 0;
+        for _ in 0..3 {
+            crate::channel::select! {
+                recv(dead_rx) -> msg => { assert!(msg.is_err()); disconnections += 1; },
+                recv(rx) -> msg => got.push(msg.unwrap()),
+                default(Duration::from_millis(5)) => panic!("an arm is always ready"),
+            }
+        }
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(disconnections, 1, "disconnection fires once the queue is dry");
+    }
+
+    #[test]
+    fn select_wakes_on_cross_thread_send_before_the_deadline() {
+        // The selector must wake on the send's unpark, not wait out the default
+        // timeout: a generous deadline with a prompt sender still delivers.
+        let (tx, rx) = unbounded();
+        let (_keep, rx2) = unbounded::<u8>();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(7u8).unwrap();
+        });
+        let started = std::time::Instant::now();
+        let mut got = None;
+        crate::channel::select! {
+            recv(rx) -> msg => got = msg.ok(),
+            recv(rx2) -> msg => got = msg.ok(),
+            default(Duration::from_secs(10)) => {},
+        }
+        sender.join().unwrap();
+        assert_eq!(got, Some(7));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "select waited out the deadline instead of waking on the send"
+        );
     }
 
     #[test]
